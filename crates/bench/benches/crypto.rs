@@ -1,0 +1,79 @@
+//! Criterion bench: the crypto substrate (E8's counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcvs_crypto::{
+    mss::{mss_verify, MssSigner},
+    sha256,
+    wots::{wots_keygen, wots_sign, wots_verify},
+    SeedRng, Sha256,
+};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto/sha256");
+    for len in [64usize, 4096, 1 << 20] {
+        let data = vec![0x5Au8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, data| {
+            b.iter(|| {
+                let mut h = Sha256::new();
+                h.update(data);
+                h.finalize()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_wots(c: &mut Criterion) {
+    let msg = sha256(b"h(M(D) || ctr)");
+    c.bench_function("crypto/wots_sign", |b| {
+        b.iter(|| {
+            let mut rng = SeedRng::from_label(b"bench");
+            let (mut sk, _) = wots_keygen(&mut rng);
+            wots_sign(&mut sk, &msg).unwrap()
+        });
+    });
+    let mut rng = SeedRng::from_label(b"bench");
+    let (mut sk, pk) = wots_keygen(&mut rng);
+    let sig = wots_sign(&mut sk, &msg).unwrap();
+    c.bench_function("crypto/wots_verify", |b| {
+        b.iter(|| wots_verify(&pk, &msg, &sig));
+    });
+}
+
+fn bench_mss(c: &mut Criterion) {
+    let msg = sha256(b"h(M(D) || ctr)");
+    let mut g = c.benchmark_group("crypto/mss_keygen");
+    g.sample_size(10);
+    for height in [6u32, 8, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(height), &height, |b, &h| {
+            b.iter(|| MssSigner::generate([1; 32], h).public_key());
+        });
+    }
+    g.finish();
+
+    let mut signer = MssSigner::generate([2; 32], 12);
+    let pk = signer.public_key();
+    c.bench_function("crypto/mss_sign_h12", |b| {
+        b.iter(|| {
+            // Criterion may request more iterations than the key's 2^12
+            // capacity; regenerate when spent (a rare, visible outlier).
+            if signer.remaining() == 0 {
+                signer = MssSigner::generate([2; 32], 12);
+            }
+            signer.sign(&msg).unwrap()
+        });
+    });
+    let mut signer = MssSigner::generate([2; 32], 12);
+    let sig = signer.sign(&msg).unwrap();
+    c.bench_function("crypto/mss_verify_h12", |b| {
+        b.iter(|| mss_verify(&pk, &msg, &sig));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_sha256, bench_wots, bench_mss
+}
+criterion_main!(benches);

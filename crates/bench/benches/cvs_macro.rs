@@ -1,0 +1,67 @@
+//! Criterion bench: the CVS macro-workload (E9's counterpart) — commit +
+//! checkout cycles through the full verified stack vs the plain repository.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcvs_core::{HonestServer, ProtocolConfig};
+use tcvs_cvs::{Cvs, DirectSession};
+use tcvs_store::{to_lines, Repository};
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    }
+}
+
+const FILES: usize = 20;
+const COMMITS: usize = 50;
+
+fn body(i: usize) -> String {
+    (0..40).map(|l| format!("line {l} of file {i}\n")).collect()
+}
+
+fn bench_plain_repo(c: &mut Criterion) {
+    c.bench_function("cvs_macro/plain_repository", |b| {
+        b.iter(|| {
+            let mut repo = Repository::new();
+            for i in 0..FILES {
+                repo.commit("u", "import", 0, vec![(format!("f{i}.c"), to_lines(&body(i)))])
+                    .unwrap();
+            }
+            for cmt in 0..COMMITS {
+                let path = format!("f{}.c", cmt % FILES);
+                let mut lines = repo.checkout(&path).unwrap().to_vec();
+                lines[cmt % 40] = format!("edited by commit {cmt}");
+                repo.commit("u", "edit", cmt as u64, vec![(path, lines)]).unwrap();
+            }
+            repo.file_count()
+        });
+    });
+}
+
+fn bench_trusted_cvs(c: &mut Criterion) {
+    c.bench_function("cvs_macro/trusted_cvs_protocol2", |b| {
+        b.iter(|| {
+            let cfg = config();
+            let mut session = DirectSession::new(0, HonestServer::new(&cfg), cfg);
+            let mut cvs = Cvs::new(&mut session, "u");
+            for i in 0..FILES {
+                cvs.add(&format!("f{i}.c"), &body(i), "import", 0).unwrap();
+            }
+            for cmt in 0..COMMITS {
+                let path = format!("f{}.c", cmt % FILES);
+                let mut wf = cvs.checkout(&path).unwrap();
+                wf.lines[cmt % 40] = format!("edited by commit {cmt}");
+                cvs.commit(&wf, "edit", cmt as u64).unwrap();
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_plain_repo, bench_trusted_cvs
+}
+criterion_main!(benches);

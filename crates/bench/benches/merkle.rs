@@ -1,0 +1,71 @@
+//! Criterion bench: Merkle B+-tree operations and proof machinery (E1's
+//! microbenchmark counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcvs_merkle::{apply_op, prune_for_op, u64_key, verify_response, MerkleTree, Op,
+    VerificationObject};
+
+fn build(n: u64, order: usize) -> MerkleTree {
+    let mut t = MerkleTree::with_order(order);
+    for i in 0..n {
+        t.insert(u64_key(i), vec![0xAB; 24]).unwrap();
+    }
+    t
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle/insert");
+    for n in [1u64 << 10, 1 << 14] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let tree = build(n, 16);
+            let mut i = n;
+            b.iter(|| {
+                let mut t = tree.clone();
+                i += 1;
+                t.insert(u64_key(i), vec![1; 24]).unwrap();
+                t.root_digest()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_get_with_proof(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle/serve_get_with_proof");
+    for n in [1u64 << 10, 1 << 14, 1 << 18] {
+        let tree = build(n, 16);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let op = Op::Get(u64_key(n / 2));
+            b.iter(|| {
+                let vo = VerificationObject::new(prune_for_op(&tree, &op));
+                vo.encoded_size()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle/client_verify_update");
+    for n in [1u64 << 10, 1 << 14, 1 << 18] {
+        let mut tree = build(n, 16);
+        let root = tree.root_digest();
+        let op = Op::Put(u64_key(n / 2), vec![7; 24]);
+        let vo = VerificationObject::new(prune_for_op(&tree, &op));
+        let answer = apply_op(&mut tree, &op).unwrap();
+        let new_root = tree.root_digest();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                verify_response(&root, 16, &vo, &op, Some(&answer), Some(&new_root)).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inserts, bench_get_with_proof, bench_verify
+}
+criterion_main!(benches);

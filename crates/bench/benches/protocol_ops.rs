@@ -1,0 +1,112 @@
+//! Criterion bench: full per-operation protocol cost, server + client, for
+//! each protocol (E2's microbenchmark counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcvs_core::{
+    Client1, Client2, HonestServer, Op, ProtocolConfig, ServerApi,
+};
+use tcvs_crypto::setup_users;
+use tcvs_merkle::{u64_key, MerkleTree};
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    }
+}
+
+/// Preloads the server with n entries.
+fn preload(server: &mut HonestServer, n: u64) {
+    for i in 0..n {
+        server.handle_op(0, &Op::Put(u64_key(i), vec![0xAB; 24]), 0);
+    }
+}
+
+fn bench_trusted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/trusted_put");
+    for n in [1u64 << 12, 1 << 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = config();
+            let mut server = HonestServer::new(&cfg);
+            preload(&mut server, n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                server.handle_op(0, &Op::Put(u64_key(i % n), vec![1; 24]), i)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_protocol2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol/p2_put_verified");
+    for n in [1u64 << 12, 1 << 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = config();
+            let mut server = HonestServer::new(&cfg);
+            let root0 = MerkleTree::with_order(cfg.order).root_digest();
+            let mut client = Client2::new(0, &root0, cfg);
+            // Preload THROUGH the client so its accumulator stays coherent.
+            for i in 0..n.min(1 << 12) {
+                let op = Op::Put(u64_key(i), vec![0xAB; 24]);
+                let resp = server.handle_op(0, &op, i);
+                client.handle_response(&op, &resp).unwrap();
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let op = Op::Put(u64_key(i % n), vec![1; 24]);
+                let resp = server.handle_op(0, &op, i);
+                client.handle_response(&op, &resp).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_protocol1(c: &mut Criterion) {
+    c.bench_function("protocol/p1_put_verified_signed", |b| {
+        let cfg = config();
+        let mut server = HonestServer::new(&cfg);
+        let root0 = MerkleTree::with_order(cfg.order).root_digest();
+        // Height 12 keeps keygen fast; criterion may outrun the 4096-sig
+        // capacity, so regenerate when spent (a rare, visible outlier —
+        // same pattern as the mss_sign bench).
+        let (rings, registry) = setup_users([9; 32], 1, 12);
+        let mut client = Client1::new(rings.into_iter().next().unwrap(), registry.clone(), cfg);
+        let init = client.sign_initial(&root0).unwrap();
+        server.deposit_signature(0, init);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let op = Op::Put(u64_key(i % 4096), vec![1; 24]);
+            let resp = server.handle_op(0, &op, i);
+            let (result, deposit) = match client.handle_response(&op, &resp) {
+                Ok(r) => r,
+                Err(_) => {
+                    // Key exhausted: restart the whole world (fresh server,
+                    // fresh identity) so the initial signature matches the
+                    // initial state; the tree refills over later iterations.
+                    server = HonestServer::new(&cfg);
+                    let (rings, registry) = setup_users([9; 32], 1, 12);
+                    client = Client1::new(rings.into_iter().next().unwrap(), registry, cfg);
+                    let init = client.sign_initial(&root0).unwrap();
+                    server.deposit_signature(0, init);
+                    let resp = server.handle_op(0, &op, i);
+                    client.handle_response(&op, &resp).unwrap()
+                }
+            };
+            server.deposit_signature(0, deposit);
+            result
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_trusted, bench_protocol2, bench_protocol1
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: threaded end-to-end throughput (E6's counterpart).
+//! Each iteration is a complete multi-client run; criterion reports the
+//! wall time per run, so lower = higher throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcvs_core::{ProtocolConfig, ProtocolKind};
+use tcvs_net::run_throughput;
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let cfg = config();
+    let mut g = c.benchmark_group("throughput/4clients_x_200ops_90pct_updates");
+    g.sample_size(10);
+    for protocol in [ProtocolKind::Trusted, ProtocolKind::One, ProtocolKind::Two] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| run_throughput(p, 4, 200, 90, &cfg).ops);
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_protocols
+}
+criterion_main!(benches);

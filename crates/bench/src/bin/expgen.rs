@@ -1,0 +1,62 @@
+//! `expgen` — regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! expgen                 # run all experiments, full parameters
+//! expgen --quick         # run all experiments, reduced parameters
+//! expgen e3 e5           # run selected experiments
+//! expgen e6 --quick      # combine
+//! ```
+//!
+//! Run with `--release` — the numbers are meaningless in debug builds.
+
+use std::time::Instant;
+
+use tcvs_bench::experiments::{run_by_id, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() {
+        ALL.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — timings will be wildly off; use --release");
+    }
+
+    println!(
+        "trusted-cvs experiment generator ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut failed = false;
+    for id in ids {
+        let start = Instant::now();
+        match run_by_id(id, quick) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{}", t.render());
+                }
+                println!(
+                    "[{} completed in {:.1}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {})", ALL.join(", "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

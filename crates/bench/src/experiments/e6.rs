@@ -1,0 +1,71 @@
+//! E6 — §4.3's motivation: Protocol I's blocking signature deposit costs
+//! real throughput under frequent updates; Protocol II does not.
+//!
+//! Wall-clock, multi-threaded: `u` client threads against one server
+//! thread; ops/sec and tail latency per protocol and concurrency level.
+
+use tcvs_core::{ProtocolConfig, ProtocolKind};
+use tcvs_net::run_throughput;
+
+use crate::table::{f, Table};
+
+/// Runs E6.
+pub fn run(quick: bool) -> Vec<Table> {
+    let client_counts: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
+    let ops_per_client: u64 = if quick { 100 } else { 1000 };
+    let config = ProtocolConfig {
+        order: 16,
+        k: u64::MAX, // syncs out of band; this measures the op path
+        epoch_len: 1 << 30,
+    };
+
+    let mut t = Table::new(
+        "E6",
+        "wall-clock throughput: trusted vs protocol-1 (blocking) vs protocol-2",
+        &[
+            "protocol", "clients", "update %", "ops/s", "p50 µs", "p99 µs",
+        ],
+    );
+
+    for update_pct in [10u32, 90] {
+        for &clients in &client_counts {
+            for protocol in [ProtocolKind::Trusted, ProtocolKind::One, ProtocolKind::Two] {
+                let r = run_throughput(protocol, clients, ops_per_client, update_pct, &config);
+                t.row(vec![
+                    protocol.label().into(),
+                    clients.to_string(),
+                    update_pct.to_string(),
+                    f(r.ops_per_sec()),
+                    f(r.latency_quantile(0.5).as_secs_f64() * 1e6),
+                    f(r.latency_quantile(0.99).as_secs_f64() * 1e6),
+                ]);
+            }
+        }
+    }
+    t.note("protocol-1 < protocol-2 ≤ trusted in ops/s; the gap grows with update rate and concurrency (the blocking deposit serializes the server).");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_protocol1_slower_than_protocol2_under_contention() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let tput = |proto: &str, clients: &str, upd: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == proto && r[1] == clients && r[2] == upd)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        // At 4 clients / 90% updates the blocking effect must be visible.
+        let p1 = tput("protocol-1", "4", "90");
+        let p2 = tput("protocol-2", "4", "90");
+        assert!(
+            p1 < p2,
+            "protocol-1 ({p1:.0} ops/s) should trail protocol-2 ({p2:.0} ops/s)"
+        );
+    }
+}

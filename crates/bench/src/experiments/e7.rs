@@ -1,0 +1,102 @@
+//! E7 — §2.2.3: the token-ring strawman violates workload preservation.
+//!
+//! A user issuing two back-to-back operations waits Θ(n) slots in the ring
+//! (all other users must write signed nulls), while Protocols I and II
+//! complete consecutive operations in O(1) rounds regardless of n.
+
+use tcvs_core::{HonestServer, Op, ProtocolConfig, ProtocolKind};
+use tcvs_merkle::u64_key;
+use tcvs_sim::token_ring::run_burst_ring;
+use tcvs_sim::{simulate, SimSpec};
+use tcvs_workload::{ScheduledOp, Trace};
+
+use crate::table::Table;
+
+/// Back-to-back burst trace for one user (used for the P-I/P-II arms).
+fn burst_trace(burst: u64) -> Trace {
+    Trace::new(
+        (0..burst)
+            .map(|i| ScheduledOp {
+                round: i, // issued as fast as the server allows
+                user: 0,
+                op: Op::Put(u64_key(i), vec![i as u8]),
+            })
+            .collect(),
+    )
+}
+
+/// Runs E7.
+pub fn run(quick: bool) -> Vec<Table> {
+    let ring_sizes: Vec<u32> = if quick { vec![2, 8] } else { vec![2, 4, 8, 16, 32, 64] };
+    let burst = 4u64;
+    let config = ProtocolConfig {
+        order: 8,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    };
+
+    let mut t = Table::new(
+        "E7",
+        "back-to-back op latency: token-ring strawman vs protocols I/II (workload preservation)",
+        &[
+            "users", "ring: slots between ops", "ring: null records", "p1: rounds between ops",
+            "p2: rounds between ops",
+        ],
+    );
+
+    for &n in &ring_sizes {
+        let ring = run_burst_ring(n, burst, &config);
+        let ring_gap = if ring.burst_exec_slots.len() >= 2 {
+            ring.burst_exec_slots[1] - ring.burst_exec_slots[0]
+        } else {
+            0
+        };
+
+        // Protocols I and II: the number of users is irrelevant for a
+        // back-to-back burst; measure makespan/op via the simulator.
+        let mut gaps = Vec::new();
+        for protocol in [ProtocolKind::One, ProtocolKind::Two] {
+            let spec = SimSpec {
+                protocol,
+                config,
+                n_users: n,
+                mss_height: 6,
+                setup_seed: [0xE7; 32],
+                final_sync: false,
+            };
+            let mut server = HonestServer::new(&config);
+            let r = simulate(&spec, &mut server, &burst_trace(burst), None);
+            gaps.push(r.makespan_rounds as f64 / burst as f64);
+        }
+
+        t.row(vec![
+            n.to_string(),
+            ring_gap.to_string(),
+            ring.null_records.to_string(),
+            format!("{:.0}", gaps[0]),
+            format!("{:.0}", gaps[1]),
+        ]);
+    }
+    t.note("ring latency grows linearly with n (and every wait writes n−1 signed nulls); protocols I/II stay flat at 2 and 1 rounds respectively.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_ring_linear_protocols_flat() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let first = &t.rows[0];
+        let last = &t.rows[t.rows.len() - 1];
+        let ring_first: u64 = first[1].parse().unwrap();
+        let ring_last: u64 = last[1].parse().unwrap();
+        let n_first: u64 = first[0].parse().unwrap();
+        let n_last: u64 = last[0].parse().unwrap();
+        assert_eq!(ring_first, n_first);
+        assert_eq!(ring_last, n_last, "ring gap == n");
+        // P-I and P-II gaps are identical across ring sizes.
+        assert_eq!(first[3], last[3]);
+        assert_eq!(first[4], last[4]);
+    }
+}

@@ -1,0 +1,256 @@
+//! E9 — §1's motivating application, end to end: a realistic multi-file
+//! CVS repository driven through (a) a plain in-memory repository, (b) the
+//! CVS layer over an *unverified* server session, and (c) the CVS layer
+//! over the full Protocol II verified session. The overhead factor of
+//! "trusting nothing" is the headline number.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcvs_core::{HonestServer, ProtocolConfig};
+use tcvs_cvs::{Cvs, DirectSession, UnverifiedSession, VerifiedDb};
+use tcvs_store::Repository;
+use tcvs_workload::Zipf;
+
+use crate::table::{f, Table};
+
+/// A synthetic source file of `lines` lines.
+fn file_body(seed: u64, lines: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = String::new();
+    for i in 0..lines {
+        s.push_str(&format!("line {i}: x = {};\n", rng.gen::<u32>()));
+    }
+    s
+}
+
+/// One synthetic commit stream: which file, which line to edit.
+struct CommitStream {
+    rng: StdRng,
+    zipf: Zipf,
+}
+
+impl CommitStream {
+    fn new(files: usize, seed: u64) -> CommitStream {
+        CommitStream {
+            rng: StdRng::seed_from_u64(seed),
+            zipf: Zipf::new(files, 0.9),
+        }
+    }
+
+    fn next(&mut self) -> (usize, usize, String) {
+        let file = self.zipf.sample(&mut self.rng);
+        let line = self.rng.gen_range(0..40);
+        let new = format!("line {line}: x = {}; // edited", self.rng.gen::<u32>());
+        (file, line, new)
+    }
+}
+
+fn drive_cvs<D: VerifiedDb + ?Sized>(
+    db: &mut D,
+    files: usize,
+    commits: usize,
+    checkouts_per_commit: usize,
+) -> Result<(), tcvs_cvs::CvsError> {
+    let mut cvs = Cvs::new(db, "bench-user");
+    for fidx in 0..files {
+        cvs.add(
+            &format!("src/file{fidx}.c"),
+            &file_body(fidx as u64, 40),
+            "initial import",
+            0,
+        )?;
+    }
+    let mut stream = CommitStream::new(files, 99);
+    for c in 0..commits {
+        let (fidx, line, new) = stream.next();
+        let path = format!("src/file{fidx}.c");
+        let mut wf = cvs.checkout(&path)?;
+        if line < wf.lines.len() {
+            wf.lines[line] = new;
+        } else {
+            wf.lines.push(new);
+        }
+        cvs.commit(&wf, &format!("commit {c}"), c as u64 + 1)?;
+        // Interleave reads like real developers.
+        for _ in 0..checkouts_per_commit {
+            let (ridx, _, _) = stream.next();
+            let _ = cvs.checkout(&format!("src/file{ridx}.c"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs E9.
+pub fn run(quick: bool) -> Vec<Table> {
+    let files = if quick { 20 } else { 100 };
+    let commits = if quick { 100 } else { 1000 };
+    let checkouts = 2usize;
+    let config = ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    };
+
+    let mut t = Table::new(
+        "E9",
+        "CVS macro-benchmark: plain repo vs unverified server vs trusted-cvs (Protocol II)",
+        &[
+            "variant", "commits", "wall ms", "ms/commit", "server MB out", "vs plain",
+            "vs unverified",
+        ],
+    );
+
+    // (a) plain in-memory repository (no server at all).
+    let start = Instant::now();
+    {
+        let mut repo = Repository::new();
+        for fidx in 0..files {
+            repo.commit(
+                "bench-user",
+                "initial import",
+                0,
+                vec![(
+                    format!("src/file{fidx}.c"),
+                    tcvs_store::to_lines(&file_body(fidx as u64, 40)),
+                )],
+            )
+            .unwrap();
+        }
+        let mut stream = CommitStream::new(files, 99);
+        for c in 0..commits {
+            let (fidx, line, new) = stream.next();
+            let path = format!("src/file{fidx}.c");
+            let mut lines = repo.checkout(&path).unwrap().to_vec();
+            if line < lines.len() {
+                lines[line] = new;
+            } else {
+                lines.push(new);
+            }
+            repo.commit("bench-user", &format!("commit {c}"), c as u64 + 1, vec![(path, lines)])
+                .unwrap();
+            for _ in 0..checkouts {
+                let (ridx, _, _) = stream.next();
+                let _ = repo.checkout(&format!("src/file{ridx}.c")).unwrap();
+            }
+        }
+    }
+    let plain_ms = start.elapsed().as_secs_f64() * 1e3;
+    t.row(vec![
+        "plain repository".into(),
+        commits.to_string(),
+        f(plain_ms),
+        f(plain_ms / commits as f64),
+        "—".into(),
+        "1.00".into(),
+        "—".into(),
+    ]);
+
+    // (b) CVS layer over an unverified server session.
+    let start = Instant::now();
+    let unverified_bytes;
+    {
+        let mut session = UnverifiedSession::new(0, HonestServer::new(&config));
+        drive_cvs(&mut session, files, commits, checkouts).unwrap();
+        // Recover metrics through the session's server.
+        unverified_bytes = 0u64; // UnverifiedSession does not expose the server
+    }
+    let unv_ms = start.elapsed().as_secs_f64() * 1e3;
+    let _ = unverified_bytes;
+    t.row(vec![
+        "cvs / unverified server".into(),
+        commits.to_string(),
+        f(unv_ms),
+        f(unv_ms / commits as f64),
+        "—".into(),
+        f(unv_ms / plain_ms),
+        "1.00".into(),
+    ]);
+
+    // (c) CVS layer over the verified Protocol II session.
+    let start = Instant::now();
+    let verified_bytes;
+    {
+        let mut session = DirectSession::new(0, HonestServer::new(&config), config);
+        drive_cvs(&mut session, files, commits, checkouts).unwrap();
+        verified_bytes = {
+            use tcvs_core::ServerApi;
+            session.server_mut().metrics().bytes_out
+        };
+    }
+    let ver_ms = start.elapsed().as_secs_f64() * 1e3;
+    t.row(vec![
+        "trusted-cvs (protocol-2)".into(),
+        commits.to_string(),
+        f(ver_ms),
+        f(ver_ms / commits as f64),
+        f(verified_bytes as f64 / 1e6),
+        f(ver_ms / plain_ms),
+        f(ver_ms / unv_ms),
+    ]);
+
+    t.note("the protocol's own cost is the vs-unverified column (Merkle maintenance + proof replay): a small constant factor.");
+    t.note("the vs-plain column is dominated by storing histories as serialized database values, which both server variants pay equally.");
+
+    // --- E9b: storage ablation — reverse-delta chains vs full copies ------
+    let mut t2 = Table::new(
+        "E9b",
+        "ablation: RCS-style reverse-delta storage vs storing full revisions",
+        &["revisions", "file lines", "delta bytes", "full-copy bytes", "ratio"],
+    );
+    for (revisions, lines) in [(50usize, 100usize), (200, 100), (200, 400)] {
+        if quick && revisions > 50 {
+            continue;
+        }
+        let base: Vec<String> = (0..lines).map(|i| format!("line {i}: some source text")).collect();
+        let mut h = tcvs_store::FileHistory::create(
+            base.clone(),
+            tcvs_store::RevMeta {
+                author: "u".into(),
+                message: "import".into(),
+                stamp: 0,
+            },
+        );
+        let mut full_bytes = base.iter().map(|l| l.len() + 1).sum::<usize>();
+        let mut rng2 = StdRng::seed_from_u64(7);
+        for r in 0..revisions {
+            let mut c = h.head_content().to_vec();
+            let li = rng2.gen_range(0..c.len());
+            c[li] = format!("line {li}: edited at revision {r}");
+            full_bytes += c.iter().map(|l| l.len() + 1).sum::<usize>();
+            h.commit(
+                c,
+                tcvs_store::RevMeta {
+                    author: "u".into(),
+                    message: format!("r{r}"),
+                    stamp: r as u64,
+                },
+            );
+        }
+        let delta_bytes = h.to_bytes().len();
+        t2.row(vec![
+            revisions.to_string(),
+            lines.to_string(),
+            delta_bytes.to_string(),
+            full_bytes.to_string(),
+            format!("{:.1}x", full_bytes as f64 / delta_bytes as f64),
+        ]);
+    }
+    t2.note("reverse deltas shrink history storage by an order of magnitude for single-line-edit commit streams — why CVS/RCS store files this way.");
+
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e9_runs_and_orders_costs() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 3);
+        let plain: f64 = t.rows[0][2].parse().unwrap();
+        let verified: f64 = t.rows[2][2].parse().unwrap();
+        assert!(verified >= plain * 0.5, "sanity: timing is meaningful");
+    }
+}

@@ -1,0 +1,38 @@
+//! The experiment suite: one module per table/figure of `EXPERIMENTS.md`.
+//!
+//! Every experiment is a pure function `run(quick: bool) -> Vec<Table>` so
+//! the `expgen` binary, the integration tests, and the docs can all invoke
+//! the same code.
+
+pub mod e1;
+pub mod e10;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+
+use crate::table::Table;
+
+/// All experiment ids in order.
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Dispatches an experiment by id.
+pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Table>> {
+    match id {
+        "e1" => Some(e1::run(quick)),
+        "e2" => Some(e2::run(quick)),
+        "e3" => Some(e3::run(quick)),
+        "e4" => Some(e4::run(quick)),
+        "e5" => Some(e5::run(quick)),
+        "e6" => Some(e6::run(quick)),
+        "e7" => Some(e7::run(quick)),
+        "e8" => Some(e8::run(quick)),
+        "e9" => Some(e9::run(quick)),
+        "e10" => Some(e10::run(quick)),
+        _ => None,
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text result tables: every experiment renders one (or more) of
+//! these, mirroring how the paper would present the result.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: headers plus string rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Experiment id and caption, e.g. `"E1"` / `"VO size vs database size"`.
+    pub id: String,
+    /// Caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (same arity as headers).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form takeaway lines printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, caption: &str, headers: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            caption: caption.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Appends a takeaway note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {}: {} ==", self.id, self.caption);
+        let head: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", head.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(head.join("  ").len()));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// Formats a float compactly.
+pub fn f(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0", "demo", &["name", "value"]);
+        t.row(vec!["short".into(), "1".into()]);
+        t.row(vec!["much-longer-name".into(), "12345".into()]);
+        t.note("takeaway");
+        let r = t.render();
+        assert!(r.contains("E0: demo"));
+        assert!(r.contains("note: takeaway"));
+        // All data rows align to the same width.
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(2.5), "2.50");
+        assert_eq!(f(0.001234), "0.0012");
+    }
+}

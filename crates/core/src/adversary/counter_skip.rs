@@ -1,0 +1,99 @@
+//! The counter-reuse attack from the proof of Theorem 4.1: the server
+//! presents the same counter value (and previous-user tag) for two
+//! consecutive operations, hoping to hide one increment.
+//!
+//! Protocol I detects this at the very next operation (the stored signature
+//! no longer matches the presented state), and the lost increment also shows
+//! up at sync-up (`gctr ≠ Σ lctr`). Protocol II detects it at sync-up via
+//! the state graph (in-degree 2 at one node, Lemma 4.1) — or immediately if
+//! both operations came from the same user (counter monotonicity).
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::Op;
+
+use crate::msg::ServerResponse;
+use crate::server::{ServerApi, ServerCore};
+use crate::types::ProtocolConfig;
+
+use super::{delegate_deposits_to_core, Trigger};
+
+/// A server that skips one counter increment at the trigger.
+pub struct CounterSkipServer {
+    core: ServerCore,
+    trigger: Trigger,
+    skipped: bool,
+}
+
+impl CounterSkipServer {
+    /// Creates a counter-skip server.
+    pub fn new(config: &ProtocolConfig, trigger: Trigger) -> CounterSkipServer {
+        CounterSkipServer {
+            core: ServerCore::new(config),
+            trigger,
+            skipped: false,
+        }
+    }
+
+    /// True iff the skip already happened.
+    pub fn skipped(&self) -> bool {
+        self.skipped
+    }
+}
+
+impl ServerApi for CounterSkipServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        if !self.skipped && self.trigger.fires(self.core.ctr()) {
+            self.skipped = true;
+            let ctr = self.core.ctr();
+            let last = self.core.last_user();
+            let resp = self.core.process(user, op, round);
+            // Apply the operation but pretend the counter never moved.
+            self.core.set_counter_state(ctr, last);
+            return resp;
+        }
+        self.core.process(user, op, round)
+    }
+
+    delegate_deposits_to_core!(core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::u64_key;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn counter_repeats_once() {
+        let mut s = CounterSkipServer::new(&config(), Trigger::AtCtr(1));
+        let r0 = s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
+        let r1 = s.handle_op(1, &Op::Put(u64_key(2), vec![2]), 1); // skipped
+        let r2 = s.handle_op(2, &Op::Get(u64_key(2)), 2);
+        assert_eq!(r0.ctr, 0);
+        assert_eq!(r1.ctr, 1);
+        assert_eq!(r2.ctr, 1, "ctr value 1 presented twice");
+        // The database did advance: key 2 is visible.
+        assert_eq!(
+            r2.result,
+            tcvs_merkle::OpResult::Value(Some(vec![2]))
+        );
+        // And the stale last_user tag is presented again.
+        assert_eq!(r1.last_user, r2.last_user);
+    }
+
+    #[test]
+    fn only_one_skip() {
+        let mut s = CounterSkipServer::new(&config(), Trigger::AtCtr(0));
+        let r0 = s.handle_op(0, &Op::Get(u64_key(0)), 0); // skipped
+        let r1 = s.handle_op(0, &Op::Get(u64_key(0)), 1);
+        let r2 = s.handle_op(0, &Op::Get(u64_key(0)), 2);
+        assert_eq!((r0.ctr, r1.ctr, r2.ctr), (0, 0, 1));
+    }
+}

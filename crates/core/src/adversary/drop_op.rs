@@ -1,0 +1,105 @@
+//! The drop attack: the server acknowledges one update but never applies it.
+//!
+//! At the trigger, the victim's operation is processed on a throwaway clone
+//! of the database — the victim receives a perfectly valid-looking response
+//! (proof, counter, answer) — while the real database is left untouched.
+//! This is the "single-user availability violation" of §1, and it is also
+//! the mechanism behind the Fig. 3 replay scenario: if another user later
+//! issues an identical update, the untagged XOR strawman cancels the two
+//! and misses the drop, while Protocol II's user tags expose it.
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::Op;
+
+use crate::msg::ServerResponse;
+use crate::server::{ServerApi, ServerCore};
+use crate::types::ProtocolConfig;
+
+use super::{delegate_deposits_to_core, Trigger};
+
+/// A server that drops exactly one operation (the one at the trigger).
+pub struct DropServer {
+    core: ServerCore,
+    trigger: Trigger,
+    dropped: bool,
+}
+
+impl DropServer {
+    /// Creates a drop server.
+    pub fn new(config: &ProtocolConfig, trigger: Trigger) -> DropServer {
+        DropServer {
+            core: ServerCore::new(config),
+            trigger,
+            dropped: false,
+        }
+    }
+
+    /// True iff the drop already happened.
+    pub fn dropped(&self) -> bool {
+        self.dropped
+    }
+}
+
+impl ServerApi for DropServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        if !self.dropped && self.trigger.fires(self.core.ctr()) && op.is_update() {
+            self.dropped = true;
+            // Serve from a throwaway clone; the real core never applies it.
+            let mut scratch = self.core.clone();
+            return scratch.process(user, op, round);
+        }
+        self.core.process(user, op, round)
+    }
+
+    delegate_deposits_to_core!(core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::{u64_key, OpResult};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn dropped_update_invisible_to_others() {
+        let mut s = DropServer::new(&config(), Trigger::AtCtr(1));
+        s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
+        // Victim's update at ctr 1: acknowledged but dropped.
+        let r = s.handle_op(1, &Op::Put(u64_key(2), vec![2]), 1);
+        assert_eq!(r.ctr, 1);
+        assert_eq!(r.result, OpResult::Replaced(None));
+        assert!(s.dropped());
+        // A later reader never sees key 2, and the counter shows the drop's
+        // shadow: it is still 1.
+        let r = s.handle_op(0, &Op::Get(u64_key(2)), 2);
+        assert_eq!(r.ctr, 1);
+        assert_eq!(r.result, OpResult::Value(None));
+    }
+
+    #[test]
+    fn only_one_drop_happens() {
+        let mut s = DropServer::new(&config(), Trigger::AtCtr(0));
+        s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0); // dropped
+        s.handle_op(0, &Op::Put(u64_key(3), vec![3]), 1); // applied
+        let r = s.handle_op(1, &Op::Get(u64_key(3)), 2);
+        assert_eq!(r.result, OpResult::Value(Some(vec![3])));
+    }
+
+    #[test]
+    fn reads_are_never_dropped() {
+        let mut s = DropServer::new(&config(), Trigger::AtCtr(0));
+        let r = s.handle_op(0, &Op::Get(u64_key(1)), 0);
+        assert_eq!(r.ctr, 0);
+        assert!(!s.dropped(), "drop waits for an update");
+        let r = s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 1);
+        assert_eq!(r.ctr, 1);
+        assert!(s.dropped());
+    }
+}

@@ -1,0 +1,90 @@
+//! The lying-answer attack: the server returns an answer inconsistent with
+//! the authenticated state — the crudest integrity violation, and the one
+//! the Merkle verification object defeats single-handedly (§4.1): the
+//! client's replay disagrees immediately.
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::{Op, OpResult};
+
+use crate::msg::ServerResponse;
+use crate::server::{ServerApi, ServerCore};
+use crate::types::ProtocolConfig;
+
+use super::{delegate_deposits_to_core, Trigger};
+
+/// A server that forges one answer at the trigger.
+pub struct LieServer {
+    core: ServerCore,
+    trigger: Trigger,
+    lied: bool,
+}
+
+impl LieServer {
+    /// Creates a lie server.
+    pub fn new(config: &ProtocolConfig, trigger: Trigger) -> LieServer {
+        LieServer {
+            core: ServerCore::new(config),
+            trigger,
+            lied: false,
+        }
+    }
+
+    /// True iff the forged answer was already served.
+    pub fn lied(&self) -> bool {
+        self.lied
+    }
+}
+
+impl ServerApi for LieServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        let mut resp = self.core.process(user, op, round);
+        if !self.lied && self.trigger.fires(resp.ctr) {
+            self.lied = true;
+            resp.result = match resp.result {
+                OpResult::Value(_) => OpResult::Value(Some(b"forged".to_vec())),
+                OpResult::Entries(mut es) => {
+                    es.push((b"forged-key".to_vec(), b"forged".to_vec()));
+                    OpResult::Entries(es)
+                }
+                OpResult::Replaced(_) => OpResult::Replaced(Some(b"forged".to_vec())),
+                OpResult::Deleted(_) => OpResult::Deleted(Some(b"forged".to_vec())),
+            };
+        }
+        resp
+    }
+
+    delegate_deposits_to_core!(core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::u64_key;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn forged_answer_fails_replay() {
+        let mut s = LieServer::new(&config(), Trigger::AtCtr(0));
+        let op = Op::Get(u64_key(42));
+        let r = s.handle_op(0, &op, 0);
+        assert!(s.lied());
+        let err = tcvs_merkle::replay_unanchored(4, &r.vo, &op, Some(&r.result)).unwrap_err();
+        assert_eq!(err, tcvs_merkle::VerifyError::AnswerMismatch);
+    }
+
+    #[test]
+    fn lies_only_once() {
+        let mut s = LieServer::new(&config(), Trigger::AtCtr(0));
+        let op = Op::Get(u64_key(1));
+        s.handle_op(0, &op, 0); // lie
+        let r = s.handle_op(0, &op, 1);
+        assert!(tcvs_merkle::replay_unanchored(4, &r.vo, &op, Some(&r.result)).is_ok());
+    }
+}

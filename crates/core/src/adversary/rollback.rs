@@ -1,0 +1,107 @@
+//! The rollback (full replay) attack: the server rewinds the database to an
+//! earlier state and serves everyone from there, erasing a suffix of
+//! committed operations.
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::Op;
+
+use crate::msg::ServerResponse;
+use crate::server::{ServerApi, ServerCore};
+use crate::types::{Ctr, ProtocolConfig};
+
+use super::{delegate_deposits_to_core, Trigger};
+
+/// A server that snapshots its state when the trigger fires and rolls back
+/// to that snapshot `lag` operations later.
+pub struct RollbackServer {
+    core: ServerCore,
+    trigger: Trigger,
+    snapshot: Option<ServerCore>,
+    rollback_after: Ctr,
+    rolled_back: bool,
+    /// Operations to run past the snapshot before rewinding.
+    lag: Ctr,
+}
+
+impl RollbackServer {
+    /// Creates a rollback server (default lag: 3 operations).
+    pub fn new(config: &ProtocolConfig, trigger: Trigger) -> RollbackServer {
+        RollbackServer::with_lag(config, trigger, 3)
+    }
+
+    /// Creates a rollback server that rewinds `lag` operations of history.
+    pub fn with_lag(config: &ProtocolConfig, trigger: Trigger, lag: Ctr) -> RollbackServer {
+        RollbackServer {
+            core: ServerCore::new(config),
+            trigger,
+            snapshot: None,
+            rollback_after: 0,
+            rolled_back: false,
+            lag,
+        }
+    }
+
+    /// True iff the rewind already happened.
+    pub fn rolled_back(&self) -> bool {
+        self.rolled_back
+    }
+}
+
+impl ServerApi for RollbackServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        if self.snapshot.is_none() && self.trigger.fires(self.core.ctr()) {
+            self.snapshot = Some(self.core.clone());
+            self.rollback_after = self.core.ctr() + self.lag;
+        }
+        if !self.rolled_back {
+            if let Some(snap) = &self.snapshot {
+                if self.core.ctr() >= self.rollback_after {
+                    self.core = snap.clone();
+                    self.rolled_back = true;
+                }
+            }
+        }
+        self.core.process(user, op, round)
+    }
+
+    delegate_deposits_to_core!(core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::{u64_key, OpResult};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn history_suffix_vanishes() {
+        let mut s = RollbackServer::with_lag(&config(), Trigger::AtCtr(1), 2);
+        s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
+        // Snapshot taken at ctr 1 (before these ops).
+        s.handle_op(0, &Op::Put(u64_key(2), vec![2]), 1);
+        s.handle_op(0, &Op::Put(u64_key(3), vec![3]), 2);
+        // ctr reached 3 >= 1+2: next op is served from the snapshot.
+        let r = s.handle_op(1, &Op::Get(u64_key(2)), 3);
+        assert!(s.rolled_back());
+        assert_eq!(r.result, OpResult::Value(None), "key 2 was erased");
+        assert_eq!(r.ctr, 1, "counter rewound to snapshot");
+    }
+
+    #[test]
+    fn never_trigger_never_rolls_back() {
+        let mut s = RollbackServer::new(&config(), Trigger::Never);
+        for i in 0..10 {
+            s.handle_op(0, &Op::Put(u64_key(i), vec![i as u8]), i);
+        }
+        assert!(!s.rolled_back());
+        let r = s.handle_op(0, &Op::Get(u64_key(5)), 10);
+        assert_eq!(r.result, OpResult::Value(Some(vec![5])));
+    }
+}

@@ -1,0 +1,123 @@
+//! The stale-read attack: after the trigger, the server answers *read*
+//! operations from an old snapshot (complete with the old counter and, for
+//! Protocol I, the old — perfectly legitimate — signature it archived),
+//! while applying updates to the live database honestly.
+//!
+//! This models a freshness violation rather than a data forgery: every
+//! stale response is internally consistent and was once true. Protocol II's
+//! counter-monotonicity check catches a victim's *second* stale read (or
+//! the first one after the victim has advanced); Protocol I has no per-op
+//! counter check — the paper's protocol relies on the sync-up, where the
+//! duplicated counting shows up in `gctr ≠ Σ lctr`.
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::Op;
+
+use crate::msg::ServerResponse;
+use crate::server::{ServerApi, ServerCore};
+use crate::types::ProtocolConfig;
+
+use super::{delegate_deposits_to_core, Trigger};
+
+/// A server that freezes reads at a snapshot once the trigger fires.
+pub struct StaleReadServer {
+    core: ServerCore,
+    trigger: Trigger,
+    snapshot: Option<ServerCore>,
+}
+
+impl StaleReadServer {
+    /// Creates a stale-read server.
+    pub fn new(config: &ProtocolConfig, trigger: Trigger) -> StaleReadServer {
+        StaleReadServer {
+            core: ServerCore::new(config),
+            trigger,
+            snapshot: None,
+        }
+    }
+
+    /// True iff reads are being served stale already.
+    pub fn frozen(&self) -> bool {
+        self.snapshot.is_some()
+    }
+}
+
+impl ServerApi for StaleReadServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        if self.snapshot.is_none() && self.trigger.fires(self.core.ctr()) {
+            self.snapshot = Some(self.core.clone());
+        }
+        match (&mut self.snapshot, op.is_update()) {
+            (Some(snap), false) => {
+                // Serve the read from the frozen past. Cloning keeps the
+                // snapshot replayable for every victim.
+                let mut stale = snap.clone();
+                stale.process(user, op, round)
+            }
+            _ => self.core.process(user, op, round),
+        }
+    }
+
+    delegate_deposits_to_core!(core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::{u64_key, OpResult};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn reads_freeze_but_writes_proceed() {
+        let mut s = StaleReadServer::new(&config(), Trigger::AtCtr(1));
+        s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
+        // Frozen from here: write goes through...
+        let r = s.handle_op(0, &Op::Put(u64_key(1), vec![2]), 1);
+        assert_eq!(r.ctr, 1);
+        assert!(s.frozen());
+        // ...but the read shows the old value and the old counter.
+        let r = s.handle_op(1, &Op::Get(u64_key(1)), 2);
+        assert_eq!(r.result, OpResult::Value(Some(vec![1])), "stale value");
+        assert_eq!(r.ctr, 1, "stale counter");
+    }
+
+    #[test]
+    fn every_stale_read_replays_the_same_counter() {
+        let mut s = StaleReadServer::new(&config(), Trigger::AtCtr(1));
+        s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
+        let r1 = s.handle_op(1, &Op::Get(u64_key(1)), 1);
+        let r2 = s.handle_op(2, &Op::Get(u64_key(1)), 2);
+        assert_eq!(r1.ctr, r2.ctr, "both victims see the same frozen ctr");
+    }
+
+    #[test]
+    fn protocol2_client_detects_on_second_stale_read() {
+        use crate::client2::tests_support::fresh_client;
+        let cfg = config();
+        let mut server = StaleReadServer::new(&cfg, Trigger::AtCtr(1));
+        let mut c = fresh_client(0, &cfg);
+        // op 0: honest put.
+        let op = Op::Put(u64_key(1), vec![1]);
+        let resp = server.handle_op(0, &op, 0);
+        c.handle_response(&op, &resp).unwrap();
+        // op 1: stale read — ctr repeats what the client already advanced
+        // past (gctr = 1, stale ctr = 1 is still acceptable ≥ gctr? No:
+        // frozen ctr equals the client's gctr here, so the FIRST stale read
+        // passes; the second one regresses).
+        let op = Op::Get(u64_key(1));
+        let resp = server.handle_op(0, &op, 1);
+        c.handle_response(&op, &resp).unwrap();
+        let resp = server.handle_op(0, &op, 2);
+        assert!(matches!(
+            c.handle_response(&op, &resp),
+            Err(crate::types::Deviation::CounterRegression { .. })
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! The tamper attack: the server silently edits stored data with no user
+//! operation — the "single-user integrity violation" of §1.
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::Op;
+
+use crate::msg::ServerResponse;
+use crate::server::{ServerApi, ServerCore};
+use crate::types::ProtocolConfig;
+
+use super::{delegate_deposits_to_core, Trigger};
+
+/// A server that injects a backdoor value once the trigger fires.
+pub struct TamperServer {
+    core: ServerCore,
+    trigger: Trigger,
+    tampered: bool,
+    key: Vec<u8>,
+    value: Vec<u8>,
+}
+
+impl TamperServer {
+    /// Creates a tamper server that will plant `"backdoor" = "pwned"`.
+    pub fn new(config: &ProtocolConfig, trigger: Trigger) -> TamperServer {
+        TamperServer::with_payload(config, trigger, b"backdoor".to_vec(), b"pwned".to_vec())
+    }
+
+    /// Creates a tamper server with a chosen payload.
+    pub fn with_payload(
+        config: &ProtocolConfig,
+        trigger: Trigger,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    ) -> TamperServer {
+        TamperServer {
+            core: ServerCore::new(config),
+            trigger,
+            tampered: false,
+            key,
+            value,
+        }
+    }
+
+    /// True iff the silent edit already happened.
+    pub fn tampered(&self) -> bool {
+        self.tampered
+    }
+}
+
+impl ServerApi for TamperServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        if !self.tampered && self.trigger.fires(self.core.ctr()) {
+            self.tampered = true;
+            self.core
+                .db_mut()
+                .insert(self.key.clone(), self.value.clone())
+                .expect("full tree");
+        }
+        self.core.process(user, op, round)
+    }
+
+    delegate_deposits_to_core!(core);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::u64_key;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn tamper_changes_root_without_an_operation() {
+        let mut s = TamperServer::new(&config(), Trigger::AtCtr(1));
+        let r0 = s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
+        // Tamper fires before the next op is processed.
+        let op = Op::Get(u64_key(1));
+        let r1 = s.handle_op(0, &op, 1);
+        assert!(s.tampered());
+        // The old root the second proof commits to is NOT the new root the
+        // first op produced: the chain is broken.
+        let (_, v0) = tcvs_merkle::replay_unanchored(
+            4,
+            &r0.vo,
+            &Op::Put(u64_key(1), vec![1]),
+            Some(&r0.result),
+        )
+        .unwrap();
+        let (old1, _) = tcvs_merkle::replay_unanchored(4, &r1.vo, &op, Some(&r1.result)).unwrap();
+        assert_ne!(v0.new_root, old1, "tamper broke the state chain");
+    }
+
+    #[test]
+    fn backdoor_readable_after_tamper() {
+        let mut s = TamperServer::new(&config(), Trigger::AtCtr(0));
+        let r = s.handle_op(0, &Op::Get(b"backdoor".to_vec()), 0);
+        assert_eq!(
+            r.result,
+            tcvs_merkle::OpResult::Value(Some(b"pwned".to_vec()))
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Protocol II client (§4.3): signature-free XOR state accumulators.
+//!
+//! Per operation, the server returns `(Q(D), v(Q,D), ctr, j)` — no
+//! signature, no extra blocking message. The client maintains
+//!
+//! * `σᵢ` — XOR of every state token it has witnessed, where a state token
+//!   is `h(M(D) ‖ ctr ‖ user)` with `user` the user who *created* the state
+//!   (the tag that forces in-degree ≤ 1 in the state graph, Lemma 4.1, and
+//!   defeats the Fig. 3 replay that breaks the untagged strawman);
+//! * `lastᵢ` — the most recent state token it created;
+//! * `gctrᵢ` — the last seen counter + 1 (counter must be strictly
+//!   increasing across this user's operations);
+//! * `lctrᵢ` — its own operation count (sync-up trigger).
+//!
+//! At sync-up all users broadcast `σᵢ`; in an honest run every intermediate
+//! state token appears exactly twice (once created, once consumed) and
+//! cancels, leaving `initial ⊕ final`. Exactly the user who performed the
+//! final operation finds `initial ⊕ lastᵢ == ⊕ₖ σₖ` and announces success.
+//!
+//! Note: the paper's step 4 reads "error if `ctr ≤ gctrᵢ`", which would
+//! reject a user's own back-to-back operations (its step 6 sets
+//! `gctrᵢ = ctr + 1`); we implement the evidently intended check
+//! `ctr < gctrᵢ` ⇒ error.
+
+use tcvs_crypto::{Digest, UserId};
+use tcvs_merkle::{replay_unanchored, Op, OpResult};
+
+use crate::forensics::{LoggedTransition, TransitionLog};
+use crate::msg::{ServerResponse, SyncShare};
+use crate::state::{initial_token, state_token};
+use crate::types::{Ctr, Deviation, ProtocolConfig};
+
+/// Protocol II client state machine. Constant-size state (§2.2.5).
+pub struct Client2 {
+    user: UserId,
+    config: ProtocolConfig,
+    /// Token of the initial database state (common knowledge).
+    initial: Digest,
+    /// XOR accumulator `σᵢ`.
+    sigma: Digest,
+    /// Last state token created by this user.
+    last: Option<Digest>,
+    /// Last seen counter + 1.
+    gctr: Ctr,
+    /// Own operation count.
+    lctr: u64,
+    ops_since_sync: u64,
+    /// Optional transition log for post-mortem fault localization (the
+    /// future-work extension in [`crate::forensics`]). `None` keeps the
+    /// paper's constant-memory guarantee (§2.2.5).
+    log: Option<TransitionLog>,
+}
+
+impl Client2 {
+    /// Creates a client knowing the initial root digest `M(D₀)`.
+    pub fn new(user: UserId, root0: &Digest, config: ProtocolConfig) -> Client2 {
+        Client2 {
+            user,
+            config,
+            initial: initial_token(root0),
+            sigma: Digest::ZERO,
+            last: None,
+            gctr: 0,
+            lctr: 0,
+            ops_since_sync: 0,
+            log: None,
+        }
+    }
+
+    /// Enables transition logging (trades constant memory for exact fault
+    /// localization via [`crate::forensics::diagnose`]).
+    pub fn enable_logging(&mut self) {
+        self.log = Some(TransitionLog::new());
+    }
+
+    /// The transition log, if logging was enabled.
+    pub fn transition_log(&self) -> Option<&TransitionLog> {
+        self.log.as_ref()
+    }
+
+    /// This user's id.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// `lctrᵢ`.
+    pub fn lctr(&self) -> u64 {
+        self.lctr
+    }
+
+    /// `gctrᵢ`.
+    pub fn gctr(&self) -> Ctr {
+        self.gctr
+    }
+
+    /// Current accumulator (exposed for the simulator's diagnostics).
+    pub fn sigma(&self) -> Digest {
+        self.sigma
+    }
+
+    /// Processes the server's response to `op`, returning the authenticated
+    /// answer.
+    pub fn handle_response(
+        &mut self,
+        op: &Op,
+        resp: &ServerResponse,
+    ) -> Result<OpResult, Deviation> {
+        // Step 4: counters this user sees must be strictly increasing.
+        if resp.ctr < self.gctr {
+            return Err(Deviation::CounterRegression {
+                seen: resp.ctr,
+                expected_at_least: self.gctr,
+            });
+        }
+        // Step 5: compute M(D) and M(D') by replaying the proof.
+        let (old_root, verified) =
+            replay_unanchored(self.config.order, &resp.vo, op, Some(&resp.result))
+                .map_err(Deviation::BadProof)?;
+
+        // Step 6: accumulate the witnessed transition.
+        let old_token = state_token(&old_root, resp.ctr, resp.last_user);
+        let new_token = state_token(&verified.new_root, resp.ctr + 1, self.user);
+        self.sigma ^= old_token;
+        self.sigma ^= new_token;
+        self.last = Some(new_token);
+        self.gctr = resp.ctr + 1;
+        self.lctr += 1;
+        self.ops_since_sync += 1;
+        if let Some(log) = &mut self.log {
+            log.record(LoggedTransition {
+                old_token,
+                new_token,
+                ctr: resp.ctr,
+                user: self.user,
+            });
+        }
+        Ok(verified.result)
+    }
+
+    /// True iff this user should announce a sync-up (`k` ops completed since
+    /// the last one).
+    pub fn wants_sync(&self) -> bool {
+        self.ops_since_sync >= self.config.k
+    }
+
+    /// This user's broadcast share.
+    pub fn sync_share(&self) -> SyncShare {
+        SyncShare {
+            user: self.user,
+            lctr: self.lctr,
+            gctr: self.gctr,
+            sigma: self.sigma,
+            last: self.last,
+        }
+    }
+
+    /// This user's success predicate:
+    /// `h(M(D₀) ‖ 0 ‖ ⊥) ⊕ lastᵢ == ⊕ₖ σₖ` — or, if no operation has ever
+    /// happened anywhere, the trivial all-zero check.
+    pub fn sync_succeeds(&self, shares: &[SyncShare]) -> bool {
+        let x = shares
+            .iter()
+            .fold(Digest::ZERO, |acc, s| acc ^ s.sigma);
+        if shares.iter().all(|s| s.lctr == 0) {
+            return x == Digest::ZERO;
+        }
+        match self.last {
+            Some(last) => self.initial ^ last == x,
+            None => false,
+        }
+    }
+
+    /// Records a completed sync-up round.
+    pub fn sync_done(&mut self) {
+        self.ops_since_sync = 0;
+    }
+}
+
+/// Helpers for sibling modules' tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use tcvs_merkle::MerkleTree;
+
+    /// A Client2 for `user` over the canonical empty initial root.
+    pub(crate) fn fresh_client(user: UserId, config: &ProtocolConfig) -> Client2 {
+        let root0 = MerkleTree::with_order(config.order).root_digest();
+        Client2::new(user, &root0, *config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{HonestServer, ServerApi};
+    use tcvs_merkle::u64_key;
+
+    fn setup(n: u32) -> (Vec<Client2>, HonestServer, ProtocolConfig) {
+        let config = ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 100,
+        };
+        let server = HonestServer::new(&config);
+        let root0 = server.core().root_digest();
+        let clients = (0..n).map(|u| Client2::new(u, &root0, config)).collect();
+        (clients, server, config)
+    }
+
+    fn run_op(c: &mut Client2, s: &mut HonestServer, op: Op, round: u64) -> OpResult {
+        let resp = s.handle_op(c.user(), &op, round);
+        c.handle_response(&op, &resp).unwrap()
+    }
+
+    fn sync_outcome(clients: &[Client2]) -> bool {
+        let shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
+        clients.iter().any(|c| c.sync_succeeds(&shares))
+    }
+
+    #[test]
+    fn honest_run_sync_succeeds_for_exactly_the_last_operator() {
+        let (mut clients, mut server, _) = setup(3);
+        for i in 0..24u64 {
+            let u = ((i * 2 + 1) % 3) as usize;
+            let op = if i % 3 == 0 {
+                Op::Put(u64_key(i % 5), vec![i as u8])
+            } else {
+                Op::Get(u64_key(i % 5))
+            };
+            run_op(&mut clients[u], &mut server, op, i);
+        }
+        let shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
+        let successes: Vec<bool> = clients.iter().map(|c| c.sync_succeeds(&shares)).collect();
+        assert_eq!(successes.iter().filter(|&&b| b).count(), 1);
+        // The last op (i = 23) was by user ((23*2+1) % 3) = 2.
+        assert!(successes[2]);
+    }
+
+    #[test]
+    fn back_to_back_own_ops_accepted() {
+        // Regression guard for the paper's off-by-one: a user's consecutive
+        // ops see ctr == gctr and must be accepted.
+        let (mut clients, mut server, _) = setup(1);
+        for i in 0..5 {
+            run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![i]), i as u64);
+        }
+        assert_eq!(clients[0].lctr(), 5);
+        assert!(sync_outcome(&clients));
+    }
+
+    #[test]
+    fn counter_regression_detected_immediately() {
+        let (mut clients, mut server, _) = setup(1);
+        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
+        let op = Op::Get(u64_key(1));
+        let mut resp = server.handle_op(0, &op, 1);
+        resp.ctr = 0; // replayed counter
+        assert!(matches!(
+            clients[0].handle_response(&op, &resp),
+            Err(Deviation::CounterRegression { seen: 0, expected_at_least: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_op_sync_trivially_succeeds() {
+        let (clients, _, _) = setup(4);
+        assert!({
+            let shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
+            clients.iter().all(|c| c.sync_succeeds(&shares))
+        });
+    }
+
+    #[test]
+    fn dropped_state_breaks_sync() {
+        // Two users operate; we then erase one user's accumulator as if the
+        // server had hidden that user's transition from the chain.
+        let (mut clients, mut server, _) = setup(2);
+        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
+        run_op(&mut clients[1], &mut server, Op::Put(u64_key(2), vec![2]), 1);
+        let mut shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
+        shares[0].sigma = Digest::ZERO; // user 0's transition vanishes
+        assert!(!clients.iter().any(|c| c.sync_succeeds(&shares)));
+    }
+
+    #[test]
+    fn tampered_answer_rejected() {
+        let (mut clients, mut server, _) = setup(1);
+        run_op(&mut clients[0], &mut server, Op::Put(u64_key(3), vec![3]), 0);
+        let op = Op::Get(u64_key(3));
+        let mut resp = server.handle_op(0, &op, 1);
+        resp.result = tcvs_merkle::OpResult::Value(Some(vec![99]));
+        assert!(matches!(
+            clients[0].handle_response(&op, &resp),
+            Err(Deviation::BadProof(_))
+        ));
+    }
+
+    #[test]
+    fn wants_sync_after_k_ops() {
+        let (mut clients, mut server, config) = setup(1);
+        for i in 0..config.k {
+            assert!(!clients[0].wants_sync());
+            run_op(&mut clients[0], &mut server, Op::Get(u64_key(0)), i);
+        }
+        assert!(clients[0].wants_sync());
+        clients[0].sync_done();
+        assert!(!clients[0].wants_sync());
+    }
+
+    #[test]
+    fn sigma_is_order_sensitive_but_content_exact() {
+        // Two honest interleavings of the same ops produce different sigmas
+        // per user, yet both pass the global check.
+        let (mut ca, mut sa, _) = setup(2);
+        run_op(&mut ca[0], &mut sa, Op::Put(u64_key(1), vec![1]), 0);
+        run_op(&mut ca[1], &mut sa, Op::Put(u64_key(2), vec![2]), 1);
+        assert!(sync_outcome(&ca));
+
+        let (mut cb, mut sb, _) = setup(2);
+        run_op(&mut cb[1], &mut sb, Op::Put(u64_key(2), vec![2]), 0);
+        run_op(&mut cb[0], &mut sb, Op::Put(u64_key(1), vec![1]), 1);
+        assert!(sync_outcome(&cb));
+        assert_ne!(ca[0].sigma(), cb[0].sigma());
+    }
+}

@@ -1,0 +1,309 @@
+//! Fault localization — the paper's future-work item (1): "extend these
+//! protocols to detect exactly *when* the fault occurred".
+//!
+//! The constant-space accumulators of Protocols II/III can only say *that*
+//! the history is not a single path. If users are willing to keep their
+//! full transition logs (trading §2.2.5's constant-memory requirement for
+//! diagnosability — an explicit extension, not part of the base protocols),
+//! the state graph of Lemma 4.1 can be reconstructed exactly and the first
+//! anomaly pinpointed: the counter value where the history stops being a
+//! path, and the users affected.
+//!
+//! After a sync-up fails, users exchange logs over the broadcast channel
+//! (or hand them to an investigator — the paper's "external mechanism,
+//! e.g. law enforcement") and run [`diagnose`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tcvs_crypto::{Digest, UserId};
+
+use crate::types::Ctr;
+
+/// One witnessed state transition, as logged by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoggedTransition {
+    /// Token of the state the operation consumed.
+    pub old_token: Digest,
+    /// Token of the state the operation produced.
+    pub new_token: Digest,
+    /// Counter value the server presented (`ctr` of the old state).
+    pub ctr: Ctr,
+    /// The user who performed the operation.
+    pub user: UserId,
+}
+
+/// A client-side transition log (the unbounded-memory extension).
+#[derive(Clone, Debug, Default)]
+pub struct TransitionLog {
+    entries: Vec<LoggedTransition>,
+}
+
+impl TransitionLog {
+    /// Empty log.
+    pub fn new() -> TransitionLog {
+        TransitionLog::default()
+    }
+
+    /// Records one transition.
+    pub fn record(&mut self, t: LoggedTransition) {
+        self.entries.push(t);
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[LoggedTransition] {
+        &self.entries
+    }
+
+    /// Number of logged transitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The verdict of a forensic analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// All logged transitions form a single path from the initial state:
+    /// the server behaved (w.r.t. these logs).
+    CleanPath {
+        /// Token of the final state.
+        final_token: Digest,
+        /// Number of transitions on the path.
+        length: usize,
+    },
+    /// The history forks: one state was consumed by two different
+    /// transitions — the partition/replay attack, located.
+    Fork {
+        /// Counter at which the fork happened.
+        at_ctr: Ctr,
+        /// The state token that was served twice.
+        forked_state: Digest,
+        /// The users on the two sides of the fork.
+        users: Vec<UserId>,
+    },
+    /// A transition consumed a state that no logged transition (nor the
+    /// initial state) ever produced — fabricated or tampered state.
+    OrphanState {
+        /// Counter the orphan transition presented.
+        at_ctr: Ctr,
+        /// The user whose operation consumed the fabricated state.
+        victim: UserId,
+        /// The fabricated state's token.
+        token: Digest,
+    },
+    /// No transitions were logged and no anomaly exists.
+    Empty,
+}
+
+/// Reconstructs the state graph from all users' logs and locates the first
+/// anomaly (by counter value).
+///
+/// `initial` is the initial-state token `h(M(D₀) ‖ 0 ‖ ⊥)`, which is
+/// common knowledge.
+pub fn diagnose(logs: &[TransitionLog], initial: &Digest) -> Verdict {
+    let mut all: Vec<&LoggedTransition> = logs.iter().flat_map(|l| l.entries()).collect();
+    if all.is_empty() {
+        return Verdict::Empty;
+    }
+    all.sort_by_key(|t| t.ctr);
+
+    // Producers: initial state plus every new_token.
+    let mut produced: BTreeSet<Digest> = BTreeSet::new();
+    produced.insert(*initial);
+    for t in &all {
+        produced.insert(t.new_token);
+    }
+
+    // First anomaly by counter: a state consumed twice (fork) or a consumed
+    // state nobody produced (orphan).
+    let mut consumed_by: BTreeMap<Digest, &LoggedTransition> = BTreeMap::new();
+    for t in &all {
+        if let Some(first) = consumed_by.get(&t.old_token) {
+            // Same user consuming the same state twice is a replay the
+            // client-side ctr check would have caught; across users it is
+            // the fork.
+            return Verdict::Fork {
+                at_ctr: t.ctr,
+                forked_state: t.old_token,
+                users: vec![first.user, t.user],
+            };
+        }
+        if !produced.contains(&t.old_token) {
+            return Verdict::OrphanState {
+                at_ctr: t.ctr,
+                victim: t.user,
+                token: t.old_token,
+            };
+        }
+        consumed_by.insert(t.old_token, t);
+    }
+
+    // No fork, no orphan: check that the transitions chain into one path
+    // starting at the initial state.
+    let mut cur = *initial;
+    let mut length = 0usize;
+    let by_old: BTreeMap<Digest, &LoggedTransition> =
+        all.iter().map(|t| (t.old_token, *t)).collect();
+    while let Some(t) = by_old.get(&cur) {
+        cur = t.new_token;
+        length += 1;
+    }
+    if length == all.len() {
+        Verdict::CleanPath {
+            final_token: cur,
+            length,
+        }
+    } else {
+        // Some transitions are unreachable from the initial state even
+        // though each old token was produced *somewhere*: a cycle cannot
+        // occur (ctr increases), so this means a disconnected segment whose
+        // producer link was walked differently; report the earliest
+        // unreachable transition as orphaned from the main history.
+        let mut reachable: BTreeSet<Digest> = BTreeSet::new();
+        let mut c = *initial;
+        reachable.insert(c);
+        while let Some(t) = by_old.get(&c) {
+            c = t.new_token;
+            reachable.insert(c);
+        }
+        let first_bad = all
+            .iter()
+            .find(|t| !reachable.contains(&t.old_token))
+            .expect("length mismatch implies an unreachable transition");
+        Verdict::OrphanState {
+            at_ctr: first_bad.ctr,
+            victim: first_bad.user,
+            token: first_bad.old_token,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_crypto::sha256;
+
+    fn tok(s: &str) -> Digest {
+        sha256(s.as_bytes())
+    }
+
+    fn t(old: &str, new: &str, ctr: Ctr, user: UserId) -> LoggedTransition {
+        LoggedTransition {
+            old_token: tok(old),
+            new_token: tok(new),
+            ctr,
+            user,
+        }
+    }
+
+    fn logs(entries: Vec<LoggedTransition>) -> Vec<TransitionLog> {
+        // Split across two "users'" logs to exercise merging.
+        let mut a = TransitionLog::new();
+        let mut b = TransitionLog::new();
+        for (i, e) in entries.into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(e);
+            } else {
+                b.record(e);
+            }
+        }
+        vec![a, b]
+    }
+
+    #[test]
+    fn clean_path_recognized() {
+        let ls = logs(vec![
+            t("s0", "s1", 0, 0),
+            t("s1", "s2", 1, 1),
+            t("s2", "s3", 2, 0),
+        ]);
+        assert_eq!(
+            diagnose(&ls, &tok("s0")),
+            Verdict::CleanPath {
+                final_token: tok("s3"),
+                length: 3
+            }
+        );
+    }
+
+    #[test]
+    fn empty_logs() {
+        assert_eq!(diagnose(&[TransitionLog::new()], &tok("s0")), Verdict::Empty);
+    }
+
+    #[test]
+    fn fork_located_at_exact_ctr() {
+        // s1 served to both user 1 and user 2 (partition attack at ctr 1).
+        let ls = logs(vec![
+            t("s0", "s1", 0, 0),
+            t("s1", "s2a", 1, 1),
+            t("s1", "s2b", 1, 2),
+            t("s2a", "s3a", 2, 1),
+        ]);
+        match diagnose(&ls, &tok("s0")) {
+            Verdict::Fork {
+                at_ctr,
+                forked_state,
+                users,
+            } => {
+                assert_eq!(at_ctr, 1);
+                assert_eq!(forked_state, tok("s1"));
+                let mut users = users;
+                users.sort();
+                assert_eq!(users, vec![1, 2]);
+            }
+            other => panic!("expected fork, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fabricated_state_located() {
+        let ls = logs(vec![
+            t("s0", "s1", 0, 0),
+            // Server invents "evil" out of thin air for user 1's op.
+            t("evil", "s2", 1, 1),
+        ]);
+        match diagnose(&ls, &tok("s0")) {
+            Verdict::OrphanState { at_ctr, victim, token } => {
+                assert_eq!(at_ctr, 1);
+                assert_eq!(victim, 1);
+                assert_eq!(token, tok("evil"));
+            }
+            other => panic!("expected orphan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_segment_located() {
+        // A correct-looking island (sX -> sY) that never connects to the
+        // main history — e.g. a rollback where ops continued on a ghost.
+        let ls = logs(vec![
+            t("s0", "s1", 0, 0),
+            t("sX", "sY", 5, 2),
+            t("sY", "sX", 6, 2), // even a 2-cycle: still disconnected
+        ]);
+        match diagnose(&ls, &tok("s0")) {
+            Verdict::Fork { .. } => panic!("not a fork"),
+            Verdict::OrphanState { victim, .. } => assert_eq!(victim, 2),
+            other => panic!("expected orphan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_transition_path() {
+        let mut l = TransitionLog::new();
+        l.record(t("s0", "s1", 0, 0));
+        assert_eq!(
+            diagnose(&[l], &tok("s0")),
+            Verdict::CleanPath {
+                final_token: tok("s1"),
+                length: 1
+            }
+        );
+    }
+}

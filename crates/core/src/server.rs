@@ -1,0 +1,417 @@
+//! The CVS database server: the honest core and the transport-facing API.
+//!
+//! [`ServerCore`] is the deterministic state machine every server (honest or
+//! malicious) is built from: the Merkle B+-tree database, the operation
+//! counter `ctr`, the last-operating user `j`, the stored Protocol I
+//! signature, and the Protocol III deposit boxes. [`ServerApi`] is the
+//! interface the transports (simulator, threads) and the adversaries in
+//! [`crate::adversary`] implement.
+
+use std::collections::BTreeMap;
+
+use tcvs_crypto::{UserId, NO_USER};
+use tcvs_merkle::{apply_op, prune_for_op, MerkleTree, Op, VerificationObject};
+
+use crate::msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState};
+use crate::types::{Ctr, Epoch, ProtocolConfig};
+
+/// Cumulative server-side traffic accounting (for the overhead experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Operations processed.
+    pub ops: u64,
+    /// Messages received from users (requests + signature/state deposits).
+    pub msgs_in: u64,
+    /// Messages sent to users.
+    pub msgs_out: u64,
+    /// Bytes sent to users (estimated wire size).
+    pub bytes_out: u64,
+}
+
+/// The deterministic server state machine.
+#[derive(Clone)]
+pub struct ServerCore {
+    db: MerkleTree,
+    ctr: Ctr,
+    last_user: UserId,
+    /// Protocol I: the most recent `sigⱼ(h(M(D) ‖ ctr))` deposited.
+    last_sig: Option<SignedState>,
+    /// Protocol III: rounds per epoch.
+    epoch_len: u64,
+    /// Protocol III: deposited per-user epoch states, keyed by (epoch, user).
+    epoch_states: BTreeMap<(Epoch, UserId), SignedEpochState>,
+    /// Protocol III: audited epoch-final checkpoints.
+    checkpoints: BTreeMap<Epoch, SignedCheckpoint>,
+    /// Protocol III: last epoch in which each user was served (drives the
+    /// `new_epoch` flag).
+    user_epochs: BTreeMap<UserId, Epoch>,
+    metrics: ServerMetrics,
+}
+
+impl ServerCore {
+    /// Creates a server with an empty database.
+    pub fn new(config: &ProtocolConfig) -> ServerCore {
+        ServerCore {
+            db: MerkleTree::with_order(config.order),
+            ctr: 0,
+            last_user: NO_USER,
+            last_sig: None,
+            epoch_len: config.epoch_len,
+            epoch_states: BTreeMap::new(),
+            checkpoints: BTreeMap::new(),
+            user_epochs: BTreeMap::new(),
+            metrics: ServerMetrics::default(),
+        }
+    }
+
+    /// Current root digest `M(D)`.
+    pub fn root_digest(&self) -> tcvs_crypto::Digest {
+        self.db.root_digest()
+    }
+
+    /// Current operation counter.
+    pub fn ctr(&self) -> Ctr {
+        self.ctr
+    }
+
+    /// Read access to the database (diagnostics, oracle comparison).
+    pub fn db(&self) -> &MerkleTree {
+        &self.db
+    }
+
+    /// Mutable database access — used only by adversaries to tamper.
+    pub fn db_mut(&mut self) -> &mut MerkleTree {
+        &mut self.db
+    }
+
+    /// Traffic metrics so far.
+    pub fn metrics(&self) -> ServerMetrics {
+        self.metrics
+    }
+
+    /// The epoch the server is in at `round`.
+    pub fn epoch_at(&self, round: u64) -> Epoch {
+        round / self.epoch_len
+    }
+
+    /// Serializes the durable server state (database + counter + last
+    /// user) for backup/restart. Protocol deposit boxes (signatures, epoch
+    /// states) are session state and are *not* included: after a restart
+    /// the users re-establish them, exactly as after electing a signer at
+    /// setup.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"TCVS");
+        out.extend_from_slice(&self.ctr.to_le_bytes());
+        out.extend_from_slice(&self.last_user.to_le_bytes());
+        out.extend_from_slice(&self.epoch_len.to_le_bytes());
+        out.extend_from_slice(&self.db.to_bytes());
+        out
+    }
+
+    /// Restores a server from a [`ServerCore::snapshot`]. The database's
+    /// digests are fully re-verified during decode.
+    pub fn restore(bytes: &[u8]) -> Result<ServerCore, tcvs_merkle::CodecError> {
+        use tcvs_merkle::CodecError;
+        if bytes.len() < 24 || &bytes[..4] != b"TCVS" {
+            return Err(CodecError::Malformed("bad snapshot header"));
+        }
+        let ctr = Ctr::from_le_bytes(bytes[4..12].try_into().expect("8"));
+        let last_user = UserId::from_le_bytes(bytes[12..16].try_into().expect("4"));
+        let epoch_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8"));
+        if epoch_len == 0 {
+            return Err(CodecError::Malformed("zero epoch length"));
+        }
+        let db = MerkleTree::from_bytes(&bytes[24..])?;
+        Ok(ServerCore {
+            db,
+            ctr,
+            last_user,
+            last_sig: None,
+            epoch_len,
+            epoch_states: BTreeMap::new(),
+            checkpoints: BTreeMap::new(),
+            user_epochs: BTreeMap::new(),
+            metrics: ServerMetrics::default(),
+        })
+    }
+
+    /// Processes one operation honestly and produces the response tuple.
+    pub fn process(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        let vo = VerificationObject::new(prune_for_op(&self.db, op));
+        let result = apply_op(&mut self.db, op).expect("full tree never yields stubs");
+        let epoch = self.epoch_at(round);
+        let prev_epoch = self.user_epochs.insert(user, epoch);
+        let resp = ServerResponse {
+            result,
+            vo,
+            ctr: self.ctr,
+            last_user: self.last_user,
+            sig: self.last_sig.clone(),
+            epoch,
+            new_epoch: prev_epoch != Some(epoch),
+        };
+        self.ctr += 1;
+        self.last_user = user;
+        self.metrics.ops += 1;
+        self.metrics.msgs_in += 1;
+        self.metrics.msgs_out += 1;
+        self.metrics.bytes_out += resp.encoded_size() as u64;
+        resp
+    }
+
+    /// Rewinds the counter/last-user bookkeeping without touching the
+    /// database. Only adversaries use this (counter-reuse attacks).
+    pub(crate) fn set_counter_state(&mut self, ctr: Ctr, last_user: UserId) {
+        self.ctr = ctr;
+        self.last_user = last_user;
+    }
+
+    /// The user who performed the most recent operation.
+    pub fn last_user(&self) -> UserId {
+        self.last_user
+    }
+
+    /// Stores a user's signature over the new state (Protocol I step 6).
+    /// An untrusted server stores blindly; honest servers overwrite.
+    pub fn store_signature(&mut self, s: SignedState) {
+        self.metrics.msgs_in += 1;
+        self.last_sig = Some(s);
+    }
+
+    /// Stores a user's signed per-epoch state (Protocol III).
+    pub fn store_epoch_state(&mut self, s: SignedEpochState) {
+        self.metrics.msgs_in += 1;
+        self.epoch_states.insert((s.epoch, s.user), s);
+    }
+
+    /// Returns all deposited states for `epoch` (Protocol III audit).
+    pub fn epoch_states(&mut self, epoch: Epoch) -> Vec<SignedEpochState> {
+        let out: Vec<SignedEpochState> = self
+            .epoch_states
+            .range((epoch, 0)..=(epoch, UserId::MAX))
+            .map(|(_, v)| v.clone())
+            .collect();
+        self.metrics.msgs_out += 1;
+        self.metrics.bytes_out += out.iter().map(|s| s.encoded_size() as u64).sum::<u64>();
+        out
+    }
+
+    /// Stores an audited checkpoint (Protocol III).
+    pub fn store_checkpoint(&mut self, c: SignedCheckpoint) {
+        self.metrics.msgs_in += 1;
+        self.checkpoints.insert(c.epoch, c);
+    }
+
+    /// Fetches the checkpoint for `epoch`, if deposited.
+    pub fn checkpoint(&mut self, epoch: Epoch) -> Option<SignedCheckpoint> {
+        self.metrics.msgs_out += 1;
+        self.checkpoints.get(&epoch).cloned()
+    }
+}
+
+/// The server interface as seen by clients and transports. Implemented by
+/// the honest server and by every adversary in [`crate::adversary`].
+pub trait ServerApi {
+    /// Handles one operation at (the server's view of) `round`.
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse;
+
+    /// Protocol I: the client deposits its signature over the new state.
+    fn deposit_signature(&mut self, user: UserId, s: SignedState);
+
+    /// Protocol III: the client deposits its signed epoch state.
+    fn deposit_epoch_state(&mut self, s: SignedEpochState);
+
+    /// Protocol III: the auditor fetches all epoch states for `epoch`.
+    fn fetch_epoch_states(&mut self, requester: UserId, epoch: Epoch) -> Vec<SignedEpochState>;
+
+    /// Protocol III: the auditor deposits the audited checkpoint.
+    fn deposit_checkpoint(&mut self, c: SignedCheckpoint);
+
+    /// Protocol III: fetches the checkpoint chaining into `epoch`.
+    fn fetch_checkpoint(&mut self, requester: UserId, epoch: Epoch) -> Option<SignedCheckpoint>;
+
+    /// Cumulative traffic metrics.
+    fn metrics(&self) -> ServerMetrics;
+}
+
+/// A server that follows the protocol exactly.
+pub struct HonestServer {
+    core: ServerCore,
+}
+
+impl HonestServer {
+    /// Creates an honest server.
+    pub fn new(config: &ProtocolConfig) -> HonestServer {
+        HonestServer {
+            core: ServerCore::new(config),
+        }
+    }
+
+    /// Read access to the core (tests, oracles).
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+}
+
+impl ServerApi for HonestServer {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        self.core.process(user, op, round)
+    }
+
+    fn deposit_signature(&mut self, _user: UserId, s: SignedState) {
+        self.core.store_signature(s);
+    }
+
+    fn deposit_epoch_state(&mut self, s: SignedEpochState) {
+        self.core.store_epoch_state(s);
+    }
+
+    fn fetch_epoch_states(&mut self, _requester: UserId, epoch: Epoch) -> Vec<SignedEpochState> {
+        self.core.epoch_states(epoch)
+    }
+
+    fn deposit_checkpoint(&mut self, c: SignedCheckpoint) {
+        self.core.store_checkpoint(c);
+    }
+
+    fn fetch_checkpoint(&mut self, _requester: UserId, epoch: Epoch) -> Option<SignedCheckpoint> {
+        self.core.checkpoint(epoch)
+    }
+
+    fn metrics(&self) -> ServerMetrics {
+        self.core.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::{u64_key, OpResult};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    #[test]
+    fn process_advances_counter_and_last_user() {
+        let mut s = ServerCore::new(&config());
+        let r0 = s.process(7, &Op::Put(u64_key(1), b"a".to_vec()), 0);
+        assert_eq!(r0.ctr, 0);
+        assert_eq!(r0.last_user, NO_USER);
+        let r1 = s.process(9, &Op::Get(u64_key(1)), 1);
+        assert_eq!(r1.ctr, 1);
+        assert_eq!(r1.last_user, 7);
+        assert_eq!(r1.result, OpResult::Value(Some(b"a".to_vec())));
+        assert_eq!(s.ctr(), 2);
+    }
+
+    #[test]
+    fn responses_carry_replayable_proofs() {
+        let mut s = ServerCore::new(&config());
+        let before = s.root_digest();
+        let op = Op::Put(u64_key(5), b"v".to_vec());
+        let r = s.process(0, &op, 0);
+        let verified = tcvs_merkle::verify_response(
+            &before,
+            4,
+            &r.vo,
+            &op,
+            Some(&r.result),
+            Some(&s.root_digest()),
+        )
+        .unwrap();
+        assert_eq!(verified.new_root, s.root_digest());
+    }
+
+    #[test]
+    fn epoch_flagging_per_user() {
+        let mut s = ServerCore::new(&config());
+        let r = s.process(0, &Op::Get(u64_key(0)), 0);
+        assert_eq!(r.epoch, 0);
+        assert!(r.new_epoch);
+        let r = s.process(0, &Op::Get(u64_key(0)), 5);
+        assert!(!r.new_epoch, "same epoch, same user");
+        let r = s.process(1, &Op::Get(u64_key(0)), 5);
+        assert!(r.new_epoch, "first time user 1 is served");
+        let r = s.process(0, &Op::Get(u64_key(0)), 10);
+        assert_eq!(r.epoch, 1);
+        assert!(r.new_epoch, "epoch rolled over");
+    }
+
+    #[test]
+    fn epoch_state_deposit_and_fetch() {
+        let mut s = ServerCore::new(&config());
+        let (mut rings, _) = tcvs_crypto::setup_users([1; 32], 2, 3);
+        for (u, ring) in rings.iter_mut().enumerate() {
+            let sigma = tcvs_crypto::sha256(&[u as u8]);
+            let payload = SignedEpochState::payload(u as u32, 3, &sigma, None, 0);
+            s.store_epoch_state(SignedEpochState {
+                user: u as u32,
+                epoch: 3,
+                sigma,
+                last: None,
+                ops: 0,
+                sig: ring.sign(&payload).unwrap(),
+            });
+        }
+        assert_eq!(s.epoch_states(3).len(), 2);
+        assert!(s.epoch_states(2).is_empty());
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut s = ServerCore::new(&config());
+        s.process(0, &Op::Get(u64_key(0)), 0);
+        s.process(1, &Op::Put(u64_key(0), vec![1]), 1);
+        let m = s.metrics();
+        assert_eq!(m.ops, 2);
+        assert_eq!(m.msgs_out, 2);
+        assert!(m.bytes_out > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut s = ServerCore::new(&config());
+        for i in 0..50u64 {
+            s.process((i % 3) as u32, &Op::Put(u64_key(i), vec![i as u8]), i);
+        }
+        let snap = s.snapshot();
+        let mut restored = ServerCore::restore(&snap).unwrap();
+        assert_eq!(restored.root_digest(), s.root_digest());
+        assert_eq!(restored.ctr(), s.ctr());
+        assert_eq!(restored.last_user(), s.last_user());
+        // Restored server continues producing identical state transitions.
+        let op = Op::Put(u64_key(7), b"after restart".to_vec());
+        let ra = s.process(0, &op, 100);
+        let rb = restored.process(0, &op, 100);
+        assert_eq!(ra.ctr, rb.ctr);
+        assert_eq!(s.root_digest(), restored.root_digest());
+    }
+
+    #[test]
+    fn corrupted_snapshot_rejected() {
+        let mut s = ServerCore::new(&config());
+        s.process(0, &Op::Put(u64_key(1), vec![1]), 0);
+        let mut snap = s.snapshot();
+        assert!(ServerCore::restore(&snap[..10]).is_err());
+        // Flip a content byte: the digest re-verification must reject it.
+        let idx = snap.len() - 5;
+        snap[idx] ^= 0xFF;
+        assert!(ServerCore::restore(&snap).is_err());
+        assert!(ServerCore::restore(b"garbage").is_err());
+    }
+
+    #[test]
+    fn honest_server_implements_api() {
+        let mut s = HonestServer::new(&config());
+        let r = s.handle_op(0, &Op::Put(u64_key(9), vec![9]), 0);
+        assert_eq!(r.ctr, 0);
+        assert_eq!(s.metrics().ops, 1);
+        assert!(s.fetch_checkpoint(0, 0).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! State tokens: the hash values the protocols accumulate and sign.
+//!
+//! * Protocol I signs `h(M(D) ‖ ctr)` — [`signed_payload`].
+//! * Protocols II/III accumulate `h(M(D) ‖ ctr ‖ user)` — [`state_token`] —
+//!   where `user` tags who performed the transition *into* this state. The
+//!   tag is what defeats the replay of Fig. 3 (Lemma 4.1: it forces
+//!   in-degree ≤ 1 in the state graph).
+//! * The naive strawman of §4.3 uses the untagged [`untagged_token`].
+//!
+//! The initial database state carries the reserved [`NO_USER`] tag (the
+//! paper writes `h(M(D₀) ‖ 0)` / `h(M(D₀) ‖ 1)` inconsistently; we fix the
+//! convention as `ctr = 0`, `user = NO_USER`).
+
+use tcvs_crypto::{hash_parts, Digest, UserId, NO_USER};
+
+use crate::types::Ctr;
+
+/// Protocol II/III state token `h(M(D) ‖ ctr ‖ user)`.
+pub fn state_token(root: &Digest, ctr: Ctr, user: UserId) -> Digest {
+    hash_parts(&[
+        b"tcvs-state",
+        root.as_bytes(),
+        &ctr.to_be_bytes(),
+        &user.to_be_bytes(),
+    ])
+}
+
+/// The token of the initial database state `D₀`.
+pub fn initial_token(root0: &Digest) -> Digest {
+    state_token(root0, 0, NO_USER)
+}
+
+/// Protocol I signing payload `h(M(D) ‖ ctr)`.
+pub fn signed_payload(root: &Digest, ctr: Ctr) -> Digest {
+    hash_parts(&[b"tcvs-signed-state", root.as_bytes(), &ctr.to_be_bytes()])
+}
+
+/// Untagged token `h(M(D) ‖ ctr)` used by the naive-XOR strawman (§4.3's
+/// "first attempt", defeated in Fig. 3).
+pub fn untagged_token(root: &Digest, ctr: Ctr) -> Digest {
+    hash_parts(&[b"tcvs-naive-state", root.as_bytes(), &ctr.to_be_bytes()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_crypto::sha256;
+
+    #[test]
+    fn tokens_bind_all_components() {
+        let r1 = sha256(b"root1");
+        let r2 = sha256(b"root2");
+        let base = state_token(&r1, 5, 2);
+        assert_ne!(base, state_token(&r2, 5, 2), "binds root");
+        assert_ne!(base, state_token(&r1, 6, 2), "binds ctr");
+        assert_ne!(base, state_token(&r1, 5, 3), "binds user");
+    }
+
+    #[test]
+    fn token_domains_are_separated() {
+        let r = sha256(b"root");
+        // Even with the same logical inputs, the three token families differ.
+        assert_ne!(state_token(&r, 1, NO_USER), untagged_token(&r, 1));
+        assert_ne!(signed_payload(&r, 1), untagged_token(&r, 1));
+    }
+
+    #[test]
+    fn initial_token_uses_reserved_tag() {
+        let r = sha256(b"root0");
+        assert_eq!(initial_token(&r), state_token(&r, 0, NO_USER));
+    }
+
+    #[test]
+    fn tokens_are_deterministic() {
+        let r = sha256(b"r");
+        assert_eq!(state_token(&r, 9, 1), state_token(&r, 9, 1));
+        assert_eq!(signed_payload(&r, 9), signed_payload(&r, 9));
+    }
+}

@@ -1,0 +1,15 @@
+//! Strawman protocols the paper uses to motivate its design.
+//!
+//! * [`token_ring`] — §2.2.3: users operate in a fixed round-robin order,
+//!   writing signed null records when idle. Detects deviation immediately
+//!   but destroys workload preservation: a user wanting two back-to-back
+//!   operations waits for all other users' turns (experiment E7).
+//! * [`naive_xor`] — §4.3's "first attempt": XOR accumulators over
+//!   *untagged* state tokens `h(M(D) ‖ ctr)`. Defeated by the replay
+//!   scenario of Fig. 3, which Protocol II's user tags fix (experiment E4).
+
+pub mod naive_xor;
+pub mod token_ring;
+
+pub use naive_xor::NaiveXorClient;
+pub use token_ring::{null_op, TokenRingClient};

@@ -1,0 +1,251 @@
+//! The token-passing strawman (§2.2.3).
+//!
+//! Users operate only in a fixed round-robin order: slot `c` (the global
+//! operation counter) belongs to user `c mod n`. A user whose turn arrives
+//! with nothing to do performs a signed *null* operation. Every transition
+//! is signed by its performer and verified by the next user in the ring, so
+//! the multi-user system simulates the single-user authenticated-publishing
+//! protocol of \[2\]: deviation is detected at the very next slot.
+//!
+//! The price is workload preservation: a user wanting two back-to-back
+//! operations must wait for `n − 1` other slots (experiment E7 measures
+//! this Θ(n) latency; Protocols I/II are Θ(1)).
+
+use tcvs_crypto::{Digest, KeyRegistry, Keyring, UserId};
+use tcvs_merkle::{verify_response, Op, OpResult};
+
+use crate::msg::{ServerResponse, SignedState};
+use crate::state::signed_payload;
+use crate::types::{Ctr, Deviation, ProtocolConfig};
+
+/// The null operation a user performs when its slot arrives empty: a read
+/// of the reserved empty key.
+pub fn null_op() -> Op {
+    Op::Get(Vec::new())
+}
+
+/// Token-ring strawman client.
+pub struct TokenRingClient {
+    keyring: Keyring,
+    registry: KeyRegistry,
+    config: ProtocolConfig,
+    n_users: u32,
+    /// Number of slots this user has completed.
+    turns_done: u64,
+    /// Real (non-null) operations performed.
+    real_ops: u64,
+}
+
+impl TokenRingClient {
+    /// Creates a ring client.
+    pub fn new(
+        keyring: Keyring,
+        registry: KeyRegistry,
+        n_users: u32,
+        config: ProtocolConfig,
+    ) -> TokenRingClient {
+        TokenRingClient {
+            keyring,
+            registry,
+            config,
+            n_users,
+            turns_done: 0,
+            real_ops: 0,
+        }
+    }
+
+    /// This user's id.
+    pub fn user(&self) -> UserId {
+        self.keyring.user
+    }
+
+    /// Real operations performed so far.
+    pub fn real_ops(&self) -> u64 {
+        self.real_ops
+    }
+
+    /// The global slot index this user expects to fill next.
+    pub fn next_slot(&self) -> Ctr {
+        self.keyring.user as Ctr + self.turns_done * self.n_users as Ctr
+    }
+
+    /// True iff slot `ctr` belongs to this user.
+    pub fn my_turn(&self, ctr: Ctr) -> bool {
+        ctr == self.next_slot()
+    }
+
+    /// Initialization: the elected user signs the initial state.
+    pub fn sign_initial(&mut self, root0: &Digest) -> Result<SignedState, Deviation> {
+        let payload = signed_payload(root0, 0);
+        let sig = self.keyring.sign(&payload).map_err(|_| Deviation::KeyExhausted)?;
+        Ok(SignedState {
+            signer: self.keyring.user,
+            root: *root0,
+            ctr: 0,
+            sig,
+        })
+    }
+
+    /// Processes the server's response to this user's slot operation.
+    /// `was_null` records whether the slot carried a real operation.
+    pub fn handle_response(
+        &mut self,
+        op: &Op,
+        was_null: bool,
+        resp: &ServerResponse,
+    ) -> Result<(OpResult, SignedState), Deviation> {
+        let expected = self.next_slot();
+        // The ring gives every user an exact schedule: any counter other
+        // than its own next slot is immediate deviation.
+        if resp.ctr != expected {
+            return Err(Deviation::CounterRegression {
+                seen: resp.ctr,
+                expected_at_least: expected,
+            });
+        }
+        let signed = resp.sig.as_ref().ok_or(Deviation::BadSignature)?;
+        // The previous slot's owner must be the signer (strict ring order);
+        // slot 0 is attested by the elected initial signer.
+        if expected > 0 {
+            let prev_owner = ((expected - 1) % self.n_users as Ctr) as UserId;
+            if signed.signer != prev_owner {
+                return Err(Deviation::BadSignature);
+            }
+        }
+        if signed.ctr != resp.ctr {
+            return Err(Deviation::BadSignature);
+        }
+        let verified = verify_response(
+            &signed.root,
+            self.config.order,
+            &resp.vo,
+            op,
+            Some(&resp.result),
+            None,
+        )
+        .map_err(Deviation::BadProof)?;
+        let payload = signed_payload(&signed.root, resp.ctr);
+        if !self.registry.verify(signed.signer, &payload, &signed.sig) {
+            return Err(Deviation::BadSignature);
+        }
+
+        self.turns_done += 1;
+        if !was_null {
+            self.real_ops += 1;
+        }
+        let new_payload = signed_payload(&verified.new_root, resp.ctr + 1);
+        let sig = self
+            .keyring
+            .sign(&new_payload)
+            .map_err(|_| Deviation::KeyExhausted)?;
+        Ok((
+            verified.result,
+            SignedState {
+                signer: self.keyring.user,
+                root: verified.new_root,
+                ctr: resp.ctr + 1,
+                sig,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{HonestServer, ServerApi};
+    use tcvs_crypto::setup_users;
+    use tcvs_merkle::u64_key;
+
+    fn setup(n: u32) -> (Vec<TokenRingClient>, HonestServer) {
+        let config = ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 100,
+        };
+        let (rings, registry) = setup_users([6u8; 32], n, 5);
+        let mut clients: Vec<TokenRingClient> = rings
+            .into_iter()
+            .map(|r| TokenRingClient::new(r, registry.clone(), n, config))
+            .collect();
+        let mut server = HonestServer::new(&config);
+        let root0 = server.core().root_digest();
+        let init = clients[0].sign_initial(&root0).unwrap();
+        server.deposit_signature(0, init);
+        (clients, server)
+    }
+
+    /// Runs the ring for `slots` slots; `real` decides which slots carry a
+    /// real op. Returns how many slots each user waited for its 2nd op.
+    fn run_ring(clients: &mut [TokenRingClient], server: &mut HonestServer, slots: u64) {
+        let n = clients.len() as u64;
+        for slot in 0..slots {
+            let u = (slot % n) as usize;
+            assert!(clients[u].my_turn(slot));
+            let real = slot % 3 == 0;
+            let op = if real {
+                Op::Put(u64_key(slot), vec![slot as u8])
+            } else {
+                null_op()
+            };
+            let resp = server.handle_op(u as u32, &op, slot);
+            let (_, deposit) = clients[u].handle_response(&op, !real, &resp).unwrap();
+            server.deposit_signature(u as u32, deposit);
+        }
+    }
+
+    #[test]
+    fn honest_ring_runs_clean() {
+        let (mut clients, mut server) = setup(3);
+        run_ring(&mut clients, &mut server, 12);
+        assert!(clients.iter().all(|c| c.turns_done == 4));
+    }
+
+    #[test]
+    fn out_of_schedule_counter_detected() {
+        let (mut clients, mut server) = setup(2);
+        // Server serves user 1 first — but slot 0 belongs to user 0.
+        let op = null_op();
+        let resp = server.handle_op(1, &op, 0);
+        assert!(matches!(
+            clients[1].handle_response(&op, true, &resp),
+            Err(Deviation::CounterRegression { seen: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_ring_signer_detected() {
+        let (mut clients, mut server) = setup(3);
+        run_ring(&mut clients, &mut server, 3);
+        // Slot 3 belongs to user 0, and must carry user 2's signature.
+        // Replace it with a (legitimate!) signature by user 0 itself.
+        let root = server.core().root_digest();
+        let forged = clients[0].sign_initial(&root).ok();
+        let op = null_op();
+        let mut resp = server.handle_op(0, &op, 3);
+        if let (Some(f), Some(s)) = (forged, resp.sig.as_mut()) {
+            s.signer = f.signer;
+            s.sig = f.sig;
+            s.root = f.root;
+        }
+        assert!(matches!(
+            clients[0].handle_response(&op, true, &resp),
+            Err(Deviation::BadSignature)
+        ));
+    }
+
+    #[test]
+    fn back_to_back_latency_is_linear_in_users() {
+        // A user that wants to do op #2 right after op #1 must wait n slots:
+        // measured as the gap between its consecutive slots.
+        for n in [2u32, 4, 8] {
+            let (clients, _) = setup(n);
+            let c = &clients[0];
+            let slot1 = c.next_slot();
+            // After completing slot1, the next available slot is n later.
+            assert_eq!(slot1, 0);
+            let gap = n as u64; // next_slot after one turn = user + n
+            assert_eq!(gap, n as u64);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared protocol types: counters, configuration, and deviation verdicts.
+
+use std::fmt;
+
+use tcvs_crypto::UserId;
+use tcvs_merkle::VerifyError;
+
+/// The server's global operation counter `ctr`.
+pub type Ctr = u64;
+
+/// An epoch number (Protocol III): `round / epoch_len`.
+pub type Epoch = u64;
+
+/// Static protocol configuration, common knowledge among all users.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Merkle B+-tree branching order.
+    pub order: usize,
+    /// Sync-up threshold `k`: the first user to complete `k` operations
+    /// since the last sync-up triggers one (Protocols I and II).
+    pub k: u64,
+    /// Epoch length `t` in rounds (Protocol III).
+    pub epoch_len: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            order: tcvs_merkle::DEFAULT_ORDER,
+            k: 16,
+            epoch_len: 100,
+        }
+    }
+}
+
+/// Why a client concluded that the server deviated (§2: integrity or
+/// availability violation). Detection of *any* deviation is the protocols'
+/// sole guarantee; the variants record the evidence class for diagnostics
+/// and the detection-delay experiments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Deviation {
+    /// The signed root digest failed signature verification (Protocol I).
+    BadSignature,
+    /// The verification object or claimed answer failed replay verification.
+    BadProof(VerifyError),
+    /// The server presented a counter that regressed or repeated.
+    CounterRegression {
+        /// Counter value the server presented.
+        seen: Ctr,
+        /// Minimum acceptable value.
+        expected_at_least: Ctr,
+    },
+    /// The periodic sync-up check failed: no user's local view explains the
+    /// global state (Protocols I and II).
+    SyncFailed,
+    /// The epoch audit failed for this epoch (Protocol III).
+    EpochCheckFailed(Epoch),
+    /// A user's signed epoch state was missing from the server during an
+    /// audit (Protocol III availability violation, or workload violation).
+    MissingEpochState {
+        /// The audited epoch.
+        epoch: Epoch,
+        /// The user whose state is missing.
+        user: UserId,
+    },
+    /// A stored epoch state or checkpoint carried an invalid signature
+    /// (Protocol III).
+    BadEpochSignature(Epoch),
+    /// The server's announced epoch disagrees with the client's local clock
+    /// beyond the partial-synchrony tolerance (Protocol III).
+    EpochSkew {
+        /// Epoch the server claimed.
+        claimed: Epoch,
+        /// Epoch the client's clock implies.
+        expected: Epoch,
+    },
+    /// The signing key ran out of one-time keys (operational, not an attack,
+    /// but the client must stop rather than continue unverified).
+    KeyExhausted,
+}
+
+impl fmt::Display for Deviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Deviation::BadSignature => write!(f, "illegitimate state signature"),
+            Deviation::BadProof(e) => write!(f, "proof verification failed: {e}"),
+            Deviation::CounterRegression { seen, expected_at_least } => write!(
+                f,
+                "counter regression: saw {seen}, expected at least {expected_at_least}"
+            ),
+            Deviation::SyncFailed => write!(f, "sync-up check failed for every user"),
+            Deviation::EpochCheckFailed(e) => write!(f, "epoch {e} audit failed"),
+            Deviation::MissingEpochState { epoch, user } => {
+                write!(f, "epoch {epoch}: user {user}'s state missing")
+            }
+            Deviation::BadEpochSignature(e) => {
+                write!(f, "epoch {e}: invalid signature on stored state")
+            }
+            Deviation::EpochSkew { claimed, expected } => {
+                write!(f, "server epoch {claimed} vs local clock epoch {expected}")
+            }
+            Deviation::KeyExhausted => write!(f, "signing key exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Deviation {}
+
+/// Which protocol a component speaks (used by the simulator and benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Baseline: fully trusted server, no verification.
+    Trusted,
+    /// Protocol I: signed roots + counter + broadcast sync-up.
+    One,
+    /// Protocol II: XOR state accumulators + broadcast sync-up.
+    Two,
+    /// Protocol III: epoch-based, server-mediated audit.
+    Three,
+    /// §2.2.3 strawman: token-ring turn passing.
+    TokenRing,
+    /// §4.3 strawman: untagged XOR accumulator.
+    NaiveXor,
+}
+
+impl ProtocolKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::Trusted => "trusted",
+            ProtocolKind::One => "protocol-1",
+            ProtocolKind::Two => "protocol-2",
+            ProtocolKind::Three => "protocol-3",
+            ProtocolKind::TokenRing => "token-ring",
+            ProtocolKind::NaiveXor => "naive-xor",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ProtocolConfig::default();
+        assert!(c.order >= tcvs_merkle::MIN_ORDER);
+        assert!(c.k > 0);
+        assert!(c.epoch_len > 0);
+    }
+
+    #[test]
+    fn deviation_display_is_informative() {
+        let d = Deviation::CounterRegression {
+            seen: 3,
+            expected_at_least: 5,
+        };
+        let s = d.to_string();
+        assert!(s.contains('3') && s.contains('5'));
+        assert!(Deviation::SyncFailed.to_string().contains("sync"));
+    }
+
+    #[test]
+    fn protocol_labels_unique() {
+        use ProtocolKind::*;
+        let all = [Trusted, One, Two, Three, TokenRing, NaiveXor];
+        let mut labels: Vec<_> = all.iter().map(|p| p.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

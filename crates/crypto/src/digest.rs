@@ -1,0 +1,199 @@
+//! The 256-bit digest type shared by every trusted-cvs subsystem.
+//!
+//! Digests serve three roles in the paper:
+//! * node digests and root digests of the Merkle B+-tree (§4.1),
+//! * the *state tokens* `h(M(D) ‖ ctr ‖ user)` accumulated by Protocol II,
+//! * message digests signed by the hash-based signature scheme.
+//!
+//! Protocol II needs digests to form an XOR group (its `σᵢ` registers are
+//! XOR accumulators), so [`Digest`] implements `BitXor`/`BitXorAssign` with
+//! [`Digest::ZERO`] as the identity.
+
+use std::fmt;
+use std::ops::{BitXor, BitXorAssign};
+
+/// A 256-bit digest (output of SHA-256).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest: identity element of the XOR group, and the
+    /// conventional digest of an empty tree.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Byte length of a digest.
+    pub const LEN: usize = 32;
+
+    /// Returns the digest as a byte slice.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Builds a digest from a byte slice; returns `None` unless the slice is
+    /// exactly 32 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Option<Digest> {
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(bytes);
+        Some(Digest(out))
+    }
+
+    /// True iff this is the all-zero digest.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Lowercase hexadecimal rendering.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
+        }
+        s
+    }
+
+    /// Parses a 64-character lowercase/uppercase hex string.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            let hi = hex_val(bytes[2 * i])?;
+            let lo = hex_val(bytes[2 * i + 1])?;
+            out[i] = (hi << 4) | lo;
+        }
+        Some(Digest(out))
+    }
+
+    /// A short (8 hex char) prefix, for human-readable logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl BitXor for Digest {
+    type Output = Digest;
+    #[inline]
+    fn bitxor(self, rhs: Digest) -> Digest {
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.0[i] ^ rhs.0[i];
+        }
+        Digest(out)
+    }
+}
+
+impl BitXorAssign for Digest {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Digest) {
+        for i in 0..32 {
+            self.0[i] ^= rhs.0[i];
+        }
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_xor_identity() {
+        let d = Digest([7u8; 32]);
+        assert_eq!(d ^ Digest::ZERO, d);
+        assert_eq!(Digest::ZERO ^ d, d);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Digest([0xAB; 32]);
+        let b = Digest([0x5C; 32]);
+        assert_eq!(a ^ b ^ b, a);
+        assert_eq!(a ^ a, Digest::ZERO);
+    }
+
+    #[test]
+    fn xor_assign_matches_xor() {
+        let a = Digest([1; 32]);
+        let b = Digest([2; 32]);
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c, a ^ b);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let mut raw = [0u8; 32];
+        for (i, byte) in raw.iter_mut().enumerate() {
+            *byte = (i * 7 + 3) as u8;
+        }
+        let d = Digest(raw);
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+    }
+
+    #[test]
+    fn hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("abcd"), None);
+        let bad = "zz".repeat(32);
+        assert_eq!(Digest::from_hex(&bad), None);
+    }
+
+    #[test]
+    fn from_slice_checks_length() {
+        assert!(Digest::from_slice(&[0u8; 31]).is_none());
+        assert!(Digest::from_slice(&[0u8; 33]).is_none());
+        assert!(Digest::from_slice(&[0u8; 32]).is_some());
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let d = Digest([0xFF; 32]);
+        assert_eq!(d.short(), "ffffffff");
+        assert!(d.to_hex().starts_with(&d.short()));
+    }
+
+    #[test]
+    fn is_zero_detects_only_zero() {
+        assert!(Digest::ZERO.is_zero());
+        let mut d = Digest::ZERO;
+        d.0[31] = 1;
+        assert!(!d.is_zero());
+    }
+}

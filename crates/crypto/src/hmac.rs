@@ -1,0 +1,113 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by the deterministic RNG ([`crate::rng`]) for key derivation and
+//! available to deployments that prefer MAC-based client/server channel
+//! authentication over plain transport trust.
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, msg)`.
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> Digest {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let kd = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        k[..32].copy_from_slice(kd.as_bytes());
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let inner = {
+        let mut h = Sha256::new();
+        h.update(&ipad);
+        h.update(msg);
+        h.finalize()
+    };
+    let mut h = Sha256::new();
+    h.update(&opad);
+    h.update(inner.as_bytes());
+    h.finalize()
+}
+
+/// Constant-time equality of two digests, for MAC verification.
+pub fn verify_mac(expected: &Digest, actual: &Digest) -> bool {
+    let mut diff = 0u8;
+    for i in 0..32 {
+        diff |= expected.0[i] ^ actual.0[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 4231 HMAC-SHA-256 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let d = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            d.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let d = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            d.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        let d = hmac_sha256(&key, &msg);
+        assert_eq!(
+            d.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231 case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let d = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            d.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn mac_verification() {
+        let d1 = hmac_sha256(b"k", b"m");
+        let d2 = hmac_sha256(b"k", b"m");
+        let d3 = hmac_sha256(b"k", b"n");
+        assert!(verify_mac(&d1, &d2));
+        assert!(!verify_mac(&d1, &d3));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_macs() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

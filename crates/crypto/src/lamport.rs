@@ -1,0 +1,170 @@
+//! Lamport one-time signatures (Diffie–Lamport 1979).
+//!
+//! Included as the simplest hash-based OTS: one secret pair per digest bit.
+//! The protocol stack signs with the more compact Winternitz scheme
+//! ([`crate::wots`]); Lamport is kept as an independently-tested baseline and
+//! is exercised by the crypto benchmarks (experiment E8).
+
+use crate::digest::Digest;
+use crate::rng::SeedRng;
+use crate::sha256::sha256;
+
+const BITS: usize = 256;
+
+/// Lamport secret key: two 32-byte preimages per message bit.
+pub struct LamportSecretKey {
+    pairs: Box<[[[u8; 32]; 2]]>,
+    used: bool,
+}
+
+/// Lamport public key: the hashes of every preimage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportPublicKey {
+    pairs: Box<[[Digest; 2]]>,
+}
+
+/// A Lamport signature: one revealed preimage per message bit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LamportSignature {
+    reveals: Box<[[u8; 32]]>,
+}
+
+impl LamportSignature {
+    /// Signature size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.reveals.len() * 32
+    }
+}
+
+/// Generates a Lamport key pair from the RNG.
+pub fn lamport_keygen(rng: &mut SeedRng) -> (LamportSecretKey, LamportPublicKey) {
+    let mut sk = Vec::with_capacity(BITS);
+    let mut pk = Vec::with_capacity(BITS);
+    for _ in 0..BITS {
+        let s0 = rng.next_block();
+        let s1 = rng.next_block();
+        pk.push([sha256(&s0), sha256(&s1)]);
+        sk.push([s0, s1]);
+    }
+    (
+        LamportSecretKey {
+            pairs: sk.into_boxed_slice(),
+            used: false,
+        },
+        LamportPublicKey {
+            pairs: pk.into_boxed_slice(),
+        },
+    )
+}
+
+/// Errors from one-time signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OtsError {
+    /// The one-time key has already signed a message; signing again would
+    /// leak enough preimages to forge.
+    KeyReused,
+}
+
+impl std::fmt::Display for OtsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OtsError::KeyReused => write!(f, "one-time signing key already used"),
+        }
+    }
+}
+
+impl std::error::Error for OtsError {}
+
+/// Signs a message digest, consuming the key's single use.
+pub fn lamport_sign(
+    sk: &mut LamportSecretKey,
+    msg: &Digest,
+) -> Result<LamportSignature, OtsError> {
+    if sk.used {
+        return Err(OtsError::KeyReused);
+    }
+    sk.used = true;
+    let mut reveals = Vec::with_capacity(BITS);
+    for (i, pair) in sk.pairs.iter().enumerate() {
+        let bit = (msg.0[i / 8] >> (7 - (i % 8))) & 1;
+        reveals.push(pair[bit as usize]);
+    }
+    Ok(LamportSignature {
+        reveals: reveals.into_boxed_slice(),
+    })
+}
+
+/// Verifies a Lamport signature against the public key.
+pub fn lamport_verify(pk: &LamportPublicKey, msg: &Digest, sig: &LamportSignature) -> bool {
+    if sig.reveals.len() != BITS || pk.pairs.len() != BITS {
+        return false;
+    }
+    for i in 0..BITS {
+        let bit = (msg.0[i / 8] >> (7 - (i % 8))) & 1;
+        if sha256(&sig.reveals[i]) != pk.pairs[i][bit as usize] {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn setup() -> (LamportSecretKey, LamportPublicKey) {
+        let mut rng = SeedRng::from_label(b"lamport-test");
+        lamport_keygen(&mut rng)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"commit r42");
+        let sig = lamport_sign(&mut sk, &msg).unwrap();
+        assert!(lamport_verify(&pk, &msg, &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"original");
+        let sig = lamport_sign(&mut sk, &msg).unwrap();
+        assert!(!lamport_verify(&pk, &sha256(b"forged"), &sig));
+    }
+
+    #[test]
+    fn flipped_signature_byte_rejected() {
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"m");
+        let mut sig = lamport_sign(&mut sk, &msg).unwrap();
+        sig.reveals[10][0] ^= 1;
+        assert!(!lamport_verify(&pk, &msg, &sig));
+    }
+
+    #[test]
+    fn key_reuse_refused() {
+        let (mut sk, _pk) = setup();
+        let m1 = sha256(b"one");
+        lamport_sign(&mut sk, &m1).unwrap();
+        assert_eq!(lamport_sign(&mut sk, &m1), Err(OtsError::KeyReused));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (mut sk1, _pk1) = setup();
+        let mut rng = SeedRng::from_label(b"lamport-other");
+        let (_sk2, pk2) = lamport_keygen(&mut rng);
+        let msg = sha256(b"m");
+        let sig = lamport_sign(&mut sk1, &msg).unwrap();
+        assert!(!lamport_verify(&pk2, &msg, &sig));
+    }
+
+    #[test]
+    fn signature_size_is_8kib() {
+        let (mut sk, _pk) = setup();
+        let sig = lamport_sign(&mut sk, &sha256(b"m")).unwrap();
+        assert_eq!(sig.size_bytes(), 256 * 32);
+    }
+}

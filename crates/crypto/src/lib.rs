@@ -1,0 +1,39 @@
+//! # tcvs-crypto
+//!
+//! Cryptographic substrate for the trusted-cvs reproduction of
+//! *"Trusted CVS"* (ICDE 2006): a from-scratch SHA-256, HMAC, a deterministic
+//! ChaCha20-based RNG, hash-based one-time signatures (Lamport, Winternitz),
+//! the Merkle Signature Scheme, and a key registry standing in for the
+//! paper's PKI assumption.
+//!
+//! Everything here rests on a single assumption — collision-intractability of
+//! the hash — which is exactly the assumption the paper makes for its Merkle
+//! trees, so no new trust is introduced by the signature layer.
+//!
+//! ```
+//! use tcvs_crypto::{sha256, setup_users};
+//!
+//! let (mut users, registry) = setup_users([0u8; 32], 2, 4);
+//! let msg = sha256(b"h(M(D) || ctr)");
+//! let sig = users[0].sign(&msg).unwrap();
+//! assert!(registry.verify(0, &msg, &sig));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod digest;
+pub mod hmac;
+pub mod lamport;
+pub mod mss;
+pub mod registry;
+pub mod rng;
+pub mod sha256;
+pub mod wots;
+
+pub use digest::Digest;
+pub use hmac::{hmac_sha256, verify_mac};
+pub use mss::{mss_verify, MssError, MssPublicKey, MssSignature, MssSigner};
+pub use registry::{setup_users, KeyRegistry, Keyring, UserId, NO_USER};
+pub use rng::SeedRng;
+pub use sha256::{hash_pair, hash_parts, sha256, Sha256};

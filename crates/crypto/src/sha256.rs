@@ -1,0 +1,319 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! The paper assumes a "collision intractable hash function" \[2\]; the
+//! sanctioned offline dependency set contains no crypto crates, so the hash
+//! is implemented here and validated against the NIST CAVP / FIPS 180-4
+//! example vectors (see the test module).
+//!
+//! Both one-shot ([`sha256`]) and incremental ([`Sha256`]) interfaces are
+//! provided, plus [`hash_parts`], the length-prefixed multi-part hash used to
+//! build unambiguous protocol tokens such as `h(M(D) ‖ ctr ‖ user)`.
+
+use crate::digest::Digest;
+
+/// SHA-256 round constants: first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes processed so far (used for the length suffix in padding).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            } else {
+                // Data exhausted without filling a block; it stays buffered.
+                return self;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            compress(&mut self.state, &b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+        self
+    }
+
+    /// Finishes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Append 0x80, zero padding, then the 64-bit big-endian bit length.
+        self.buf[self.buf_len] = 0x80;
+        let mut i = self.buf_len + 1;
+        if i > 56 {
+            for b in &mut self.buf[i..] {
+                *b = 0;
+            }
+            let block = self.buf;
+            compress(&mut self.state, &block);
+            i = 0;
+        }
+        for b in &mut self.buf[i..56] {
+            *b = 0;
+        }
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        compress(&mut self.state, &block);
+
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+}
+
+#[inline(always)]
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+#[inline(always)]
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+#[inline(always)]
+fn big_sigma0(x: u32) -> u32 {
+    x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+}
+#[inline(always)]
+fn big_sigma1(x: u32) -> u32 {
+    x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        w[i] = small_sigma1(w[i - 2])
+            .wrapping_add(w[i - 7])
+            .wrapping_add(small_sigma0(w[i - 15]))
+            .wrapping_add(w[i - 16]);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let t1 = h
+            .wrapping_add(big_sigma1(e))
+            .wrapping_add((e & f) ^ ((!e) & g))
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let t2 = big_sigma0(a).wrapping_add((a & b) ^ (a & c) ^ (b & c));
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Hashes a sequence of parts with 64-bit length prefixes.
+///
+/// This is the canonical encoding for protocol tokens such as
+/// `h(M(D) ‖ ctr ‖ j)`: the length prefixes make the encoding injective, so
+/// distinct part sequences can never collide by concatenation ambiguity.
+pub fn hash_parts(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&(parts.len() as u64).to_be_bytes());
+    for p in parts {
+        h.update(&(p.len() as u64).to_be_bytes());
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Hashes the concatenation of two digests: the inner-node combiner used by
+/// Merkle structures throughout the workspace.
+pub fn hash_pair(left: &Digest, right: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 / NIST CAVP known-answer vectors.
+    #[test]
+    fn nist_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+            ),
+        ];
+        for (input, expect) in cases {
+            assert_eq!(sha256(input).to_hex(), *expect, "input {:?}", input);
+        }
+    }
+
+    /// FIPS 180-4: one million 'a' characters.
+    #[test]
+    fn nist_million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        // Split at every possible prefix length in steps of 17 and also at
+        // block boundaries 63/64/65 which exercise the buffer edge cases.
+        let splits: Vec<usize> = (0..data.len())
+            .step_by(17)
+            .chain([63, 64, 65, 127, 128, 129])
+            .collect();
+        let whole = sha256(&data);
+        for &s in &splits {
+            let mut h = Sha256::new();
+            h.update(&data[..s]);
+            h.update(&data[s..]);
+            assert_eq!(h.finalize(), whole, "split at {s}");
+        }
+    }
+
+    #[test]
+    fn incremental_many_tiny_updates() {
+        let data = b"hello world, this is a byte-at-a-time hash test";
+        let mut h = Sha256::new();
+        for b in data.iter() {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), sha256(data));
+    }
+
+    #[test]
+    fn padding_edge_lengths() {
+        // Lengths around the 55/56/64 padding thresholds must all differ and
+        // must be deterministic.
+        let mut seen = std::collections::HashSet::new();
+        for len in 50..70 {
+            let data = vec![0x55u8; len];
+            let d = sha256(&data);
+            assert!(seen.insert(d), "digest collision at length {len}");
+            assert_eq!(d, sha256(&data), "non-deterministic at length {len}");
+        }
+    }
+
+    #[test]
+    fn hash_parts_is_injective_on_part_boundaries() {
+        // ("ab","c") and ("a","bc") concatenate identically but must hash
+        // differently thanks to the length prefixes.
+        let d1 = hash_parts(&[b"ab", b"c"]);
+        let d2 = hash_parts(&[b"a", b"bc"]);
+        let d3 = hash_parts(&[b"abc"]);
+        assert_ne!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_ne!(d2, d3);
+    }
+
+    #[test]
+    fn hash_pair_depends_on_order() {
+        let a = sha256(b"left");
+        let b = sha256(b"right");
+        assert_ne!(hash_pair(&a, &b), hash_pair(&b, &a));
+    }
+}

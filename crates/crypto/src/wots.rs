@@ -1,0 +1,267 @@
+//! Winternitz one-time signatures (WOTS) with w = 16.
+//!
+//! The compact OTS used as the leaf scheme of the Merkle Signature Scheme
+//! ([`crate::mss`]). A 256-bit digest is cut into 64 base-16 chunks plus a
+//! 3-chunk checksum; each chunk selects a position along an independent
+//! length-16 hash chain.
+
+use crate::digest::Digest;
+use crate::rng::SeedRng;
+use crate::sha256::{hash_parts, Sha256};
+
+/// Winternitz parameter (chain length). Chunks are 4 bits.
+pub const W: u32 = 16;
+/// Number of message chunks (256 bits / 4 bits).
+pub const LEN1: usize = 64;
+/// Number of checksum chunks: max checksum = 64·15 = 960 < 16³.
+pub const LEN2: usize = 3;
+/// Total number of hash chains per key.
+pub const LEN: usize = LEN1 + LEN2;
+
+/// WOTS secret key: the chain starting points.
+pub struct WotsSecretKey {
+    chains: Box<[[u8; 32]]>,
+    used: bool,
+}
+
+/// WOTS public key: the chain end points, plus the compressed digest that the
+/// Merkle tree actually commits to.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WotsPublicKey {
+    ends: Box<[Digest]>,
+}
+
+/// WOTS signature: one intermediate chain value per chunk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WotsSignature {
+    pub(crate) values: Box<[Digest]>,
+}
+
+impl WotsSignature {
+    /// Signature size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * Digest::LEN
+    }
+
+    /// Flat byte encoding (used by the wire codec in `tcvs-core`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        for v in self.values.iter() {
+            out.extend_from_slice(v.as_bytes());
+        }
+        out
+    }
+
+    /// Decodes the flat encoding produced by [`WotsSignature::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<WotsSignature> {
+        if bytes.len() != LEN * Digest::LEN {
+            return None;
+        }
+        let values: Vec<Digest> = bytes
+            .chunks_exact(Digest::LEN)
+            .map(|c| Digest::from_slice(c).expect("exact chunk"))
+            .collect();
+        Some(WotsSignature {
+            values: values.into_boxed_slice(),
+        })
+    }
+}
+
+impl WotsPublicKey {
+    /// Compresses the 67 chain ends into a single digest (the MSS leaf).
+    pub fn compress(&self) -> Digest {
+        let mut h = Sha256::new();
+        h.update(b"tcvs-wots-pk");
+        for d in self.ends.iter() {
+            h.update(d.as_bytes());
+        }
+        h.finalize()
+    }
+}
+
+/// Applies the chain function `steps` times starting from `start` at chain
+/// position `from`. The chain index and step position are hashed in, which
+/// prevents cross-chain value reuse.
+fn chain(start: &Digest, chain_idx: usize, from: u32, steps: u32) -> Digest {
+    let mut cur = *start;
+    for s in 0..steps {
+        cur = hash_parts(&[
+            b"tcvs-wots-chain",
+            &(chain_idx as u32).to_be_bytes(),
+            &(from + s).to_be_bytes(),
+            cur.as_bytes(),
+        ]);
+    }
+    cur
+}
+
+/// Splits a digest into 64 message chunks + 3 checksum chunks (base 16).
+fn chunks_of(msg: &Digest) -> [u8; LEN] {
+    let mut out = [0u8; LEN];
+    for (i, chunk) in out.iter_mut().take(LEN1).enumerate() {
+        let byte = msg.0[i / 2];
+        *chunk = if i % 2 == 0 { byte >> 4 } else { byte & 0xf };
+    }
+    let checksum: u32 = out[..LEN1].iter().map(|&c| (W - 1) - c as u32).sum();
+    // Encode the checksum in base 16, most significant chunk first.
+    out[LEN1] = ((checksum >> 8) & 0xf) as u8;
+    out[LEN1 + 1] = ((checksum >> 4) & 0xf) as u8;
+    out[LEN1 + 2] = (checksum & 0xf) as u8;
+    out
+}
+
+/// Generates a WOTS key pair.
+pub fn wots_keygen(rng: &mut SeedRng) -> (WotsSecretKey, WotsPublicKey) {
+    let mut chains = Vec::with_capacity(LEN);
+    let mut ends = Vec::with_capacity(LEN);
+    for i in 0..LEN {
+        let sk = rng.next_block();
+        ends.push(chain(&Digest(sk), i, 0, W - 1));
+        chains.push(sk);
+    }
+    (
+        WotsSecretKey {
+            chains: chains.into_boxed_slice(),
+            used: false,
+        },
+        WotsPublicKey {
+            ends: ends.into_boxed_slice(),
+        },
+    )
+}
+
+/// Deterministically generates the key pair for MSS leaf `index` from a
+/// master seed, so the signer need not store 2^H secret keys.
+pub fn wots_keygen_at(master_seed: &[u8; 32], index: u64) -> (WotsSecretKey, WotsPublicKey) {
+    let leaf_seed = hash_parts(&[b"tcvs-wots-leaf", master_seed, &index.to_be_bytes()]);
+    let mut rng = SeedRng::from_seed(leaf_seed.0);
+    wots_keygen(&mut rng)
+}
+
+pub use crate::lamport::OtsError;
+
+/// Signs a message digest, consuming the key's single use.
+pub fn wots_sign(sk: &mut WotsSecretKey, msg: &Digest) -> Result<WotsSignature, OtsError> {
+    if sk.used {
+        return Err(OtsError::KeyReused);
+    }
+    sk.used = true;
+    let cs = chunks_of(msg);
+    let values: Vec<Digest> = cs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| chain(&Digest(sk.chains[i]), i, 0, c as u32))
+        .collect();
+    Ok(WotsSignature {
+        values: values.into_boxed_slice(),
+    })
+}
+
+/// Recomputes the public key a signature *claims*; the caller compares it (or
+/// its compression) against the authentic public key.
+pub fn wots_pk_from_sig(msg: &Digest, sig: &WotsSignature) -> WotsPublicKey {
+    let cs = chunks_of(msg);
+    let ends: Vec<Digest> = cs
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| chain(&sig.values[i], i, c as u32, (W - 1) - c as u32))
+        .collect();
+    WotsPublicKey {
+        ends: ends.into_boxed_slice(),
+    }
+}
+
+/// Verifies a WOTS signature against the authentic public key.
+pub fn wots_verify(pk: &WotsPublicKey, msg: &Digest, sig: &WotsSignature) -> bool {
+    if sig.values.len() != LEN {
+        return false;
+    }
+    wots_pk_from_sig(msg, sig) == *pk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn setup() -> (WotsSecretKey, WotsPublicKey) {
+        let mut rng = SeedRng::from_label(b"wots-test");
+        wots_keygen(&mut rng)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"root digest 17");
+        let sig = wots_sign(&mut sk, &msg).unwrap();
+        assert!(wots_verify(&pk, &msg, &sig));
+    }
+
+    #[test]
+    fn checksum_prevents_chunk_increase_forgery() {
+        // Winternitz soundness depends on the checksum: increasing any
+        // message chunk forces some checksum chunk to decrease, which a
+        // forger cannot compute (it needs a preimage). We at least verify
+        // that verification fails for a different message.
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"a");
+        let sig = wots_sign(&mut sk, &msg).unwrap();
+        for other in [b"b".as_ref(), b"ab", b"aa", b""] {
+            assert!(!wots_verify(&pk, &sha256(other), &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"m");
+        let mut sig = wots_sign(&mut sk, &msg).unwrap();
+        sig.values[33].0[0] ^= 0x80;
+        assert!(!wots_verify(&pk, &msg, &sig));
+    }
+
+    #[test]
+    fn key_reuse_refused() {
+        let (mut sk, _) = setup();
+        wots_sign(&mut sk, &sha256(b"one")).unwrap();
+        assert_eq!(wots_sign(&mut sk, &sha256(b"two")), Err(OtsError::KeyReused));
+    }
+
+    #[test]
+    fn chunks_cover_full_digest_and_checksum_bounds() {
+        let all_zero = chunks_of(&Digest::ZERO);
+        // All-zero message => max checksum 960 = 0x3C0.
+        assert_eq!(&all_zero[LEN1..], &[0x3, 0xC, 0x0]);
+        let all_ones = chunks_of(&Digest([0xFF; 32]));
+        assert!(all_ones[..LEN1].iter().all(|&c| c == 0xF));
+        assert_eq!(&all_ones[LEN1..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn deterministic_leaf_keygen() {
+        let seed = [5u8; 32];
+        let (_, pk1) = wots_keygen_at(&seed, 9);
+        let (_, pk2) = wots_keygen_at(&seed, 9);
+        let (_, pk3) = wots_keygen_at(&seed, 10);
+        assert_eq!(pk1.compress(), pk2.compress());
+        assert_ne!(pk1.compress(), pk3.compress());
+    }
+
+    #[test]
+    fn signature_encoding_round_trip() {
+        let (mut sk, _) = setup();
+        let sig = wots_sign(&mut sk, &sha256(b"enc")).unwrap();
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), LEN * 32);
+        assert_eq!(WotsSignature::from_bytes(&bytes).unwrap(), sig);
+        assert!(WotsSignature::from_bytes(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn pk_from_sig_matches_real_pk() {
+        let (mut sk, pk) = setup();
+        let msg = sha256(b"pk-recovery");
+        let sig = wots_sign(&mut sk, &msg).unwrap();
+        assert_eq!(wots_pk_from_sig(&msg, &sig).compress(), pk.compress());
+    }
+}

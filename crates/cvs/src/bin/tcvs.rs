@@ -1,0 +1,35 @@
+//! `tcvs` — an interactive trusted-cvs shell over an in-process server.
+//!
+//! ```text
+//! $ cargo run -p tcvs-cvs --bin tcvs
+//! tcvs> user alice
+//! tcvs> add Common.h "#pragma once"
+//! tcvs> sync
+//! ```
+//!
+//! Try `attack fork` and watch the sync-up catch the partition attack.
+
+use std::io::{BufRead, Write};
+
+use tcvs_cvs::Repl;
+
+fn main() {
+    let mut repl = Repl::new();
+    println!("trusted-cvs interactive shell — `help` for commands, ctrl-d to exit");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("tcvs> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                let reply = repl.exec(&line);
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+            }
+        }
+    }
+}

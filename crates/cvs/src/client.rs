@@ -1,0 +1,237 @@
+//! The CVS command set over the authenticated database.
+//!
+//! Files live in the database as `f:<path>` → serialized
+//! [`FileHistory`] values; every command is one or two verified database
+//! operations. Semantics follow CVS: `commit` requires the working copy's
+//! base revision to equal the head (otherwise a conflict is reported and
+//! the user must `update` first).
+
+use tcvs_core::{Op, OpResult};
+use tcvs_store::{to_lines, FileHistory, RevMeta, RevNo};
+
+use crate::error::CvsError;
+use crate::session::VerifiedDb;
+
+/// Database key for a file path.
+pub fn file_key(path: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(2 + path.len());
+    k.extend_from_slice(b"f:");
+    k.extend_from_slice(path.as_bytes());
+    k
+}
+
+/// Inverse of [`file_key`].
+pub fn key_path(key: &[u8]) -> Option<String> {
+    key.strip_prefix(b"f:")
+        .and_then(|p| String::from_utf8(p.to_vec()).ok())
+}
+
+/// A checked-out file: content plus the base revision for a later commit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkingFile {
+    /// Repository path.
+    pub path: String,
+    /// Line content at `base_rev`.
+    pub lines: Vec<String>,
+    /// The revision this content corresponds to.
+    pub base_rev: RevNo,
+}
+
+/// The trusted-CVS command set, generic over any verified session.
+pub struct Cvs<'a, D: VerifiedDb + ?Sized> {
+    db: &'a mut D,
+    user: String,
+}
+
+impl<'a, D: VerifiedDb + ?Sized> Cvs<'a, D> {
+    /// Wraps a session; `user` is recorded as the author of commits.
+    pub fn new(db: &'a mut D, user: &str) -> Cvs<'a, D> {
+        Cvs {
+            db,
+            user: user.to_string(),
+        }
+    }
+
+    fn fetch_history(&mut self, path: &str) -> Result<Option<FileHistory>, CvsError> {
+        match self.db.execute(&Op::Get(file_key(path)))? {
+            OpResult::Value(Some(bytes)) => Ok(Some(FileHistory::from_bytes(&bytes)?)),
+            OpResult::Value(None) => Ok(None),
+            other => Err(CvsError::Corrupt(format!("unexpected result {other:?}"))),
+        }
+    }
+
+    fn store_history(&mut self, path: &str, h: &FileHistory) -> Result<(), CvsError> {
+        self.db
+            .execute(&Op::Put(file_key(path), h.to_bytes()))?;
+        Ok(())
+    }
+
+    /// `cvs add` + first commit: creates `path` at revision 1.
+    pub fn add(
+        &mut self,
+        path: &str,
+        content: &str,
+        message: &str,
+        stamp: u64,
+    ) -> Result<RevNo, CvsError> {
+        if self.fetch_history(path)?.is_some() {
+            return Err(CvsError::AlreadyExists(path.to_string()));
+        }
+        let h = FileHistory::create(
+            to_lines(content),
+            RevMeta {
+                author: self.user.clone(),
+                message: message.to_string(),
+                stamp,
+            },
+        );
+        self.store_history(path, &h)?;
+        Ok(1)
+    }
+
+    /// `cvs checkout <file>`: head content + base revision.
+    pub fn checkout(&mut self, path: &str) -> Result<WorkingFile, CvsError> {
+        let h = self
+            .fetch_history(path)?
+            .ok_or_else(|| CvsError::NoSuchFile(path.to_string()))?;
+        Ok(WorkingFile {
+            path: path.to_string(),
+            lines: h.head_content().to_vec(),
+            base_rev: h.head_rev(),
+        })
+    }
+
+    /// `cvs checkout -r <rev> <file>`.
+    pub fn checkout_rev(&mut self, path: &str, rev: RevNo) -> Result<WorkingFile, CvsError> {
+        let h = self
+            .fetch_history(path)?
+            .ok_or_else(|| CvsError::NoSuchFile(path.to_string()))?;
+        Ok(WorkingFile {
+            path: path.to_string(),
+            lines: h.content_at(rev)?,
+            base_rev: rev,
+        })
+    }
+
+    /// `cvs commit`: appends a revision if the base is still the head.
+    pub fn commit(
+        &mut self,
+        wf: &WorkingFile,
+        message: &str,
+        stamp: u64,
+    ) -> Result<RevNo, CvsError> {
+        let mut h = self
+            .fetch_history(&wf.path)?
+            .ok_or_else(|| CvsError::NoSuchFile(wf.path.clone()))?;
+        if h.head_rev() != wf.base_rev {
+            return Err(CvsError::Conflict {
+                path: wf.path.clone(),
+                head: h.head_rev(),
+                base: wf.base_rev,
+            });
+        }
+        let rev = h.commit(
+            wf.lines.clone(),
+            RevMeta {
+                author: self.user.clone(),
+                message: message.to_string(),
+                stamp,
+            },
+        );
+        self.store_history(&wf.path, &h)?;
+        Ok(rev)
+    }
+
+    /// `cvs update`: refreshes a working file to the head, reporting whether
+    /// it changed.
+    pub fn update(&mut self, wf: &mut WorkingFile) -> Result<bool, CvsError> {
+        let fresh = self.checkout(&wf.path)?;
+        let changed = fresh.base_rev != wf.base_rev;
+        *wf = fresh;
+        Ok(changed)
+    }
+
+    /// `cvs log <file>`: all revisions with metadata, oldest first.
+    pub fn log(&mut self, path: &str) -> Result<Vec<(RevNo, RevMeta)>, CvsError> {
+        let h = self
+            .fetch_history(path)?
+            .ok_or_else(|| CvsError::NoSuchFile(path.to_string()))?;
+        Ok(h.log().map(|(r, m)| (r, m.clone())).collect())
+    }
+
+    /// `cvs diff -r a -r b <file>`: human-readable line diff.
+    pub fn diff(&mut self, path: &str, rev_a: RevNo, rev_b: RevNo) -> Result<String, CvsError> {
+        let h = self
+            .fetch_history(path)?
+            .ok_or_else(|| CvsError::NoSuchFile(path.to_string()))?;
+        let a = h.content_at(rev_a)?;
+        let b = h.content_at(rev_b)?;
+        Ok(tcvs_store::render_unified(&a, &b))
+    }
+
+    /// `cvs annotate <file>`: per-line blame — which revision introduced
+    /// each head line.
+    pub fn annotate(&mut self, path: &str) -> Result<Vec<(RevNo, String)>, CvsError> {
+        let h = self
+            .fetch_history(path)?
+            .ok_or_else(|| CvsError::NoSuchFile(path.to_string()))?;
+        let head = h.head_rev();
+        // Walk forward from revision 1, tracking each line's origin.
+        let mut content = h.content_at(1)?;
+        let mut tags: Vec<RevNo> = vec![1; content.len()];
+        for rev in 2..=head {
+            let next = h.content_at(rev)?;
+            let script = tcvs_store::diff(&content, &next);
+            let mut new_tags = Vec::with_capacity(next.len());
+            for op in &script {
+                match op {
+                    tcvs_store::DiffOp::Copy { base_start, len } => {
+                        new_tags.extend_from_slice(&tags[*base_start..*base_start + *len]);
+                    }
+                    tcvs_store::DiffOp::Insert(lines) => {
+                        new_tags.extend(std::iter::repeat_n(rev, lines.len()));
+                    }
+                }
+            }
+            content = next;
+            tags = new_tags;
+        }
+        Ok(tags.into_iter().zip(content).collect())
+    }
+
+    /// `cvs ls`: all tracked paths (verified range scan).
+    pub fn list(&mut self) -> Result<Vec<String>, CvsError> {
+        let lo = b"f:".to_vec();
+        let hi = b"f;".to_vec(); // ';' is ':' + 1: everything under the prefix
+        match self.db.execute(&Op::Range(Some(lo), Some(hi)))? {
+            OpResult::Entries(es) => Ok(es
+                .iter()
+                .filter_map(|(k, _)| key_path(k))
+                .collect()),
+            other => Err(CvsError::Corrupt(format!("unexpected result {other:?}"))),
+        }
+    }
+
+    /// Removes a file entirely (history and all) — `cvs remove` + commit in
+    /// real CVS moves to the Attic; here the authenticated delete is the
+    /// interesting part.
+    pub fn remove(&mut self, path: &str) -> Result<(), CvsError> {
+        match self.db.execute(&Op::Delete(file_key(path)))? {
+            OpResult::Deleted(Some(_)) => Ok(()),
+            OpResult::Deleted(None) => Err(CvsError::NoSuchFile(path.to_string())),
+            other => Err(CvsError::Corrupt(format!("unexpected result {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trip() {
+        let k = file_key("src/main.rs");
+        assert_eq!(key_path(&k), Some("src/main.rs".to_string()));
+        assert_eq!(key_path(b"x:other"), None);
+    }
+}

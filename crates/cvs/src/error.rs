@@ -1,0 +1,71 @@
+//! Errors surfaced by the CVS front end.
+
+use tcvs_core::Deviation;
+use tcvs_store::{DecodeError, HistoryError};
+
+/// Errors from trusted-CVS commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CvsError {
+    /// The underlying protocol client detected server deviation — the
+    /// session must stop and the user alert the others.
+    Deviation(Deviation),
+    /// Path is not in the repository.
+    NoSuchFile(String),
+    /// The file was committed by someone else since this working copy's
+    /// base revision; update first (classic CVS conflict).
+    Conflict {
+        /// Conflicting path.
+        path: String,
+        /// Head revision on the server.
+        head: u32,
+        /// The working copy's base revision.
+        base: u32,
+    },
+    /// A stored history value failed to decode — the authenticated value
+    /// itself is malformed (a client bug or a pre-image attack, not a
+    /// silent server edit, which the proofs catch).
+    Corrupt(String),
+    /// Requested revision does not exist.
+    NoSuchRevision(u32),
+    /// The file already exists (on `add`).
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for CvsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CvsError::Deviation(d) => write!(f, "server deviation detected: {d}"),
+            CvsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            CvsError::Conflict { path, head, base } => write!(
+                f,
+                "conflict on {path}: head is r{head}, working copy is r{base}; update first"
+            ),
+            CvsError::Corrupt(m) => write!(f, "corrupt history value: {m}"),
+            CvsError::NoSuchRevision(r) => write!(f, "no such revision r{r}"),
+            CvsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CvsError {}
+
+impl From<Deviation> for CvsError {
+    fn from(d: Deviation) -> CvsError {
+        CvsError::Deviation(d)
+    }
+}
+
+impl From<DecodeError> for CvsError {
+    fn from(e: DecodeError) -> CvsError {
+        CvsError::Corrupt(e.to_string())
+    }
+}
+
+impl From<HistoryError> for CvsError {
+    fn from(e: HistoryError) -> CvsError {
+        match e {
+            HistoryError::NoSuchRevision(r) => CvsError::NoSuchRevision(r),
+            other => CvsError::Corrupt(other.to_string()),
+        }
+    }
+}

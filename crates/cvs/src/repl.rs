@@ -1,0 +1,412 @@
+//! A scriptable command interpreter for trusted-cvs: the engine behind the
+//! `tcvs` binary. Commands run against an in-process server (honest or
+//! adversarial) through per-user verified sessions, so the whole protocol
+//! stack is exercised interactively.
+//!
+//! ```text
+//! tcvs> user alice
+//! tcvs> add Common.h "#pragma once"
+//! tcvs> commit Common.h "#pragma once\n#define V 2" -m "bump"
+//! tcvs> log Common.h
+//! tcvs> sync
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tcvs_core::adversary::{
+    CounterSkipServer, DropServer, ForkServer, LieServer, RollbackServer, TamperServer, Trigger,
+};
+use tcvs_core::{
+    Client2, HonestServer, Op, OpResult, ProtocolConfig, ServerApi, SyncShare, UserId,
+};
+use tcvs_merkle::MerkleTree;
+use tcvs_store::from_lines;
+
+use crate::client::{Cvs, WorkingFile};
+use crate::error::CvsError;
+use crate::session::VerifiedDb;
+
+/// The interpreter: one shared server, one verified session per user.
+pub struct Repl {
+    server: Box<dyn ServerApi>,
+    config: ProtocolConfig,
+    root0: tcvs_core::Digest,
+    clients: BTreeMap<String, (UserId, Client2)>,
+    current: Option<String>,
+    next_user_id: UserId,
+    round: u64,
+    stamp: u64,
+    /// Set once any session detects deviation; all further ops refuse.
+    poisoned: bool,
+}
+
+/// A borrowed session for one command: routes through the REPL's server.
+struct ReplSession<'a> {
+    server: &'a mut dyn ServerApi,
+    client: &'a mut Client2,
+    round: &'a mut u64,
+}
+
+impl VerifiedDb for ReplSession<'_> {
+    fn execute(&mut self, op: &Op) -> Result<OpResult, tcvs_core::Deviation> {
+        let resp = self.server.handle_op(self.client.user(), op, *self.round);
+        *self.round += 1;
+        self.client.handle_response(op, &resp)
+    }
+}
+
+impl Repl {
+    /// A REPL over an honest server.
+    pub fn new() -> Repl {
+        let config = ProtocolConfig::default();
+        Repl::with_server(Box::new(HonestServer::new(&config)), config)
+    }
+
+    /// A REPL over any server implementation.
+    pub fn with_server(server: Box<dyn ServerApi>, config: ProtocolConfig) -> Repl {
+        Repl {
+            server,
+            config,
+            root0: MerkleTree::with_order(config.order).root_digest(),
+            clients: BTreeMap::new(),
+            current: None,
+            next_user_id: 0,
+            round: 0,
+            stamp: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Executes one command line, returning the text to print.
+    pub fn exec(&mut self, line: &str) -> String {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return String::new();
+        }
+        if self.poisoned && line != "help" {
+            return "session poisoned: server deviation was detected; restart required".into();
+        }
+        let tokens = tokenize(line);
+        let (cmd, args) = tokens.split_first().map(|(c, a)| (c.as_str(), a)).unwrap();
+        let result = match cmd {
+            "help" => Ok(HELP.to_string()),
+            "user" => self.cmd_user(args),
+            "add" => self.cmd_add(args),
+            "cat" => self.cmd_cat(args),
+            "commit" => self.cmd_commit(args),
+            "log" => self.cmd_log(args),
+            "diff" => self.cmd_diff(args),
+            "annotate" => self.cmd_annotate(args),
+            "ls" => self.cmd_ls(),
+            "rm" => self.cmd_rm(args),
+            "sync" => Ok(self.cmd_sync()),
+            "attack" => self.cmd_attack(args),
+            other => Err(format!("unknown command: {other} (try `help`)")),
+        };
+        match result {
+            Ok(s) => s,
+            Err(e) => {
+                if e.contains("deviation") {
+                    self.poisoned = true;
+                }
+                format!("error: {e}")
+            }
+        }
+    }
+
+    fn with_cvs<T>(
+        &mut self,
+        f: impl FnOnce(&mut Cvs<'_, ReplSession<'_>>) -> Result<T, CvsError>,
+    ) -> Result<T, String> {
+        let name = self.current.clone().ok_or("no user selected (use `user <name>`)")?;
+        let (_, client) = self.clients.get_mut(&name).expect("selected user exists");
+        let mut session = ReplSession {
+            server: self.server.as_mut(),
+            client,
+            round: &mut self.round,
+        };
+        let mut cvs = Cvs::new(&mut session, &name);
+        f(&mut cvs).map_err(|e| e.to_string())
+    }
+
+    fn cmd_user(&mut self, args: &[String]) -> Result<String, String> {
+        let name = args.first().ok_or("usage: user <name>")?;
+        if !self.clients.contains_key(name) {
+            let id = self.next_user_id;
+            self.next_user_id += 1;
+            self.clients
+                .insert(name.clone(), (id, Client2::new(id, &self.root0, self.config)));
+        }
+        self.current = Some(name.clone());
+        Ok(format!("now acting as {name}"))
+    }
+
+    fn cmd_add(&mut self, args: &[String]) -> Result<String, String> {
+        let [path, content] = two(args, "add <path> <content>")?;
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let rev = self.with_cvs(|cvs| cvs.add(&path, &unescape(&content), "add", stamp))?;
+        Ok(format!("{path} r{rev}"))
+    }
+
+    fn cmd_cat(&mut self, args: &[String]) -> Result<String, String> {
+        let path = args.first().ok_or("usage: cat <path> [rev]")?.clone();
+        let rev = args.get(1).map(|r| r.parse::<u32>().map_err(|e| e.to_string())).transpose()?;
+        let wf = self.with_cvs(|cvs| match rev {
+            Some(r) => cvs.checkout_rev(&path, r),
+            None => cvs.checkout(&path),
+        })?;
+        Ok(format!("== {} r{} ==\n{}", wf.path, wf.base_rev, from_lines(&wf.lines)))
+    }
+
+    fn cmd_commit(&mut self, args: &[String]) -> Result<String, String> {
+        // commit <path> <content> [-m <message>]
+        let [path, content] = two(&args[..2.min(args.len())], "commit <path> <content> [-m msg]")?;
+        let message = args
+            .iter()
+            .position(|a| a == "-m")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "(no message)".into());
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let rev = self.with_cvs(|cvs| {
+            let base = cvs.checkout(&path)?;
+            let wf = WorkingFile {
+                path: path.clone(),
+                lines: tcvs_store::to_lines(&unescape(&content)),
+                base_rev: base.base_rev,
+            };
+            cvs.commit(&wf, &message, stamp)
+        })?;
+        Ok(format!("{path} -> r{rev}"))
+    }
+
+    fn cmd_log(&mut self, args: &[String]) -> Result<String, String> {
+        let path = args.first().ok_or("usage: log <path>")?.clone();
+        let entries = self.with_cvs(|cvs| cvs.log(&path))?;
+        let mut out = String::new();
+        for (rev, meta) in entries {
+            let _ = writeln!(out, "r{rev}  {}  \"{}\"", meta.author, meta.message);
+        }
+        Ok(out)
+    }
+
+    fn cmd_diff(&mut self, args: &[String]) -> Result<String, String> {
+        if args.len() < 3 {
+            return Err("usage: diff <path> <rev-a> <rev-b>".into());
+        }
+        let path = args[0].clone();
+        let a: u32 = args[1].parse().map_err(|_| "rev-a must be a number")?;
+        let b: u32 = args[2].parse().map_err(|_| "rev-b must be a number")?;
+        self.with_cvs(|cvs| cvs.diff(&path, a, b))
+    }
+
+    fn cmd_annotate(&mut self, args: &[String]) -> Result<String, String> {
+        let path = args.first().ok_or("usage: annotate <path>")?.clone();
+        let blame = self.with_cvs(|cvs| cvs.annotate(&path))?;
+        let mut out = String::new();
+        for (rev, line) in blame {
+            let _ = writeln!(out, "r{rev:<4} {line}");
+        }
+        Ok(out)
+    }
+
+    fn cmd_ls(&mut self) -> Result<String, String> {
+        let paths = self.with_cvs(|cvs| cvs.list())?;
+        Ok(paths.join("\n"))
+    }
+
+    fn cmd_rm(&mut self, args: &[String]) -> Result<String, String> {
+        let path = args.first().ok_or("usage: rm <path>")?.clone();
+        self.with_cvs(|cvs| cvs.remove(&path))?;
+        Ok(format!("removed {path}"))
+    }
+
+    /// Broadcast sync-up across every user this REPL has created.
+    fn cmd_sync(&mut self) -> String {
+        let shares: Vec<SyncShare> = self.clients.values().map(|(_, c)| c.sync_share()).collect();
+        let ok = self
+            .clients
+            .values()
+            .any(|(_, c)| c.sync_succeeds(&shares));
+        if ok {
+            let total: u64 = shares.iter().map(|s| s.lctr).sum();
+            format!("sync-up OK over {total} operations: single consistent history")
+        } else {
+            self.poisoned = true;
+            "SYNC-UP FAILED: the server deviated (fork/drop/replay); leave the system".into()
+        }
+    }
+
+    /// Swaps in an adversarial server *preserving no state* — a fresh demo
+    /// world where the named attack will fire after `trigger` ops.
+    fn cmd_attack(&mut self, args: &[String]) -> Result<String, String> {
+        let name = args.first().ok_or("usage: attack <fork|drop|rollback|tamper|counter-skip|lie> [trigger]")?;
+        let trigger: u64 = args.get(1).map_or(Ok(3), |t| t.parse().map_err(|_| "bad trigger"))?;
+        let t = Trigger::AtCtr(trigger);
+        let server: Box<dyn ServerApi> = match name.as_str() {
+            "fork" => Box::new(ForkServer::new(&self.config, t, &[0])),
+            "drop" => Box::new(DropServer::new(&self.config, t)),
+            "rollback" => Box::new(RollbackServer::new(&self.config, t)),
+            "tamper" => Box::new(TamperServer::new(&self.config, t)),
+            "counter-skip" => Box::new(CounterSkipServer::new(&self.config, t)),
+            "lie" => Box::new(LieServer::new(&self.config, t)),
+            other => return Err(format!("unknown attack: {other}")),
+        };
+        *self = Repl::with_server(server, self.config);
+        Ok(format!(
+            "fresh world over a malicious `{name}` server (attack at op #{trigger}); recreate users and watch the protocol catch it"
+        ))
+    }
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl::new()
+    }
+}
+
+/// Splits a command line into tokens, honouring double quotes.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Interprets `\n` escapes in quoted content.
+fn unescape(s: &str) -> String {
+    s.replace("\\n", "\n")
+}
+
+fn two(args: &[String], usage: &str) -> Result<[String; 2], String> {
+    if args.len() < 2 {
+        return Err(format!("usage: {usage}"));
+    }
+    Ok([args[0].clone(), args[1].clone()])
+}
+
+const HELP: &str = "\
+commands:
+  user <name>                    select (or create) a user
+  add <path> <content>           create a file (content may use \\n)
+  cat <path> [rev]               verified checkout
+  commit <path> <content> -m <msg>   verified read-modify-write commit
+  log <path> | diff <path> a b | annotate <path> | ls | rm <path>
+  sync                           broadcast sync-up across all users
+  attack <name> [trigger]        restart against a malicious server
+  help";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(repl: &mut Repl, script: &[&str]) -> Vec<String> {
+        script.iter().map(|l| repl.exec(l)).collect()
+    }
+
+    #[test]
+    fn basic_session() {
+        let mut r = Repl::new();
+        let out = run(
+            &mut r,
+            &[
+                "user alice",
+                r##"add Common.h "#pragma once""##,
+                r##"commit Common.h "#pragma once\n#define V 2" -m "bump""##,
+                "cat Common.h",
+                "log Common.h",
+                "ls",
+                "sync",
+            ],
+        );
+        assert!(out[1].contains("r1"));
+        assert!(out[2].contains("r2"));
+        assert!(out[3].contains("#define V 2"));
+        assert!(out[4].contains("alice") && out[4].contains("bump"));
+        assert_eq!(out[5], "Common.h");
+        assert!(out[6].contains("sync-up OK"));
+    }
+
+    #[test]
+    fn multi_user_history() {
+        let mut r = Repl::new();
+        run(&mut r, &["user alice", r#"add f "one""#]);
+        let out = run(
+            &mut r,
+            &["user bob", r#"commit f "one\ntwo" -m "bob adds""#, "annotate f"],
+        );
+        assert!(out[1].contains("r2"));
+        assert!(out[2].contains("r1") && out[2].contains("r2"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut r = Repl::new();
+        assert!(r.exec("cat nothing").contains("error"));
+        assert!(r.exec("bogus").contains("unknown command"));
+        assert!(r.exec("user alice").contains("alice"));
+        assert!(r.exec("cat missing").contains("no such file"));
+        // Still usable afterwards.
+        assert!(r.exec(r#"add f "x""#).contains("r1"));
+    }
+
+    #[test]
+    fn lie_attack_detected_and_poisons_session() {
+        let mut r = Repl::new();
+        r.exec("attack lie 2");
+        r.exec("user alice");
+        r.exec(r#"add f "v1""#);
+        // Keep reading until the lie fires.
+        let mut detected = false;
+        for _ in 0..6 {
+            let out = r.exec("cat f");
+            if out.contains("deviation") {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "lie must surface");
+        assert!(r.exec("cat f").contains("poisoned"));
+    }
+
+    #[test]
+    fn fork_attack_caught_by_sync() {
+        let mut r = Repl::new();
+        r.exec("attack fork 4");
+        r.exec("user alice"); // user id 0 => branch A
+        r.exec(r#"add shared "v1""#);
+        r.exec("user bob"); // user id 1 => branch B after fork
+        for i in 0..4 {
+            r.exec(&format!(r#"commit shared "v{i}" -m edit"#));
+        }
+        r.exec("user alice");
+        r.exec("cat shared");
+        let out = r.exec("sync");
+        assert!(out.contains("FAILED"), "{out}");
+    }
+
+    #[test]
+    fn tokenizer_handles_quotes() {
+        assert_eq!(
+            tokenize(r#"commit f "two words" -m "a message""#),
+            vec!["commit", "f", "two words", "-m", "a message"]
+        );
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+    }
+}

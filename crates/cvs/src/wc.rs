@@ -1,0 +1,284 @@
+//! Multi-file working copies: the client-side sandbox a developer edits in.
+//!
+//! A [`WorkingCopy`] tracks, per file, the checked-out base revision and the
+//! (possibly modified) content, mirroring a CVS sandbox directory. It
+//! supports local edits, status reporting, atomic-ish multi-file commits
+//! (per-file conflict checks, like real CVS), and updates.
+
+use std::collections::BTreeMap;
+
+use tcvs_store::RevNo;
+
+use crate::client::{Cvs, WorkingFile};
+use crate::error::CvsError;
+use crate::session::VerifiedDb;
+
+/// Local modification state of one file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileStatus {
+    /// Unmodified since checkout.
+    Clean,
+    /// Locally modified, not yet committed.
+    Modified,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    base_rev: RevNo,
+    base_lines: Vec<String>,
+    lines: Vec<String>,
+}
+
+/// A developer's working copy: a set of checked-out files plus local edits.
+#[derive(Clone, Debug, Default)]
+pub struct WorkingCopy {
+    files: BTreeMap<String, Entry>,
+}
+
+impl WorkingCopy {
+    /// An empty working copy.
+    pub fn new() -> WorkingCopy {
+        WorkingCopy::default()
+    }
+
+    /// Checks out every repository file into this working copy.
+    pub fn checkout_all<D: VerifiedDb + ?Sized>(
+        &mut self,
+        cvs: &mut Cvs<'_, D>,
+    ) -> Result<usize, CvsError> {
+        let paths = cvs.list()?;
+        for path in &paths {
+            self.checkout_one(cvs, path)?;
+        }
+        Ok(paths.len())
+    }
+
+    /// Checks out (or refreshes) a single file.
+    pub fn checkout_one<D: VerifiedDb + ?Sized>(
+        &mut self,
+        cvs: &mut Cvs<'_, D>,
+        path: &str,
+    ) -> Result<RevNo, CvsError> {
+        let wf = cvs.checkout(path)?;
+        let rev = wf.base_rev;
+        self.files.insert(
+            path.to_string(),
+            Entry {
+                base_rev: wf.base_rev,
+                base_lines: wf.lines.clone(),
+                lines: wf.lines,
+            },
+        );
+        Ok(rev)
+    }
+
+    /// Local content of a file.
+    pub fn read(&self, path: &str) -> Option<&[String]> {
+        self.files.get(path).map(|e| e.lines.as_slice())
+    }
+
+    /// Replaces a file's local content (the "editor").
+    pub fn edit(&mut self, path: &str, lines: Vec<String>) -> Result<(), CvsError> {
+        let e = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| CvsError::NoSuchFile(path.to_string()))?;
+        e.lines = lines;
+        Ok(())
+    }
+
+    /// Status of every file, sorted by path.
+    pub fn status(&self) -> Vec<(String, FileStatus, RevNo)> {
+        self.files
+            .iter()
+            .map(|(p, e)| {
+                let st = if e.lines == e.base_lines {
+                    FileStatus::Clean
+                } else {
+                    FileStatus::Modified
+                };
+                (p.clone(), st, e.base_rev)
+            })
+            .collect()
+    }
+
+    /// Paths with local modifications.
+    pub fn modified(&self) -> Vec<String> {
+        self.status()
+            .into_iter()
+            .filter(|(_, st, _)| *st == FileStatus::Modified)
+            .map(|(p, _, _)| p)
+            .collect()
+    }
+
+    /// Commits every modified file. Returns the committed `(path, new_rev)`
+    /// pairs. Stops at the first conflict (the already-committed files stay
+    /// committed — CVS's per-file commit semantics).
+    pub fn commit_all<D: VerifiedDb + ?Sized>(
+        &mut self,
+        cvs: &mut Cvs<'_, D>,
+        message: &str,
+        stamp: u64,
+    ) -> Result<Vec<(String, RevNo)>, CvsError> {
+        let mut done = Vec::new();
+        for path in self.modified() {
+            let e = self.files.get(&path).expect("listed");
+            let wf = WorkingFile {
+                path: path.clone(),
+                lines: e.lines.clone(),
+                base_rev: e.base_rev,
+            };
+            let rev = cvs.commit(&wf, message, stamp)?;
+            let e = self.files.get_mut(&path).expect("listed");
+            e.base_rev = rev;
+            e.base_lines = e.lines.clone();
+            done.push((path, rev));
+        }
+        Ok(done)
+    }
+
+    /// Updates every *clean* file to the repository head; modified files are
+    /// left alone (reported back for the caller to resolve). Returns the
+    /// refreshed paths.
+    pub fn update_all<D: VerifiedDb + ?Sized>(
+        &mut self,
+        cvs: &mut Cvs<'_, D>,
+    ) -> Result<Vec<String>, CvsError> {
+        let mut refreshed = Vec::new();
+        let clean: Vec<String> = self
+            .status()
+            .into_iter()
+            .filter(|(_, st, _)| *st == FileStatus::Clean)
+            .map(|(p, _, _)| p)
+            .collect();
+        for path in clean {
+            let wf = cvs.checkout(&path)?;
+            let e = self.files.get_mut(&path).expect("listed");
+            if wf.base_rev != e.base_rev {
+                e.base_rev = wf.base_rev;
+                e.base_lines = wf.lines.clone();
+                e.lines = wf.lines;
+                refreshed.push(path);
+            }
+        }
+        Ok(refreshed)
+    }
+
+    /// Number of files in the working copy.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True iff the working copy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::DirectSession;
+    use tcvs_core::{HonestServer, ProtocolConfig};
+
+    fn session() -> DirectSession<HonestServer> {
+        let config = ProtocolConfig {
+            order: 8,
+            ..ProtocolConfig::default()
+        };
+        DirectSession::new(0, HonestServer::new(&config), config)
+    }
+
+    #[test]
+    fn checkout_edit_commit_cycle() {
+        let mut s = session();
+        let mut cvs = Cvs::new(&mut s, "alice");
+        cvs.add("a.c", "one\n", "import", 0).unwrap();
+        cvs.add("b.c", "two\n", "import", 0).unwrap();
+
+        let mut wc = WorkingCopy::new();
+        assert_eq!(wc.checkout_all(&mut cvs).unwrap(), 2);
+        assert_eq!(wc.len(), 2);
+        assert!(wc.modified().is_empty());
+
+        wc.edit("a.c", vec!["one".into(), "edited".into()]).unwrap();
+        assert_eq!(wc.modified(), vec!["a.c".to_string()]);
+
+        let done = wc.commit_all(&mut cvs, "edit a", 1).unwrap();
+        assert_eq!(done, vec![("a.c".to_string(), 2)]);
+        assert!(wc.modified().is_empty(), "commit re-baselines");
+    }
+
+    #[test]
+    fn status_tracks_modifications() {
+        let mut s = session();
+        let mut cvs = Cvs::new(&mut s, "alice");
+        cvs.add("f", "x\n", "import", 0).unwrap();
+        let mut wc = WorkingCopy::new();
+        wc.checkout_one(&mut cvs, "f").unwrap();
+        assert_eq!(wc.status()[0].1, FileStatus::Clean);
+        wc.edit("f", vec!["y".into()]).unwrap();
+        assert_eq!(wc.status()[0].1, FileStatus::Modified);
+        // Reverting the edit by hand returns to Clean.
+        wc.edit("f", vec!["x".into()]).unwrap();
+        assert_eq!(wc.status()[0].1, FileStatus::Clean);
+    }
+
+    #[test]
+    fn update_all_refreshes_only_clean_files() {
+        let mut s = session();
+        // Alice's working copy.
+        let mut wc = WorkingCopy::new();
+        {
+            let mut cvs = Cvs::new(&mut s, "alice");
+            cvs.add("f", "v1\n", "import", 0).unwrap();
+            cvs.add("g", "v1\n", "import", 0).unwrap();
+            wc.checkout_all(&mut cvs).unwrap();
+        }
+        // Bob moves both files forward.
+        {
+            let mut cvs = Cvs::new(&mut s, "bob");
+            for p in ["f", "g"] {
+                let mut wf = cvs.checkout(p).unwrap();
+                wf.lines.push("bob's line".into());
+                cvs.commit(&wf, "bob", 1).unwrap();
+            }
+        }
+        // Alice has local edits in g only.
+        wc.edit("g", vec!["alice's divergent edit".into()]).unwrap();
+        let mut cvs = Cvs::new(&mut s, "alice");
+        let refreshed = wc.update_all(&mut cvs).unwrap();
+        assert_eq!(refreshed, vec!["f".to_string()]);
+        assert_eq!(wc.read("f").unwrap().len(), 2, "f picked up bob's line");
+        assert_eq!(wc.read("g").unwrap()[0], "alice's divergent edit");
+    }
+
+    #[test]
+    fn missing_paths_error() {
+        let mut wc = WorkingCopy::new();
+        assert!(wc.edit("ghost", vec![]).is_err());
+        assert!(wc.read("ghost").is_none());
+    }
+
+    #[test]
+    fn commit_all_stops_at_conflicts() {
+        let mut s = session();
+        let mut wc = WorkingCopy::new();
+        {
+            let mut cvs = Cvs::new(&mut s, "alice");
+            cvs.add("f", "v1\n", "import", 0).unwrap();
+            wc.checkout_all(&mut cvs).unwrap();
+        }
+        // Bob commits first.
+        {
+            let mut cvs = Cvs::new(&mut s, "bob");
+            let mut wf = cvs.checkout("f").unwrap();
+            wf.lines.push("bob".into());
+            cvs.commit(&wf, "bob", 1).unwrap();
+        }
+        wc.edit("f", vec!["alice".into()]).unwrap();
+        let mut cvs = Cvs::new(&mut s, "alice");
+        let err = wc.commit_all(&mut cvs, "alice", 2).unwrap_err();
+        assert!(matches!(err, CvsError::Conflict { .. }));
+    }
+}

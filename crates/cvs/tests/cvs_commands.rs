@@ -1,0 +1,249 @@
+//! End-to-end tests of the CVS command set over the authenticated database.
+
+use tcvs_core::adversary::{TamperServer, Trigger};
+use tcvs_core::{HonestServer, ProtocolConfig};
+use tcvs_cvs::{Cvs, CvsError, DirectSession};
+
+fn session() -> DirectSession<HonestServer> {
+    let config = ProtocolConfig {
+        order: 8,
+        ..ProtocolConfig::default()
+    };
+    DirectSession::new(0, HonestServer::new(&config), config)
+}
+
+#[test]
+fn add_checkout_commit_cycle() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    assert_eq!(cvs.add("Common.h", "#pragma once\n", "import", 1).unwrap(), 1);
+
+    let mut wf = cvs.checkout("Common.h").unwrap();
+    assert_eq!(wf.base_rev, 1);
+    assert_eq!(wf.lines, vec!["#pragma once"]);
+
+    wf.lines.push("#define N 4".to_string());
+    assert_eq!(cvs.commit(&wf, "add N", 2).unwrap(), 2);
+
+    let wf2 = cvs.checkout("Common.h").unwrap();
+    assert_eq!(wf2.base_rev, 2);
+    assert_eq!(wf2.lines, vec!["#pragma once", "#define N 4"]);
+}
+
+#[test]
+fn duplicate_add_rejected() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    cvs.add("a.c", "int x;\n", "one", 1).unwrap();
+    assert_eq!(
+        cvs.add("a.c", "int y;\n", "two", 2),
+        Err(CvsError::AlreadyExists("a.c".into()))
+    );
+}
+
+#[test]
+fn missing_file_reported() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    assert_eq!(
+        cvs.checkout("ghost.c"),
+        Err(CvsError::NoSuchFile("ghost.c".into()))
+    );
+    assert!(matches!(cvs.remove("ghost.c"), Err(CvsError::NoSuchFile(_))));
+}
+
+#[test]
+fn stale_commit_conflicts() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    cvs.add("f.c", "v1\n", "r1", 1).unwrap();
+    let stale = cvs.checkout("f.c").unwrap();
+
+    // Bob commits first (same session for simplicity; the conflict logic is
+    // revision-based, not identity-based).
+    let mut bobs = cvs.checkout("f.c").unwrap();
+    bobs.lines = vec!["v2".to_string()];
+    cvs.commit(&bobs, "bob wins", 2).unwrap();
+
+    // Alice's stale working copy now conflicts.
+    let err = cvs.commit(&stale, "alice loses", 3).unwrap_err();
+    assert_eq!(
+        err,
+        CvsError::Conflict {
+            path: "f.c".into(),
+            head: 2,
+            base: 1
+        }
+    );
+
+    // After update, the commit goes through.
+    let mut wf = stale;
+    assert!(cvs.update(&mut wf).unwrap());
+    wf.lines.push("alice's line".to_string());
+    assert_eq!(cvs.commit(&wf, "alice retries", 4).unwrap(), 3);
+}
+
+#[test]
+fn log_records_authors_and_messages() {
+    let mut s = session();
+    {
+        let mut alice = Cvs::new(&mut s, "alice");
+        alice.add("doc.md", "hello\n", "import", 10).unwrap();
+    }
+    {
+        let mut bob = Cvs::new(&mut s, "bob");
+        let mut wf = bob.checkout("doc.md").unwrap();
+        wf.lines.push("world".to_string());
+        bob.commit(&wf, "expand", 20).unwrap();
+    }
+    let mut cvs = Cvs::new(&mut s, "carol");
+    let log = cvs.log("doc.md").unwrap();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].1.author, "alice");
+    assert_eq!(log[0].1.message, "import");
+    assert_eq!(log[1].1.author, "bob");
+    assert_eq!(log[1].1.stamp, 20);
+}
+
+#[test]
+fn checkout_rev_reaches_history() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    cvs.add("f", "one\n", "r1", 1).unwrap();
+    for i in 2..=5u32 {
+        let mut wf = cvs.checkout("f").unwrap();
+        wf.lines.push(format!("line {i}"));
+        cvs.commit(&wf, "grow", i as u64).unwrap();
+    }
+    let r1 = cvs.checkout_rev("f", 1).unwrap();
+    assert_eq!(r1.lines, vec!["one"]);
+    let r3 = cvs.checkout_rev("f", 3).unwrap();
+    assert_eq!(r3.lines, vec!["one", "line 2", "line 3"]);
+    assert_eq!(
+        cvs.checkout_rev("f", 9),
+        Err(CvsError::NoSuchRevision(9))
+    );
+}
+
+#[test]
+fn diff_between_revisions() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    cvs.add("f", "keep\nold\n", "r1", 1).unwrap();
+    let mut wf = cvs.checkout("f").unwrap();
+    wf.lines[1] = "new".to_string();
+    cvs.commit(&wf, "r2", 2).unwrap();
+    let d = cvs.diff("f", 1, 2).unwrap();
+    assert!(d.contains("- old"));
+    assert!(d.contains("+ new"));
+    assert!(d.contains("  keep"));
+}
+
+#[test]
+fn annotate_attributes_lines_to_revisions() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    cvs.add("f", "original\n", "r1", 1).unwrap();
+    let mut wf = cvs.checkout("f").unwrap();
+    wf.lines.push("added in r2".to_string());
+    cvs.commit(&wf, "r2", 2).unwrap();
+    let mut wf = cvs.checkout("f").unwrap();
+    wf.lines.insert(0, "added in r3".to_string());
+    cvs.commit(&wf, "r3", 3).unwrap();
+
+    let blame = cvs.annotate("f").unwrap();
+    assert_eq!(
+        blame,
+        vec![
+            (3, "added in r3".to_string()),
+            (1, "original".to_string()),
+            (2, "added in r2".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn list_and_remove() {
+    let mut s = session();
+    let mut cvs = Cvs::new(&mut s, "alice");
+    for p in ["b.c", "a.c", "dir/z.h"] {
+        cvs.add(p, "x\n", "import", 1).unwrap();
+    }
+    assert_eq!(cvs.list().unwrap(), vec!["a.c", "b.c", "dir/z.h"]);
+    cvs.remove("b.c").unwrap();
+    assert_eq!(cvs.list().unwrap(), vec!["a.c", "dir/z.h"]);
+}
+
+#[test]
+fn multi_user_shared_server() {
+    // Two protocol clients (different users) on one server, interleaved
+    // commits, both verified.
+    let config = ProtocolConfig {
+        order: 8,
+        ..ProtocolConfig::default()
+    };
+    let server = HonestServer::new(&config);
+    let mut alice_s = DirectSession::new(0, server, config);
+    {
+        let mut alice = Cvs::new(&mut alice_s, "alice");
+        alice.add("shared.c", "alice v1\n", "import", 1).unwrap();
+    }
+    // Hand the server to Bob's session (simulating a second client against
+    // the same server; rounds continue via a fresh client).
+    let server = alice_s.into_server();
+    let mut bob_s = DirectSession::new(1, server, config);
+    let mut bob = Cvs::new(&mut bob_s, "bob");
+    let mut wf = bob.checkout("shared.c").unwrap();
+    wf.lines.push("bob was here".to_string());
+    bob.commit(&wf, "bob's change", 2).unwrap();
+    let log = bob.log("shared.c").unwrap();
+    assert_eq!(log[0].1.author, "alice");
+    assert_eq!(log[1].1.author, "bob");
+}
+
+#[test]
+fn tampering_server_detected_through_cvs_layer() {
+    let config = ProtocolConfig {
+        order: 8,
+        ..ProtocolConfig::default()
+    };
+    // Tamper after a few ops.
+    let server = TamperServer::new(&config, Trigger::AtCtr(3));
+    let mut s = DirectSession::new(0, server, config);
+    let mut cvs = Cvs::new(&mut s, "alice");
+    cvs.add("f", "v1\n", "r1", 1).unwrap();
+    let mut detected = false;
+    for i in 0..10u64 {
+        match cvs.checkout("f") {
+            Ok(mut wf) => {
+                wf.lines.push(format!("edit {i}"));
+                match cvs.commit(&wf, "edit", i) {
+                    Ok(_) => {}
+                    Err(CvsError::Deviation(_)) => {
+                        detected = true;
+                        break;
+                    }
+                    Err(other) => panic!("unexpected {other}"),
+                }
+            }
+            Err(CvsError::Deviation(_)) => {
+                detected = true;
+                break;
+            }
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    // NOTE: Protocol II alone detects tampering at sync-up, not per-op;
+    // but the tampered VO root no longer chains, which *this* client
+    // notices only via accumulator mismatch at sync. However, the replay
+    // check still passes per-op (the server is internally consistent after
+    // the tamper), so detection may legitimately not fire here per-op.
+    // What MUST hold: the final sync-up fails.
+    if !detected {
+        let shares = vec![s.sync_share()];
+        assert!(
+            !s.sync_succeeds(&shares),
+            "tamper must at least break the sync-up"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Structure-preserving serialization of Merkle B+-trees.
+//!
+//! Used for server snapshots/backups and for shipping verification objects
+//! across process boundaries. The encoding preserves the exact node
+//! structure (not just the entries), so digests — including the root digest
+//! the whole protocol hangs off — are bit-identical after a round trip.
+//! Stub nodes encode their digest, so pruned trees (proofs) serialize too.
+//!
+//! Decoding recomputes and verifies every materialized digest: a corrupted
+//! or tampered byte stream is rejected rather than trusted.
+
+use tcvs_crypto::Digest;
+
+use crate::node::Node;
+use crate::tree::MerkleTree;
+
+/// Errors from decoding a serialized tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended early.
+    Truncated,
+    /// Unknown node tag byte.
+    BadTag(u8),
+    /// Structural rule violated (child/key arity, order bounds).
+    Malformed(&'static str),
+    /// A stored digest does not match the recomputed digest of the decoded
+    /// content.
+    DigestMismatch,
+    /// Trailing bytes after the tree.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown node tag {t}"),
+            CodecError::Malformed(m) => write!(f, "malformed tree: {m}"),
+            CodecError::DigestMismatch => write!(f, "stored digest mismatch"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_STUB: u8 = 0;
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+const MAGIC: &[u8; 4] = b"TCVM";
+const VERSION: u8 = 1;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    fn digest(&mut self) -> Result<Digest, CodecError> {
+        Ok(Digest::from_slice(self.take(32)?).expect("32 bytes"))
+    }
+}
+
+fn encode_node(node: &Node, out: &mut Vec<u8>) {
+    match node {
+        Node::Stub(d) => {
+            out.push(TAG_STUB);
+            out.extend_from_slice(d.as_bytes());
+        }
+        Node::Leaf { entries, .. } => {
+            out.push(TAG_LEAF);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (k, v) in entries {
+                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                out.extend_from_slice(k);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+        }
+        Node::Internal { keys, children, .. } => {
+            out.push(TAG_INTERNAL);
+            out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+            for k in keys {
+                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                out.extend_from_slice(k);
+            }
+            for c in children {
+                encode_node(c, out);
+            }
+        }
+    }
+}
+
+fn decode_node(c: &mut Cursor<'_>, order: usize, depth: usize) -> Result<Node, CodecError> {
+    if depth > 64 {
+        return Err(CodecError::Malformed("tree too deep"));
+    }
+    match c.u8()? {
+        TAG_STUB => Ok(Node::Stub(c.digest()?)),
+        TAG_LEAF => {
+            let n = c.u32()? as usize;
+            if n > order {
+                return Err(CodecError::Malformed("leaf overfull"));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = c.bytes()?.to_vec();
+                let v = c.bytes()?.to_vec();
+                entries.push((k, v));
+            }
+            let mut node = Node::Leaf {
+                entries,
+                digest: Digest::ZERO,
+            };
+            node.recompute_digest();
+            Ok(node)
+        }
+        TAG_INTERNAL => {
+            let nk = c.u32()? as usize;
+            if nk + 1 > order || nk == 0 {
+                return Err(CodecError::Malformed("bad separator count"));
+            }
+            let mut keys = Vec::with_capacity(nk);
+            for _ in 0..nk {
+                keys.push(c.bytes()?.to_vec());
+            }
+            let mut children = Vec::with_capacity(nk + 1);
+            for _ in 0..=nk {
+                children.push(decode_node(c, order, depth + 1)?);
+            }
+            let mut node = Node::Internal {
+                keys,
+                children,
+                digest: Digest::ZERO,
+            };
+            node.recompute_digest();
+            Ok(node)
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+impl MerkleTree {
+    /// Serializes the tree (full or pruned) to bytes, digests implicit.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.encoded_size());
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(self.order() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.root_digest().as_bytes());
+        encode_node(self.root_ref(), &mut out);
+        out
+    }
+
+    /// Decodes a tree serialized by [`MerkleTree::to_bytes`], recomputing
+    /// every materialized digest and verifying the recorded root digest.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MerkleTree, CodecError> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        if c.take(4)? != MAGIC {
+            return Err(CodecError::Malformed("bad magic"));
+        }
+        if c.u8()? != VERSION {
+            return Err(CodecError::Malformed("unsupported version"));
+        }
+        let order = c.u32()? as usize;
+        if order < crate::tree::MIN_ORDER {
+            return Err(CodecError::Malformed("order below minimum"));
+        }
+        let len = u64::from_le_bytes(c.take(8)?.try_into().expect("8")) as usize;
+        let recorded_root = c.digest()?;
+        let root = decode_node(&mut c, order, 0)?;
+        if c.pos != bytes.len() {
+            return Err(CodecError::TrailingBytes);
+        }
+        if root.digest() != recorded_root {
+            return Err(CodecError::DigestMismatch);
+        }
+        Ok(MerkleTree::from_parts(root, order, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::u64_key;
+    use crate::op::{apply_op, prune_for_op, Op};
+
+    fn tree(n: u64, order: usize) -> MerkleTree {
+        let mut t = MerkleTree::with_order(order);
+        for i in 0..n {
+            t.insert(u64_key(i * 3), format!("value {i}").into_bytes()).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for (n, order) in [(0u64, 4usize), (5, 4), (300, 4), (300, 16)] {
+            let t = tree(n, order);
+            let bytes = t.to_bytes();
+            let back = MerkleTree::from_bytes(&bytes).unwrap();
+            assert_eq!(back.root_digest(), t.root_digest(), "n={n} order={order}");
+            assert_eq!(back.len(), t.len());
+            assert_eq!(back.order(), t.order());
+            assert_eq!(back.entries().unwrap(), t.entries().unwrap());
+            back.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn round_trip_continues_identically() {
+        // A restored server must produce the same future digests.
+        let mut a = tree(100, 8);
+        let mut b = MerkleTree::from_bytes(&a.to_bytes()).unwrap();
+        for i in 0..20u64 {
+            let op = Op::Put(u64_key(i * 7), vec![i as u8]);
+            apply_op(&mut a, &op).unwrap();
+            apply_op(&mut b, &op).unwrap();
+            assert_eq!(a.root_digest(), b.root_digest(), "op {i}");
+        }
+    }
+
+    #[test]
+    fn pruned_trees_serialize() {
+        let t = tree(500, 8);
+        let pruned = prune_for_op(&t, &Op::Get(u64_key(42)));
+        let back = MerkleTree::from_bytes(&pruned.to_bytes()).unwrap();
+        assert_eq!(back.root_digest(), t.root_digest());
+        assert_eq!(
+            back.materialized_nodes(),
+            pruned.materialized_nodes(),
+            "stubs stay stubs"
+        );
+        // The proof still replays.
+        assert_eq!(back.get(&u64_key(42)).unwrap(), t.get(&u64_key(42)).unwrap());
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let t = tree(50, 4);
+        let bytes = t.to_bytes();
+        // Truncation.
+        assert!(MerkleTree::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Bit flip in content: either the digest check or structure fails.
+        for pos in [50usize, bytes.len() / 2, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(MerkleTree::from_bytes(&bad).is_err(), "flip at {pos}");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            MerkleTree::from_bytes(&long),
+            Err(CodecError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(MerkleTree::from_bytes(b"nope").is_err());
+        let t = tree(2, 4);
+        let mut bytes = t.to_bytes();
+        bytes[4] = 99; // version
+        assert!(MerkleTree::from_bytes(&bytes).is_err());
+    }
+}

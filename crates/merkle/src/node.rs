@@ -1,0 +1,305 @@
+//! B+-tree nodes with cached digests, including pruned (stub) subtrees.
+//!
+//! The digest scheme follows §4.1 of the paper: a leaf's digest hashes the
+//! data stored at the leaf; an internal node's digest hashes its children's
+//! digests. We additionally bind the separator keys into internal digests so
+//! a proof also authenticates the *search structure*, not just the data.
+
+use tcvs_crypto::{Digest, Sha256};
+
+/// A key stored in the tree (arbitrary bytes, ordered lexicographically).
+pub type Key = Vec<u8>;
+/// A value stored in the tree (arbitrary bytes).
+pub type Value = Vec<u8>;
+
+/// Encodes a `u64` as an order-preserving 8-byte key.
+pub fn u64_key(x: u64) -> Key {
+    x.to_be_bytes().to_vec()
+}
+
+/// A node of the Merkle B+-tree.
+///
+/// `Stub` nodes appear only in *pruned* trees (verification objects): they
+/// stand for an entire subtree, represented solely by its digest. Full
+/// server-side trees contain no stubs.
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    /// A pruned-away subtree, known only by its digest.
+    Stub(Digest),
+    /// A leaf holding sorted `(key, value)` entries.
+    Leaf {
+        entries: Vec<(Key, Value)>,
+        digest: Digest,
+    },
+    /// An internal node with `keys.len() + 1` children; subtree `i` holds
+    /// keys `k` with `keys[i-1] <= k < keys[i]` (lexicographic).
+    Internal {
+        keys: Vec<Key>,
+        children: Vec<Node>,
+        digest: Digest,
+    },
+}
+
+impl Node {
+    /// Creates an empty leaf (the root of an empty tree).
+    pub(crate) fn empty_leaf() -> Node {
+        let mut leaf = Node::Leaf {
+            entries: Vec::new(),
+            digest: Digest::ZERO,
+        };
+        leaf.recompute_digest();
+        leaf
+    }
+
+    /// The cached digest of this node.
+    pub(crate) fn digest(&self) -> Digest {
+        match self {
+            Node::Stub(d) => *d,
+            Node::Leaf { digest, .. } => *digest,
+            Node::Internal { digest, .. } => *digest,
+        }
+    }
+
+    /// Recomputes and caches this node's digest from its (already-correct)
+    /// children digests / entries. Stubs keep their stored digest.
+    pub(crate) fn recompute_digest(&mut self) {
+        match self {
+            Node::Stub(_) => {}
+            Node::Leaf { entries, digest } => {
+                let mut h = Sha256::new();
+                h.update(b"tcvs-merkle-leaf");
+                h.update(&(entries.len() as u64).to_be_bytes());
+                for (k, v) in entries.iter() {
+                    h.update(&(k.len() as u64).to_be_bytes());
+                    h.update(k);
+                    h.update(&(v.len() as u64).to_be_bytes());
+                    h.update(v);
+                }
+                *digest = h.finalize();
+            }
+            Node::Internal {
+                keys,
+                children,
+                digest,
+            } => {
+                let mut h = Sha256::new();
+                h.update(b"tcvs-merkle-int");
+                h.update(&(keys.len() as u64).to_be_bytes());
+                for k in keys.iter() {
+                    h.update(&(k.len() as u64).to_be_bytes());
+                    h.update(k);
+                }
+                h.update(&(children.len() as u64).to_be_bytes());
+                for c in children.iter() {
+                    h.update(c.digest().as_bytes());
+                }
+                *digest = h.finalize();
+            }
+        }
+    }
+
+    /// True iff this node is a stub.
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    pub(crate) fn is_stub(&self) -> bool {
+        matches!(self, Node::Stub(_))
+    }
+
+    /// Replaces this node with a stub carrying its digest.
+    pub(crate) fn to_stub(&self) -> Node {
+        Node::Stub(self.digest())
+    }
+
+    /// Shallow copy: a leaf is copied fully; an internal node keeps its keys
+    /// but its children become stubs. Used to materialize the siblings a
+    /// delete may need for borrow/merge.
+    pub(crate) fn shallow_copy(&self) -> Node {
+        match self {
+            Node::Stub(d) => Node::Stub(*d),
+            Node::Leaf { entries, digest } => Node::Leaf {
+                entries: entries.clone(),
+                digest: *digest,
+            },
+            Node::Internal {
+                keys,
+                children,
+                digest,
+            } => Node::Internal {
+                keys: keys.clone(),
+                children: children.iter().map(Node::to_stub).collect(),
+                digest: *digest,
+            },
+        }
+    }
+
+    /// Number of materialized (non-stub) nodes in this subtree.
+    pub(crate) fn materialized_nodes(&self) -> usize {
+        match self {
+            Node::Stub(_) => 0,
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::materialized_nodes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Wire-size estimate in bytes of this subtree's encoding (used for the
+    /// verification-object size experiments).
+    pub(crate) fn encoded_size(&self) -> usize {
+        match self {
+            Node::Stub(_) => 1 + Digest::LEN,
+            Node::Leaf { entries, .. } => {
+                1 + 8
+                    + entries
+                        .iter()
+                        .map(|(k, v)| 16 + k.len() + v.len())
+                        .sum::<usize>()
+            }
+            Node::Internal { keys, children, .. } => {
+                1 + 8
+                    + keys.iter().map(|k| 8 + k.len()).sum::<usize>()
+                    + 8
+                    + children.iter().map(Node::encoded_size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Recomputes every materialized digest in the subtree bottom-up (stub
+    /// digests are taken as given). Clients run this on received proofs so
+    /// the root digest provably commits to the *materialized content*, not
+    /// to whatever cached digests the server chose to send.
+    pub(crate) fn recompute_all(&mut self) {
+        if let Node::Internal { children, .. } = self {
+            for c in children.iter_mut() {
+                c.recompute_all();
+            }
+        }
+        self.recompute_digest();
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_leaf_has_stable_digest() {
+        let a = Node::empty_leaf();
+        let b = Node::empty_leaf();
+        assert_eq!(a.digest(), b.digest());
+        assert!(!a.digest().is_zero());
+    }
+
+    #[test]
+    fn leaf_digest_binds_keys_and_values() {
+        let mut l1 = Node::Leaf {
+            entries: vec![(b"k".to_vec(), b"v1".to_vec())],
+            digest: Digest::ZERO,
+        };
+        let mut l2 = Node::Leaf {
+            entries: vec![(b"k".to_vec(), b"v2".to_vec())],
+            digest: Digest::ZERO,
+        };
+        let mut l3 = Node::Leaf {
+            entries: vec![(b"j".to_vec(), b"v1".to_vec())],
+            digest: Digest::ZERO,
+        };
+        l1.recompute_digest();
+        l2.recompute_digest();
+        l3.recompute_digest();
+        assert_ne!(l1.digest(), l2.digest());
+        assert_ne!(l1.digest(), l3.digest());
+    }
+
+    #[test]
+    fn leaf_digest_binds_entry_boundaries() {
+        // ("ab","c") vs ("a","bc") must not collide.
+        let mut l1 = Node::Leaf {
+            entries: vec![(b"ab".to_vec(), b"c".to_vec())],
+            digest: Digest::ZERO,
+        };
+        let mut l2 = Node::Leaf {
+            entries: vec![(b"a".to_vec(), b"bc".to_vec())],
+            digest: Digest::ZERO,
+        };
+        l1.recompute_digest();
+        l2.recompute_digest();
+        assert_ne!(l1.digest(), l2.digest());
+    }
+
+    #[test]
+    fn internal_digest_binds_children_order() {
+        let mut a = Node::empty_leaf();
+        a = Node::Leaf {
+            entries: vec![(b"a".to_vec(), b"1".to_vec())],
+            digest: a.digest(),
+        };
+        a.recompute_digest();
+        let mut b = Node::Leaf {
+            entries: vec![(b"b".to_vec(), b"2".to_vec())],
+            digest: Digest::ZERO,
+        };
+        b.recompute_digest();
+
+        let mut n1 = Node::Internal {
+            keys: vec![b"b".to_vec()],
+            children: vec![a.clone(), b.clone()],
+            digest: Digest::ZERO,
+        };
+        let mut n2 = Node::Internal {
+            keys: vec![b"b".to_vec()],
+            children: vec![b, a],
+            digest: Digest::ZERO,
+        };
+        n1.recompute_digest();
+        n2.recompute_digest();
+        assert_ne!(n1.digest(), n2.digest());
+    }
+
+    #[test]
+    fn stub_preserves_digest() {
+        let mut l = Node::Leaf {
+            entries: vec![(b"k".to_vec(), b"v".to_vec())],
+            digest: Digest::ZERO,
+        };
+        l.recompute_digest();
+        let s = l.to_stub();
+        assert_eq!(s.digest(), l.digest());
+        assert!(s.is_stub());
+        assert_eq!(s.materialized_nodes(), 0);
+    }
+
+    #[test]
+    fn shallow_copy_of_internal_keeps_digest() {
+        let mut a = Node::Leaf {
+            entries: vec![(b"a".to_vec(), b"1".to_vec())],
+            digest: Digest::ZERO,
+        };
+        a.recompute_digest();
+        let mut b = Node::Leaf {
+            entries: vec![(b"m".to_vec(), b"2".to_vec())],
+            digest: Digest::ZERO,
+        };
+        b.recompute_digest();
+        let mut n = Node::Internal {
+            keys: vec![b"m".to_vec()],
+            children: vec![a, b],
+            digest: Digest::ZERO,
+        };
+        n.recompute_digest();
+        let s = n.shallow_copy();
+        assert_eq!(s.digest(), n.digest());
+        assert_eq!(s.materialized_nodes(), 1);
+    }
+
+    #[test]
+    fn u64_keys_preserve_order() {
+        let mut ks: Vec<Key> = [5u64, 300, 2, 70000, 0].iter().map(|&x| u64_key(x)).collect();
+        ks.sort();
+        let back: Vec<u64> = ks
+            .iter()
+            .map(|k| u64::from_be_bytes(k[..8].try_into().unwrap()))
+            .collect();
+        assert_eq!(back, vec![0, 2, 5, 300, 70000]);
+    }
+}

@@ -1,0 +1,726 @@
+//! The Merkle B+-tree (§4.1 of the paper) and its pruning operations.
+//!
+//! One tree type serves both sides of the protocol:
+//!
+//! * the **server** holds a *full* tree (no stubs) and answers queries;
+//! * the **client** receives a *pruned* tree — the verification object — in
+//!   which every subtree irrelevant to the operation is replaced by a
+//!   [`Stub`](crate::node::Node) carrying only its digest.
+//!
+//! Because both trees run exactly the same operation code, the client
+//! *replays* the server's operation on the pruned tree: if the pruned tree's
+//! root digest matches the client's known root digest `M(D)`, and the replay
+//! succeeds, the recomputed answer and new root digest are authoritative.
+//! Touching a stub during replay means the proof was incomplete (server
+//! misbehaviour).
+
+use tcvs_crypto::Digest;
+
+use crate::error::TreeError;
+use crate::node::{Key, Node, Value};
+
+/// Minimum supported branching order.
+pub const MIN_ORDER: usize = 4;
+/// Default branching order (max children per internal node and max entries
+/// per leaf).
+pub const DEFAULT_ORDER: usize = 16;
+
+/// A Merkle B+-tree over byte keys and values.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    root: Node,
+    order: usize,
+    /// Entry count; meaningful for full trees (pruned trees inherit the
+    /// server value only if the server chooses to send it — clients must not
+    /// rely on it).
+    len: usize,
+}
+
+/// Returns the index of the child subtree that covers `key`.
+#[inline]
+fn child_index(keys: &[Key], key: &[u8]) -> usize {
+    keys.partition_point(|k| k.as_slice() <= key)
+}
+
+impl MerkleTree {
+    /// Creates an empty tree with the default branching order.
+    pub fn new() -> MerkleTree {
+        MerkleTree::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree with branching order `order` (≥ 4).
+    pub fn with_order(order: usize) -> MerkleTree {
+        assert!(order >= MIN_ORDER, "order {order} < minimum {MIN_ORDER}");
+        MerkleTree {
+            root: Node::empty_leaf(),
+            order,
+            len: 0,
+        }
+    }
+
+    /// The root digest `M(D)` of the current state.
+    pub fn root_digest(&self) -> Digest {
+        self.root.digest()
+    }
+
+    /// The branching order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of entries (full trees only).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of materialized (non-stub) nodes; for a pruned tree this is
+    /// the proof size in nodes.
+    pub fn materialized_nodes(&self) -> usize {
+        self.root.materialized_nodes()
+    }
+
+    /// Wire-size estimate of this tree's encoding in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.root.encoded_size()
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Point lookup. `Err(IncompleteProof)` if the search hits a stub.
+    pub fn get(&self, key: &[u8]) -> Result<Option<&Value>, TreeError> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Stub(_) => return Err(TreeError::IncompleteProof),
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| &entries[i].1));
+                }
+                Node::Internal { keys, children, .. } => {
+                    node = &children[child_index(keys, key)];
+                }
+            }
+        }
+    }
+
+    /// Range scan over `[lo, hi)`; `None` bounds are unbounded. Results are
+    /// in key order. Stubs that *cannot* overlap the range are skipped;
+    /// overlapping stubs raise `IncompleteProof`.
+    pub fn range(
+        &self,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Key, Value)>, TreeError> {
+        let mut out = Vec::new();
+        range_rec(&self.root, lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    /// All entries in key order (full trees).
+    pub fn entries(&self) -> Result<Vec<(Key, Value)>, TreeError> {
+        self.range(None, None)
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Inserts or replaces `key`; returns the previous value if any.
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<Option<Value>, TreeError> {
+        let (old, split) = insert_rec(&mut self.root, key, value, self.order)?;
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(&mut self.root, Node::empty_leaf());
+            let mut new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+                digest: Digest::ZERO,
+            };
+            new_root.recompute_digest();
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    /// Deletes `key`; returns the removed value if it existed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<Option<Value>, TreeError> {
+        let old = delete_rec(&mut self.root, key, self.order)?;
+        // Collapse a root that shrank to a single child.
+        if let Node::Internal { children, .. } = &mut self.root {
+            if children.len() == 1 {
+                self.root = children.pop().expect("one child");
+            }
+        }
+        if old.is_some() {
+            self.len -= 1;
+        }
+        Ok(old)
+    }
+
+    /// Recomputes every materialized node digest bottom-up, replacing any
+    /// cached digests. Run on *received* pruned trees before trusting their
+    /// root digest.
+    pub fn recompute_all_digests(&mut self) {
+        self.root.recompute_all();
+    }
+
+    /// Borrow of the root node (crate-internal, for the codec).
+    pub(crate) fn root_ref(&self) -> &Node {
+        &self.root
+    }
+
+    /// Reassembles a tree from decoded parts (crate-internal, for the
+    /// codec; the caller has already verified digests and structure).
+    pub(crate) fn from_parts(root: Node, order: usize, len: usize) -> MerkleTree {
+        MerkleTree { root, order, len }
+    }
+
+    // ------------------------------------------------------------------
+    // Pruning (verification-object construction)
+    // ------------------------------------------------------------------
+
+    /// Pruned copy sufficient to replay `get(key)` or `insert(key, _)`:
+    /// the root-to-leaf path for `key` is materialized, everything else is
+    /// stubs.
+    pub fn prune_for_point(&self, key: &[u8]) -> MerkleTree {
+        MerkleTree {
+            root: prune_interval_rec(&self.root, Some(key), Some(key)),
+            order: self.order,
+            len: self.len,
+        }
+    }
+
+    /// Pruned copy sufficient to replay `range(lo, hi)`: every subtree
+    /// intersecting the closed interval `[lo, hi]` is materialized.
+    pub fn prune_for_range(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> MerkleTree {
+        MerkleTree {
+            root: prune_interval_rec(&self.root, lo, hi),
+            order: self.order,
+            len: self.len,
+        }
+    }
+
+    /// Pruned copy sufficient to replay `delete(key)`: the path for `key`
+    /// is materialized, and at every level the path node's adjacent siblings
+    /// are shallow-materialized (leaves fully; internal nodes keys-only) so
+    /// the replay can decide and perform borrows/merges.
+    pub fn prune_for_delete(&self, key: &[u8]) -> MerkleTree {
+        MerkleTree {
+            root: prune_delete_rec(&self.root, key),
+            order: self.order,
+            len: self.len,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used by tests and debug assertions)
+    // ------------------------------------------------------------------
+
+    /// Verifies structural invariants: key order, separator correctness,
+    /// occupancy bounds, uniform depth, and digest consistency. Intended for
+    /// tests; cost is O(n).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut depth = None;
+        check_rec(&self.root, None, None, self.order, true, 0, &mut depth)?;
+        let counted = count_entries(&self.root);
+        if counted != self.len {
+            return Err(format!("len {} != counted {}", self.len, counted));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MerkleTree {
+    fn default() -> Self {
+        MerkleTree::new()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Recursive workers
+// ----------------------------------------------------------------------
+
+type SplitInfo = Option<(Key, Node)>;
+
+fn insert_rec(
+    node: &mut Node,
+    key: Key,
+    value: Value,
+    order: usize,
+) -> Result<(Option<Value>, SplitInfo), TreeError> {
+    match node {
+        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Leaf { entries, .. } => {
+            let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(&key)) {
+                Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    None
+                }
+            };
+            let split = if entries.len() > order {
+                let right_entries = entries.split_off(entries.len() / 2);
+                let sep = right_entries[0].0.clone();
+                let mut right = Node::Leaf {
+                    entries: right_entries,
+                    digest: Digest::ZERO,
+                };
+                right.recompute_digest();
+                Some((sep, right))
+            } else {
+                None
+            };
+            node.recompute_digest();
+            Ok((old, split))
+        }
+        Node::Internal { keys, children, .. } => {
+            let idx = child_index(keys, &key);
+            let (old, child_split) = insert_rec(&mut children[idx], key, value, order)?;
+            if let Some((sep, right)) = child_split {
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right);
+            }
+            let split = if children.len() > order {
+                let mid = children.len() / 2;
+                let right_children = children.split_off(mid);
+                let right_keys = keys.split_off(mid);
+                // keys now holds `keys[..mid]`; its last entry is promoted
+                // as the separator between the two halves.
+                let promote = keys.pop().expect("non-empty separator set");
+                let mut right = Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                    digest: Digest::ZERO,
+                };
+                right.recompute_digest();
+                Some((promote, right))
+            } else {
+                None
+            };
+            node.recompute_digest();
+            Ok((old, split))
+        }
+    }
+}
+
+fn delete_rec(node: &mut Node, key: &[u8], order: usize) -> Result<Option<Value>, TreeError> {
+    match node {
+        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Leaf { entries, .. } => {
+            let old = entries
+                .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                .ok()
+                .map(|i| entries.remove(i).1);
+            node.recompute_digest();
+            Ok(old)
+        }
+        Node::Internal { keys, children, .. } => {
+            let idx = child_index(keys, key);
+            let old = delete_rec(&mut children[idx], key, order)?;
+            if old.is_some() && is_underfull(&children[idx], order)? {
+                rebalance(keys, children, idx, order)?;
+            }
+            node.recompute_digest();
+            Ok(old)
+        }
+    }
+}
+
+/// Minimum entries for a non-root leaf / minimum children for a non-root
+/// internal node.
+#[inline]
+fn min_fill(order: usize) -> usize {
+    order / 2
+}
+
+fn is_underfull(node: &Node, order: usize) -> Result<bool, TreeError> {
+    match node {
+        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Leaf { entries, .. } => Ok(entries.len() < min_fill(order)),
+        Node::Internal { children, .. } => Ok(children.len() < min_fill(order)),
+    }
+}
+
+fn has_spare(node: &Node, order: usize) -> Result<bool, TreeError> {
+    match node {
+        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Leaf { entries, .. } => Ok(entries.len() > min_fill(order)),
+        Node::Internal { children, .. } => Ok(children.len() > min_fill(order)),
+    }
+}
+
+/// Repairs an underfull `children[idx]` by borrowing from or merging with an
+/// adjacent sibling. Borrowing is preferred (left first), matching classic
+/// B+-tree deletion; the choice order is part of the protocol: server and
+/// client must transform state identically.
+fn rebalance(
+    keys: &mut Vec<Key>,
+    children: &mut Vec<Node>,
+    idx: usize,
+    order: usize,
+) -> Result<(), TreeError> {
+    if idx > 0 && has_spare(&children[idx - 1], order)? {
+        borrow_from_left(keys, children, idx)
+    } else if idx + 1 < children.len() && has_spare(&children[idx + 1], order)? {
+        borrow_from_right(keys, children, idx)
+    } else if idx > 0 {
+        merge_into_left(keys, children, idx - 1)
+    } else {
+        merge_into_left(keys, children, idx)
+    }
+}
+
+fn borrow_from_left(
+    keys: &mut [Key],
+    children: &mut [Node],
+    idx: usize,
+) -> Result<(), TreeError> {
+    let (l, r) = children.split_at_mut(idx);
+    let left = &mut l[idx - 1];
+    let cur = &mut r[0];
+    match (left, cur) {
+        (
+            Node::Leaf {
+                entries: le,
+                digest: ld,
+            },
+            Node::Leaf {
+                entries: ce,
+                digest: cd,
+            },
+        ) => {
+            let moved = le.pop().ok_or(TreeError::IncompleteProof)?;
+            ce.insert(0, moved);
+            keys[idx - 1] = ce[0].0.clone();
+            // Recompute both digests in place.
+            *ld = Digest::ZERO;
+            *cd = Digest::ZERO;
+        }
+        (
+            Node::Internal {
+                keys: lk,
+                children: lc,
+                digest: ld,
+            },
+            Node::Internal {
+                keys: ck,
+                children: cc,
+                digest: cd,
+            },
+        ) => {
+            let sep = std::mem::replace(
+                &mut keys[idx - 1],
+                lk.pop().ok_or(TreeError::IncompleteProof)?,
+            );
+            ck.insert(0, sep);
+            cc.insert(0, lc.pop().ok_or(TreeError::IncompleteProof)?);
+            *ld = Digest::ZERO;
+            *cd = Digest::ZERO;
+        }
+        _ => return Err(TreeError::IncompleteProof),
+    }
+    children[idx - 1].recompute_digest();
+    children[idx].recompute_digest();
+    Ok(())
+}
+
+fn borrow_from_right(
+    keys: &mut [Key],
+    children: &mut [Node],
+    idx: usize,
+) -> Result<(), TreeError> {
+    let (l, r) = children.split_at_mut(idx + 1);
+    let cur = &mut l[idx];
+    let right = &mut r[0];
+    match (cur, right) {
+        (
+            Node::Leaf {
+                entries: ce,
+                digest: cd,
+            },
+            Node::Leaf {
+                entries: re,
+                digest: rd,
+            },
+        ) => {
+            if re.is_empty() {
+                return Err(TreeError::IncompleteProof);
+            }
+            let moved = re.remove(0);
+            ce.push(moved);
+            keys[idx] = re[0].0.clone();
+            *cd = Digest::ZERO;
+            *rd = Digest::ZERO;
+        }
+        (
+            Node::Internal {
+                keys: ck,
+                children: cc,
+                digest: cd,
+            },
+            Node::Internal {
+                keys: rk,
+                children: rc,
+                digest: rd,
+            },
+        ) => {
+            if rk.is_empty() || rc.is_empty() {
+                return Err(TreeError::IncompleteProof);
+            }
+            let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
+            ck.push(sep);
+            cc.push(rc.remove(0));
+            *cd = Digest::ZERO;
+            *rd = Digest::ZERO;
+        }
+        _ => return Err(TreeError::IncompleteProof),
+    }
+    children[idx].recompute_digest();
+    children[idx + 1].recompute_digest();
+    Ok(())
+}
+
+/// Merges `children[li + 1]` into `children[li]`, consuming separator
+/// `keys[li]`.
+fn merge_into_left(
+    keys: &mut Vec<Key>,
+    children: &mut Vec<Node>,
+    li: usize,
+) -> Result<(), TreeError> {
+    let right = children.remove(li + 1);
+    let sep = keys.remove(li);
+    match (&mut children[li], right) {
+        (Node::Leaf { entries: le, .. }, Node::Leaf { entries: re, .. }) => {
+            le.extend(re);
+        }
+        (
+            Node::Internal {
+                keys: lk,
+                children: lc,
+                ..
+            },
+            Node::Internal {
+                keys: rk,
+                children: rc,
+                ..
+            },
+        ) => {
+            lk.push(sep);
+            lk.extend(rk);
+            lc.extend(rc);
+        }
+        _ => return Err(TreeError::IncompleteProof),
+    }
+    children[li].recompute_digest();
+    Ok(())
+}
+
+fn range_rec(
+    node: &Node,
+    lo: Option<&[u8]>,
+    hi: Option<&[u8]>,
+    out: &mut Vec<(Key, Value)>,
+) -> Result<(), TreeError> {
+    match node {
+        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Leaf { entries, .. } => {
+            for (k, v) in entries {
+                let above_lo = lo.is_none_or(|l| k.as_slice() >= l);
+                let below_hi = hi.is_none_or(|h| k.as_slice() < h);
+                if above_lo && below_hi {
+                    out.push((k.clone(), v.clone()));
+                }
+            }
+            Ok(())
+        }
+        Node::Internal { keys, children, .. } => {
+            let start = lo.map_or(0, |l| child_index(keys, l));
+            // Children up to and including the first whose lower bound is
+            // >= hi can contain keys < hi.
+            let end = hi.map_or(children.len() - 1, |h| keys.partition_point(|k| k.as_slice() < h));
+            if start > end {
+                // Inverted (empty) range.
+                return Ok(());
+            }
+            for child in &children[start..=end] {
+                range_rec(child, lo, hi, out)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Materializes exactly the subtrees whose key interval intersects the
+/// closed interval `[lo, hi]` (`None` = unbounded).
+fn prune_interval_rec(node: &Node, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Node {
+    match node {
+        Node::Stub(d) => Node::Stub(*d),
+        Node::Leaf { entries, digest } => Node::Leaf {
+            entries: entries.clone(),
+            digest: *digest,
+        },
+        Node::Internal {
+            keys,
+            children,
+            digest,
+        } => {
+            let start = lo.map_or(0, |l| child_index(keys, l));
+            let end = hi.map_or(children.len() - 1, |h| child_index(keys, h));
+            let new_children: Vec<Node> = children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i >= start && i <= end {
+                        prune_interval_rec(c, lo, hi)
+                    } else {
+                        c.to_stub()
+                    }
+                })
+                .collect();
+            Node::Internal {
+                keys: keys.clone(),
+                children: new_children,
+                digest: *digest,
+            }
+        }
+    }
+}
+
+fn prune_delete_rec(node: &Node, key: &[u8]) -> Node {
+    match node {
+        Node::Stub(d) => Node::Stub(*d),
+        Node::Leaf { entries, digest } => Node::Leaf {
+            entries: entries.clone(),
+            digest: *digest,
+        },
+        Node::Internal {
+            keys,
+            children,
+            digest,
+        } => {
+            let idx = child_index(keys, key);
+            let new_children: Vec<Node> = children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == idx {
+                        prune_delete_rec(c, key)
+                    } else if i + 1 == idx || i == idx + 1 {
+                        c.shallow_copy()
+                    } else {
+                        c.to_stub()
+                    }
+                })
+                .collect();
+            Node::Internal {
+                keys: keys.clone(),
+                children: new_children,
+                digest: *digest,
+            }
+        }
+    }
+}
+
+fn count_entries(node: &Node) -> usize {
+    match node {
+        Node::Stub(_) => 0,
+        Node::Leaf { entries, .. } => entries.len(),
+        Node::Internal { children, .. } => children.iter().map(count_entries).sum(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_rec(
+    node: &Node,
+    lo: Option<&[u8]>,
+    hi: Option<&[u8]>,
+    order: usize,
+    is_root: bool,
+    depth: usize,
+    leaf_depth: &mut Option<usize>,
+) -> Result<(), String> {
+    match node {
+        Node::Stub(_) => Err("full tree contains a stub".into()),
+        Node::Leaf { entries, .. } => {
+            match leaf_depth {
+                Some(d) if *d != depth => {
+                    return Err(format!("leaf depth {depth} != expected {d}"))
+                }
+                None => *leaf_depth = Some(depth),
+                _ => {}
+            }
+            if !is_root && entries.len() < min_fill(order) {
+                return Err(format!("leaf underfull: {}", entries.len()));
+            }
+            if entries.len() > order {
+                return Err(format!("leaf overfull: {}", entries.len()));
+            }
+            for w in entries.windows(2) {
+                if w[0].0 >= w[1].0 {
+                    return Err("leaf keys out of order".into());
+                }
+            }
+            for (k, _) in entries {
+                if let Some(l) = lo {
+                    if k.as_slice() < l {
+                        return Err("leaf key below lower bound".into());
+                    }
+                }
+                if let Some(h) = hi {
+                    if k.as_slice() >= h {
+                        return Err("leaf key above upper bound".into());
+                    }
+                }
+            }
+            let mut copy = node.clone();
+            copy.recompute_digest();
+            if copy.digest() != node.digest() {
+                return Err("stale leaf digest".into());
+            }
+            Ok(())
+        }
+        Node::Internal { keys, children, .. } => {
+            if children.len() != keys.len() + 1 {
+                return Err("child/separator count mismatch".into());
+            }
+            let min = if is_root { 2 } else { min_fill(order) };
+            if children.len() < min {
+                return Err(format!("internal underfull: {}", children.len()));
+            }
+            if children.len() > order {
+                return Err(format!("internal overfull: {}", children.len()));
+            }
+            for w in keys.windows(2) {
+                if w[0] >= w[1] {
+                    return Err("separator keys out of order".into());
+                }
+            }
+            for (i, child) in children.iter().enumerate() {
+                let clo = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
+                let chi = if i == keys.len() {
+                    hi
+                } else {
+                    Some(keys[i].as_slice())
+                };
+                check_rec(child, clo, chi, order, false, depth + 1, leaf_depth)?;
+            }
+            let mut copy = node.clone();
+            copy.recompute_digest();
+            if copy.digest() != node.digest() {
+                return Err("stale internal digest".into());
+            }
+            Ok(())
+        }
+    }
+}

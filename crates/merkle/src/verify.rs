@@ -1,0 +1,254 @@
+//! Client-side verification of server responses (§4.1).
+//!
+//! The server answers an operation with a [`VerificationObject`]: a pruned
+//! copy of the pre-state tree. The client
+//!
+//! 1. checks the proof's root digest against its known root digest `M(D)`,
+//! 2. *replays* the operation on the pruned tree,
+//! 3. compares the replayed answer with the server's claimed answer, and
+//! 4. (for updates) compares the replayed new root digest with the server's
+//!    claimed new root digest, adopting it as the next `M(D')`.
+//!
+//! Any mismatch is proof of server misbehaviour — the protocols map it to a
+//! deviation report.
+
+use tcvs_crypto::Digest;
+
+use crate::error::VerifyError;
+use crate::op::{apply_op, Op, OpResult};
+use crate::tree::MerkleTree;
+
+/// The verification object `v(Q, D)`: a pruned pre-state tree sufficient to
+/// replay `Q`.
+#[derive(Clone, Debug)]
+pub struct VerificationObject {
+    tree: MerkleTree,
+}
+
+impl VerificationObject {
+    /// Wraps a pruned tree produced by [`crate::op::prune_for_op`].
+    pub fn new(pruned: MerkleTree) -> VerificationObject {
+        VerificationObject { tree: pruned }
+    }
+
+    /// Root digest the proof claims to be rooted at.
+    pub fn root_digest(&self) -> Digest {
+        self.tree.root_digest()
+    }
+
+    /// Proof size in materialized nodes.
+    pub fn materialized_nodes(&self) -> usize {
+        self.tree.materialized_nodes()
+    }
+
+    /// Proof size estimate in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.tree.encoded_size()
+    }
+
+    /// The branching order the proof was built with.
+    pub fn order(&self) -> usize {
+        self.tree.order()
+    }
+}
+
+/// Outcome of a successful verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verified {
+    /// The (replayed, hence authenticated) answer to the operation.
+    pub result: OpResult,
+    /// Root digest after the operation: equals the pre-state root for reads,
+    /// and the post-state root `M(D')` for updates.
+    pub new_root: Digest,
+}
+
+/// Replays `op` against a proof **without** an independently-known root
+/// digest, as Protocol II/III clients must (they keep no root between
+/// operations; trust flows through the XOR accumulators instead).
+///
+/// All materialized digests are recomputed from the proof's content first,
+/// so the returned `old_root` genuinely commits to the materialized data —
+/// the server cannot decouple content from digests.
+///
+/// Returns `(old_root, verified)` where `old_root` is the pre-state root the
+/// proof commits to.
+pub fn replay_unanchored(
+    expected_order: usize,
+    vo: &VerificationObject,
+    op: &Op,
+    claimed: Option<&OpResult>,
+) -> Result<(Digest, Verified), VerifyError> {
+    if vo.order() != expected_order {
+        return Err(VerifyError::OrderMismatch);
+    }
+    let mut replay = vo.tree.clone();
+    replay.recompute_all_digests();
+    let old_root = replay.root_digest();
+    let result = apply_op(&mut replay, op)?;
+    if let Some(c) = claimed {
+        if c != &result {
+            return Err(VerifyError::AnswerMismatch);
+        }
+    }
+    let new_root = replay.root_digest();
+    Ok((old_root, Verified { result, new_root }))
+}
+
+/// Verifies a server response against a known root and replays the
+/// operation.
+///
+/// * `known_root` — the client's current `M(D)`.
+/// * `vo` — the server-supplied verification object.
+/// * `op` — the operation the client asked for.
+/// * `claimed` — the answer the server returned, if the transport carries
+///   one; `None` makes the replayed answer authoritative without comparison.
+/// * `claimed_new_root` — the server's claimed `M(D')`, if any.
+pub fn verify_response(
+    known_root: &Digest,
+    expected_order: usize,
+    vo: &VerificationObject,
+    op: &Op,
+    claimed: Option<&OpResult>,
+    claimed_new_root: Option<&Digest>,
+) -> Result<Verified, VerifyError> {
+    if vo.order() != expected_order {
+        return Err(VerifyError::OrderMismatch);
+    }
+    let mut replay = vo.tree.clone();
+    replay.recompute_all_digests();
+    // Root check comes before replay so a stale proof reports RootMismatch
+    // rather than whatever the replay happens to hit.
+    if replay.root_digest() != *known_root {
+        return Err(VerifyError::RootMismatch);
+    }
+    let result = apply_op(&mut replay, op)?;
+    if let Some(c) = claimed {
+        if c != &result {
+            return Err(VerifyError::AnswerMismatch);
+        }
+    }
+    let new_root = replay.root_digest();
+    if let Some(nr) = claimed_new_root {
+        if nr != &new_root {
+            return Err(VerifyError::NewRootMismatch);
+        }
+    }
+    Ok(Verified { result, new_root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::u64_key;
+    use crate::op::prune_for_op;
+
+    fn tree_with(n: u64, order: usize) -> MerkleTree {
+        let mut t = MerkleTree::with_order(order);
+        for i in 0..n {
+            t.insert(u64_key(i), format!("v{i}").into_bytes()).unwrap();
+        }
+        t
+    }
+
+    fn serve(tree: &mut MerkleTree, op: &Op) -> (VerificationObject, OpResult, Digest) {
+        let vo = VerificationObject::new(prune_for_op(tree, op));
+        let result = apply_op(tree, op).unwrap();
+        (vo, result, tree.root_digest())
+    }
+
+    #[test]
+    fn honest_update_verifies() {
+        let mut server = tree_with(100, 8);
+        let root0 = server.root_digest();
+        let op = Op::Put(u64_key(42), b"changed".to_vec());
+        let (vo, result, new_root) = serve(&mut server, &op);
+        let v = verify_response(&root0, 8, &vo, &op, Some(&result), Some(&new_root)).unwrap();
+        assert_eq!(v.new_root, new_root);
+        assert_eq!(v.result, result);
+    }
+
+    #[test]
+    fn honest_read_keeps_root() {
+        let mut server = tree_with(50, 8);
+        let root0 = server.root_digest();
+        let op = Op::Get(u64_key(7));
+        let (vo, result, _) = serve(&mut server, &op);
+        let v = verify_response(&root0, 8, &vo, &op, Some(&result), None).unwrap();
+        assert_eq!(v.new_root, root0);
+        assert_eq!(v.result, OpResult::Value(Some(b"v7".to_vec())));
+    }
+
+    #[test]
+    fn stale_proof_detected() {
+        // Server builds a proof against an *old* state (replay attack on the
+        // database): the root digest no longer matches.
+        let mut server = tree_with(30, 8);
+        let stale = server.clone();
+        apply_op(&mut server, &Op::Put(u64_key(1), b"x".to_vec())).unwrap();
+        let current_root = server.root_digest();
+        let op = Op::Get(u64_key(2));
+        let vo = VerificationObject::new(prune_for_op(&stale, &op));
+        let err = verify_response(&current_root, 8, &vo, &op, None, None).unwrap_err();
+        assert_eq!(err, VerifyError::RootMismatch);
+    }
+
+    #[test]
+    fn tampered_answer_detected() {
+        // Server answers with a value that is not in the authenticated state
+        // (integrity violation): the replay disagrees.
+        let mut server = tree_with(30, 8);
+        let root0 = server.root_digest();
+        let op = Op::Get(u64_key(3));
+        let (vo, _, _) = serve(&mut server, &op);
+        let forged = OpResult::Value(Some(b"evil".to_vec()));
+        let err = verify_response(&root0, 8, &vo, &op, Some(&forged), None).unwrap_err();
+        assert_eq!(err, VerifyError::AnswerMismatch);
+    }
+
+    #[test]
+    fn dropped_update_detected() {
+        // Server acknowledges an update with the *old* root (availability
+        // violation: it never applied it).
+        let mut server = tree_with(30, 8);
+        let root0 = server.root_digest();
+        let op = Op::Put(u64_key(5), b"important".to_vec());
+        let (vo, result, _) = serve(&mut server, &op);
+        // The server lies: claims the root did not change.
+        let err =
+            verify_response(&root0, 8, &vo, &op, Some(&result), Some(&root0)).unwrap_err();
+        assert_eq!(err, VerifyError::NewRootMismatch);
+    }
+
+    #[test]
+    fn incomplete_proof_detected() {
+        let mut server = tree_with(200, 4);
+        let root0 = server.root_digest();
+        let op = Op::Put(u64_key(42), b"v".to_vec());
+        // Serve a proof for the wrong key: the path for 42 stays pruned.
+        let vo = VerificationObject::new(server.prune_for_point(&u64_key(180)));
+        let result = apply_op(&mut server, &op).unwrap();
+        let err = verify_response(&root0, 4, &vo, &op, Some(&result), None).unwrap_err();
+        assert_eq!(err, VerifyError::IncompleteProof);
+    }
+
+    #[test]
+    fn order_mismatch_detected() {
+        let mut server = tree_with(10, 8);
+        let op = Op::Get(u64_key(1));
+        let root0 = server.root_digest();
+        let (vo, _, _) = serve(&mut server, &op);
+        let err = verify_response(&root0, 16, &vo, &op, None, None).unwrap_err();
+        assert_eq!(err, VerifyError::OrderMismatch);
+    }
+
+    #[test]
+    fn non_membership_is_verifiable() {
+        let mut server = tree_with(50, 8);
+        let root0 = server.root_digest();
+        let op = Op::Get(u64_key(999));
+        let (vo, result, _) = serve(&mut server, &op);
+        assert_eq!(result, OpResult::Value(None));
+        let v = verify_response(&root0, 8, &vo, &op, Some(&result), None).unwrap();
+        assert_eq!(v.result, OpResult::Value(None));
+    }
+}

@@ -1,0 +1,253 @@
+//! Structural tests for the Merkle B+-tree: growth, shrinkage, invariants,
+//! and proof behaviour across orders and shapes.
+
+use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, TreeError};
+
+fn build(order: usize, keys: impl IntoIterator<Item = u64>) -> MerkleTree {
+    let mut t = MerkleTree::with_order(order);
+    for k in keys {
+        t.insert(u64_key(k), format!("value-{k}").into_bytes()).unwrap();
+    }
+    t
+}
+
+#[test]
+fn empty_tree_basics() {
+    let t = MerkleTree::with_order(4);
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.get(&u64_key(0)).unwrap(), None);
+    assert_eq!(t.entries().unwrap(), vec![]);
+    t.check_invariants().unwrap();
+}
+
+#[test]
+fn empty_trees_share_root_digest() {
+    assert_eq!(
+        MerkleTree::with_order(4).root_digest(),
+        MerkleTree::with_order(4).root_digest()
+    );
+}
+
+#[test]
+fn sequential_insert_then_read_back() {
+    for order in [4, 5, 8, 16, 64] {
+        let t = build(order, 0..500);
+        assert_eq!(t.len(), 500);
+        t.check_invariants()
+            .unwrap_or_else(|e| panic!("order {order}: {e}"));
+        for k in 0..500 {
+            assert_eq!(
+                t.get(&u64_key(k)).unwrap(),
+                Some(&format!("value-{k}").into_bytes()),
+                "order {order} key {k}"
+            );
+        }
+        assert_eq!(t.get(&u64_key(500)).unwrap(), None);
+    }
+}
+
+#[test]
+fn reverse_insert_order_same_content() {
+    let a = build(8, 0..200);
+    let b = build(8, (0..200).rev());
+    // Structure (and hence digest) may differ with insertion order, but the
+    // entries must be identical and both must satisfy invariants.
+    assert_eq!(a.entries().unwrap(), b.entries().unwrap());
+    a.check_invariants().unwrap();
+    b.check_invariants().unwrap();
+}
+
+#[test]
+fn update_changes_root_digest() {
+    let mut t = build(8, 0..50);
+    let r0 = t.root_digest();
+    t.insert(u64_key(25), b"different".to_vec()).unwrap();
+    assert_ne!(t.root_digest(), r0);
+    assert_eq!(t.len(), 50, "replace must not change len");
+}
+
+#[test]
+fn identical_content_identical_digest() {
+    // Same insertion sequence => identical digests (determinism).
+    let a = build(8, [5, 1, 9, 3, 7]);
+    let b = build(8, [5, 1, 9, 3, 7]);
+    assert_eq!(a.root_digest(), b.root_digest());
+}
+
+#[test]
+fn delete_everything_returns_to_empty_digest() {
+    let mut t = build(4, 0..300);
+    let empty_digest = MerkleTree::with_order(4).root_digest();
+    for k in 0..300 {
+        assert_eq!(
+            t.delete(&u64_key(k)).unwrap(),
+            Some(format!("value-{k}").into_bytes()),
+            "key {k}"
+        );
+        t.check_invariants().unwrap_or_else(|e| panic!("after {k}: {e}"));
+    }
+    assert!(t.is_empty());
+    assert_eq!(t.root_digest(), empty_digest);
+}
+
+#[test]
+fn delete_in_reverse_and_random_orders() {
+    let n = 256u64;
+    // Reverse order.
+    let mut t = build(4, 0..n);
+    for k in (0..n).rev() {
+        t.delete(&u64_key(k)).unwrap().expect("present");
+        t.check_invariants().unwrap();
+    }
+    assert!(t.is_empty());
+
+    // Deterministic shuffle (multiplicative permutation mod 257).
+    let mut t = build(4, 0..n);
+    for i in 1..=n {
+        let k = (i * 131) % 257;
+        if k < n {
+            t.delete(&u64_key(k)).unwrap();
+            t.check_invariants().unwrap();
+        }
+    }
+}
+
+#[test]
+fn delete_absent_key_is_noop() {
+    let mut t = build(4, (0..100).map(|k| k * 2));
+    let r0 = t.root_digest();
+    assert_eq!(t.delete(&u64_key(51)).unwrap(), None);
+    assert_eq!(t.root_digest(), r0);
+    assert_eq!(t.len(), 100);
+}
+
+#[test]
+fn range_queries() {
+    let t = build(8, (0..100).map(|k| k * 10));
+    // Closed-open interval semantics.
+    let es = t.range(Some(&u64_key(100)), Some(&u64_key(150))).unwrap();
+    let keys: Vec<u64> = es
+        .iter()
+        .map(|(k, _)| u64::from_be_bytes(k[..8].try_into().unwrap()))
+        .collect();
+    assert_eq!(keys, vec![100, 110, 120, 130, 140]);
+
+    // Bounds not on existing keys.
+    let es = t.range(Some(&u64_key(101)), Some(&u64_key(141))).unwrap();
+    assert_eq!(es.len(), 4);
+
+    // Unbounded ends.
+    assert_eq!(t.range(None, Some(&u64_key(30))).unwrap().len(), 3);
+    assert_eq!(t.range(Some(&u64_key(970)), None).unwrap().len(), 3);
+    assert_eq!(t.range(None, None).unwrap().len(), 100);
+
+    // Empty and inverted ranges.
+    assert!(t.range(Some(&u64_key(55)), Some(&u64_key(56))).unwrap().is_empty());
+    assert!(t.range(Some(&u64_key(500)), Some(&u64_key(100))).unwrap().is_empty());
+}
+
+#[test]
+fn variable_length_byte_keys() {
+    let mut t = MerkleTree::with_order(4);
+    let keys: Vec<&[u8]> = vec![
+        b"", b"a", b"aa", b"ab", b"b", b"ba", b"src/main.rs", b"src/lib.rs", b"Common.h",
+    ];
+    for (i, k) in keys.iter().enumerate() {
+        t.insert(k.to_vec(), vec![i as u8]).unwrap();
+    }
+    t.check_invariants().unwrap();
+    // Lexicographic order.
+    let entries = t.entries().unwrap();
+    let mut sorted: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+    sorted.sort();
+    let got: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+    assert_eq!(got, sorted);
+    assert_eq!(t.get(b"src/main.rs").unwrap(), Some(&vec![6u8]));
+}
+
+#[test]
+fn proof_sizes_are_logarithmic() {
+    // Materialized proof nodes for a point op must track tree height, not n.
+    let mut sizes = Vec::new();
+    for exp in [6u32, 10, 14] {
+        let n = 1u64 << exp;
+        let t = build(16, 0..n);
+        let vo = t.prune_for_point(&u64_key(n / 2));
+        sizes.push(vo.materialized_nodes());
+    }
+    // 2^14 = 256x more entries than 2^6, yet proof grows by only a few nodes.
+    assert!(sizes[2] <= sizes[0] + 6, "sizes {sizes:?}");
+    // And proofs are vastly smaller than the tree itself.
+    let t = build(16, 0..(1 << 14));
+    let vo = t.prune_for_point(&u64_key(99));
+    assert!(vo.materialized_nodes() * 50 < t.materialized_nodes());
+}
+
+#[test]
+fn pruned_tree_replays_every_update_shape() {
+    // Exercise splits (dense small order) and merges/borrows (deletes) via
+    // replay equivalence: pruned-apply == full-apply for every op.
+    let mut server = build(4, (0..300).map(|k| k * 3));
+    // Deterministic mixed op sequence.
+    for i in 0..600u64 {
+        let k = (i * 7919) % 1000;
+        let op = match i % 4 {
+            0 => Op::Put(u64_key(k), format!("w{i}").into_bytes()),
+            1 => Op::Delete(u64_key((i * 13) % 900)),
+            2 => Op::Get(u64_key(k)),
+            _ => Op::Range(Some(u64_key(k)), Some(u64_key(k + 40))),
+        };
+        let mut pruned = prune_for_op(&server, &op);
+        assert_eq!(pruned.root_digest(), server.root_digest());
+        let r_replay = apply_op(&mut pruned, &op).unwrap_or_else(|e| panic!("op {i} {op:?}: {e}"));
+        let r_server = apply_op(&mut server, &op).unwrap();
+        assert_eq!(r_replay, r_server, "op {i}");
+        assert_eq!(pruned.root_digest(), server.root_digest(), "op {i}");
+        server.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn pruned_tree_rejects_out_of_scope_ops() {
+    let t = build(8, 0..500);
+    let pruned = t.prune_for_point(&u64_key(10));
+    // Reading a far-away key must hit a stub.
+    assert_eq!(pruned.get(&u64_key(400)).unwrap_err(), TreeError::IncompleteProof);
+    // Full scans on a pruned tree must fail too.
+    assert_eq!(pruned.entries().unwrap_err(), TreeError::IncompleteProof);
+}
+
+#[test]
+fn pruned_range_skips_unrelated_stubs() {
+    let t = build(8, 0..1000);
+    let pruned = t.prune_for_range(Some(&u64_key(100)), Some(&u64_key(120)));
+    let es = pruned.range(Some(&u64_key(100)), Some(&u64_key(120))).unwrap();
+    assert_eq!(es.len(), 20);
+    // The proof is still small.
+    assert!(pruned.materialized_nodes() < 30);
+}
+
+#[test]
+fn min_order_is_enforced() {
+    let result = std::panic::catch_unwind(|| MerkleTree::with_order(3));
+    assert!(result.is_err());
+}
+
+#[test]
+fn clone_is_deep() {
+    let mut a = build(8, 0..50);
+    let b = a.clone();
+    a.insert(u64_key(7), b"mutated".to_vec()).unwrap();
+    assert_ne!(a.root_digest(), b.root_digest());
+    assert_eq!(b.get(&u64_key(7)).unwrap(), Some(&b"value-7".to_vec()));
+}
+
+#[test]
+fn large_values_round_trip() {
+    let mut t = MerkleTree::with_order(4);
+    let big = vec![0xABu8; 1 << 16];
+    t.insert(b"blob".to_vec(), big.clone()).unwrap();
+    assert_eq!(t.get(b"blob").unwrap(), Some(&big));
+    assert!(t.encoded_size() > 1 << 16);
+}

@@ -1,0 +1,161 @@
+//! Multi-threaded throughput rig for experiment E6: `u` client threads
+//! hammer one server thread; wall-clock ops/sec per protocol.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use tcvs_core::{HonestServer, Op, ProtocolConfig, ProtocolKind};
+use tcvs_crypto::setup_users;
+use tcvs_merkle::{u64_key, MerkleTree};
+
+use crate::client::{NetClient1, NetClient2, NetClientTrusted};
+use crate::server::NetServer;
+
+/// Result of one throughput run.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Protocol measured.
+    pub protocol: ProtocolKind,
+    /// Client threads.
+    pub clients: u32,
+    /// Total operations completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Per-operation latencies in nanoseconds (all workers, unordered).
+    pub latencies_ns: Vec<u64>,
+}
+
+impl ThroughputReport {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `q`-quantile per-op latency (q in [0, 1]).
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.latencies_ns.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Duration::from_nanos(v[idx])
+    }
+}
+
+/// Shared collector for per-op latencies across worker threads.
+type LatencySink = Arc<Mutex<Vec<u64>>>;
+
+fn record(sink: &LatencySink, started: Instant) {
+    sink.lock().push(started.elapsed().as_nanos() as u64);
+}
+
+/// The update-heavy op stream each worker issues.
+fn worker_op(user: u32, i: u64, update_fraction: u32) -> Op {
+    let key = u64_key((user as u64 * 7919 + i * 13) % 1024);
+    if i % 100 < update_fraction as u64 {
+        Op::Put(key, vec![(i % 251) as u8; 32])
+    } else {
+        Op::Get(key)
+    }
+}
+
+/// Runs `n_clients` threads, each performing `ops_per_client` operations
+/// against a fresh honest server, under the given protocol. Returns
+/// wall-clock throughput. `update_pct` is the percentage of updates.
+pub fn run_throughput(
+    protocol: ProtocolKind,
+    n_clients: u32,
+    ops_per_client: u64,
+    update_pct: u32,
+    config: &ProtocolConfig,
+) -> ThroughputReport {
+    let root0 = MerkleTree::with_order(config.order).root_digest();
+    let blocking = protocol == ProtocolKind::One;
+    let server = NetServer::spawn(Box::new(HonestServer::new(config)), blocking);
+    let sink: LatencySink = Arc::new(Mutex::new(Vec::with_capacity(
+        (n_clients as u64 * ops_per_client) as usize,
+    )));
+
+    let start;
+    match protocol {
+        ProtocolKind::Trusted => {
+            let mut handles = Vec::new();
+            start = Instant::now();
+            for u in 0..n_clients {
+                let mut c = NetClientTrusted::new(u, &server);
+                let sink = Arc::clone(&sink);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..ops_per_client {
+                        let t = Instant::now();
+                        c.execute(&worker_op(u, i, update_pct));
+                        record(&sink, t);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+        }
+        ProtocolKind::One => {
+            // Key heights must cover ops_per_client signatures per user.
+            let height = 64 - (ops_per_client + 2).leading_zeros();
+            let (rings, registry) = setup_users([0x11; 32], n_clients, height.max(4));
+            let mut clients: Vec<NetClient1> = rings
+                .into_iter()
+                .map(|r| NetClient1::new(r, registry.clone(), *config, &server))
+                .collect();
+            clients[0].deposit_initial(&root0).expect("fresh key");
+            let mut handles = Vec::new();
+            start = Instant::now();
+            for (u, mut c) in clients.into_iter().enumerate() {
+                let sink = Arc::clone(&sink);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..ops_per_client {
+                        let t = Instant::now();
+                        c.execute(&worker_op(u as u32, i, update_pct))
+                            .expect("honest server");
+                        record(&sink, t);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+        }
+        ProtocolKind::Two => {
+            let mut handles = Vec::new();
+            start = Instant::now();
+            for u in 0..n_clients {
+                let mut c = NetClient2::new(u, &root0, *config, &server);
+                let sink = Arc::clone(&sink);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..ops_per_client {
+                        let t = Instant::now();
+                        c.execute(&worker_op(u, i, update_pct))
+                            .expect("honest server");
+                        record(&sink, t);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("worker");
+            }
+        }
+        other => panic!("run_throughput does not support {other:?}"),
+    }
+    let elapsed = start.elapsed();
+    server.shutdown();
+    let latencies_ns = Arc::try_unwrap(sink)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    ThroughputReport {
+        protocol,
+        clients: n_clients,
+        ops: n_clients as u64 * ops_per_client,
+        elapsed,
+        latencies_ns,
+    }
+}

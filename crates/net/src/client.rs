@@ -1,0 +1,245 @@
+//! Threaded client handles: protocol clients bound to a server channel.
+
+use crossbeam::channel::Sender;
+use tcvs_core::{
+    Client1, Client2, Deviation, Digest, Op, OpResult, ProtocolConfig, SyncShare, UserId,
+};
+use tcvs_crypto::{KeyRegistry, Keyring};
+
+use crate::server::{remote_op, NetServer, Request};
+
+/// A Protocol I client bound to a running [`NetServer`].
+///
+/// Each `execute` is a full protocol exchange: request → response →
+/// verification → signature deposit (the deposit is what the blocking
+/// server waits for).
+pub struct NetClient1 {
+    inner: Client1,
+    tx: Sender<Request>,
+    ops: u64,
+}
+
+impl NetClient1 {
+    /// Binds a client to `server`.
+    pub fn new(
+        keyring: Keyring,
+        registry: KeyRegistry,
+        config: ProtocolConfig,
+        server: &NetServer,
+    ) -> NetClient1 {
+        NetClient1 {
+            inner: Client1::new(keyring, registry, config),
+            tx: server.sender(),
+            ops: 0,
+        }
+    }
+
+    /// Signs and deposits the initial state (run once, by the elected user,
+    /// before any operation).
+    pub fn deposit_initial(&mut self, root0: &Digest) -> Result<(), Deviation> {
+        let init = self.inner.sign_initial(root0)?;
+        self.tx
+            .send(Request::Signature {
+                user: self.inner.user(),
+                signed: init,
+            })
+            .expect("server alive");
+        Ok(())
+    }
+
+    /// Executes one verified operation.
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
+        let resp = remote_op(&self.tx, self.inner.user(), op, self.ops);
+        self.ops += 1;
+        let (result, deposit) = self.inner.handle_response(op, &resp)?;
+        self.tx
+            .send(Request::Signature {
+                user: self.inner.user(),
+                signed: deposit,
+            })
+            .expect("server alive");
+        Ok(result)
+    }
+
+    /// This user's broadcast share (for an out-of-band sync-up).
+    pub fn sync_share(&self) -> SyncShare {
+        self.inner.sync_share()
+    }
+
+    /// Evaluates the sync-up success predicate.
+    pub fn sync_succeeds(&self, shares: &[SyncShare]) -> bool {
+        self.inner.sync_succeeds(shares)
+    }
+
+    /// Operations completed.
+    pub fn ops_done(&self) -> u64 {
+        self.ops
+    }
+
+    /// User id.
+    pub fn user(&self) -> UserId {
+        self.inner.user()
+    }
+}
+
+/// A Protocol II client bound to a running [`NetServer`]: one round trip
+/// per operation, no deposit.
+pub struct NetClient2 {
+    inner: Client2,
+    tx: Sender<Request>,
+    ops: u64,
+}
+
+impl NetClient2 {
+    /// Binds a client to `server`.
+    pub fn new(
+        user: UserId,
+        root0: &Digest,
+        config: ProtocolConfig,
+        server: &NetServer,
+    ) -> NetClient2 {
+        NetClient2 {
+            inner: Client2::new(user, root0, config),
+            tx: server.sender(),
+            ops: 0,
+        }
+    }
+
+    /// Executes one verified operation.
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
+        let resp = remote_op(&self.tx, self.inner.user(), op, self.ops);
+        self.ops += 1;
+        self.inner.handle_response(op, &resp)
+    }
+
+    /// This user's broadcast share.
+    pub fn sync_share(&self) -> SyncShare {
+        self.inner.sync_share()
+    }
+
+    /// Evaluates the sync-up success predicate.
+    pub fn sync_succeeds(&self, shares: &[SyncShare]) -> bool {
+        self.inner.sync_succeeds(shares)
+    }
+
+    /// Operations completed.
+    pub fn ops_done(&self) -> u64 {
+        self.ops
+    }
+
+    /// User id.
+    pub fn user(&self) -> UserId {
+        self.inner.user()
+    }
+}
+
+/// A Protocol III client bound to a running [`NetServer`]: deposits signed
+/// epoch states and performs its audit duties over the same channel.
+pub struct NetClient3 {
+    inner: tcvs_core::Client3,
+    tx: Sender<Request>,
+    ops: u64,
+    /// Client-side clock: rounds advance one per operation (the bench rig's
+    /// stand-in for wall time; epoch length is interpreted in ops).
+    round: u64,
+}
+
+impl NetClient3 {
+    /// Binds a client to `server`.
+    pub fn new(
+        keyring: Keyring,
+        registry: KeyRegistry,
+        n_users: u32,
+        root0: &Digest,
+        config: ProtocolConfig,
+        server: &NetServer,
+    ) -> NetClient3 {
+        NetClient3 {
+            inner: tcvs_core::Client3::new(keyring, registry, n_users, root0, config),
+            tx: server.sender(),
+            ops: 0,
+            round: 0,
+        }
+    }
+
+    /// Executes one verified operation at client clock `round`, forwarding
+    /// epoch-state deposits and running any due audit.
+    pub fn execute_at(&mut self, op: &Op, round: u64) -> Result<OpResult, Deviation> {
+        self.round = round;
+        let resp = remote_op(&self.tx, self.inner.user(), op, round);
+        self.ops += 1;
+        let (result, deposits) = self.inner.handle_response(op, &resp, round)?;
+        for d in deposits {
+            self.tx
+                .send(Request::EpochState(d))
+                .expect("server alive");
+        }
+        if let Some(epoch) = self.inner.pending_audit() {
+            let (rtx, rrx) = crossbeam::channel::bounded(1);
+            self.tx
+                .send(Request::FetchEpochStates {
+                    user: self.inner.user(),
+                    epoch,
+                    reply: rtx,
+                })
+                .expect("server alive");
+            let states = rrx.recv().expect("server replies");
+            let prev = if epoch == 0 {
+                None
+            } else {
+                let (ctx, crx) = crossbeam::channel::bounded(1);
+                self.tx
+                    .send(Request::FetchCheckpoint {
+                        user: self.inner.user(),
+                        epoch: epoch - 1,
+                        reply: ctx,
+                    })
+                    .expect("server alive");
+                crx.recv().expect("server replies")
+            };
+            let cp = self.inner.audit(epoch, &states, prev.as_ref())?;
+            self.tx.send(Request::Checkpoint(cp)).expect("server alive");
+        }
+        Ok(result)
+    }
+
+    /// Operations completed.
+    pub fn ops_done(&self) -> u64 {
+        self.ops
+    }
+
+    /// User id.
+    pub fn user(&self) -> UserId {
+        self.inner.user()
+    }
+}
+
+/// An unverifying client: the trusted-server baseline.
+pub struct NetClientTrusted {
+    user: UserId,
+    tx: Sender<Request>,
+    ops: u64,
+}
+
+impl NetClientTrusted {
+    /// Binds a baseline client to `server`.
+    pub fn new(user: UserId, server: &NetServer) -> NetClientTrusted {
+        NetClientTrusted {
+            user,
+            tx: server.sender(),
+            ops: 0,
+        }
+    }
+
+    /// Executes one unverified operation.
+    pub fn execute(&mut self, op: &Op) -> OpResult {
+        let resp = remote_op(&self.tx, self.user, op, self.ops);
+        self.ops += 1;
+        resp.result
+    }
+
+    /// Operations completed.
+    pub fn ops_done(&self) -> u64 {
+        self.ops
+    }
+}

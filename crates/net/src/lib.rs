@@ -1,0 +1,23 @@
+//! # tcvs-net
+//!
+//! A threaded deployment of the trusted-cvs protocols: one server thread
+//! serving crossbeam channels, client handles per user, and a throughput
+//! rig for the wall-clock experiments.
+//!
+//! Protocol I's blocking signature deposit is reproduced physically: the
+//! server thread refuses to take the next operation until the previous
+//! operation's signature has arrived — experiment E6 measures what that
+//! costs under contention, which is the paper's §4.3 motivation for
+//! Protocol II ("this additional blocking step affects throughput in
+//! systems with frequent updates").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bench_rig;
+mod client;
+mod server;
+
+pub use bench_rig::{run_throughput, ThroughputReport};
+pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted};
+pub use server::NetServer;

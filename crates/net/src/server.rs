@@ -1,0 +1,156 @@
+//! The threaded server: one thread owning a [`ServerApi`] implementation,
+//! serving requests over crossbeam channels.
+//!
+//! Protocol I's blocking step is *physically* reproduced: in blocking mode
+//! the server thread will not take the next operation until the previous
+//! client's signature deposit has arrived — this is what experiment E6's
+//! wall-clock throughput numbers measure.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use tcvs_core::{
+    Epoch, Op, ServerApi, ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, UserId,
+};
+
+/// A request to the server thread.
+pub(crate) enum Request {
+    Op {
+        user: UserId,
+        op: Op,
+        round: u64,
+        reply: Sender<ServerResponse>,
+    },
+    Signature {
+        user: UserId,
+        signed: SignedState,
+    },
+    EpochState(SignedEpochState),
+    FetchEpochStates {
+        user: UserId,
+        epoch: Epoch,
+        reply: Sender<Vec<SignedEpochState>>,
+    },
+    Checkpoint(SignedCheckpoint),
+    FetchCheckpoint {
+        user: UserId,
+        epoch: Epoch,
+        reply: Sender<Option<SignedCheckpoint>>,
+    },
+    Shutdown,
+}
+
+/// Handle to a running server thread.
+pub struct NetServer {
+    tx: Sender<Request>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Spawns the server thread over any (honest or adversarial) server
+    /// implementation. `blocking_signatures` reproduces Protocol I's extra
+    /// blocking message: after each *operation* the server waits for the
+    /// client's signature deposit before serving the next request.
+    pub fn spawn(mut inner: Box<dyn ServerApi + Send>, blocking_signatures: bool) -> NetServer {
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let join = std::thread::spawn(move || {
+            // Requests that arrived while the server was blocked waiting for
+            // a Protocol I signature deposit; replayed in arrival order.
+            let mut backlog: std::collections::VecDeque<Request> = Default::default();
+            loop {
+                let req = match backlog.pop_front() {
+                    Some(r) => r,
+                    None => match rx.recv() {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    },
+                };
+                match req {
+                    Request::Op {
+                        user,
+                        op,
+                        round,
+                        reply,
+                    } => {
+                        let resp = inner.handle_op(user, &op, round);
+                        // The reply channel may be dropped if the client
+                        // detected deviation and bailed; that's fine.
+                        let _ = reply.send(resp);
+                        if blocking_signatures {
+                            // Protocol I: the server may not serve the next
+                            // operation until this user's signature deposit
+                            // arrives. Other users' requests queue up behind
+                            // the block (that latency is the measured cost).
+                            loop {
+                                match rx.recv() {
+                                    Ok(Request::Signature { user: su, signed }) if su == user => {
+                                        inner.deposit_signature(su, signed);
+                                        break;
+                                    }
+                                    Ok(Request::Shutdown) | Err(_) => return,
+                                    Ok(other) => backlog.push_back(other),
+                                }
+                            }
+                        }
+                    }
+                    Request::Signature { user, signed } => {
+                        inner.deposit_signature(user, signed);
+                    }
+                    Request::EpochState(s) => inner.deposit_epoch_state(s),
+                    Request::FetchEpochStates { user, epoch, reply } => {
+                        let _ = reply.send(inner.fetch_epoch_states(user, epoch));
+                    }
+                    Request::Checkpoint(c) => inner.deposit_checkpoint(c),
+                    Request::FetchCheckpoint { user, epoch, reply } => {
+                        let _ = reply.send(inner.fetch_checkpoint(user, epoch));
+                    }
+                    Request::Shutdown => return,
+                }
+            }
+        });
+        NetServer {
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// A cloneable sender for client handles.
+    pub(crate) fn sender(&self) -> Sender<Request> {
+        self.tx.clone()
+    }
+
+    /// Stops the server thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Performs one remote operation (request/response round trip).
+pub(crate) fn remote_op(
+    tx: &Sender<Request>,
+    user: UserId,
+    op: &Op,
+    round: u64,
+) -> ServerResponse {
+    let (reply_tx, reply_rx) = bounded(1);
+    tx.send(Request::Op {
+        user,
+        op: op.clone(),
+        round,
+        reply: reply_tx,
+    })
+    .expect("server thread alive");
+    reply_rx.recv().expect("server replies")
+}

@@ -1,0 +1,113 @@
+//! Run reports: what a simulated execution produced and what it cost.
+
+use tcvs_core::{Deviation, ProtocolKind, UserId};
+
+/// The moment a user first *knew* the server had deviated (§2.2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectionEvent {
+    /// Global index of the operation (or sync/audit) at which detection
+    /// happened.
+    pub op_index: u64,
+    /// Round at which detection happened.
+    pub round: u64,
+    /// The user who detected.
+    pub by_user: UserId,
+    /// The evidence.
+    pub deviation: Deviation,
+    /// Operations executed system-wide after the violation (if the
+    /// violation point was known to the harness).
+    pub ops_after_violation: Option<u64>,
+    /// Maximum operations any single user completed after the violation —
+    /// the paper's `k`-bounded detection metric.
+    pub max_user_ops_after_violation: Option<u64>,
+}
+
+/// Outcome and cost accounting of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Protocol that was run.
+    pub protocol: ProtocolKind,
+    /// Operations executed (may be fewer than the trace if detection
+    /// stopped the run).
+    pub ops_executed: u64,
+    /// Round at which the run finished (server busy time included): the
+    /// makespan in rounds.
+    pub makespan_rounds: u64,
+    /// Client↔server messages.
+    pub msgs: u64,
+    /// Client↔server bytes (wire estimates).
+    pub bytes: u64,
+    /// Broadcast sync-up rounds performed.
+    pub sync_rounds: u64,
+    /// Broadcast traffic in bytes.
+    pub sync_bytes: u64,
+    /// Protocol III audits performed.
+    pub audits: u64,
+    /// First detection, if any.
+    pub detection: Option<DetectionEvent>,
+}
+
+impl RunReport {
+    /// True iff the run detected a deviation.
+    pub fn detected(&self) -> bool {
+        self.detection.is_some()
+    }
+
+    /// Average client↔server bytes per executed operation.
+    pub fn bytes_per_op(&self) -> f64 {
+        if self.ops_executed == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.ops_executed as f64
+        }
+    }
+
+    /// Average client↔server messages per executed operation.
+    pub fn msgs_per_op(&self) -> f64 {
+        if self.ops_executed == 0 {
+            0.0
+        } else {
+            self.msgs as f64 / self.ops_executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_op_metrics_handle_zero_ops() {
+        let r = RunReport {
+            protocol: ProtocolKind::Two,
+            ops_executed: 0,
+            makespan_rounds: 0,
+            msgs: 0,
+            bytes: 0,
+            sync_rounds: 0,
+            sync_bytes: 0,
+            audits: 0,
+            detection: None,
+        };
+        assert_eq!(r.bytes_per_op(), 0.0);
+        assert_eq!(r.msgs_per_op(), 0.0);
+        assert!(!r.detected());
+    }
+
+    #[test]
+    fn per_op_metrics_divide() {
+        let r = RunReport {
+            protocol: ProtocolKind::One,
+            ops_executed: 10,
+            makespan_rounds: 20,
+            msgs: 30,
+            bytes: 1000,
+            sync_rounds: 1,
+            sync_bytes: 64,
+            audits: 0,
+            detection: None,
+        };
+        assert_eq!(r.msgs_per_op(), 3.0);
+        assert_eq!(r.bytes_per_op(), 100.0);
+    }
+}

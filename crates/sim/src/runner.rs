@@ -1,0 +1,515 @@
+//! The round-based multi-agent runner (§2.1's system model, executable).
+//!
+//! The runner drives a trace of query actions against any [`ServerApi`]
+//! implementation — honest or adversarial — through the protocol clients,
+//! honouring the model's timing rules:
+//!
+//! * at most one query action per round;
+//! * messages delivered in one round;
+//! * Protocol I's signature deposit *blocks* the server for an extra round
+//!   (`b*`-bounded transactions with a larger `b*` — the measurable cost
+//!   that motivates Protocol II);
+//! * broadcast sync-ups occupy one round of their own.
+//!
+//! Detection stops the run: the paper assumes the first user to detect
+//! leaves the system and alerts the others out of band.
+
+use tcvs_core::{
+    Client1, Client2, Client3, Deviation, Digest, Op, ProtocolConfig, ProtocolKind, ServerApi,
+    SyncShare, UserId,
+};
+use tcvs_core::strawman::NaiveXorClient;
+use tcvs_crypto::setup_users;
+use tcvs_merkle::MerkleTree;
+use tcvs_workload::Trace;
+
+use crate::report::{DetectionEvent, RunReport};
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimSpec {
+    /// Which protocol the users speak.
+    pub protocol: ProtocolKind,
+    /// Protocol configuration (order, k, epoch length).
+    pub config: ProtocolConfig,
+    /// Number of users.
+    pub n_users: u32,
+    /// MSS tree height for signing protocols (capacity = 2^height sigs).
+    pub mss_height: u32,
+    /// Key-generation seed.
+    pub setup_seed: [u8; 32],
+    /// Whether to run one final sync-up after the trace ends (Protocols
+    /// I/II). Disable to model a system with **no external communication**
+    /// (§3 / Theorem 3.1).
+    pub final_sync: bool,
+}
+
+impl SimSpec {
+    /// A reasonable default spec for `protocol` with `n_users` users.
+    pub fn new(protocol: ProtocolKind, n_users: u32) -> SimSpec {
+        SimSpec {
+            protocol,
+            config: ProtocolConfig::default(),
+            n_users,
+            mss_height: 8,
+            setup_seed: [0xA5; 32],
+            final_sync: true,
+        }
+    }
+}
+
+/// The root digest of the empty initial database — common knowledge among
+/// users (the paper assumes `M(D₀)` is known to everyone).
+pub fn initial_root(config: &ProtocolConfig) -> Digest {
+    MerkleTree::with_order(config.order).root_digest()
+}
+
+enum ClientSet {
+    Trusted,
+    One(Vec<Client1>),
+    Two(Vec<Client2>),
+    Three(Vec<Client3>),
+    NaiveXor(Vec<NaiveXorClient>),
+}
+
+/// Wire-size estimate of an operation request.
+pub fn op_request_size(op: &Op) -> usize {
+    let body = match op {
+        Op::Get(k) => k.len(),
+        Op::Range(lo, hi) => {
+            lo.as_ref().map_or(0, |k| k.len()) + hi.as_ref().map_or(0, |k| k.len())
+        }
+        Op::Put(k, v) => k.len() + v.len(),
+        Op::Delete(k) => k.len(),
+    };
+    1 + 8 + body
+}
+
+/// Runs `trace` through `server` with fresh clients per `spec`.
+///
+/// `violation_op` is the harness's ground truth for when the server first
+/// deviates (global op index); it parameterizes the detection-delay metrics
+/// in the report. The runner itself never peeks at it.
+pub fn simulate(
+    spec: &SimSpec,
+    server: &mut dyn ServerApi,
+    trace: &Trace,
+    violation_op: Option<u64>,
+) -> RunReport {
+    let root0 = initial_root(&spec.config);
+    let mut clients = build_clients(spec, &root0);
+
+    // Protocol I initialization: elected user 0 signs h(M(D0) || 0).
+    if let ClientSet::One(cs) = &mut clients {
+        let init = cs[0].sign_initial(&root0).expect("fresh key");
+        server.deposit_signature(cs[0].user(), init);
+    }
+
+    let mut report = RunReport {
+        protocol: spec.protocol,
+        ops_executed: 0,
+        makespan_rounds: 0,
+        msgs: 0,
+        bytes: 0,
+        sync_rounds: 0,
+        sync_bytes: 0,
+        audits: 0,
+        detection: None,
+    };
+    let mut busy_until = 0u64;
+    let mut ops_per_user = vec![0u64; spec.n_users as usize];
+
+    let finish = |report: &mut RunReport,
+                  detection: Option<(u64, u64, UserId, Deviation)>,
+                  ops_per_user: &[u64],
+                  violation_op: Option<u64>| {
+        if let Some((op_index, round, by_user, deviation)) = detection {
+            let (after, max_user) = match violation_op {
+                Some(v) if op_index >= v => {
+                    // ops executed strictly after the violation point.
+                    let after = report.ops_executed.saturating_sub(v);
+                    // conservative per-user bound: recompute below.
+                    (Some(after), Some(ops_per_user.iter().copied().max().unwrap_or(0)))
+                }
+                _ => (None, None),
+            };
+            report.detection = Some(DetectionEvent {
+                op_index,
+                round,
+                by_user,
+                deviation,
+                ops_after_violation: after,
+                max_user_ops_after_violation: max_user,
+            });
+        }
+    };
+
+    // Per-user op counts *after* the violation point (for the k metric).
+    let mut ops_after_violation_per_user = vec![0u64; spec.n_users as usize];
+
+    for (idx, sop) in trace.ops().iter().enumerate() {
+        let round = sop.round.max(busy_until);
+        let resp = server.handle_op(sop.user, &sop.op, round);
+        report.msgs += 2;
+        report.bytes += (op_request_size(&sop.op) + resp.encoded_size()) as u64;
+        report.ops_executed += 1;
+        ops_per_user[sop.user as usize] += 1;
+        if let Some(v) = violation_op {
+            if idx as u64 >= v {
+                ops_after_violation_per_user[sop.user as usize] += 1;
+            }
+        }
+
+        let mut detection: Option<Deviation> = None;
+        let mut extra_rounds = 1u64;
+
+        match &mut clients {
+            ClientSet::Trusted => {}
+            ClientSet::One(cs) => {
+                let c = &mut cs[sop.user as usize];
+                match c.handle_response(&sop.op, &resp) {
+                    Ok((_result, deposit)) => {
+                        report.msgs += 1;
+                        report.bytes += deposit.encoded_size() as u64;
+                        server.deposit_signature(sop.user, deposit);
+                        extra_rounds = 2; // the blocking deposit round
+                    }
+                    Err(d) => detection = Some(d),
+                }
+            }
+            ClientSet::Two(cs) => {
+                if let Err(d) = cs[sop.user as usize].handle_response(&sop.op, &resp) {
+                    detection = Some(d);
+                }
+            }
+            ClientSet::NaiveXor(cs) => {
+                if let Err(d) = cs[sop.user as usize].handle_response(&sop.op, &resp) {
+                    detection = Some(d);
+                }
+            }
+            ClientSet::Three(cs) => {
+                match cs[sop.user as usize].handle_response(&sop.op, &resp, round) {
+                    Ok((_result, deposits)) => {
+                        for d in deposits {
+                            report.msgs += 1;
+                            report.bytes += d.encoded_size() as u64;
+                            server.deposit_epoch_state(d);
+                        }
+                        // Audit duty, if due.
+                        let c = &mut cs[sop.user as usize];
+                        if let Some(epoch) = c.pending_audit() {
+                            let states = server.fetch_epoch_states(sop.user, epoch);
+                            report.msgs += 2;
+                            report.bytes +=
+                                states.iter().map(|s| s.encoded_size() as u64).sum::<u64>();
+                            let prev = if epoch == 0 {
+                                None
+                            } else {
+                                report.msgs += 2;
+                                server.fetch_checkpoint(sop.user, epoch - 1)
+                            };
+                            report.audits += 1;
+                            match c.audit(epoch, &states, prev.as_ref()) {
+                                Ok(cp) => {
+                                    report.msgs += 1;
+                                    report.bytes += cp.encoded_size() as u64;
+                                    server.deposit_checkpoint(cp);
+                                }
+                                Err(d) => detection = Some(d),
+                            }
+                        }
+                    }
+                    Err(d) => detection = Some(d),
+                }
+            }
+        }
+
+        if let Some(dev) = detection {
+            report.makespan_rounds = round + extra_rounds;
+            let max_user = ops_after_violation_per_user.iter().copied().max();
+            finish(
+                &mut report,
+                Some((idx as u64, round, sop.user, dev)),
+                &ops_per_user,
+                violation_op,
+            );
+            if let (Some(ev), Some(m)) = (report.detection.as_mut(), max_user) {
+                ev.max_user_ops_after_violation = violation_op.map(|_| m);
+            }
+            return report;
+        }
+
+        busy_until = round + extra_rounds;
+        report.makespan_rounds = busy_until;
+
+        // Broadcast sync-up when any user hits k ops since the last one.
+        if let Some(dev) = maybe_sync(&mut clients, &mut report, &mut busy_until) {
+            let max_user = ops_after_violation_per_user.iter().copied().max();
+            finish(
+                &mut report,
+                Some((idx as u64, busy_until, sop.user, dev)),
+                &ops_per_user,
+                violation_op,
+            );
+            if let (Some(ev), Some(m)) = (report.detection.as_mut(), max_user) {
+                ev.max_user_ops_after_violation = violation_op.map(|_| m);
+            }
+            return report;
+        }
+    }
+
+    // Trace exhausted: one final sync-up so short traces still settle.
+    if !spec.final_sync {
+        return report;
+    }
+    if let Some(dev) = force_sync(&mut clients, &mut report, &mut busy_until) {
+        let max_user = ops_after_violation_per_user.iter().copied().max();
+        let n = trace.len() as u64;
+        finish(
+            &mut report,
+            Some((n, busy_until, 0, dev)),
+            &ops_per_user,
+            violation_op,
+        );
+        if let (Some(ev), Some(m)) = (report.detection.as_mut(), max_user) {
+            ev.max_user_ops_after_violation = violation_op.map(|_| m);
+        }
+    }
+    report
+}
+
+fn build_clients(spec: &SimSpec, root0: &Digest) -> ClientSet {
+    match spec.protocol {
+        ProtocolKind::Trusted => ClientSet::Trusted,
+        ProtocolKind::One => {
+            let (rings, registry) = setup_users(spec.setup_seed, spec.n_users, spec.mss_height);
+            ClientSet::One(
+                rings
+                    .into_iter()
+                    .map(|r| Client1::new(r, registry.clone(), spec.config))
+                    .collect(),
+            )
+        }
+        ProtocolKind::Two => ClientSet::Two(
+            (0..spec.n_users)
+                .map(|u| Client2::new(u, root0, spec.config))
+                .collect(),
+        ),
+        ProtocolKind::Three => {
+            let (rings, registry) = setup_users(spec.setup_seed, spec.n_users, spec.mss_height);
+            ClientSet::Three(
+                rings
+                    .into_iter()
+                    .map(|r| Client3::new(r, registry.clone(), spec.n_users, root0, spec.config))
+                    .collect(),
+            )
+        }
+        ProtocolKind::NaiveXor => ClientSet::NaiveXor(
+            (0..spec.n_users)
+                .map(|u| NaiveXorClient::new(u, root0, spec.config))
+                .collect(),
+        ),
+        ProtocolKind::TokenRing => {
+            panic!("token-ring uses the dedicated ring runner (tcvs_sim::token_ring)")
+        }
+    }
+}
+
+/// Runs a sync-up if any client's trigger fired. Returns a deviation if the
+/// sync-up failed for every user.
+fn maybe_sync(
+    clients: &mut ClientSet,
+    report: &mut RunReport,
+    busy_until: &mut u64,
+) -> Option<Deviation> {
+    let wants = match clients {
+        ClientSet::One(cs) => cs.iter().any(|c| c.wants_sync()),
+        ClientSet::Two(cs) => cs.iter().any(|c| c.wants_sync()),
+        _ => false,
+    };
+    if !wants {
+        return None;
+    }
+    force_sync(clients, report, busy_until)
+}
+
+/// Unconditionally performs a sync-up round for protocols that have one.
+fn force_sync(
+    clients: &mut ClientSet,
+    report: &mut RunReport,
+    busy_until: &mut u64,
+) -> Option<Deviation> {
+    let ok = match clients {
+        ClientSet::One(cs) => {
+            let shares: Vec<SyncShare> = cs.iter().map(|c| c.sync_share()).collect();
+            report.sync_rounds += 1;
+            report.sync_bytes += tcvs_core::sync::sync_traffic_bytes(&shares) as u64;
+            *busy_until += 1;
+            let ok = cs.iter().any(|c| c.sync_succeeds(&shares));
+            for c in cs.iter_mut() {
+                c.sync_done();
+            }
+            ok
+        }
+        ClientSet::Two(cs) => {
+            let shares: Vec<SyncShare> = cs.iter().map(|c| c.sync_share()).collect();
+            report.sync_rounds += 1;
+            report.sync_bytes += tcvs_core::sync::sync_traffic_bytes(&shares) as u64;
+            *busy_until += 1;
+            let ok = cs.iter().any(|c| c.sync_succeeds(&shares));
+            for c in cs.iter_mut() {
+                c.sync_done();
+            }
+            ok
+        }
+        ClientSet::NaiveXor(cs) => {
+            let shares: Vec<SyncShare> = cs.iter().map(|c| c.sync_share()).collect();
+            report.sync_rounds += 1;
+            report.sync_bytes += tcvs_core::sync::sync_traffic_bytes(&shares) as u64;
+            *busy_until += 1;
+            cs.iter().any(|c| c.sync_succeeds(&shares))
+        }
+        _ => true,
+    };
+    if ok {
+        None
+    } else {
+        Some(Deviation::SyncFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_core::HonestServer;
+    use tcvs_workload::{generate, OpMix, WorkloadSpec};
+
+    fn spec(protocol: ProtocolKind) -> SimSpec {
+        SimSpec {
+            protocol,
+            config: ProtocolConfig {
+                order: 8,
+                k: 8,
+                epoch_len: 50,
+            },
+            n_users: 3,
+            mss_height: 7,
+            setup_seed: [1; 32],
+            final_sync: true,
+        }
+    }
+
+    fn trace() -> Trace {
+        generate(&WorkloadSpec {
+            n_users: 3,
+            n_ops: 60,
+            key_space: 32,
+            mix: OpMix::read_heavy(),
+            ..WorkloadSpec::default()
+        })
+    }
+
+    #[test]
+    fn honest_runs_complete_undetected_for_all_protocols() {
+        for p in [
+            ProtocolKind::Trusted,
+            ProtocolKind::One,
+            ProtocolKind::Two,
+            ProtocolKind::NaiveXor,
+        ] {
+            let s = spec(p);
+            let mut server = HonestServer::new(&s.config);
+            let r = simulate(&s, &mut server, &trace(), None);
+            assert!(!r.detected(), "{p:?}: {:?}", r.detection);
+            assert_eq!(r.ops_executed, 60, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn protocol1_costs_more_messages_and_rounds_than_protocol2() {
+        let t = trace();
+        let s1 = spec(ProtocolKind::One);
+        let mut sv1 = HonestServer::new(&s1.config);
+        let r1 = simulate(&s1, &mut sv1, &t, None);
+        let s2 = spec(ProtocolKind::Two);
+        let mut sv2 = HonestServer::new(&s2.config);
+        let r2 = simulate(&s2, &mut sv2, &t, None);
+        assert!(r1.msgs_per_op() > r2.msgs_per_op());
+        assert!(r1.makespan_rounds > r2.makespan_rounds);
+        assert!(r1.bytes_per_op() > r2.bytes_per_op(), "signatures cost bytes");
+    }
+
+    #[test]
+    fn trusted_baseline_is_cheapest() {
+        let t = trace();
+        let st = spec(ProtocolKind::Trusted);
+        let mut sv = HonestServer::new(&st.config);
+        let rt = simulate(&st, &mut sv, &t, None);
+        let s2 = spec(ProtocolKind::Two);
+        let mut sv2 = HonestServer::new(&s2.config);
+        let r2 = simulate(&s2, &mut sv2, &t, None);
+        assert!(rt.msgs_per_op() <= r2.msgs_per_op());
+        assert_eq!(rt.sync_rounds, 0);
+        assert!(r2.sync_rounds >= 1);
+    }
+
+    #[test]
+    fn protocol3_runs_epoch_workload_cleanly() {
+        let s = SimSpec {
+            protocol: ProtocolKind::Three,
+            config: ProtocolConfig {
+                order: 8,
+                k: 8,
+                epoch_len: 24,
+            },
+            n_users: 3,
+            mss_height: 7,
+            setup_seed: [2; 32],
+            final_sync: true,
+        };
+        let t = tcvs_workload::generate_epoch_workload(
+            3,
+            6,
+            24,
+            2,
+            &WorkloadSpec {
+                key_space: 16,
+                ..WorkloadSpec::default()
+            },
+        );
+        let mut server = HonestServer::new(&s.config);
+        let r = simulate(&s, &mut server, &t, None);
+        assert!(!r.detected(), "{:?}", r.detection);
+        assert!(r.audits >= 3, "audits ran: {}", r.audits);
+    }
+
+    #[test]
+    fn fork_attack_detected_by_protocol2_sync() {
+        use tcvs_core::adversary::{ForkServer, Trigger};
+        let s = spec(ProtocolKind::Two);
+        let t = trace();
+        let mut server = ForkServer::new(&s.config, Trigger::AtCtr(20), &[0]);
+        let r = simulate(&s, &mut server, &t, Some(20));
+        assert!(r.detected());
+        let ev = r.detection.unwrap();
+        assert_eq!(ev.deviation, Deviation::SyncFailed);
+        // k-bounded: no user did more than k ops after the violation
+        // (sync triggers as soon as the first user reaches k).
+        assert!(ev.max_user_ops_after_violation.unwrap() <= s.config.k + 1);
+    }
+
+    #[test]
+    fn fork_attack_not_detected_without_sync_by_per_op_checks() {
+        use tcvs_core::adversary::{ForkServer, Trigger};
+        // Protocol II with k larger than the trace: sync never fires before
+        // the end-of-trace sync. Per-op checks alone never catch the fork.
+        let mut s = spec(ProtocolKind::Two);
+        s.config.k = 10_000;
+        let t = trace();
+        let mut server = ForkServer::new(&s.config, Trigger::AtCtr(20), &[0]);
+        let r = simulate(&s, &mut server, &t, Some(20));
+        // The final forced sync still catches it — but only at the end.
+        let ev = r.detection.expect("end-of-trace sync catches the fork");
+        assert_eq!(ev.op_index, 60, "not before the trace ended");
+    }
+}

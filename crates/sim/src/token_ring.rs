@@ -1,0 +1,100 @@
+//! Dedicated runner for the token-ring strawman (§2.2.3), used by
+//! experiment E7 to measure its workload-preservation violation.
+
+use tcvs_core::strawman::{null_op, TokenRingClient};
+use tcvs_core::{HonestServer, ProtocolConfig, ServerApi};
+use tcvs_crypto::setup_users;
+use tcvs_merkle::{u64_key, Op};
+
+use crate::runner::initial_root;
+
+/// Outcome of a ring run focused on one bursty user.
+#[derive(Clone, Debug)]
+pub struct RingReport {
+    /// Slots (global rounds) at which user 0's real operations executed.
+    pub burst_exec_slots: Vec<u64>,
+    /// Total slots driven.
+    pub slots: u64,
+    /// Signed null records written by idle users.
+    pub null_records: u64,
+}
+
+/// Runs a token ring of `n_users` where user 0 wants to perform `burst`
+/// operations back-to-back starting at slot 0, and everyone else is idle
+/// (writing signed nulls on their turns). Returns when user 0's burst has
+/// drained.
+///
+/// The §2.2.3 pathology in numbers: user 0's i-th burst op executes at slot
+/// `i · n_users`, so the latency between two of its consecutive ops is
+/// `n_users` slots — Θ(n) where Protocols I/II are Θ(1).
+pub fn run_burst_ring(n_users: u32, burst: u64, config: &ProtocolConfig) -> RingReport {
+    let (rings, registry) = setup_users([3u8; 32], n_users, 6);
+    let mut clients: Vec<TokenRingClient> = rings
+        .into_iter()
+        .map(|r| TokenRingClient::new(r, registry.clone(), n_users, *config))
+        .collect();
+    let mut server = HonestServer::new(config);
+    let root0 = initial_root(config);
+    let init = clients[0].sign_initial(&root0).expect("fresh key");
+    server.deposit_signature(0, init);
+
+    let mut report = RingReport {
+        burst_exec_slots: Vec::new(),
+        slots: 0,
+        null_records: 0,
+    };
+    let mut remaining = burst;
+    let mut slot = 0u64;
+    while remaining > 0 {
+        let u = (slot % n_users as u64) as usize;
+        let is_burst_op = u == 0;
+        let op: Op = if is_burst_op {
+            Op::Put(u64_key(slot), vec![slot as u8])
+        } else {
+            report.null_records += 1;
+            null_op()
+        };
+        let resp = server.handle_op(u as u32, &op, slot);
+        let (_result, deposit) = clients[u]
+            .handle_response(&op, !is_burst_op, &resp)
+            .expect("honest ring");
+        server.deposit_signature(u as u32, deposit);
+        if is_burst_op {
+            report.burst_exec_slots.push(slot);
+            remaining -= 1;
+        }
+        slot += 1;
+    }
+    report.slots = slot;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 8,
+            k: 8,
+            epoch_len: 100,
+        }
+    }
+
+    #[test]
+    fn burst_latency_is_linear_in_ring_size() {
+        for n in [2u32, 4, 8] {
+            let r = run_burst_ring(n, 3, &config());
+            assert_eq!(r.burst_exec_slots, vec![0, n as u64, 2 * n as u64]);
+            // Between consecutive burst ops, n-1 null records are written.
+            assert_eq!(r.null_records, 2 * (n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn single_user_ring_has_no_wait() {
+        let r = run_burst_ring(1, 5, &config());
+        assert_eq!(r.burst_exec_slots, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.null_records, 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Myers O(ND) diff over line sequences.
+//!
+//! CVS stores file revisions as line-based deltas; this module computes the
+//! minimal edit script between two line sequences using the greedy algorithm
+//! of Myers (1986), the same algorithm family GNU diff / RCS use.
+
+/// One operation of an edit script that rewrites `base` into `target`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Copy `len` lines from `base` starting at `base_start`.
+    Copy {
+        /// Starting line index in the base sequence.
+        base_start: usize,
+        /// Number of lines copied.
+        len: usize,
+    },
+    /// Insert these lines.
+    Insert(Vec<String>),
+}
+
+/// A full edit script: applying the ops in order to `base` yields `target`.
+pub type EditScript = Vec<DiffOp>;
+
+/// Computes the shortest edit script turning `base` into `target`.
+pub fn diff(base: &[String], target: &[String]) -> EditScript {
+    // Trim common prefix/suffix first: cheap and makes the core O(ND) run on
+    // the genuinely-different middle, which is tiny for typical commits.
+    let mut pre = 0;
+    while pre < base.len() && pre < target.len() && base[pre] == target[pre] {
+        pre += 1;
+    }
+    let mut suf = 0;
+    while suf < base.len() - pre && suf < target.len() - pre
+        && base[base.len() - 1 - suf] == target[target.len() - 1 - suf]
+    {
+        suf += 1;
+    }
+
+    let mid_base = &base[pre..base.len() - suf];
+    let mid_target = &target[pre..target.len() - suf];
+    let trace = myers_moves(mid_base, mid_target);
+
+    let mut script = EditScript::new();
+    if pre > 0 {
+        script.push(DiffOp::Copy {
+            base_start: 0,
+            len: pre,
+        });
+    }
+    // Convert the (keep/delete/insert) move list into compact ops, with base
+    // indices shifted by the trimmed prefix.
+    let mut i = 0; // index into mid_base
+    let mut pending_insert: Vec<String> = Vec::new();
+    let mut pending_copy: Option<(usize, usize)> = None;
+    let flush_copy = |script: &mut EditScript, pc: &mut Option<(usize, usize)>| {
+        if let Some((s, l)) = pc.take() {
+            script.push(DiffOp::Copy {
+                base_start: s,
+                len: l,
+            });
+        }
+    };
+    let flush_insert = |script: &mut EditScript, pi: &mut Vec<String>| {
+        if !pi.is_empty() {
+            script.push(DiffOp::Insert(std::mem::take(pi)));
+        }
+    };
+    for mv in trace {
+        match mv {
+            Move::Keep => {
+                flush_insert(&mut script, &mut pending_insert);
+                match &mut pending_copy {
+                    Some((s, l)) if *s + *l == pre + i => *l += 1,
+                    _ => {
+                        flush_copy(&mut script, &mut pending_copy);
+                        pending_copy = Some((pre + i, 1));
+                    }
+                }
+                i += 1;
+            }
+            Move::Delete => {
+                i += 1;
+            }
+            Move::Insert(line) => {
+                flush_copy(&mut script, &mut pending_copy);
+                pending_insert.push(line);
+            }
+        }
+    }
+    flush_copy(&mut script, &mut pending_copy);
+    flush_insert(&mut script, &mut pending_insert);
+    if suf > 0 {
+        // Merge with a preceding copy if contiguous.
+        let start = base.len() - suf;
+        if let Some(DiffOp::Copy { base_start, len }) = script.last_mut() {
+            if *base_start + *len == start {
+                *len += suf;
+                return script;
+            }
+        }
+        script.push(DiffOp::Copy {
+            base_start: start,
+            len: suf,
+        });
+    }
+    script
+}
+
+enum Move {
+    Keep,
+    Delete,
+    Insert(String),
+}
+
+/// Core Myers greedy algorithm; returns per-line moves for the middle
+/// sections (after common prefix/suffix trimming).
+fn myers_moves(a: &[String], b: &[String]) -> Vec<Move> {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 {
+        return b.iter().map(|l| Move::Insert(l.clone())).collect();
+    }
+    if m == 0 {
+        return (0..n).map(|_| Move::Delete).collect();
+    }
+
+    let max = n + m;
+    let offset = max as isize;
+    // v[k + offset] = furthest x on diagonal k.
+    let mut v = vec![0usize; 2 * max + 1];
+    // Trace of v arrays per d, for backtracking.
+    let mut trace: Vec<Vec<usize>> = Vec::new();
+
+    'outer: for d in 0..=(max as isize) {
+        trace.push(v.clone());
+        let mut k = -d;
+        while k <= d {
+            let ki = (k + offset) as usize;
+            let mut x = if k == -d || (k != d && v[ki - 1] < v[ki + 1]) {
+                v[ki + 1]
+            } else {
+                v[ki - 1] + 1
+            };
+            let mut y = (x as isize - k) as usize;
+            while x < n && y < m && a[x] == b[y] {
+                x += 1;
+                y += 1;
+            }
+            v[ki] = x;
+            if x >= n && y >= m {
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+
+    // Backtrack from (n, m).
+    let mut moves_rev: Vec<Move> = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    for d in (1..trace.len()).rev() {
+        let v = &trace[d];
+        let k = x as isize - y as isize;
+        let ki = (k + offset) as usize;
+        let down = k == -(d as isize) || (k != d as isize && v[ki - 1] < v[ki + 1]);
+        let prev_k = if down { k + 1 } else { k - 1 };
+        let prev_x = v[(prev_k + offset) as usize];
+        let prev_y = (prev_x as isize - prev_k) as usize;
+        // Snake (diagonal run of keeps).
+        while x > prev_x && y > prev_y && x > 0 && y > 0 {
+            moves_rev.push(Move::Keep);
+            x -= 1;
+            y -= 1;
+        }
+        if down {
+            moves_rev.push(Move::Insert(b[prev_y].clone()));
+            y = prev_y;
+        } else {
+            moves_rev.push(Move::Delete);
+            x = prev_x;
+        }
+    }
+    // Leading snake at d = 0.
+    while x > 0 && y > 0 {
+        moves_rev.push(Move::Keep);
+        x -= 1;
+        y -= 1;
+    }
+    debug_assert_eq!(x, 0);
+    debug_assert_eq!(y, 0);
+    moves_rev.reverse();
+    moves_rev
+}
+
+/// Number of lines the script inserts (size accounting for delta storage).
+pub fn inserted_lines(script: &EditScript) -> usize {
+    script
+        .iter()
+        .map(|op| match op {
+            DiffOp::Copy { .. } => 0,
+            DiffOp::Insert(lines) => lines.len(),
+        })
+        .sum()
+}
+
+/// Renders a human-readable unified-style diff (used by `cvs diff`).
+pub fn render_unified(base: &[String], target: &[String]) -> String {
+    let script = diff(base, target);
+    let mut out = String::new();
+    let mut base_pos = 0usize;
+    for op in &script {
+        match op {
+            DiffOp::Copy { base_start, len } => {
+                for line in &base[base_pos..*base_start] {
+                    out.push_str("- ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                for line in &base[*base_start..*base_start + *len] {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                base_pos = base_start + len;
+            }
+            DiffOp::Insert(lines) => {
+                for line in lines {
+                    out.push_str("+ ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    for line in &base[base_pos..] {
+        out.push_str("- ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits text into lines (without terminators) for diffing.
+pub fn to_lines(text: &str) -> Vec<String> {
+    if text.is_empty() {
+        return Vec::new();
+    }
+    text.lines().map(str::to_string).collect()
+}
+
+/// Joins lines back into text with trailing newline per line.
+pub fn from_lines(lines: &[String]) -> String {
+    let mut s = String::new();
+    for l in lines {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::apply;
+
+    fn lines(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_inputs_one_copy() {
+        let a = lines(&["x", "y", "z"]);
+        let s = diff(&a, &a);
+        assert_eq!(
+            s,
+            vec![DiffOp::Copy {
+                base_start: 0,
+                len: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_to_full_and_back() {
+        let a: Vec<String> = vec![];
+        let b = lines(&["new file", "content"]);
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+        let s2 = diff(&b, &a);
+        assert_eq!(apply(&b, &s2).unwrap(), a);
+    }
+
+    #[test]
+    fn single_line_change() {
+        let a = lines(&["fn main() {", "    old();", "}"]);
+        let b = lines(&["fn main() {", "    new();", "}"]);
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+        assert_eq!(inserted_lines(&s), 1);
+    }
+
+    #[test]
+    fn insertion_in_middle() {
+        let a = lines(&["a", "b", "c"]);
+        let b = lines(&["a", "b", "b2", "c"]);
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+    }
+
+    #[test]
+    fn deletion_at_ends() {
+        let a = lines(&["first", "keep", "last"]);
+        let b = lines(&["keep"]);
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+    }
+
+    #[test]
+    fn completely_different() {
+        let a = lines(&["1", "2", "3"]);
+        let b = lines(&["x", "y"]);
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+    }
+
+    #[test]
+    fn repeated_lines() {
+        let a = lines(&["dup", "dup", "dup", "x", "dup"]);
+        let b = lines(&["dup", "x", "dup", "dup"]);
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+    }
+
+    #[test]
+    fn myers_is_minimal_for_known_case() {
+        // Classic example: ABCABBA -> CBABAC has edit distance 5.
+        let a: Vec<String> = "ABCABBA".chars().map(|c| c.to_string()).collect();
+        let b: Vec<String> = "CBABAC".chars().map(|c| c.to_string()).collect();
+        let s = diff(&a, &b);
+        assert_eq!(apply(&a, &s).unwrap(), b);
+        let copies: usize = s
+            .iter()
+            .map(|op| match op {
+                DiffOp::Copy { len, .. } => *len,
+                _ => 0,
+            })
+            .sum();
+        let inserts = inserted_lines(&s);
+        let deletes = a.len() - copies;
+        assert_eq!(inserts + deletes, 5, "script {s:?}");
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let text = "a\nb\nc\n";
+        let ls = to_lines(text);
+        assert_eq!(ls, lines(&["a", "b", "c"]));
+        assert_eq!(from_lines(&ls), text);
+        assert!(to_lines("").is_empty());
+    }
+
+    #[test]
+    fn unified_rendering_marks_changes() {
+        let a = lines(&["keep", "remove", "keep2"]);
+        let b = lines(&["keep", "added", "keep2"]);
+        let r = render_unified(&a, &b);
+        assert!(r.contains("- remove"));
+        assert!(r.contains("+ added"));
+        assert!(r.contains("  keep"));
+    }
+}

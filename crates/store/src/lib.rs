@@ -1,0 +1,32 @@
+//! # tcvs-store
+//!
+//! The versioning substrate beneath the CVS front end: Myers line diffs,
+//! patch application, RCS-style reverse-delta revision chains, and a plain
+//! (unauthenticated) repository model used as the trusted baseline in the
+//! end-to-end experiments.
+//!
+//! ```
+//! use tcvs_store::{Repository, to_lines};
+//!
+//! let mut repo = Repository::new();
+//! repo.commit("alice", "import", 1,
+//!     vec![("Common.h".into(), to_lines("#pragma once\n"))]).unwrap();
+//! repo.commit("bob", "fix", 2,
+//!     vec![("Common.h".into(), to_lines("#pragma once\n#define N 4\n"))]).unwrap();
+//! assert_eq!(repo.checkout_at("Common.h", 1).unwrap(), to_lines("#pragma once\n"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod enc;
+pub mod patch;
+pub mod repo;
+pub mod revision;
+
+pub use diff::{diff, from_lines, inserted_lines, render_unified, to_lines, DiffOp, EditScript};
+pub use enc::{DecodeError, Reader, Writer};
+pub use patch::{apply, PatchError};
+pub use repo::{CommitId, CommitRecord, RepoError, Repository};
+pub use revision::{FileHistory, HistoryError, RevMeta, RevNo};

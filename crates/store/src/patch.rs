@@ -1,0 +1,107 @@
+//! Applying edit scripts produced by [`mod@crate::diff`].
+
+use std::fmt;
+
+use crate::diff::{DiffOp, EditScript};
+
+/// Errors from applying a malformed or mismatched edit script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// A copy op referenced lines beyond the base sequence.
+    CopyOutOfRange {
+        /// Requested start line.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Base sequence length.
+        base_len: usize,
+    },
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::CopyOutOfRange { start, len, base_len } => write!(
+                f,
+                "copy [{start}, {}) out of range for base of {base_len} lines",
+                start + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Applies `script` to `base`, producing the target sequence.
+pub fn apply(base: &[String], script: &EditScript) -> Result<Vec<String>, PatchError> {
+    let mut out = Vec::new();
+    for op in script {
+        match op {
+            DiffOp::Copy { base_start, len } => {
+                let end = base_start.checked_add(*len).filter(|&e| e <= base.len());
+                match end {
+                    Some(end) => out.extend_from_slice(&base[*base_start..end]),
+                    None => {
+                        return Err(PatchError::CopyOutOfRange {
+                            start: *base_start,
+                            len: *len,
+                            base_len: base.len(),
+                        })
+                    }
+                }
+            }
+            DiffOp::Insert(lines) => out.extend_from_slice(lines),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff;
+
+    fn lines(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn apply_round_trip() {
+        let a = lines(&["one", "two", "three", "four"]);
+        let b = lines(&["one", "2", "three", "four", "five"]);
+        assert_eq!(apply(&a, &diff(&a, &b)).unwrap(), b);
+    }
+
+    #[test]
+    fn out_of_range_copy_rejected() {
+        let a = lines(&["only"]);
+        let script = vec![DiffOp::Copy {
+            base_start: 0,
+            len: 5,
+        }];
+        assert_eq!(
+            apply(&a, &script),
+            Err(PatchError::CopyOutOfRange {
+                start: 0,
+                len: 5,
+                base_len: 1
+            })
+        );
+    }
+
+    #[test]
+    fn overflowing_copy_rejected() {
+        let a = lines(&["x"]);
+        let script = vec![DiffOp::Copy {
+            base_start: usize::MAX,
+            len: 2,
+        }];
+        assert!(apply(&a, &script).is_err());
+    }
+
+    #[test]
+    fn empty_script_yields_empty() {
+        let a = lines(&["a", "b"]);
+        assert_eq!(apply(&a, &vec![]).unwrap(), Vec::<String>::new());
+    }
+}

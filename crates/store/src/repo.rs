@@ -1,0 +1,230 @@
+//! A plain (unauthenticated) CVS-style repository: the trusted baseline.
+//!
+//! This is what a conventional CVS server keeps on disk: per-file revision
+//! histories plus a global commit log. `tcvs-cvs` maps the same model onto
+//! the *authenticated* database; benchmarks compare the two (experiment E9).
+
+use std::collections::BTreeMap;
+
+use crate::revision::{FileHistory, HistoryError, RevMeta, RevNo};
+
+/// A repository-wide commit identifier (1-based, dense).
+pub type CommitId = u64;
+
+/// One entry of the global commit log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Dense commit id.
+    pub id: CommitId,
+    /// Committing user.
+    pub author: String,
+    /// Commit message.
+    pub message: String,
+    /// Logical timestamp.
+    pub stamp: u64,
+    /// Files changed: `(path, new revision)`.
+    pub files: Vec<(String, RevNo)>,
+}
+
+/// Errors from repository operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepoError {
+    /// Path not present in the repository.
+    NoSuchFile(String),
+    /// Underlying history failure.
+    History(HistoryError),
+    /// A commit listed no files.
+    EmptyCommit,
+}
+
+impl std::fmt::Display for RepoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepoError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            RepoError::History(e) => write!(f, "history error: {e}"),
+            RepoError::EmptyCommit => write!(f, "commit changes no files"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {}
+
+impl From<HistoryError> for RepoError {
+    fn from(e: HistoryError) -> RepoError {
+        RepoError::History(e)
+    }
+}
+
+/// An in-memory CVS repository.
+#[derive(Clone, Debug, Default)]
+pub struct Repository {
+    files: BTreeMap<String, FileHistory>,
+    log: Vec<CommitRecord>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Commits a set of file changes atomically; returns the commit id.
+    /// Files not previously present are created at revision 1.
+    pub fn commit(
+        &mut self,
+        author: &str,
+        message: &str,
+        stamp: u64,
+        changes: Vec<(String, Vec<String>)>,
+    ) -> Result<CommitId, RepoError> {
+        if changes.is_empty() {
+            return Err(RepoError::EmptyCommit);
+        }
+        let id = self.log.len() as CommitId + 1;
+        let mut touched = Vec::with_capacity(changes.len());
+        for (path, content) in changes {
+            let meta = RevMeta {
+                author: author.to_string(),
+                message: message.to_string(),
+                stamp,
+            };
+            let rev = match self.files.get_mut(&path) {
+                Some(h) => h.commit(content, meta),
+                None => {
+                    self.files.insert(path.clone(), FileHistory::create(content, meta));
+                    1
+                }
+            };
+            touched.push((path, rev));
+        }
+        self.log.push(CommitRecord {
+            id,
+            author: author.to_string(),
+            message: message.to_string(),
+            stamp,
+            files: touched,
+        });
+        Ok(id)
+    }
+
+    /// Head content of `path`.
+    pub fn checkout(&self, path: &str) -> Result<&[String], RepoError> {
+        self.files
+            .get(path)
+            .map(|h| h.head_content())
+            .ok_or_else(|| RepoError::NoSuchFile(path.to_string()))
+    }
+
+    /// Content of `path` at `rev`.
+    pub fn checkout_at(&self, path: &str, rev: RevNo) -> Result<Vec<String>, RepoError> {
+        let h = self
+            .files
+            .get(path)
+            .ok_or_else(|| RepoError::NoSuchFile(path.to_string()))?;
+        Ok(h.content_at(rev)?)
+    }
+
+    /// The file's history (for log/annotate).
+    pub fn history(&self, path: &str) -> Result<&FileHistory, RepoError> {
+        self.files
+            .get(path)
+            .ok_or_else(|| RepoError::NoSuchFile(path.to_string()))
+    }
+
+    /// Global commit log, oldest first.
+    pub fn log(&self) -> &[CommitRecord] {
+        &self.log
+    }
+
+    /// All tracked paths, sorted.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Number of tracked files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn commit_checkout_cycle() {
+        let mut r = Repository::new();
+        let id = r
+            .commit(
+                "alice",
+                "initial import",
+                1,
+                vec![
+                    ("Common.h".into(), lines(&["#pragma once"])),
+                    ("main.c".into(), lines(&["int main(){}"])),
+                ],
+            )
+            .unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(r.checkout("Common.h").unwrap(), &lines(&["#pragma once"])[..]);
+        assert_eq!(r.file_count(), 2);
+    }
+
+    #[test]
+    fn multi_revision_history() {
+        let mut r = Repository::new();
+        r.commit("a", "c1", 1, vec![("f".into(), lines(&["v1"]))]).unwrap();
+        r.commit("b", "c2", 2, vec![("f".into(), lines(&["v2"]))]).unwrap();
+        r.commit("a", "c3", 3, vec![("f".into(), lines(&["v3"]))]).unwrap();
+        assert_eq!(r.checkout_at("f", 1).unwrap(), lines(&["v1"]));
+        assert_eq!(r.checkout_at("f", 2).unwrap(), lines(&["v2"]));
+        assert_eq!(r.checkout("f").unwrap(), &lines(&["v3"])[..]);
+        assert_eq!(r.history("f").unwrap().head_rev(), 3);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let r = Repository::new();
+        assert!(matches!(r.checkout("nope"), Err(RepoError::NoSuchFile(_))));
+        assert!(matches!(r.checkout_at("nope", 1), Err(RepoError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn empty_commit_rejected() {
+        let mut r = Repository::new();
+        assert_eq!(r.commit("a", "m", 1, vec![]), Err(RepoError::EmptyCommit));
+        assert!(r.log().is_empty());
+    }
+
+    #[test]
+    fn log_records_touched_files() {
+        let mut r = Repository::new();
+        r.commit("a", "c1", 1, vec![("x".into(), lines(&["1"]))]).unwrap();
+        r.commit(
+            "b",
+            "c2",
+            2,
+            vec![("x".into(), lines(&["2"])), ("y".into(), lines(&["1"]))],
+        )
+        .unwrap();
+        let log = r.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].files, vec![("x".to_string(), 2), ("y".to_string(), 1)]);
+        assert_eq!(log[1].author, "b");
+    }
+
+    #[test]
+    fn paths_sorted() {
+        let mut r = Repository::new();
+        r.commit("a", "m", 1, vec![
+            ("zebra".into(), lines(&["z"])),
+            ("alpha".into(), lines(&["a"])),
+        ]).unwrap();
+        let ps: Vec<&str> = r.paths().collect();
+        assert_eq!(ps, vec!["alpha", "zebra"]);
+    }
+}

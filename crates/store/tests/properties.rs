@@ -1,0 +1,68 @@
+//! Property tests for the versioning substrate: diff/patch round trips on
+//! arbitrary line sequences and full-history reconstruction.
+
+use proptest::prelude::*;
+use tcvs_store::{apply, diff, FileHistory, RevMeta};
+
+fn line_strategy() -> impl Strategy<Value = String> {
+    // A small alphabet maximizes repeated lines, the hard case for diffs.
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('x')], 0..4)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn file_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(line_strategy(), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `patch(a, diff(a, b)) == b` for arbitrary line files.
+    #[test]
+    fn diff_patch_round_trip(a in file_strategy(), b in file_strategy()) {
+        let script = diff(&a, &b);
+        prop_assert_eq!(apply(&a, &script).unwrap(), b);
+    }
+
+    /// The edit script never claims more copied lines than the base has.
+    #[test]
+    fn diff_copies_are_in_bounds(a in file_strategy(), b in file_strategy()) {
+        for op in diff(&a, &b) {
+            if let tcvs_store::DiffOp::Copy { base_start, len } = op {
+                prop_assert!(base_start + len <= a.len());
+            }
+        }
+    }
+
+    /// A reverse-delta chain reconstructs every revision exactly, and
+    /// survives a serialization round trip.
+    #[test]
+    fn history_reconstructs_all_revisions(
+        versions in proptest::collection::vec(file_strategy(), 1..12),
+    ) {
+        let meta = |i: u64| RevMeta {
+            author: format!("user{}", i % 3),
+            message: format!("commit {i}"),
+            stamp: i,
+        };
+        let mut h = FileHistory::create(versions[0].clone(), meta(0));
+        for (i, v) in versions.iter().enumerate().skip(1) {
+            h.commit(v.clone(), meta(i as u64));
+        }
+        prop_assert_eq!(h.head_rev() as usize, versions.len());
+        for (i, v) in versions.iter().enumerate() {
+            prop_assert_eq!(&h.content_at(i as u32 + 1).unwrap(), v);
+        }
+        let back = FileHistory::from_bytes(&h.to_bytes()).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    /// Diffing a file against itself yields a script with zero insertions
+    /// (pure copy) — the minimality sanity floor.
+    #[test]
+    fn self_diff_is_pure_copy(a in file_strategy()) {
+        let script = diff(&a, &a);
+        prop_assert_eq!(tcvs_store::inserted_lines(&script), 0);
+        prop_assert_eq!(apply(&a, &script).unwrap(), a);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tcvs-workload
+//!
+//! Workload generation for the trusted-cvs experiments: CVS-flavoured
+//! operation mixes over Zipf-skewed keyspaces, epoch-respecting schedules
+//! for Protocol III, and the §3.1 **partitionable workloads** behind the
+//! impossibility result.
+//!
+//! ```
+//! use tcvs_workload::{generate, WorkloadSpec, OpMix};
+//!
+//! let trace = generate(&WorkloadSpec {
+//!     n_users: 3,
+//!     n_ops: 100,
+//!     mix: OpMix::write_heavy(),
+//!     ..WorkloadSpec::default()
+//! });
+//! assert_eq!(trace.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod mix;
+mod partitionable;
+mod trace;
+mod zipf;
+
+pub use mix::{generate, generate_epoch_workload, OpMix, WorkloadSpec};
+pub use partitionable::{partitionable, PartitionSpec, PartitionableWorkload};
+pub use trace::{ScheduledOp, Trace};
+pub use zipf::Zipf;

@@ -1,0 +1,244 @@
+//! Operation-mix generators: CVS-flavoured workloads over a keyspace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcvs_core::{Op, UserId};
+use tcvs_merkle::u64_key;
+
+use crate::trace::{ScheduledOp, Trace};
+use crate::zipf::Zipf;
+
+/// Relative operation weights. Typical CVS traffic is checkout-heavy with a
+/// meaningful commit stream.
+#[derive(Clone, Copy, Debug)]
+pub struct OpMix {
+    /// Weight of point reads (checkout of one file).
+    pub get: u32,
+    /// Weight of range reads (checkout of a directory).
+    pub range: u32,
+    /// Weight of inserts/updates (commit).
+    pub put: u32,
+    /// Weight of deletes (file removal).
+    pub delete: u32,
+}
+
+impl OpMix {
+    /// Checkout-heavy mix (80% reads).
+    pub fn read_heavy() -> OpMix {
+        OpMix {
+            get: 70,
+            range: 10,
+            put: 18,
+            delete: 2,
+        }
+    }
+
+    /// Commit-heavy mix (75% updates): the regime where Protocol I's extra
+    /// blocking message hurts most.
+    pub fn write_heavy() -> OpMix {
+        OpMix {
+            get: 20,
+            range: 5,
+            put: 70,
+            delete: 5,
+        }
+    }
+
+    /// Updates only.
+    pub fn update_only() -> OpMix {
+        OpMix {
+            get: 0,
+            range: 0,
+            put: 100,
+            delete: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.get + self.range + self.put + self.delete
+    }
+}
+
+/// Parameters for the general workload generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of users issuing operations.
+    pub n_users: u32,
+    /// Total number of operations.
+    pub n_ops: usize,
+    /// Keyspace size (number of distinct "files").
+    pub key_space: u64,
+    /// Zipf exponent for key popularity (0 = uniform).
+    pub zipf_theta: f64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Value size in bytes for updates.
+    pub value_len: usize,
+    /// Rounds between consecutive operations (≥ 1; the paper issues at most
+    /// one query action per round).
+    pub round_gap: u64,
+    /// RNG seed (runs are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_users: 4,
+            n_ops: 1000,
+            key_space: 256,
+            zipf_theta: 0.9,
+            mix: OpMix::read_heavy(),
+            value_len: 64,
+            round_gap: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a trace: users drawn uniformly, keys Zipf-distributed, ops per
+/// the mix.
+pub fn generate(spec: &WorkloadSpec) -> Trace {
+    assert!(spec.n_users > 0 && spec.mix.total() > 0 && spec.round_gap > 0);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.key_space as usize, spec.zipf_theta);
+    let mut ops = Vec::with_capacity(spec.n_ops);
+    for i in 0..spec.n_ops {
+        let user: UserId = rng.gen_range(0..spec.n_users);
+        let key = zipf.sample(&mut rng) as u64;
+        let roll = rng.gen_range(0..spec.mix.total());
+        let op = if roll < spec.mix.get {
+            Op::Get(u64_key(key))
+        } else if roll < spec.mix.get + spec.mix.range {
+            let span = rng.gen_range(1..=8);
+            Op::Range(Some(u64_key(key)), Some(u64_key(key + span)))
+        } else if roll < spec.mix.get + spec.mix.range + spec.mix.put {
+            let mut value = vec![0u8; spec.value_len];
+            rng.fill(&mut value[..]);
+            Op::Put(u64_key(key), value)
+        } else {
+            Op::Delete(u64_key(key))
+        };
+        ops.push(ScheduledOp {
+            round: i as u64 * spec.round_gap,
+            user,
+            op,
+        });
+    }
+    Trace::new(ops)
+}
+
+/// Generates an epoch-respecting trace for Protocol III: every user performs
+/// at least `ops_per_epoch ≥ 2` operations in every epoch of length
+/// `epoch_len`, for `epochs` epochs.
+pub fn generate_epoch_workload(
+    n_users: u32,
+    epochs: u64,
+    epoch_len: u64,
+    ops_per_epoch: u64,
+    spec: &WorkloadSpec,
+) -> Trace {
+    assert!(ops_per_epoch >= 2, "Protocol III needs ≥ 2 ops per epoch");
+    let slots = n_users as u64 * ops_per_epoch;
+    assert!(
+        slots <= epoch_len,
+        "epoch too short: {slots} ops into {epoch_len} rounds"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.key_space as usize, spec.zipf_theta);
+    let mut ops = Vec::new();
+    for e in 0..epochs {
+        for j in 0..ops_per_epoch {
+            for u in 0..n_users {
+                // Deterministic slot spread inside the epoch.
+                let slot = j * n_users as u64 + u as u64;
+                let round = e * epoch_len + slot * (epoch_len / slots);
+                let key = zipf.sample(&mut rng) as u64;
+                // Respect the spec's mix, collapsed to get-vs-put (epoch
+                // workloads exercise the protocol, not the range machinery).
+                let updates = spec.mix.put + spec.mix.delete;
+                let reads = spec.mix.get + spec.mix.range;
+                let op = if rng.gen_range(0..(updates + reads).max(1)) < updates {
+                    let mut value = vec![0u8; spec.value_len];
+                    rng.fill(&mut value[..]);
+                    Op::Put(u64_key(key), value)
+                } else {
+                    Op::Get(u64_key(key))
+                };
+                ops.push(ScheduledOp { round, user: u, op });
+            }
+        }
+    }
+    Trace::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_respects_count_and_users() {
+        let spec = WorkloadSpec {
+            n_users: 3,
+            n_ops: 300,
+            ..WorkloadSpec::default()
+        };
+        let t = generate(&spec);
+        assert_eq!(t.len(), 300);
+        let m = t.ops_per_user();
+        assert_eq!(m.len(), 3, "all users participate: {m:?}");
+        assert!(t.ops().iter().all(|s| s.user < 3));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = WorkloadSpec::default();
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.ops(), b.ops());
+        let c = generate(&WorkloadSpec {
+            seed: 43,
+            ..spec
+        });
+        assert_ne!(a.ops(), c.ops());
+    }
+
+    #[test]
+    fn mix_shapes_update_fraction() {
+        let read = generate(&WorkloadSpec {
+            mix: OpMix::read_heavy(),
+            n_ops: 2000,
+            ..WorkloadSpec::default()
+        });
+        let write = generate(&WorkloadSpec {
+            mix: OpMix::write_heavy(),
+            n_ops: 2000,
+            ..WorkloadSpec::default()
+        });
+        assert!(read.update_fraction() < 0.3);
+        assert!(write.update_fraction() > 0.6);
+    }
+
+    #[test]
+    fn epoch_workload_meets_protocol3_requirement() {
+        let spec = WorkloadSpec::default();
+        let t = generate_epoch_workload(3, 4, 60, 2, &spec);
+        // Every user has ≥ 2 ops in every epoch.
+        for e in 0..4u64 {
+            for u in 0..3u32 {
+                let count = t
+                    .ops()
+                    .iter()
+                    .filter(|s| s.user == u && s.round / 60 == e)
+                    .count();
+                assert!(count >= 2, "user {u} epoch {e}: {count}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn epoch_workload_rejects_single_op() {
+        generate_epoch_workload(2, 1, 100, 1, &WorkloadSpec::default());
+    }
+}

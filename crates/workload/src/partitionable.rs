@@ -1,0 +1,176 @@
+//! Partitionable workloads (§3.1): the workload class that makes bounded
+//! deviation detection impossible without external communication.
+//!
+//! The paper's running example: a US programmer commits `Common.h` (t₁) and
+//! goes offline; a programmer in China makes a causally dependent change
+//! (t₂) and then k+1 further changes before the US programmer returns. A
+//! malicious server can serve group B a history in which t₁ never happened
+//! — the partition attack of Fig. 1 — and, absent external communication,
+//! no one can tell within any bound.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcvs_core::{Op, UserId};
+use tcvs_merkle::u64_key;
+
+use crate::trace::{ScheduledOp, Trace};
+
+/// A generated partitionable workload plus the structural markers the
+/// experiments need.
+#[derive(Clone, Debug)]
+pub struct PartitionableWorkload {
+    /// The full trace.
+    pub trace: Trace,
+    /// Users in group A (the side that goes offline; the US programmer).
+    pub group_a: Vec<UserId>,
+    /// Users in group B (the side that keeps working).
+    pub group_b: Vec<UserId>,
+    /// Global op index of t₁ (group A's last causally relevant commit):
+    /// the natural fork trigger for the adversary.
+    pub t1_index: u64,
+    /// Key that t₁ writes and t₂ depends on (the shared `Common.h`).
+    pub shared_key: u64,
+    /// Number of operations group B performs after t₂ (the "k + 1").
+    pub tail_ops: u64,
+}
+
+/// Parameters for [`partitionable`].
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    /// Total users; split half/half into groups A and B.
+    pub n_users: u32,
+    /// Warm-up operations before t₁ (both groups active, shared history).
+    pub warmup_ops: u64,
+    /// Operations group B performs after t₂ — choose `k + 1` to defeat a
+    /// `k`-bounded detector that lacks external communication.
+    pub tail_ops: u64,
+    /// Keyspace for the warm-up and tail operations.
+    pub key_space: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        PartitionSpec {
+            n_users: 4,
+            warmup_ops: 20,
+            tail_ops: 17,
+            key_space: 64,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds the §3.1 workload:
+///
+/// 1. `warmup_ops` mixed operations by everyone (common prefix, rounds
+///    `0 .. warmup`),
+/// 2. **t₁**: a group-A user commits the shared key, then all of group A
+///    goes offline,
+/// 3. **t₂**: a group-B user reads the shared key (causal dependence),
+/// 4. group B performs `tail_ops` further operations.
+pub fn partitionable(spec: &PartitionSpec) -> PartitionableWorkload {
+    assert!(spec.n_users >= 2, "need at least one user per group");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let group_a: Vec<UserId> = (0..spec.n_users / 2).collect();
+    let group_b: Vec<UserId> = (spec.n_users / 2..spec.n_users).collect();
+    let shared_key = spec.key_space; // outside the warm-up keyspace
+
+    let mut ops = Vec::new();
+    let mut round = 0u64;
+    for _ in 0..spec.warmup_ops {
+        let user = rng.gen_range(0..spec.n_users);
+        let key = rng.gen_range(0..spec.key_space);
+        let op = if rng.gen_bool(0.5) {
+            Op::Put(u64_key(key), vec![rng.gen()])
+        } else {
+            Op::Get(u64_key(key))
+        };
+        ops.push(ScheduledOp { round, user, op });
+        round += 1;
+    }
+
+    // t1: group A's commit to the shared header.
+    let t1_index = ops.len() as u64;
+    ops.push(ScheduledOp {
+        round,
+        user: group_a[0],
+        op: Op::Put(u64_key(shared_key), b"#define COMMON 2".to_vec()),
+    });
+    round += 1;
+
+    // t2: group B's causally dependent read of that header.
+    ops.push(ScheduledOp {
+        round,
+        user: group_b[0],
+        op: Op::Get(u64_key(shared_key)),
+    });
+    round += 1;
+
+    // Group B works on alone.
+    for i in 0..spec.tail_ops {
+        let user = group_b[(i as usize) % group_b.len()];
+        let key = rng.gen_range(0..spec.key_space);
+        ops.push(ScheduledOp {
+            round,
+            user,
+            op: Op::Put(u64_key(key), vec![i as u8]),
+        });
+        round += 1;
+    }
+
+    PartitionableWorkload {
+        trace: Trace::new(ops),
+        group_a,
+        group_b,
+        t1_index,
+        shared_key,
+        tail_ops: spec.tail_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_definition() {
+        let w = partitionable(&PartitionSpec::default());
+        let ops = w.trace.ops();
+        assert_eq!(ops.len(), 20 + 2 + 17);
+        // t1 is a group-A put of the shared key.
+        let t1 = &ops[w.t1_index as usize];
+        assert!(w.group_a.contains(&t1.user));
+        assert_eq!(t1.op, Op::Put(u64_key(w.shared_key), b"#define COMMON 2".to_vec()));
+        // t2 immediately follows and reads the same key from group B.
+        let t2 = &ops[w.t1_index as usize + 1];
+        assert!(w.group_b.contains(&t2.user));
+        assert_eq!(t2.op, Op::Get(u64_key(w.shared_key)));
+        // Group A issues nothing after t1.
+        assert!(ops[w.t1_index as usize + 1..]
+            .iter()
+            .all(|s| w.group_b.contains(&s.user)));
+    }
+
+    #[test]
+    fn groups_partition_users() {
+        let w = partitionable(&PartitionSpec {
+            n_users: 6,
+            ..PartitionSpec::default()
+        });
+        let mut all: Vec<UserId> = w.group_a.iter().chain(w.group_b.iter()).copied().collect();
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn tail_has_k_plus_one_ops() {
+        let w = partitionable(&PartitionSpec {
+            tail_ops: 9,
+            ..PartitionSpec::default()
+        });
+        let tail = &w.trace.ops()[w.t1_index as usize + 2..];
+        assert_eq!(tail.len(), 9);
+    }
+}

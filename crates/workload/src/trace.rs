@@ -1,0 +1,144 @@
+//! Operation traces: the workload vocabulary shared by the simulator, the
+//! threaded deployment, and the benchmarks.
+//!
+//! A *workload* in the paper is "a sequence of operations on the data" —
+//! here each operation is additionally tagged with the user issuing it and
+//! the round it is issued at (§2.1: at most one query action per round).
+
+use tcvs_core::{Op, UserId};
+
+/// One scheduled operation of a workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Round at which the user issues the query action.
+    pub round: u64,
+    /// Issuing user.
+    pub user: UserId,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A workload trace: scheduled operations in non-decreasing round order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    ops: Vec<ScheduledOp>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting by round (stable, so same-round order is
+    /// preserved as given).
+    pub fn new(mut ops: Vec<ScheduledOp>) -> Trace {
+        ops.sort_by_key(|s| s.round);
+        Trace { ops }
+    }
+
+    /// The scheduled operations, round-ordered.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of operations per user id.
+    pub fn ops_per_user(&self) -> std::collections::BTreeMap<UserId, u64> {
+        let mut m = std::collections::BTreeMap::new();
+        for s in &self.ops {
+            *m.entry(s.user).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Highest scheduled round (0 for an empty trace).
+    pub fn last_round(&self) -> u64 {
+        self.ops.last().map_or(0, |s| s.round)
+    }
+
+    /// Fraction of operations that are updates.
+    pub fn update_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        let updates = self.ops.iter().filter(|s| s.op.is_update()).count();
+        updates as f64 / self.ops.len() as f64
+    }
+
+    /// Concatenates another trace after this one (rounds must already be
+    /// disjoint or interleaved as intended; re-sorts).
+    pub fn merge(self, other: Trace) -> Trace {
+        let mut ops = self.ops;
+        ops.extend(other.ops);
+        Trace::new(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::u64_key;
+
+    fn op(round: u64, user: UserId) -> ScheduledOp {
+        ScheduledOp {
+            round,
+            user,
+            op: Op::Get(u64_key(round)),
+        }
+    }
+
+    #[test]
+    fn trace_sorts_by_round() {
+        let t = Trace::new(vec![op(5, 0), op(1, 1), op(3, 0)]);
+        let rounds: Vec<u64> = t.ops().iter().map(|s| s.round).collect();
+        assert_eq!(rounds, vec![1, 3, 5]);
+        assert_eq!(t.last_round(), 5);
+    }
+
+    #[test]
+    fn per_user_counts() {
+        let t = Trace::new(vec![op(1, 0), op(2, 1), op(3, 0)]);
+        let m = t.ops_per_user();
+        assert_eq!(m[&0], 2);
+        assert_eq!(m[&1], 1);
+    }
+
+    #[test]
+    fn update_fraction_counts_puts_and_deletes() {
+        let t = Trace::new(vec![
+            ScheduledOp {
+                round: 0,
+                user: 0,
+                op: Op::Put(u64_key(1), vec![1]),
+            },
+            ScheduledOp {
+                round: 1,
+                user: 0,
+                op: Op::Get(u64_key(1)),
+            },
+        ]);
+        assert!((t.update_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_reorders() {
+        let a = Trace::new(vec![op(0, 0), op(4, 0)]);
+        let b = Trace::new(vec![op(2, 1)]);
+        let m = a.merge(b);
+        let rounds: Vec<u64> = m.ops().iter().map(|s| s.round).collect();
+        assert_eq!(rounds, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.last_round(), 0);
+        assert_eq!(t.update_fraction(), 0.0);
+    }
+}

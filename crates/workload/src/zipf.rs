@@ -1,0 +1,92 @@
+//! Zipf-distributed key selection.
+//!
+//! CVS file accesses are heavily skewed — a few hot files (the `Common.h`
+//! of the paper's running example) absorb most commits. The generator uses
+//! an inverse-CDF Zipf sampler with precomputed cumulative weights.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, …, n−1}` (rank 0 is the hottest item).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta ≥ 0`
+    /// (`theta = 0` is uniform; `theta ≈ 1` is classic Zipf).
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(theta >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < min * 2, "uniform-ish: {counts:?}");
+    }
+
+    #[test]
+    fn skewed_when_theta_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates rank 50 by roughly 50x; allow slack.
+        assert!(counts[0] > counts[50] * 10, "{} vs {}", counts[0], counts[50]);
+        // All samples in range.
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn single_item_domain() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Protocol III in action (§4.4, Fig. 4): no broadcast channel, no
+//! simultaneous online users — the untrusted server itself relays signed
+//! epoch states, and a rotating checker audits each epoch two epochs later.
+//!
+//! The demo runs honest epochs, then injects a fork and shows the audit
+//! catching it within two epochs.
+//!
+//! Run with: `cargo run -p tcvs-bench --example epoch_audit`
+
+use tcvs_core::adversary::{ForkServer, Trigger};
+use tcvs_core::{HonestServer, ProtocolConfig, ProtocolKind};
+use tcvs_sim::{simulate, SimSpec};
+use tcvs_workload::{generate_epoch_workload, WorkloadSpec};
+
+fn main() {
+    let n_users = 3u32;
+    let epoch_len = 12u64;
+    let config = ProtocolConfig {
+        order: 8,
+        k: 1024,
+        epoch_len,
+    };
+    let spec = SimSpec {
+        protocol: ProtocolKind::Three,
+        config,
+        n_users,
+        mss_height: 8,
+        setup_seed: [7; 32],
+        final_sync: false,
+    };
+    let trace = generate_epoch_workload(
+        n_users,
+        9,
+        epoch_len,
+        2,
+        &WorkloadSpec {
+            n_users,
+            key_space: 32,
+            seed: 7,
+            ..WorkloadSpec::default()
+        },
+    );
+
+    println!("== Protocol III: epoch-based audits through the untrusted server ==\n");
+    println!(
+        "{} users, epochs of {} rounds, every user performs 2 ops per epoch",
+        n_users, epoch_len
+    );
+    println!("(the restricted workload Protocol III requires — §4.4)\n");
+
+    // --- Honest run -------------------------------------------------------
+    let mut server = HonestServer::new(&config);
+    let r = simulate(&spec, &mut server, &trace, None);
+    println!("honest server:");
+    println!(
+        "  {} ops over {} rounds, {} epoch audits, detection: {}",
+        r.ops_executed,
+        r.makespan_rounds,
+        r.audits,
+        if r.detected() { "yes (?!)" } else { "none — all audits passed" }
+    );
+
+    // --- Forking server -----------------------------------------------------
+    let trigger = 20u64; // fault during epoch 3
+    let fault_round = trace.ops()[trigger as usize].round;
+    let mut server = ForkServer::new(&config, Trigger::AtCtr(trigger), &[0]);
+    let r = simulate(&spec, &mut server, &trace, Some(trigger));
+    println!("\nforking server (fault at op #{trigger}, round {fault_round}, epoch {}):", fault_round / epoch_len);
+    match r.detection {
+        Some(ev) => {
+            println!(
+                "  DETECTED by user {} at round {} (epoch {}): {}",
+                ev.by_user,
+                ev.round,
+                ev.round / epoch_len,
+                ev.deviation
+            );
+            println!(
+                "  delay: {} epoch(s) — Theorem 4.3 promises at most 2",
+                (ev.round / epoch_len).saturating_sub(fault_round / epoch_len)
+            );
+        }
+        None => println!("  not detected (unexpected!)"),
+    }
+
+    println!("\nNo user ever talked to another user: the signed epoch states and");
+    println!("checkpoints travelled through the adversary itself, unforgeably.");
+}
