@@ -26,14 +26,20 @@ fn bench_plain_repo(c: &mut Criterion) {
         b.iter(|| {
             let mut repo = Repository::new();
             for i in 0..FILES {
-                repo.commit("u", "import", 0, vec![(format!("f{i}.c"), to_lines(&body(i)))])
-                    .unwrap();
+                repo.commit(
+                    "u",
+                    "import",
+                    0,
+                    vec![(format!("f{i}.c"), to_lines(&body(i)))],
+                )
+                .unwrap();
             }
             for cmt in 0..COMMITS {
                 let path = format!("f{}.c", cmt % FILES);
                 let mut lines = repo.checkout(&path).unwrap().to_vec();
                 lines[cmt % 40] = format!("edited by commit {cmt}");
-                repo.commit("u", "edit", cmt as u64, vec![(path, lines)]).unwrap();
+                repo.commit("u", "edit", cmt as u64, vec![(path, lines)])
+                    .unwrap();
             }
             repo.file_count()
         });

@@ -2,8 +2,9 @@
 //! microbenchmark counterpart).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tcvs_merkle::{apply_op, prune_for_op, u64_key, verify_response, MerkleTree, Op,
-    VerificationObject};
+use tcvs_merkle::{
+    apply_op, prune_for_op, u64_key, verify_response, MerkleTree, Op, VerificationObject,
+};
 
 fn build(n: u64, order: usize) -> MerkleTree {
     let mut t = MerkleTree::with_order(order);

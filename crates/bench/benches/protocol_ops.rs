@@ -2,9 +2,7 @@
 //! each protocol (E2's microbenchmark counterpart).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tcvs_core::{
-    Client1, Client2, HonestServer, Op, ProtocolConfig, ServerApi,
-};
+use tcvs_core::{Client1, Client2, HonestServer, Op, ProtocolConfig, ServerApi};
 use tcvs_crypto::setup_users;
 use tcvs_merkle::{u64_key, MerkleTree};
 

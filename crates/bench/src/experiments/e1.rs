@@ -6,8 +6,9 @@
 
 use std::time::Instant;
 
-use tcvs_merkle::{apply_op, prune_for_op, u64_key, verify_response, MerkleTree, Op,
-    VerificationObject};
+use tcvs_merkle::{
+    apply_op, prune_for_op, u64_key, verify_response, MerkleTree, Op, VerificationObject,
+};
 
 use crate::table::{f, Table};
 
@@ -18,14 +19,24 @@ pub fn run(quick: bool) -> Vec<Table> {
     } else {
         vec![6, 8, 10, 12, 14, 16, 18, 20]
     };
-    let orders: Vec<usize> = if quick { vec![4, 16] } else { vec![4, 8, 16, 64] };
+    let orders: Vec<usize> = if quick {
+        vec![4, 16]
+    } else {
+        vec![4, 8, 16, 64]
+    };
 
     let mut t = Table::new(
         "E1",
         "verification-object size and verify cost vs database size (Fig. 2)",
         &[
-            "n", "order", "height-ish", "get VO nodes", "get VO bytes", "del VO nodes",
-            "del VO bytes", "verify µs",
+            "n",
+            "order",
+            "height-ish",
+            "get VO nodes",
+            "get VO bytes",
+            "del VO nodes",
+            "del VO bytes",
+            "verify µs",
         ],
     );
 
@@ -57,7 +68,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             t.row(vec![
                 format!("2^{exp}"),
                 order.to_string(),
-                format!("{}", ((n as f64).ln() / (order as f64 / 2.0).ln()).ceil() as u64),
+                format!(
+                    "{}",
+                    ((n as f64).ln() / (order as f64 / 2.0).ln()).ceil() as u64
+                ),
                 get_vo.materialized_nodes().to_string(),
                 get_vo.encoded_size().to_string(),
                 del_vo.materialized_nodes().to_string(),

@@ -27,7 +27,11 @@ fn make_adversary(name: &str, config: &ProtocolConfig, trigger: u64) -> Box<dyn 
 
 /// Runs E10.
 pub fn run(quick: bool) -> Vec<Table> {
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { (1..=20).collect() };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        (1..=20).collect()
+    };
     let n_users = 4u32;
     let epoch_len = 16u64;
     let config = ProtocolConfig {
@@ -36,7 +40,13 @@ pub fn run(quick: bool) -> Vec<Table> {
         epoch_len,
     };
     let adversaries = [
-        "fork", "drop", "rollback", "tamper", "counter-skip", "lie", "stale-read",
+        "fork",
+        "drop",
+        "rollback",
+        "tamper",
+        "counter-skip",
+        "lie",
+        "stale-read",
     ];
     let protocols = [ProtocolKind::One, ProtocolKind::Two, ProtocolKind::Three];
 
@@ -44,7 +54,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E10",
         "detection matrix: adversary × protocol (rate, median delay in ops)",
         &[
-            "adversary", "protocol", "runs", "detected", "median ops-after-fault",
+            "adversary",
+            "protocol",
+            "runs",
+            "detected",
+            "median ops-after-fault",
             "median max-user-ops (k metric)",
         ],
     );
@@ -91,6 +105,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                     mss_height: 9,
                     setup_seed: [seed as u8; 32],
                     final_sync: true,
+                    faults: tcvs_core::FaultPlan::none(),
                 };
                 let r = simulate(&spec, server.as_mut(), &trace, Some(trigger));
                 if let Some(ev) = r.detection {

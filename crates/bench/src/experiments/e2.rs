@@ -25,12 +25,21 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E2",
         "per-operation protocol overhead under an honest server (c-workload preservation)",
         &[
-            "protocol", "mix", "msgs/op", "bytes/op", "rounds/op", "sync rounds", "sync bytes",
+            "protocol",
+            "mix",
+            "msgs/op",
+            "bytes/op",
+            "rounds/op",
+            "sync rounds",
+            "sync bytes",
             "audits",
         ],
     );
 
-    for (mix_name, mix) in [("read-heavy", OpMix::read_heavy()), ("write-heavy", OpMix::write_heavy())] {
+    for (mix_name, mix) in [
+        ("read-heavy", OpMix::read_heavy()),
+        ("write-heavy", OpMix::write_heavy()),
+    ] {
         for protocol in [
             ProtocolKind::Trusted,
             ProtocolKind::One,
@@ -44,6 +53,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 mss_height: 12,
                 setup_seed: [0xE2; 32],
                 final_sync: true,
+                faults: tcvs_core::FaultPlan::none(),
             };
             let trace = if protocol == ProtocolKind::Three {
                 // Protocol III requires the epoch workload shape.
@@ -72,7 +82,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             };
             let mut server = HonestServer::new(&config);
             let r = simulate(&spec, &mut server, &trace, None);
-            assert!(!r.detected(), "honest run must not detect: {:?}", r.detection);
+            assert!(
+                !r.detected(),
+                "honest run must not detect: {:?}",
+                r.detection
+            );
             t.row(vec![
                 protocol.label().to_string(),
                 mix_name.to_string(),
@@ -87,7 +101,9 @@ pub fn run(quick: bool) -> Vec<Table> {
     }
     t.note("protocol-1 pays one extra message and one extra round per op (the blocking signature deposit) plus signature bytes.");
     t.note("protocol-2 matches the trusted baseline in messages and rounds; overhead is the VO bytes only.");
-    t.note("protocol-3 adds periodic epoch-state deposits and audits instead of broadcast sync-ups.");
+    t.note(
+        "protocol-3 adds periodic epoch-state deposits and audits instead of broadcast sync-ups.",
+    );
     vec![t]
 }
 

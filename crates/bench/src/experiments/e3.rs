@@ -14,14 +14,22 @@ use crate::table::Table;
 
 /// Runs E3.
 pub fn run(quick: bool) -> Vec<Table> {
-    let ks: Vec<u64> = if quick { vec![4, 16] } else { vec![2, 4, 8, 16, 32, 64] };
+    let ks: Vec<u64> = if quick {
+        vec![4, 16]
+    } else {
+        vec![2, 4, 8, 16, 32, 64]
+    };
     let n_users = 4u32;
 
     let mut t = Table::new(
         "E3",
         "partition attack detection (Fig. 1, Thm. 3.1): fork at t1, group B works on",
         &[
-            "protocol", "k", "external comm", "detected", "detect verdict",
+            "protocol",
+            "k",
+            "external comm",
+            "detected",
+            "detect verdict",
             "max user ops after fork",
         ],
     );
@@ -54,6 +62,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             mss_height: 8,
             setup_seed: [0xE3; 32],
             final_sync: false,
+            faults: tcvs_core::FaultPlan::none(),
         };
         let mut server = ForkServer::new(&spec.config, Trigger::AtCtr(w.t1_index), &group_a(&w));
         let r = simulate(&spec, &mut server, &w.trace, Some(w.t1_index));
@@ -61,7 +70,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             "protocol-2".into(),
             k.to_string(),
             "none".into(),
-            if r.detected() { "YES".into() } else { "no".into() },
+            if r.detected() {
+                "YES".into()
+            } else {
+                "no".into()
+            },
             r.detection
                 .as_ref()
                 .map_or("—".to_string(), |d| d.deviation.to_string()),
@@ -77,6 +90,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 mss_height: 10,
                 setup_seed: [0xE3; 32],
                 final_sync: true,
+                faults: tcvs_core::FaultPlan::none(),
             };
             let mut server =
                 ForkServer::new(&spec.config, Trigger::AtCtr(w.t1_index), &group_a(&w));
@@ -86,7 +100,11 @@ pub fn run(quick: bool) -> Vec<Table> {
                 protocol.label().into(),
                 k.to_string(),
                 "broadcast".into(),
-                if r.detected() { "YES".into() } else { "no".into() },
+                if r.detected() {
+                    "YES".into()
+                } else {
+                    "no".into()
+                },
                 ev.map_or("—".to_string(), |d| d.deviation.to_string()),
                 ev.and_then(|d| d.max_user_ops_after_violation)
                     .map_or("—".to_string(), |m| m.to_string()),
@@ -106,7 +124,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t2 = Table::new(
         "E3b",
         "ground truth (Definition 2.1 oracle) vs protocol detection on the partition attack",
-        &["k", "oracle: first observable divergence (op)", "protocol-2 detects at (op)", "gap (ops)"],
+        &[
+            "k",
+            "oracle: first observable divergence (op)",
+            "protocol-2 detects at (op)",
+            "gap (ops)",
+        ],
     );
     for &k in &ks {
         let config = ProtocolConfig {
@@ -121,8 +144,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             key_space: 64,
             seed: k,
         });
-        let mut oracle_server =
-            ForkServer::new(&config, Trigger::AtCtr(w.t1_index), &group_a(&w));
+        let mut oracle_server = ForkServer::new(&config, Trigger::AtCtr(w.t1_index), &group_a(&w));
         let verdict = tcvs_sim::run_with_oracle(&mut oracle_server, &config, &w.trace);
         let observable = verdict.first_divergence();
 
@@ -133,6 +155,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             mss_height: 10,
             setup_seed: [0xE3; 32],
             final_sync: true,
+            faults: tcvs_core::FaultPlan::none(),
         };
         let mut server = ForkServer::new(&config, Trigger::AtCtr(w.t1_index), &group_a(&w));
         let r = simulate(&spec, &mut server, &w.trace, Some(w.t1_index));

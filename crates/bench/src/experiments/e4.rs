@@ -60,13 +60,18 @@ pub fn run(quick: bool) -> Vec<Table> {
             mss_height: 6,
             setup_seed: [0xE4; 32],
             final_sync: true,
+            faults: tcvs_core::FaultPlan::none(),
         };
         // Drop fires at ctr 1: user 1's update is acknowledged but not
         // applied; user 2's identical update then really happens from the
         // same pre-state.
         let mut server = DropServer::new(&config, Trigger::AtCtr(1));
         let r = simulate(&spec, &mut server, &fig3_trace(), Some(1));
-        let outcome = if r.detected() { "FAILED (attack detected)" } else { "passed (attack hidden)" };
+        let outcome = if r.detected() {
+            "FAILED (attack detected)"
+        } else {
+            "passed (attack hidden)"
+        };
         let verdict = match (protocol, r.detected()) {
             (ProtocolKind::NaiveXor, false) => "unsound: availability violated undetected",
             (ProtocolKind::Two, true) => "sound: user tags break the cancellation",
@@ -108,6 +113,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 mss_height: 6,
                 setup_seed: [v as u8; 32],
                 final_sync: true,
+                faults: tcvs_core::FaultPlan::none(),
             };
             let mut server = DropServer::new(&config, Trigger::AtCtr(1));
             let r = simulate(&spec, &mut server, &trace, Some(1));
@@ -117,7 +123,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             t.row(vec![
                 format!("variant-{v}"),
                 protocol.label().into(),
-                if detected { "FAILED (attack detected)".into() } else { "passed (attack hidden)".into() },
+                if detected {
+                    "FAILED (attack detected)".into()
+                } else {
+                    "passed (attack hidden)".into()
+                },
                 String::new(),
             ]);
         }

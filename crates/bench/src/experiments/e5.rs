@@ -28,17 +28,18 @@ pub fn run(quick: bool) -> Vec<Table> {
         epoch_len,
     };
 
-    let triggers: Vec<u64> = if quick {
-        vec![13]
-    } else {
-        vec![9, 13, 20, 27]
-    };
+    let triggers: Vec<u64> = if quick { vec![13] } else { vec![9, 13, 20, 27] };
 
     let mut t = Table::new(
         "E5",
         "Protocol III: detection latency in epochs per adversary (Fig. 4, Thm. 4.3)",
         &[
-            "adversary", "trigger op", "fault epoch", "detected", "detect epoch", "delay (epochs)",
+            "adversary",
+            "trigger op",
+            "fault epoch",
+            "detected",
+            "detect epoch",
+            "delay (epochs)",
             "verdict",
         ],
     );
@@ -49,7 +50,10 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "fork",
                 Box::new(ForkServer::new(&config, Trigger::AtCtr(trigger), &[0])),
             ),
-            ("drop", Box::new(DropServer::new(&config, Trigger::AtCtr(trigger)))),
+            (
+                "drop",
+                Box::new(DropServer::new(&config, Trigger::AtCtr(trigger))),
+            ),
             (
                 "rollback",
                 Box::new(RollbackServer::new(&config, Trigger::AtCtr(trigger))),
@@ -62,7 +66,10 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "counter-skip",
                 Box::new(CounterSkipServer::new(&config, Trigger::AtCtr(trigger))),
             ),
-            ("lie", Box::new(LieServer::new(&config, Trigger::AtCtr(trigger)))),
+            (
+                "lie",
+                Box::new(LieServer::new(&config, Trigger::AtCtr(trigger))),
+            ),
         ];
 
         let trace = generate_epoch_workload(
@@ -91,6 +98,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 mss_height: 8,
                 setup_seed: [0xE5; 32],
                 final_sync: false,
+                faults: tcvs_core::FaultPlan::none(),
             };
             let r = simulate(&spec, server.as_mut(), &trace, Some(trigger));
             match r.detection {
@@ -104,7 +112,11 @@ pub fn run(quick: bool) -> Vec<Table> {
                         "YES".into(),
                         detect_epoch.to_string(),
                         f(delay as f64),
-                        if delay <= 2 { "within 2 epochs".into() } else { format!("LATE ({delay})") },
+                        if delay <= 2 {
+                            "within 2 epochs".into()
+                        } else {
+                            format!("LATE ({delay})")
+                        },
                     ]);
                 }
                 None => {

@@ -11,7 +11,11 @@ use crate::table::{f, Table};
 
 /// Runs E6.
 pub fn run(quick: bool) -> Vec<Table> {
-    let client_counts: Vec<u32> = if quick { vec![1, 4] } else { vec![1, 2, 4, 8, 16] };
+    let client_counts: Vec<u32> = if quick {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
     let ops_per_client: u64 = if quick { 100 } else { 1000 };
     let config = ProtocolConfig {
         order: 16,

@@ -27,7 +27,11 @@ fn burst_trace(burst: u64) -> Trace {
 
 /// Runs E7.
 pub fn run(quick: bool) -> Vec<Table> {
-    let ring_sizes: Vec<u32> = if quick { vec![2, 8] } else { vec![2, 4, 8, 16, 32, 64] };
+    let ring_sizes: Vec<u32> = if quick {
+        vec![2, 8]
+    } else {
+        vec![2, 4, 8, 16, 32, 64]
+    };
     let burst = 4u64;
     let config = ProtocolConfig {
         order: 8,
@@ -39,7 +43,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E7",
         "back-to-back op latency: token-ring strawman vs protocols I/II (workload preservation)",
         &[
-            "users", "ring: slots between ops", "ring: null records", "p1: rounds between ops",
+            "users",
+            "ring: slots between ops",
+            "ring: null records",
+            "p1: rounds between ops",
             "p2: rounds between ops",
         ],
     );
@@ -63,6 +70,7 @@ pub fn run(quick: bool) -> Vec<Table> {
                 mss_height: 6,
                 setup_seed: [0xE7; 32],
                 final_sync: false,
+                faults: tcvs_core::FaultPlan::none(),
             };
             let mut server = HonestServer::new(&config);
             let r = simulate(&spec, &mut server, &burst_trace(burst), None);

@@ -103,9 +103,20 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t3 = Table::new(
         "E8c",
         "Merkle signature scheme: many-time keys from one-time keys [9]",
-        &["height", "capacity", "keygen ms", "sign µs", "verify µs", "sig bytes"],
+        &[
+            "height",
+            "capacity",
+            "keygen ms",
+            "sign µs",
+            "verify µs",
+            "sig bytes",
+        ],
     );
-    let heights: Vec<u32> = if quick { vec![4, 8] } else { vec![4, 6, 8, 10, 12] };
+    let heights: Vec<u32> = if quick {
+        vec![4, 8]
+    } else {
+        vec![4, 6, 8, 10, 12]
+    };
     for h in heights {
         let start = Instant::now();
         let mut signer = MssSigner::generate([0xE8; 32], h);

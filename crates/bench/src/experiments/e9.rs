@@ -97,7 +97,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         "E9",
         "CVS macro-benchmark: plain repo vs unverified server vs trusted-cvs (Protocol II)",
         &[
-            "variant", "commits", "wall ms", "ms/commit", "server MB out", "vs plain",
+            "variant",
+            "commits",
+            "wall ms",
+            "ms/commit",
+            "server MB out",
+            "vs plain",
             "vs unverified",
         ],
     );
@@ -128,8 +133,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             } else {
                 lines.push(new);
             }
-            repo.commit("bench-user", &format!("commit {c}"), c as u64 + 1, vec![(path, lines)])
-                .unwrap();
+            repo.commit(
+                "bench-user",
+                &format!("commit {c}"),
+                c as u64 + 1,
+                vec![(path, lines)],
+            )
+            .unwrap();
             for _ in 0..checkouts {
                 let (ridx, _, _) = stream.next();
                 let _ = repo.checkout(&format!("src/file{ridx}.c")).unwrap();
@@ -197,13 +207,21 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t2 = Table::new(
         "E9b",
         "ablation: RCS-style reverse-delta storage vs storing full revisions",
-        &["revisions", "file lines", "delta bytes", "full-copy bytes", "ratio"],
+        &[
+            "revisions",
+            "file lines",
+            "delta bytes",
+            "full-copy bytes",
+            "ratio",
+        ],
     );
     for (revisions, lines) in [(50usize, 100usize), (200, 100), (200, 400)] {
         if quick && revisions > 50 {
             continue;
         }
-        let base: Vec<String> = (0..lines).map(|i| format!("line {i}: some source text")).collect();
+        let base: Vec<String> = (0..lines)
+            .map(|i| format!("line {i}: some source text"))
+            .collect();
         let mut h = tcvs_store::FileHistory::create(
             base.clone(),
             tcvs_store::RevMeta {

@@ -80,10 +80,7 @@ mod tests {
         assert_eq!(r1.ctr, 1);
         assert_eq!(r2.ctr, 1, "ctr value 1 presented twice");
         // The database did advance: key 2 is visible.
-        assert_eq!(
-            r2.result,
-            tcvs_merkle::OpResult::Value(Some(vec![2]))
-        );
+        assert_eq!(r2.result, tcvs_merkle::OpResult::Value(Some(vec![2])));
         // And the stale last_user tag is presented again.
         assert_eq!(r1.last_user, r2.last_user);
     }

@@ -147,8 +147,7 @@ mod tests {
         s.handle_op(0, &Op::Put(u64_key(1), vec![1]), 0);
         let op = Op::Put(u64_key(2), vec![2]);
         let r = s.handle_op(1, &op, 1); // branch B
-        let (_, verified) =
-            tcvs_merkle::replay_unanchored(4, &r.vo, &op, Some(&r.result)).unwrap();
+        let (_, verified) = tcvs_merkle::replay_unanchored(4, &r.vo, &op, Some(&r.result)).unwrap();
         // Next B op chains from that new root.
         let op2 = Op::Get(u64_key(2));
         let r2 = s.handle_op(1, &op2, 2);

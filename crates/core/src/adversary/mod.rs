@@ -62,13 +62,22 @@ pub fn all_adversaries(
 ) -> Vec<(&'static str, Box<dyn ServerApi>)> {
     let half: Vec<u32> = (0..n_users / 2).collect();
     vec![
-        ("fork", Box::new(ForkServer::new(config, trigger, &half)) as Box<dyn ServerApi>),
+        (
+            "fork",
+            Box::new(ForkServer::new(config, trigger, &half)) as Box<dyn ServerApi>,
+        ),
         ("drop", Box::new(DropServer::new(config, trigger))),
         ("rollback", Box::new(RollbackServer::new(config, trigger))),
         ("tamper", Box::new(TamperServer::new(config, trigger))),
-        ("counter-skip", Box::new(CounterSkipServer::new(config, trigger))),
+        (
+            "counter-skip",
+            Box::new(CounterSkipServer::new(config, trigger)),
+        ),
         ("lie", Box::new(LieServer::new(config, trigger))),
-        ("stale-read", Box::new(StaleReadServer::new(config, trigger))),
+        (
+            "stale-read",
+            Box::new(StaleReadServer::new(config, trigger)),
+        ),
     ]
 }
 
@@ -130,7 +139,15 @@ mod tests {
         let names: Vec<_> = advs.iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,
-            vec!["fork", "drop", "rollback", "tamper", "counter-skip", "lie", "stale-read"]
+            vec![
+                "fork",
+                "drop",
+                "rollback",
+                "tamper",
+                "counter-skip",
+                "lie",
+                "stale-read"
+            ]
         );
     }
 }

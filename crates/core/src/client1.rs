@@ -70,7 +70,10 @@ impl Client1 {
     /// deposit at the server before any operation (protocol line 2).
     pub fn sign_initial(&mut self, root0: &Digest) -> Result<SignedState, Deviation> {
         let payload = signed_payload(root0, 0);
-        let sig = self.keyring.sign(&payload).map_err(|_| Deviation::KeyExhausted)?;
+        let sig = self
+            .keyring
+            .sign(&payload)
+            .map_err(|_| Deviation::KeyExhausted)?;
         Ok(SignedState {
             signer: self.keyring.user,
             root: *root0,
@@ -231,7 +234,12 @@ mod tests {
     #[test]
     fn forged_signature_rejected() {
         let (mut clients, mut server, _) = setup(2);
-        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
+        run_op(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(1), vec![1]),
+            0,
+        );
         let op = Op::Get(u64_key(1));
         let mut resp = server.handle_op(1, &op, 1);
         // Corrupt the signature bytes.
@@ -264,13 +272,21 @@ mod tests {
         // Server lies about ctr relative to the signed one.
         resp.ctr = 5;
         let err = clients[0].handle_response(&op, &resp).unwrap_err();
-        assert!(matches!(err, Deviation::BadSignature | Deviation::BadProof(_)));
+        assert!(matches!(
+            err,
+            Deviation::BadSignature | Deviation::BadProof(_)
+        ));
     }
 
     #[test]
     fn tampered_answer_rejected() {
         let (mut clients, mut server, _) = setup(1);
-        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![7]), 0);
+        run_op(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(1), vec![7]),
+            0,
+        );
         let op = Op::Get(u64_key(1));
         let mut resp = server.handle_op(0, &op, 1);
         resp.result = tcvs_merkle::OpResult::Value(Some(vec![66]));
@@ -284,8 +300,18 @@ mod tests {
     fn sync_detects_lost_operation() {
         // Simulate a server that dropped an op: counts disagree.
         let (mut clients, mut server, _) = setup(2);
-        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
-        run_op(&mut clients[1], &mut server, Op::Put(u64_key(2), vec![2]), 1);
+        run_op(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(1), vec![1]),
+            0,
+        );
+        run_op(
+            &mut clients[1],
+            &mut server,
+            Op::Put(u64_key(2), vec![2]),
+            1,
+        );
         let mut shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
         // Forge: pretend user 0 actually did 3 ops that the server hid.
         shares[0].lctr = 3;

@@ -158,9 +158,7 @@ impl Client2 {
     /// `h(M(D₀) ‖ 0 ‖ ⊥) ⊕ lastᵢ == ⊕ₖ σₖ` — or, if no operation has ever
     /// happened anywhere, the trivial all-zero check.
     pub fn sync_succeeds(&self, shares: &[SyncShare]) -> bool {
-        let x = shares
-            .iter()
-            .fold(Digest::ZERO, |acc, s| acc ^ s.sigma);
+        let x = shares.iter().fold(Digest::ZERO, |acc, s| acc ^ s.sigma);
         if shares.iter().all(|s| s.lctr == 0) {
             return x == Digest::ZERO;
         }
@@ -242,7 +240,12 @@ mod tests {
         // ops see ctr == gctr and must be accepted.
         let (mut clients, mut server, _) = setup(1);
         for i in 0..5 {
-            run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![i]), i as u64);
+            run_op(
+                &mut clients[0],
+                &mut server,
+                Op::Put(u64_key(1), vec![i]),
+                i as u64,
+            );
         }
         assert_eq!(clients[0].lctr(), 5);
         assert!(sync_outcome(&clients));
@@ -251,13 +254,21 @@ mod tests {
     #[test]
     fn counter_regression_detected_immediately() {
         let (mut clients, mut server, _) = setup(1);
-        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
+        run_op(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(1), vec![1]),
+            0,
+        );
         let op = Op::Get(u64_key(1));
         let mut resp = server.handle_op(0, &op, 1);
         resp.ctr = 0; // replayed counter
         assert!(matches!(
             clients[0].handle_response(&op, &resp),
-            Err(Deviation::CounterRegression { seen: 0, expected_at_least: 1 })
+            Err(Deviation::CounterRegression {
+                seen: 0,
+                expected_at_least: 1
+            })
         ));
     }
 
@@ -275,8 +286,18 @@ mod tests {
         // Two users operate; we then erase one user's accumulator as if the
         // server had hidden that user's transition from the chain.
         let (mut clients, mut server, _) = setup(2);
-        run_op(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
-        run_op(&mut clients[1], &mut server, Op::Put(u64_key(2), vec![2]), 1);
+        run_op(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(1), vec![1]),
+            0,
+        );
+        run_op(
+            &mut clients[1],
+            &mut server,
+            Op::Put(u64_key(2), vec![2]),
+            1,
+        );
         let mut shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
         shares[0].sigma = Digest::ZERO; // user 0's transition vanishes
         assert!(!clients.iter().any(|c| c.sync_succeeds(&shares)));
@@ -285,7 +306,12 @@ mod tests {
     #[test]
     fn tampered_answer_rejected() {
         let (mut clients, mut server, _) = setup(1);
-        run_op(&mut clients[0], &mut server, Op::Put(u64_key(3), vec![3]), 0);
+        run_op(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(3), vec![3]),
+            0,
+        );
         let op = Op::Get(u64_key(3));
         let mut resp = server.handle_op(0, &op, 1);
         resp.result = tcvs_merkle::OpResult::Value(Some(vec![99]));

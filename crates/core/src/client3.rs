@@ -387,7 +387,10 @@ mod tests {
         resp.epoch = 7; // server lies wildly about the epoch
         assert!(matches!(
             clients[0].handle_response(&op, &resp, 0),
-            Err(Deviation::EpochSkew { claimed: 7, expected: 0 })
+            Err(Deviation::EpochSkew {
+                claimed: 7,
+                expected: 0
+            })
         ));
     }
 
@@ -454,7 +457,12 @@ mod tests {
     #[test]
     fn counter_regression_detected() {
         let (mut clients, mut server) = setup(1);
-        step(&mut clients[0], &mut server, Op::Put(u64_key(1), vec![1]), 0);
+        step(
+            &mut clients[0],
+            &mut server,
+            Op::Put(u64_key(1), vec![1]),
+            0,
+        );
         let op = Op::Get(u64_key(1));
         let mut resp = server.handle_op(0, &op, 1);
         resp.ctr = 0;

@@ -233,7 +233,10 @@ mod tests {
 
     #[test]
     fn empty_logs() {
-        assert_eq!(diagnose(&[TransitionLog::new()], &tok("s0")), Verdict::Empty);
+        assert_eq!(
+            diagnose(&[TransitionLog::new()], &tok("s0")),
+            Verdict::Empty
+        );
     }
 
     #[test]
@@ -269,7 +272,11 @@ mod tests {
             t("evil", "s2", 1, 1),
         ]);
         match diagnose(&ls, &tok("s0")) {
-            Verdict::OrphanState { at_ctr, victim, token } => {
+            Verdict::OrphanState {
+                at_ctr,
+                victim,
+                token,
+            } => {
                 assert_eq!(at_ctr, 1);
                 assert_eq!(victim, 1);
                 assert_eq!(token, tok("evil"));

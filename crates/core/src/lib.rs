@@ -37,10 +37,11 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
-pub mod forensics;
 mod client1;
 mod client2;
 mod client3;
+pub mod fault;
+pub mod forensics;
 pub mod msg;
 pub mod server;
 pub mod state;
@@ -51,8 +52,9 @@ mod types;
 pub use client1::Client1;
 pub use client2::Client2;
 pub use client3::Client3;
+pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
 pub use msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, SyncShare};
-pub use server::{HonestServer, ServerApi, ServerCore, ServerMetrics};
+pub use server::{HonestServer, ServerApi, ServerCore, ServerMetrics, ServerSnapshot};
 pub use types::{Ctr, Deviation, Epoch, ProtocolConfig, ProtocolKind};
 
 // Re-export the vocabulary types users of this crate always need.

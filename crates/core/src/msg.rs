@@ -87,7 +87,13 @@ pub struct SignedEpochState {
 
 impl SignedEpochState {
     /// The digest the signature covers.
-    pub fn payload(user: UserId, epoch: Epoch, sigma: &Digest, last: Option<&Digest>, ops: u64) -> Digest {
+    pub fn payload(
+        user: UserId,
+        epoch: Epoch,
+        sigma: &Digest,
+        last: Option<&Digest>,
+        ops: u64,
+    ) -> Digest {
         let last_bytes = last.map_or([0u8; 32], |d| d.0);
         let present = [u8::from(last.is_some())];
         tcvs_crypto::hash_parts(&[

@@ -208,6 +208,73 @@ impl ServerCore {
         self.metrics.msgs_out += 1;
         self.checkpoints.get(&epoch).cloned()
     }
+
+    /// Captures the *full* durable state for a crash-restart: the byte-level
+    /// [`ServerCore::snapshot`] plus the protocol deposit boxes.
+    ///
+    /// Unlike [`ServerCore::snapshot`] (a planned backup, after which users
+    /// re-establish session state), a crash must preserve the deposits:
+    /// Protocol I clients verify the stored `last_sig` on the very next
+    /// response, and Protocol III audits read epoch states deposited before
+    /// the crash. Losing either would make an honest restarted server look
+    /// like a deviating one.
+    pub fn crash_snapshot(&self) -> ServerSnapshot {
+        ServerSnapshot {
+            core: self.snapshot(),
+            last_sig: self.last_sig.clone(),
+            epoch_states: self.epoch_states.values().cloned().collect(),
+            checkpoints: self.checkpoints.values().cloned().collect(),
+            user_epochs: self.user_epochs.iter().map(|(u, e)| (*u, *e)).collect(),
+            metrics: self.metrics,
+        }
+    }
+
+    /// Rebuilds a server from a [`ServerCore::crash_snapshot`]. The database
+    /// digests are re-verified during decode; the deposit boxes are restored
+    /// verbatim.
+    pub fn crash_restore(snap: &ServerSnapshot) -> Result<ServerCore, tcvs_merkle::CodecError> {
+        let mut core = ServerCore::restore(&snap.core)?;
+        core.last_sig = snap.last_sig.clone();
+        core.epoch_states = snap
+            .epoch_states
+            .iter()
+            .map(|s| ((s.epoch, s.user), s.clone()))
+            .collect();
+        core.checkpoints = snap
+            .checkpoints
+            .iter()
+            .map(|c| (c.epoch, c.clone()))
+            .collect();
+        core.user_epochs = snap.user_epochs.iter().copied().collect();
+        core.metrics = snap.metrics;
+        Ok(core)
+    }
+}
+
+/// Durable state captured by [`ServerCore::crash_snapshot`]: everything an
+/// honest server must carry across a crash-restart to stay indistinguishable
+/// from one that never crashed.
+#[derive(Clone, Debug)]
+pub struct ServerSnapshot {
+    /// The byte-level database/counter snapshot.
+    core: Vec<u8>,
+    /// Protocol I: the deposited signature over the latest state.
+    last_sig: Option<SignedState>,
+    /// Protocol III: deposited per-user epoch states.
+    epoch_states: Vec<SignedEpochState>,
+    /// Protocol III: audited checkpoints.
+    checkpoints: Vec<SignedCheckpoint>,
+    /// Per-user epoch bookkeeping (drives the `new_epoch` flag).
+    user_epochs: Vec<(UserId, Epoch)>,
+    /// Traffic accounting continues across restarts.
+    metrics: ServerMetrics,
+}
+
+impl ServerSnapshot {
+    /// Size of the byte-level core snapshot (diagnostics).
+    pub fn core_bytes(&self) -> usize {
+        self.core.len()
+    }
 }
 
 /// The server interface as seen by clients and transports. Implemented by
@@ -233,6 +300,15 @@ pub trait ServerApi {
 
     /// Cumulative traffic metrics.
     fn metrics(&self) -> ServerMetrics;
+
+    /// Simulates a crash followed by a restart from persisted state.
+    ///
+    /// The default is a no-op: an adversary that survives restarts keeps
+    /// whatever malicious state it maintains (a crash must never launder a
+    /// deviation). [`HonestServer`] round-trips through
+    /// [`ServerCore::crash_snapshot`], modelling a server that loses all
+    /// volatile state and recovers only what it persisted.
+    fn crash_restart(&mut self) {}
 }
 
 /// A server that follows the protocol exactly.
@@ -281,6 +357,12 @@ impl ServerApi for HonestServer {
 
     fn metrics(&self) -> ServerMetrics {
         self.core.metrics()
+    }
+
+    fn crash_restart(&mut self) {
+        let snap = self.core.crash_snapshot();
+        self.core = ServerCore::crash_restore(&snap)
+            .expect("a snapshot the server itself produced decodes");
     }
 }
 
@@ -404,6 +486,80 @@ mod tests {
         snap[idx] ^= 0xFF;
         assert!(ServerCore::restore(&snap).is_err());
         assert!(ServerCore::restore(b"garbage").is_err());
+    }
+
+    #[test]
+    fn crash_snapshot_preserves_deposits() {
+        let (mut rings, _) = tcvs_crypto::setup_users([3; 32], 1, 4);
+        let mut s = ServerCore::new(&config());
+        s.process(0, &Op::Put(u64_key(1), vec![1]), 0);
+        let root = s.root_digest();
+        let payload = crate::state::signed_payload(&root, 1);
+        s.store_signature(SignedState {
+            signer: 0,
+            root,
+            ctr: 1,
+            sig: rings[0].sign(&payload).unwrap(),
+        });
+        let sigma = tcvs_crypto::sha256(&[9]);
+        let ep_payload = SignedEpochState::payload(0, 2, &sigma, None, 5);
+        s.store_epoch_state(SignedEpochState {
+            user: 0,
+            epoch: 2,
+            sigma,
+            last: None,
+            ops: 5,
+            sig: rings[0].sign(&ep_payload).unwrap(),
+        });
+
+        let restored = ServerCore::crash_restore(&s.crash_snapshot()).unwrap();
+        assert_eq!(restored.root_digest(), s.root_digest());
+        assert_eq!(restored.ctr(), s.ctr());
+        assert!(restored.last_sig.is_some(), "Protocol I deposit survives");
+        assert_eq!(restored.epoch_states.len(), 1, "epoch deposits survive");
+        assert_eq!(restored.user_epochs, s.user_epochs);
+        assert_eq!(restored.metrics(), s.metrics());
+    }
+
+    #[test]
+    fn crashed_honest_server_is_indistinguishable() {
+        // A client that ran ops before the crash keeps verifying after it.
+        let cfg = config();
+        let mut s = HonestServer::new(&cfg);
+        let root0 = s.core().root_digest();
+        let mut alice = crate::Client2::new(0, &root0, cfg);
+        for i in 0..5u64 {
+            let op = Op::Put(u64_key(i), vec![i as u8]);
+            let resp = s.handle_op(0, &op, i);
+            alice.handle_response(&op, &resp).expect("honest");
+        }
+        s.crash_restart();
+        for i in 5..10u64 {
+            let op = Op::Get(u64_key(i - 5));
+            let resp = s.handle_op(0, &op, i);
+            alice
+                .handle_response(&op, &resp)
+                .expect("restart is not a deviation");
+        }
+    }
+
+    #[test]
+    fn plain_restore_drops_session_state_but_crash_restore_keeps_it() {
+        let (mut rings, _) = tcvs_crypto::setup_users([4; 32], 1, 4);
+        let mut s = ServerCore::new(&config());
+        s.process(0, &Op::Put(u64_key(1), vec![1]), 0);
+        let root = s.root_digest();
+        let payload = crate::state::signed_payload(&root, 1);
+        s.store_signature(SignedState {
+            signer: 0,
+            root,
+            ctr: 1,
+            sig: rings[0].sign(&payload).unwrap(),
+        });
+        let planned = ServerCore::restore(&s.snapshot()).unwrap();
+        assert!(planned.last_sig.is_none(), "planned backup re-elects");
+        let crashed = ServerCore::crash_restore(&s.crash_snapshot()).unwrap();
+        assert!(crashed.last_sig.is_some(), "crash recovery keeps deposits");
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl TokenRingClient {
     /// Initialization: the elected user signs the initial state.
     pub fn sign_initial(&mut self, root0: &Digest) -> Result<SignedState, Deviation> {
         let payload = signed_payload(root0, 0);
-        let sig = self.keyring.sign(&payload).map_err(|_| Deviation::KeyExhausted)?;
+        let sig = self
+            .keyring
+            .sign(&payload)
+            .map_err(|_| Deviation::KeyExhausted)?;
         Ok(SignedState {
             signer: self.keyring.user,
             root: *root0,

@@ -84,7 +84,10 @@ impl fmt::Display for Deviation {
         match self {
             Deviation::BadSignature => write!(f, "illegitimate state signature"),
             Deviation::BadProof(e) => write!(f, "proof verification failed: {e}"),
-            Deviation::CounterRegression { seen, expected_at_least } => write!(
+            Deviation::CounterRegression {
+                seen,
+                expected_at_least,
+            } => write!(
                 f,
                 "counter regression: saw {seen}, expected at least {expected_at_least}"
             ),

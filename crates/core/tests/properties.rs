@@ -4,9 +4,7 @@
 //! version of Lemma 4.1.
 
 use proptest::prelude::*;
-use tcvs_core::{
-    Client2, Digest, HonestServer, Op, ProtocolConfig, ServerApi, SyncShare,
-};
+use tcvs_core::{Client2, Digest, HonestServer, Op, ProtocolConfig, ServerApi, SyncShare};
 use tcvs_merkle::{u64_key, MerkleTree};
 
 fn config() -> ProtocolConfig {
@@ -26,11 +24,7 @@ struct GenOp {
 }
 
 fn genop_strategy() -> impl Strategy<Value = GenOp> {
-    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(user, key, kind)| GenOp {
-        user,
-        key,
-        kind,
-    })
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(user, key, kind)| GenOp { user, key, kind })
 }
 
 fn to_op(g: &GenOp) -> Op {

@@ -76,10 +76,7 @@ impl std::fmt::Display for OtsError {
 impl std::error::Error for OtsError {}
 
 /// Signs a message digest, consuming the key's single use.
-pub fn lamport_sign(
-    sk: &mut LamportSecretKey,
-    msg: &Digest,
-) -> Result<LamportSignature, OtsError> {
+pub fn lamport_sign(sk: &mut LamportSecretKey, msg: &Digest) -> Result<LamportSignature, OtsError> {
     if sk.used {
         return Err(OtsError::KeyReused);
     }

@@ -224,7 +224,10 @@ mod tests {
     fn key_reuse_refused() {
         let (mut sk, _) = setup();
         wots_sign(&mut sk, &sha256(b"one")).unwrap();
-        assert_eq!(wots_sign(&mut sk, &sha256(b"two")), Err(OtsError::KeyReused));
+        assert_eq!(
+            wots_sign(&mut sk, &sha256(b"two")),
+            Err(OtsError::KeyReused)
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 //! algebra Protocol II relies on.
 
 use proptest::prelude::*;
-use tcvs_crypto::{
-    hash_parts, mss::MssSigner, mss_verify, sha256, wots, Digest, SeedRng, Sha256,
-};
+use tcvs_crypto::{hash_parts, mss::MssSigner, mss_verify, sha256, wots, Digest, SeedRng, Sha256};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

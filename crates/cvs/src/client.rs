@@ -61,8 +61,7 @@ impl<'a, D: VerifiedDb + ?Sized> Cvs<'a, D> {
     }
 
     fn store_history(&mut self, path: &str, h: &FileHistory) -> Result<(), CvsError> {
-        self.db
-            .execute(&Op::Put(file_key(path), h.to_bytes()))?;
+        self.db.execute(&Op::Put(file_key(path), h.to_bytes()))?;
         Ok(())
     }
 
@@ -204,10 +203,7 @@ impl<'a, D: VerifiedDb + ?Sized> Cvs<'a, D> {
         let lo = b"f:".to_vec();
         let hi = b"f;".to_vec(); // ';' is ':' + 1: everything under the prefix
         match self.db.execute(&Op::Range(Some(lo), Some(hi)))? {
-            OpResult::Entries(es) => Ok(es
-                .iter()
-                .filter_map(|(k, _)| key_path(k))
-                .collect()),
+            OpResult::Entries(es) => Ok(es.iter().filter_map(|(k, _)| key_path(k)).collect()),
             other => Err(CvsError::Corrupt(format!("unexpected result {other:?}"))),
         }
     }

@@ -29,6 +29,10 @@ pub enum CvsError {
     NoSuchRevision(u32),
     /// The file already exists (on `add`).
     AlreadyExists(String),
+    /// The transport to the server failed benignly (timeout, server gone).
+    /// Unlike [`CvsError::Deviation`] this is *not* evidence of misbehavior:
+    /// the command may be retried once the server is reachable again.
+    Network(String),
 }
 
 impl std::fmt::Display for CvsError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for CvsError {
             CvsError::Corrupt(m) => write!(f, "corrupt history value: {m}"),
             CvsError::NoSuchRevision(r) => write!(f, "no such revision r{r}"),
             CvsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            CvsError::Network(m) => write!(f, "network failure (retryable): {m}"),
         }
     }
 }

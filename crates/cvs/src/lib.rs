@@ -37,6 +37,6 @@ mod wc;
 
 pub use client::{file_key, key_path, Cvs, WorkingFile};
 pub use error::CvsError;
-pub use session::{DirectSession, UnverifiedSession, VerifiedDb};
 pub use repl::Repl;
+pub use session::{DirectSession, UnverifiedSession, VerifiedDb};
 pub use wc::{FileStatus, WorkingCopy};

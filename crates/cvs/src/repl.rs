@@ -49,10 +49,10 @@ struct ReplSession<'a> {
 }
 
 impl VerifiedDb for ReplSession<'_> {
-    fn execute(&mut self, op: &Op) -> Result<OpResult, tcvs_core::Deviation> {
+    fn execute(&mut self, op: &Op) -> Result<OpResult, crate::CvsError> {
         let resp = self.server.handle_op(self.client.user(), op, *self.round);
         *self.round += 1;
-        self.client.handle_response(op, &resp)
+        Ok(self.client.handle_response(op, &resp)?)
     }
 }
 
@@ -119,7 +119,10 @@ impl Repl {
         &mut self,
         f: impl FnOnce(&mut Cvs<'_, ReplSession<'_>>) -> Result<T, CvsError>,
     ) -> Result<T, String> {
-        let name = self.current.clone().ok_or("no user selected (use `user <name>`)")?;
+        let name = self
+            .current
+            .clone()
+            .ok_or("no user selected (use `user <name>`)")?;
         let (_, client) = self.clients.get_mut(&name).expect("selected user exists");
         let mut session = ReplSession {
             server: self.server.as_mut(),
@@ -135,8 +138,10 @@ impl Repl {
         if !self.clients.contains_key(name) {
             let id = self.next_user_id;
             self.next_user_id += 1;
-            self.clients
-                .insert(name.clone(), (id, Client2::new(id, &self.root0, self.config)));
+            self.clients.insert(
+                name.clone(),
+                (id, Client2::new(id, &self.root0, self.config)),
+            );
         }
         self.current = Some(name.clone());
         Ok(format!("now acting as {name}"))
@@ -152,17 +157,28 @@ impl Repl {
 
     fn cmd_cat(&mut self, args: &[String]) -> Result<String, String> {
         let path = args.first().ok_or("usage: cat <path> [rev]")?.clone();
-        let rev = args.get(1).map(|r| r.parse::<u32>().map_err(|e| e.to_string())).transpose()?;
+        let rev = args
+            .get(1)
+            .map(|r| r.parse::<u32>().map_err(|e| e.to_string()))
+            .transpose()?;
         let wf = self.with_cvs(|cvs| match rev {
             Some(r) => cvs.checkout_rev(&path, r),
             None => cvs.checkout(&path),
         })?;
-        Ok(format!("== {} r{} ==\n{}", wf.path, wf.base_rev, from_lines(&wf.lines)))
+        Ok(format!(
+            "== {} r{} ==\n{}",
+            wf.path,
+            wf.base_rev,
+            from_lines(&wf.lines)
+        ))
     }
 
     fn cmd_commit(&mut self, args: &[String]) -> Result<String, String> {
         // commit <path> <content> [-m <message>]
-        let [path, content] = two(&args[..2.min(args.len())], "commit <path> <content> [-m msg]")?;
+        let [path, content] = two(
+            &args[..2.min(args.len())],
+            "commit <path> <content> [-m msg]",
+        )?;
         let message = args
             .iter()
             .position(|a| a == "-m")
@@ -226,10 +242,7 @@ impl Repl {
     /// Broadcast sync-up across every user this REPL has created.
     fn cmd_sync(&mut self) -> String {
         let shares: Vec<SyncShare> = self.clients.values().map(|(_, c)| c.sync_share()).collect();
-        let ok = self
-            .clients
-            .values()
-            .any(|(_, c)| c.sync_succeeds(&shares));
+        let ok = self.clients.values().any(|(_, c)| c.sync_succeeds(&shares));
         if ok {
             let total: u64 = shares.iter().map(|s| s.lctr).sum();
             format!("sync-up OK over {total} operations: single consistent history")
@@ -242,8 +255,12 @@ impl Repl {
     /// Swaps in an adversarial server *preserving no state* — a fresh demo
     /// world where the named attack will fire after `trigger` ops.
     fn cmd_attack(&mut self, args: &[String]) -> Result<String, String> {
-        let name = args.first().ok_or("usage: attack <fork|drop|rollback|tamper|counter-skip|lie> [trigger]")?;
-        let trigger: u64 = args.get(1).map_or(Ok(3), |t| t.parse().map_err(|_| "bad trigger"))?;
+        let name = args
+            .first()
+            .ok_or("usage: attack <fork|drop|rollback|tamper|counter-skip|lie> [trigger]")?;
+        let trigger: u64 = args
+            .get(1)
+            .map_or(Ok(3), |t| t.parse().map_err(|_| "bad trigger"))?;
         let t = Trigger::AtCtr(trigger);
         let server: Box<dyn ServerApi> = match name.as_str() {
             "fork" => Box::new(ForkServer::new(&self.config, t, &[0])),
@@ -349,7 +366,11 @@ mod tests {
         run(&mut r, &["user alice", r#"add f "one""#]);
         let out = run(
             &mut r,
-            &["user bob", r#"commit f "one\ntwo" -m "bob adds""#, "annotate f"],
+            &[
+                "user bob",
+                r#"commit f "one\ntwo" -m "bob adds""#,
+                "annotate f",
+            ],
         );
         assert!(out[1].contains("r2"));
         assert!(out[2].contains("r1") && out[2].contains("r2"));

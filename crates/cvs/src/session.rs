@@ -6,23 +6,27 @@
 //! the trait, and [`DirectSession`] is the batteries-included in-process
 //! implementation (Protocol II client + any [`ServerApi`]).
 
-use tcvs_core::{Client2, Deviation, Op, OpResult, ProtocolConfig, ServerApi, SyncShare, UserId};
+use tcvs_core::{Client2, Op, OpResult, ProtocolConfig, ServerApi, SyncShare, UserId};
 use tcvs_merkle::MerkleTree;
+
+use crate::error::CvsError;
 
 /// A database session whose operations are verified by a trusted-CVS
 /// protocol client (or, for baselines, not verified at all).
 pub trait VerifiedDb {
-    /// Executes one operation; `Err` means the server deviated.
-    fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation>;
+    /// Executes one operation. [`CvsError::Deviation`] means the server
+    /// deviated and the session must stop; [`CvsError::Network`] means a
+    /// benign transport failure that may be retried.
+    fn execute(&mut self, op: &Op) -> Result<OpResult, CvsError>;
 }
 
 /// Blanket impl so any closure can act as a session — this is how the
 /// threaded clients in `tcvs-net` (or custom transports) plug in.
 impl<F> VerifiedDb for F
 where
-    F: FnMut(&Op) -> Result<OpResult, Deviation>,
+    F: FnMut(&Op) -> Result<OpResult, CvsError>,
 {
-    fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
+    fn execute(&mut self, op: &Op) -> Result<OpResult, CvsError> {
         self(op)
     }
 }
@@ -71,10 +75,10 @@ impl<S: ServerApi> DirectSession<S> {
 }
 
 impl<S: ServerApi> VerifiedDb for DirectSession<S> {
-    fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
+    fn execute(&mut self, op: &Op) -> Result<OpResult, CvsError> {
         let resp = self.server.handle_op(self.client.user(), op, self.round);
         self.round += 1;
-        self.client.handle_response(op, &resp)
+        Ok(self.client.handle_response(op, &resp)?)
     }
 }
 
@@ -98,7 +102,7 @@ impl<S: ServerApi> UnverifiedSession<S> {
 }
 
 impl<S: ServerApi> VerifiedDb for UnverifiedSession<S> {
-    fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
+    fn execute(&mut self, op: &Op) -> Result<OpResult, CvsError> {
         let resp = self.server.handle_op(self.user, op, self.round);
         self.round += 1;
         Ok(resp.result)
@@ -119,9 +123,7 @@ mod tests {
         };
         let server = HonestServer::new(&config);
         let mut s = DirectSession::new(0, server, config);
-        let r = s
-            .execute(&Op::Put(u64_key(1), b"hello".to_vec()))
-            .unwrap();
+        let r = s.execute(&Op::Put(u64_key(1), b"hello".to_vec())).unwrap();
         assert_eq!(r, OpResult::Replaced(None));
         let r = s.execute(&Op::Get(u64_key(1))).unwrap();
         assert_eq!(r, OpResult::Value(Some(b"hello".to_vec())));
@@ -132,7 +134,7 @@ mod tests {
         let config = ProtocolConfig::default();
         let mut server = HonestServer::new(&config);
         let mut round = 0u64;
-        let mut session = move |op: &Op| {
+        let mut session = move |op: &Op| -> Result<OpResult, CvsError> {
             let resp = server.handle_op(0, op, round);
             round += 1;
             Ok(resp.result)

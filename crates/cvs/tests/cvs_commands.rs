@@ -16,7 +16,10 @@ fn session() -> DirectSession<HonestServer> {
 fn add_checkout_commit_cycle() {
     let mut s = session();
     let mut cvs = Cvs::new(&mut s, "alice");
-    assert_eq!(cvs.add("Common.h", "#pragma once\n", "import", 1).unwrap(), 1);
+    assert_eq!(
+        cvs.add("Common.h", "#pragma once\n", "import", 1).unwrap(),
+        1
+    );
 
     let mut wf = cvs.checkout("Common.h").unwrap();
     assert_eq!(wf.base_rev, 1);
@@ -49,7 +52,10 @@ fn missing_file_reported() {
         cvs.checkout("ghost.c"),
         Err(CvsError::NoSuchFile("ghost.c".into()))
     );
-    assert!(matches!(cvs.remove("ghost.c"), Err(CvsError::NoSuchFile(_))));
+    assert!(matches!(
+        cvs.remove("ghost.c"),
+        Err(CvsError::NoSuchFile(_))
+    ));
 }
 
 #[test]
@@ -119,10 +125,7 @@ fn checkout_rev_reaches_history() {
     assert_eq!(r1.lines, vec!["one"]);
     let r3 = cvs.checkout_rev("f", 3).unwrap();
     assert_eq!(r3.lines, vec!["one", "line 2", "line 3"]);
-    assert_eq!(
-        cvs.checkout_rev("f", 9),
-        Err(CvsError::NoSuchRevision(9))
-    );
+    assert_eq!(cvs.checkout_rev("f", 9), Err(CvsError::NoSuchRevision(9)));
 }
 
 #[test]

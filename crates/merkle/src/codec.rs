@@ -211,7 +211,8 @@ mod tests {
     fn tree(n: u64, order: usize) -> MerkleTree {
         let mut t = MerkleTree::with_order(order);
         for i in 0..n {
-            t.insert(u64_key(i * 3), format!("value {i}").into_bytes()).unwrap();
+            t.insert(u64_key(i * 3), format!("value {i}").into_bytes())
+                .unwrap();
         }
         t
     }
@@ -255,7 +256,10 @@ mod tests {
             "stubs stay stubs"
         );
         // The proof still replays.
-        assert_eq!(back.get(&u64_key(42)).unwrap(), t.get(&u64_key(42)).unwrap());
+        assert_eq!(
+            back.get(&u64_key(42)).unwrap(),
+            t.get(&u64_key(42)).unwrap()
+        );
     }
 
     #[test]

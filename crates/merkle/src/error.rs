@@ -17,7 +17,10 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::IncompleteProof => {
-                write!(f, "operation reached a pruned (stub) subtree: proof incomplete")
+                write!(
+                    f,
+                    "operation reached a pruned (stub) subtree: proof incomplete"
+                )
             }
         }
     }

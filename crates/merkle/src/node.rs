@@ -175,7 +175,6 @@ impl Node {
         }
         self.recompute_digest();
     }
-
 }
 
 #[cfg(test)]
@@ -294,7 +293,10 @@ mod tests {
 
     #[test]
     fn u64_keys_preserve_order() {
-        let mut ks: Vec<Key> = [5u64, 300, 2, 70000, 0].iter().map(|&x| u64_key(x)).collect();
+        let mut ks: Vec<Key> = [5u64, 300, 2, 70000, 0]
+            .iter()
+            .map(|&x| u64_key(x))
+            .collect();
         ks.sort();
         let back: Vec<u64> = ks
             .iter()

@@ -61,7 +61,10 @@ impl OpResult {
                 1 + v.as_ref().map_or(0, |v| 8 + v.len())
             }
             OpResult::Entries(es) => {
-                1 + 8 + es.iter().map(|(k, v)| 16 + k.len() + v.len()).sum::<usize>()
+                1 + 8
+                    + es.iter()
+                        .map(|(k, v)| 16 + k.len() + v.len())
+                        .sum::<usize>()
             }
         }
     }
@@ -73,9 +76,7 @@ impl OpResult {
 pub fn apply_op(tree: &mut MerkleTree, op: &Op) -> Result<OpResult, TreeError> {
     match op {
         Op::Get(k) => Ok(OpResult::Value(tree.get(k)?.cloned())),
-        Op::Range(lo, hi) => Ok(OpResult::Entries(
-            tree.range(lo.as_deref(), hi.as_deref())?,
-        )),
+        Op::Range(lo, hi) => Ok(OpResult::Entries(tree.range(lo.as_deref(), hi.as_deref())?)),
         Op::Put(k, v) => Ok(OpResult::Replaced(tree.insert(k.clone(), v.clone())?)),
         Op::Delete(k) => Ok(OpResult::Deleted(tree.delete(k)?)),
     }

@@ -381,11 +381,7 @@ fn rebalance(
     }
 }
 
-fn borrow_from_left(
-    keys: &mut [Key],
-    children: &mut [Node],
-    idx: usize,
-) -> Result<(), TreeError> {
+fn borrow_from_left(keys: &mut [Key], children: &mut [Node], idx: usize) -> Result<(), TreeError> {
     let (l, r) = children.split_at_mut(idx);
     let left = &mut l[idx - 1];
     let cur = &mut r[0];
@@ -435,11 +431,7 @@ fn borrow_from_left(
     Ok(())
 }
 
-fn borrow_from_right(
-    keys: &mut [Key],
-    children: &mut [Node],
-    idx: usize,
-) -> Result<(), TreeError> {
+fn borrow_from_right(keys: &mut [Key], children: &mut [Node], idx: usize) -> Result<(), TreeError> {
     let (l, r) = children.split_at_mut(idx + 1);
     let cur = &mut l[idx];
     let right = &mut r[0];
@@ -548,7 +540,9 @@ fn range_rec(
             let start = lo.map_or(0, |l| child_index(keys, l));
             // Children up to and including the first whose lower bound is
             // >= hi can contain keys < hi.
-            let end = hi.map_or(children.len() - 1, |h| keys.partition_point(|k| k.as_slice() < h));
+            let end = hi.map_or(children.len() - 1, |h| {
+                keys.partition_point(|k| k.as_slice() < h)
+            });
             if start > end {
                 // Inverted (empty) range.
                 return Ok(());
@@ -707,7 +701,11 @@ fn check_rec(
                 }
             }
             for (i, child) in children.iter().enumerate() {
-                let clo = if i == 0 { lo } else { Some(keys[i - 1].as_slice()) };
+                let clo = if i == 0 {
+                    lo
+                } else {
+                    Some(keys[i - 1].as_slice())
+                };
                 let chi = if i == keys.len() {
                     hi
                 } else {

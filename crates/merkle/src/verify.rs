@@ -214,8 +214,7 @@ mod tests {
         let op = Op::Put(u64_key(5), b"important".to_vec());
         let (vo, result, _) = serve(&mut server, &op);
         // The server lies: claims the root did not change.
-        let err =
-            verify_response(&root0, 8, &vo, &op, Some(&result), Some(&root0)).unwrap_err();
+        let err = verify_response(&root0, 8, &vo, &op, Some(&result), Some(&root0)).unwrap_err();
         assert_eq!(err, VerifyError::NewRootMismatch);
     }
 

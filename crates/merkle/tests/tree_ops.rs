@@ -6,7 +6,8 @@ use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, TreeError};
 fn build(order: usize, keys: impl IntoIterator<Item = u64>) -> MerkleTree {
     let mut t = MerkleTree::with_order(order);
     for k in keys {
-        t.insert(u64_key(k), format!("value-{k}").into_bytes()).unwrap();
+        t.insert(u64_key(k), format!("value-{k}").into_bytes())
+            .unwrap();
     }
     t
 }
@@ -85,7 +86,8 @@ fn delete_everything_returns_to_empty_digest() {
             Some(format!("value-{k}").into_bytes()),
             "key {k}"
         );
-        t.check_invariants().unwrap_or_else(|e| panic!("after {k}: {e}"));
+        t.check_invariants()
+            .unwrap_or_else(|e| panic!("after {k}: {e}"));
     }
     assert!(t.is_empty());
     assert_eq!(t.root_digest(), empty_digest);
@@ -143,15 +145,29 @@ fn range_queries() {
     assert_eq!(t.range(None, None).unwrap().len(), 100);
 
     // Empty and inverted ranges.
-    assert!(t.range(Some(&u64_key(55)), Some(&u64_key(56))).unwrap().is_empty());
-    assert!(t.range(Some(&u64_key(500)), Some(&u64_key(100))).unwrap().is_empty());
+    assert!(t
+        .range(Some(&u64_key(55)), Some(&u64_key(56)))
+        .unwrap()
+        .is_empty());
+    assert!(t
+        .range(Some(&u64_key(500)), Some(&u64_key(100)))
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
 fn variable_length_byte_keys() {
     let mut t = MerkleTree::with_order(4);
     let keys: Vec<&[u8]> = vec![
-        b"", b"a", b"aa", b"ab", b"b", b"ba", b"src/main.rs", b"src/lib.rs", b"Common.h",
+        b"",
+        b"a",
+        b"aa",
+        b"ab",
+        b"b",
+        b"ba",
+        b"src/main.rs",
+        b"src/lib.rs",
+        b"Common.h",
     ];
     for (i, k) in keys.iter().enumerate() {
         t.insert(k.to_vec(), vec![i as u8]).unwrap();
@@ -213,7 +229,10 @@ fn pruned_tree_rejects_out_of_scope_ops() {
     let t = build(8, 0..500);
     let pruned = t.prune_for_point(&u64_key(10));
     // Reading a far-away key must hit a stub.
-    assert_eq!(pruned.get(&u64_key(400)).unwrap_err(), TreeError::IncompleteProof);
+    assert_eq!(
+        pruned.get(&u64_key(400)).unwrap_err(),
+        TreeError::IncompleteProof
+    );
     // Full scans on a pruned tree must fail too.
     assert_eq!(pruned.entries().unwrap_err(), TreeError::IncompleteProof);
 }
@@ -222,7 +241,9 @@ fn pruned_tree_rejects_out_of_scope_ops() {
 fn pruned_range_skips_unrelated_stubs() {
     let t = build(8, 0..1000);
     let pruned = t.prune_for_range(Some(&u64_key(100)), Some(&u64_key(120)));
-    let es = pruned.range(Some(&u64_key(100)), Some(&u64_key(120))).unwrap();
+    let es = pruned
+        .range(Some(&u64_key(100)), Some(&u64_key(120)))
+        .unwrap();
     assert_eq!(es.len(), 20);
     // The proof is still small.
     assert!(pruned.materialized_nodes() < 30);

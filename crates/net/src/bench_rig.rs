@@ -25,6 +25,9 @@ pub struct ThroughputReport {
     pub elapsed: Duration,
     /// Per-operation latencies in nanoseconds (all workers, unordered).
     pub latencies_ns: Vec<u64>,
+    /// Operations that failed (server unavailable mid-run); 0 against a
+    /// healthy server.
+    pub failed_ops: u64,
 }
 
 impl ThroughputReport {
@@ -62,6 +65,11 @@ fn worker_op(user: u32, i: u64, update_fraction: u32) -> Op {
     }
 }
 
+/// Per-worker tally: (completed ops, failed ops). A worker stops at its
+/// first failure — the server is gone or deviating; either way the rig
+/// reports it rather than panicking on a bench thread.
+type WorkerTally = (u64, u64);
+
 /// Runs `n_clients` threads, each performing `ops_per_client` operations
 /// against a fresh honest server, under the given protocol. Returns
 /// wall-clock throughput. `update_pct` is the percentage of updates.
@@ -80,23 +88,25 @@ pub fn run_throughput(
     )));
 
     let start;
+    let mut handles: Vec<std::thread::JoinHandle<WorkerTally>> = Vec::new();
     match protocol {
         ProtocolKind::Trusted => {
-            let mut handles = Vec::new();
             start = Instant::now();
             for u in 0..n_clients {
                 let mut c = NetClientTrusted::new(u, &server);
                 let sink = Arc::clone(&sink);
                 handles.push(std::thread::spawn(move || {
+                    let mut done = 0;
                     for i in 0..ops_per_client {
                         let t = Instant::now();
-                        c.execute(&worker_op(u, i, update_pct));
+                        if c.execute(&worker_op(u, i, update_pct)).is_err() {
+                            return (done, ops_per_client - done);
+                        }
                         record(&sink, t);
+                        done += 1;
                     }
+                    (done, 0)
                 }));
-            }
-            for h in handles {
-                h.join().expect("worker");
             }
         }
         ProtocolKind::One => {
@@ -107,44 +117,50 @@ pub fn run_throughput(
                 .into_iter()
                 .map(|r| NetClient1::new(r, registry.clone(), *config, &server))
                 .collect();
-            clients[0].deposit_initial(&root0).expect("fresh key");
-            let mut handles = Vec::new();
+            clients[0].deposit_initial(&root0).expect("fresh server");
             start = Instant::now();
             for (u, mut c) in clients.into_iter().enumerate() {
                 let sink = Arc::clone(&sink);
                 handles.push(std::thread::spawn(move || {
+                    let mut done = 0;
                     for i in 0..ops_per_client {
                         let t = Instant::now();
-                        c.execute(&worker_op(u as u32, i, update_pct))
-                            .expect("honest server");
+                        if c.execute(&worker_op(u as u32, i, update_pct)).is_err() {
+                            return (done, ops_per_client - done);
+                        }
                         record(&sink, t);
+                        done += 1;
                     }
+                    (done, 0)
                 }));
-            }
-            for h in handles {
-                h.join().expect("worker");
             }
         }
         ProtocolKind::Two => {
-            let mut handles = Vec::new();
             start = Instant::now();
             for u in 0..n_clients {
                 let mut c = NetClient2::new(u, &root0, *config, &server);
                 let sink = Arc::clone(&sink);
                 handles.push(std::thread::spawn(move || {
+                    let mut done = 0;
                     for i in 0..ops_per_client {
                         let t = Instant::now();
-                        c.execute(&worker_op(u, i, update_pct))
-                            .expect("honest server");
+                        if c.execute(&worker_op(u, i, update_pct)).is_err() {
+                            return (done, ops_per_client - done);
+                        }
                         record(&sink, t);
+                        done += 1;
                     }
+                    (done, 0)
                 }));
-            }
-            for h in handles {
-                h.join().expect("worker");
             }
         }
         other => panic!("run_throughput does not support {other:?}"),
+    }
+    let (mut ops, mut failed_ops) = (0, 0);
+    for h in handles {
+        let (done, failed) = h.join().expect("worker");
+        ops += done;
+        failed_ops += failed;
     }
     let elapsed = start.elapsed();
     server.shutdown();
@@ -154,8 +170,9 @@ pub fn run_throughput(
     ThroughputReport {
         protocol,
         clients: n_clients,
-        ops: n_clients as u64 * ops_per_client,
+        ops,
         elapsed,
         latencies_ns,
+        failed_ops,
     }
 }

@@ -1,14 +1,24 @@
 //! Threaded client handles: protocol clients bound to a server channel.
+//!
+//! Every request path returns `Result<_, NetError>`. Transport trouble —
+//! a dead server, an exhausted retry budget — surfaces as
+//! [`NetError::ServerGone`] / [`NetError::Timeout`]; a failed protocol
+//! verification surfaces as [`NetError::Deviation`]. Nothing on the request
+//! path panics. Each handle numbers its requests with a per-user sequence
+//! so the server can deduplicate retries (exactly-once execution).
 
 use crossbeam::channel::Sender;
-use tcvs_core::{
-    Client1, Client2, Deviation, Digest, Op, OpResult, ProtocolConfig, SyncShare, UserId,
-};
+use tcvs_core::{Client1, Client2, Digest, Op, OpResult, ProtocolConfig, SyncShare, UserId};
 use tcvs_crypto::{KeyRegistry, Keyring};
 
-use crate::server::{remote_op, NetServer, Request};
+use crate::error::{NetError, RetryPolicy};
+use crate::server::{remote_fetch, remote_op, Endpoint, Request};
 
-/// A Protocol I client bound to a running [`NetServer`].
+fn send_deposit(tx: &Sender<Request>, req: Request) -> Result<(), NetError> {
+    tx.send(req).map_err(|_| NetError::ServerGone)
+}
+
+/// A Protocol I client bound to a running server.
 ///
 /// Each `execute` is a full protocol exchange: request → response →
 /// verification → signature deposit (the deposit is what the blocking
@@ -17,47 +27,66 @@ pub struct NetClient1 {
     inner: Client1,
     tx: Sender<Request>,
     ops: u64,
+    seq: u64,
+    policy: RetryPolicy,
 }
 
 impl NetClient1 {
-    /// Binds a client to `server`.
+    /// Binds a client to `server` (a [`crate::NetServer`] or a
+    /// [`crate::FaultLink`] in front of one).
     pub fn new(
         keyring: Keyring,
         registry: KeyRegistry,
         config: ProtocolConfig,
-        server: &NetServer,
+        server: &impl Endpoint,
     ) -> NetClient1 {
         NetClient1 {
             inner: Client1::new(keyring, registry, config),
-            tx: server.sender(),
+            tx: server.wire().0,
             ops: 0,
+            seq: 0,
+            policy: RetryPolicy::default(),
         }
+    }
+
+    /// Replaces the retry policy (timeouts, attempts, jitter).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
     }
 
     /// Signs and deposits the initial state (run once, by the elected user,
     /// before any operation).
-    pub fn deposit_initial(&mut self, root0: &Digest) -> Result<(), Deviation> {
+    pub fn deposit_initial(&mut self, root0: &Digest) -> Result<(), NetError> {
         let init = self.inner.sign_initial(root0)?;
-        self.tx
-            .send(Request::Signature {
+        send_deposit(
+            &self.tx,
+            Request::Signature {
                 user: self.inner.user(),
                 signed: init,
-            })
-            .expect("server alive");
-        Ok(())
+            },
+        )
     }
 
     /// Executes one verified operation.
-    pub fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
-        let resp = remote_op(&self.tx, self.inner.user(), op, self.ops);
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        self.seq += 1;
+        let resp = remote_op(
+            &self.tx,
+            self.inner.user(),
+            self.seq,
+            op,
+            self.ops,
+            &self.policy,
+        )?;
         self.ops += 1;
         let (result, deposit) = self.inner.handle_response(op, &resp)?;
-        self.tx
-            .send(Request::Signature {
+        send_deposit(
+            &self.tx,
+            Request::Signature {
                 user: self.inner.user(),
                 signed: deposit,
-            })
-            .expect("server alive");
+            },
+        )?;
         Ok(result)
     }
 
@@ -82,12 +111,14 @@ impl NetClient1 {
     }
 }
 
-/// A Protocol II client bound to a running [`NetServer`]: one round trip
-/// per operation, no deposit.
+/// A Protocol II client bound to a running server: one round trip per
+/// operation, no deposit.
 pub struct NetClient2 {
     inner: Client2,
     tx: Sender<Request>,
     ops: u64,
+    seq: u64,
+    policy: RetryPolicy,
 }
 
 impl NetClient2 {
@@ -96,20 +127,35 @@ impl NetClient2 {
         user: UserId,
         root0: &Digest,
         config: ProtocolConfig,
-        server: &NetServer,
+        server: &impl Endpoint,
     ) -> NetClient2 {
         NetClient2 {
             inner: Client2::new(user, root0, config),
-            tx: server.sender(),
+            tx: server.wire().0,
             ops: 0,
+            seq: 0,
+            policy: RetryPolicy::default(),
         }
     }
 
+    /// Replaces the retry policy (timeouts, attempts, jitter).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
     /// Executes one verified operation.
-    pub fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
-        let resp = remote_op(&self.tx, self.inner.user(), op, self.ops);
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        self.seq += 1;
+        let resp = remote_op(
+            &self.tx,
+            self.inner.user(),
+            self.seq,
+            op,
+            self.ops,
+            &self.policy,
+        )?;
         self.ops += 1;
-        self.inner.handle_response(op, &resp)
+        Ok(self.inner.handle_response(op, &resp)?)
     }
 
     /// This user's broadcast share.
@@ -133,12 +179,14 @@ impl NetClient2 {
     }
 }
 
-/// A Protocol III client bound to a running [`NetServer`]: deposits signed
-/// epoch states and performs its audit duties over the same channel.
+/// A Protocol III client bound to a running server: deposits signed epoch
+/// states and performs its audit duties over the same channel.
 pub struct NetClient3 {
     inner: tcvs_core::Client3,
     tx: Sender<Request>,
     ops: u64,
+    seq: u64,
+    policy: RetryPolicy,
     /// Client-side clock: rounds advance one per operation (the bench rig's
     /// stand-in for wall time; epoch length is interpreted in ops).
     round: u64,
@@ -152,53 +200,61 @@ impl NetClient3 {
         n_users: u32,
         root0: &Digest,
         config: ProtocolConfig,
-        server: &NetServer,
+        server: &impl Endpoint,
     ) -> NetClient3 {
         NetClient3 {
             inner: tcvs_core::Client3::new(keyring, registry, n_users, root0, config),
-            tx: server.sender(),
+            tx: server.wire().0,
             ops: 0,
+            seq: 0,
+            policy: RetryPolicy::default(),
             round: 0,
         }
     }
 
+    /// Replaces the retry policy (timeouts, attempts, jitter).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
     /// Executes one verified operation at client clock `round`, forwarding
     /// epoch-state deposits and running any due audit.
-    pub fn execute_at(&mut self, op: &Op, round: u64) -> Result<OpResult, Deviation> {
+    pub fn execute_at(&mut self, op: &Op, round: u64) -> Result<OpResult, NetError> {
         self.round = round;
-        let resp = remote_op(&self.tx, self.inner.user(), op, round);
+        self.seq += 1;
+        let resp = remote_op(
+            &self.tx,
+            self.inner.user(),
+            self.seq,
+            op,
+            round,
+            &self.policy,
+        )?;
         self.ops += 1;
         let (result, deposits) = self.inner.handle_response(op, &resp, round)?;
         for d in deposits {
-            self.tx
-                .send(Request::EpochState(d))
-                .expect("server alive");
+            send_deposit(&self.tx, Request::EpochState(d))?;
         }
         if let Some(epoch) = self.inner.pending_audit() {
-            let (rtx, rrx) = crossbeam::channel::bounded(1);
-            self.tx
-                .send(Request::FetchEpochStates {
-                    user: self.inner.user(),
-                    epoch,
-                    reply: rtx,
-                })
-                .expect("server alive");
-            let states = rrx.recv().expect("server replies");
+            let user = self.inner.user();
+            self.seq += 1;
+            let states = remote_fetch(&self.tx, user, self.seq, &self.policy, |reply| {
+                Request::FetchEpochStates { user, epoch, reply }
+            })?;
             let prev = if epoch == 0 {
                 None
             } else {
-                let (ctx, crx) = crossbeam::channel::bounded(1);
-                self.tx
-                    .send(Request::FetchCheckpoint {
-                        user: self.inner.user(),
+                self.seq += 1;
+                remote_fetch(&self.tx, user, self.seq, &self.policy, |reply| {
+                    Request::FetchCheckpoint {
+                        user,
                         epoch: epoch - 1,
-                        reply: ctx,
-                    })
-                    .expect("server alive");
-                crx.recv().expect("server replies")
+                        reply,
+                    }
+                })?
             };
             let cp = self.inner.audit(epoch, &states, prev.as_ref())?;
-            self.tx.send(Request::Checkpoint(cp)).expect("server alive");
+            send_deposit(&self.tx, Request::Checkpoint(cp))?;
         }
         Ok(result)
     }
@@ -219,23 +275,33 @@ pub struct NetClientTrusted {
     user: UserId,
     tx: Sender<Request>,
     ops: u64,
+    seq: u64,
+    policy: RetryPolicy,
 }
 
 impl NetClientTrusted {
     /// Binds a baseline client to `server`.
-    pub fn new(user: UserId, server: &NetServer) -> NetClientTrusted {
+    pub fn new(user: UserId, server: &impl Endpoint) -> NetClientTrusted {
         NetClientTrusted {
             user,
-            tx: server.sender(),
+            tx: server.wire().0,
             ops: 0,
+            seq: 0,
+            policy: RetryPolicy::default(),
         }
     }
 
+    /// Replaces the retry policy (timeouts, attempts, jitter).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
     /// Executes one unverified operation.
-    pub fn execute(&mut self, op: &Op) -> OpResult {
-        let resp = remote_op(&self.tx, self.user, op, self.ops);
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        self.seq += 1;
+        let resp = remote_op(&self.tx, self.user, self.seq, op, self.ops, &self.policy)?;
         self.ops += 1;
-        resp.result
+        Ok(resp.result)
     }
 
     /// Operations completed.

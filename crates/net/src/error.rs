@@ -1,0 +1,172 @@
+//! Typed client-side network errors and the retry policy.
+//!
+//! Every client request path returns `Result<_, NetError>`: a dead server
+//! or an exhausted retry budget is an *availability* outcome the caller
+//! handles, never a panic. Protocol verification failures ride along as
+//! [`NetError::Deviation`] so one error type covers the whole exchange.
+
+use std::time::Duration;
+
+use tcvs_core::{Deviation, UserId};
+use tcvs_crypto::SeedRng;
+
+/// Why a client request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The server thread is gone: its channel disconnected and a request
+    /// can no longer be delivered.
+    ServerGone,
+    /// No reply arrived within the timeout, across every retry attempt.
+    Timeout {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The reply arrived but failed protocol verification — the server
+    /// *deviated* (this is detection, not a transport fault).
+    Deviation(Deviation),
+}
+
+impl NetError {
+    /// The deviation, if this error is a detection.
+    pub fn deviation(&self) -> Option<&Deviation> {
+        match self {
+            NetError::Deviation(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl From<Deviation> for NetError {
+    fn from(d: Deviation) -> NetError {
+        NetError::Deviation(d)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::ServerGone => write!(f, "server is gone (channel disconnected)"),
+            NetError::Timeout { attempts } => {
+                write!(f, "no reply after {attempts} attempts")
+            }
+            NetError::Deviation(d) => write!(f, "server deviation detected: {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+///
+/// Attempt `a` waits `base_timeout << a` for its reply, plus a jitter drawn
+/// deterministically from `(user, seq, attempt)` — concurrent clients
+/// de-synchronize their retries, yet every run with the same inputs behaves
+/// identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Reply timeout for the first attempt; doubles each retry.
+    pub base_timeout: Duration,
+    /// Upper bound on the per-attempt jitter added to the timeout.
+    pub max_jitter: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_timeout: Duration::from_millis(100),
+            max_jitter: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and fails fast (tests, probes).
+    pub fn fail_fast(timeout: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_timeout: timeout,
+            max_jitter: Duration::ZERO,
+        }
+    }
+
+    /// The reply timeout for `attempt` (0-based) of request `(user, seq)`.
+    pub fn attempt_timeout(&self, user: UserId, seq: u64, attempt: u32) -> Duration {
+        // Cap the shift so a large max_attempts cannot overflow.
+        let backoff = self.base_timeout * (1u32 << attempt.min(6));
+        backoff + self.jitter(user, seq, attempt)
+    }
+
+    fn jitter(&self, user: UserId, seq: u64, attempt: u32) -> Duration {
+        let bound = self.max_jitter.as_micros() as u64;
+        if bound == 0 {
+            return Duration::ZERO;
+        }
+        let mut label = Vec::with_capacity(32);
+        label.extend_from_slice(b"tcvs-net-jitter:");
+        label.extend_from_slice(&user.to_le_bytes());
+        label.extend_from_slice(&seq.to_le_bytes());
+        label.extend_from_slice(&attempt.to_le_bytes());
+        let mut rng = SeedRng::from_label(&label);
+        Duration::from_micros(rng.next_below(bound + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeouts_grow_exponentially() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_timeout: Duration::from_millis(10),
+            max_jitter: Duration::ZERO,
+        };
+        assert_eq!(p.attempt_timeout(0, 0, 0), Duration::from_millis(10));
+        assert_eq!(p.attempt_timeout(0, 0, 1), Duration::from_millis(20));
+        assert_eq!(p.attempt_timeout(0, 0, 3), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_input_sensitive() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_timeout: Duration::from_millis(10),
+            max_jitter: Duration::from_millis(5),
+        };
+        let a = p.attempt_timeout(1, 7, 2);
+        assert_eq!(a, p.attempt_timeout(1, 7, 2), "same inputs, same timeout");
+        assert!(a >= Duration::from_millis(40));
+        assert!(a <= Duration::from_millis(45));
+        let others = [
+            p.attempt_timeout(2, 7, 2),
+            p.attempt_timeout(1, 8, 2),
+            p.attempt_timeout(1, 7, 1) * 2,
+        ];
+        assert!(
+            others.iter().any(|o| *o != a),
+            "jitter varies across users/seqs/attempts"
+        );
+    }
+
+    #[test]
+    fn shift_cap_prevents_overflow() {
+        let p = RetryPolicy {
+            max_attempts: 64,
+            base_timeout: Duration::from_millis(1),
+            max_jitter: Duration::ZERO,
+        };
+        assert_eq!(p.attempt_timeout(0, 0, 63), Duration::from_millis(64));
+    }
+
+    #[test]
+    fn deviation_round_trips_through_neterror() {
+        let e: NetError = Deviation::BadSignature.into();
+        assert_eq!(e.deviation(), Some(&Deviation::BadSignature));
+        assert!(NetError::ServerGone.deviation().is_none());
+        assert!(format!("{e}").contains("deviation"));
+    }
+}

@@ -1,23 +1,42 @@
 //! # tcvs-net
 //!
 //! A threaded deployment of the trusted-cvs protocols: one server thread
-//! serving crossbeam channels, client handles per user, and a throughput
-//! rig for the wall-clock experiments.
+//! serving crossbeam channels, client handles per user, a deterministic
+//! fault-injection link, and a throughput rig for the wall-clock
+//! experiments.
 //!
 //! Protocol I's blocking signature deposit is reproduced physically: the
 //! server thread refuses to take the next operation until the previous
 //! operation's signature has arrived — experiment E6 measures what that
 //! costs under contention, which is the paper's §4.3 motivation for
 //! Protocol II ("this additional blocking step affects throughput in
-//! systems with frequent updates").
+//! systems with frequent updates"). Under faults the block is bounded by a
+//! deposit timeout instead of deadlocking.
+//!
+//! ## Resilience
+//!
+//! Clients return `Result<_, NetError>` on every request path and retry
+//! with exponential backoff and deterministic jitter ([`RetryPolicy`]).
+//! Operations carry per-user sequence numbers; the server journals its last
+//! reply per user, so retries after a dropped reply are answered without
+//! re-executing (exactly-once semantics). A [`FaultLink`] interposed
+//! between clients and server replays a seeded [`tcvs_core::FaultPlan`]
+//! against live traffic; benign faults must never raise a deviation alarm.
+//! [`NetServer::crash_restart`] crash-restarts the inner server from its
+//! persisted state, and shutdown drains backlogged requests before the
+//! thread exits.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod bench_rig;
 mod client;
+mod error;
+mod fault;
 mod server;
 
 pub use bench_rig::{run_throughput, ThroughputReport};
 pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted};
-pub use server::NetServer;
+pub use error::{NetError, RetryPolicy};
+pub use fault::FaultLink;
+pub use server::{Endpoint, NetServer, NetServerOptions};

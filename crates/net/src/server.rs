@@ -4,19 +4,37 @@
 //! Protocol I's blocking step is *physically* reproduced: in blocking mode
 //! the server thread will not take the next operation until the previous
 //! client's signature deposit has arrived — this is what experiment E6's
-//! wall-clock throughput numbers measure.
+//! wall-clock throughput numbers measure. Under faults the block is bounded
+//! by [`NetServerOptions::deposit_timeout`]: a lost or abandoned deposit is
+//! counted in [`NetServer::missed_deposits`] and the server moves on instead
+//! of deadlocking.
+//!
+//! Every operation carries a per-user sequence number; the thread keeps the
+//! last reply per user in a *reply journal* so a retried request (after a
+//! dropped reply) is answered from the journal instead of re-executing —
+//! exactly-once semantics over an at-least-once transport. The journal is
+//! part of the server's durable state: it survives [`NetServer::crash_restart`]
+//! along with whatever the inner [`ServerApi`] chooses to persist.
 
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use tcvs_core::{
     Epoch, Op, ServerApi, ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, UserId,
 };
+
+use crate::error::{NetError, RetryPolicy};
 
 /// A request to the server thread.
 pub(crate) enum Request {
     Op {
         user: UserId,
+        /// Per-user sequence number; retries of the same operation reuse it.
+        seq: u64,
         op: Op,
         round: u64,
         reply: Sender<ServerResponse>,
@@ -37,26 +55,96 @@ pub(crate) enum Request {
         epoch: Epoch,
         reply: Sender<Option<SignedCheckpoint>>,
     },
+    /// Crash the inner server and restart it from persisted state.
+    Crash {
+        ack: Sender<()>,
+    },
     Shutdown,
 }
+
+pub(crate) mod sealed {
+    pub trait Sealed {}
+}
+
+/// An opaque handle onto a server thread's request channel. Only this
+/// crate can look inside; clients obtain one through [`Endpoint`].
+pub struct WireHandle(pub(crate) Sender<Request>);
+
+/// Something clients can bind to: a [`NetServer`] directly, or a
+/// [`crate::FaultLink`] interposed in front of one.
+///
+/// The trait is sealed — only this crate's types implement it — because its
+/// wire format (the request channel) is an internal detail.
+pub trait Endpoint: sealed::Sealed {
+    /// The wire into this endpoint (crate-internal).
+    #[doc(hidden)]
+    fn wire(&self) -> WireHandle;
+}
+
+/// Tuning knobs for a server thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetServerOptions {
+    /// Reproduce Protocol I's blocking signature deposit: after each
+    /// operation the server waits for that client's deposit before serving
+    /// the next request.
+    pub blocking_signatures: bool,
+    /// How long a blocking wait may last before the server gives up on the
+    /// deposit, records a miss, and moves on. Bounds the Protocol I deadlock
+    /// when a client dies (or its deposit is lost) mid-exchange.
+    pub deposit_timeout: Duration,
+}
+
+impl Default for NetServerOptions {
+    fn default() -> NetServerOptions {
+        NetServerOptions {
+            blocking_signatures: false,
+            deposit_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The per-user reply journal: last `(seq, reply)` served to each user.
+type ReplyJournal = HashMap<UserId, (u64, ServerResponse)>;
 
 /// Handle to a running server thread.
 pub struct NetServer {
     tx: Sender<Request>,
     join: Option<JoinHandle<()>>,
+    missed: Arc<AtomicU64>,
+}
+
+impl sealed::Sealed for NetServer {}
+
+impl Endpoint for NetServer {
+    fn wire(&self) -> WireHandle {
+        WireHandle(self.tx.clone())
+    }
 }
 
 impl NetServer {
     /// Spawns the server thread over any (honest or adversarial) server
     /// implementation. `blocking_signatures` reproduces Protocol I's extra
-    /// blocking message: after each *operation* the server waits for the
-    /// client's signature deposit before serving the next request.
-    pub fn spawn(mut inner: Box<dyn ServerApi + Send>, blocking_signatures: bool) -> NetServer {
+    /// blocking message; see [`NetServer::spawn_with`] for the full knobs.
+    pub fn spawn(inner: Box<dyn ServerApi + Send>, blocking_signatures: bool) -> NetServer {
+        NetServer::spawn_with(
+            inner,
+            NetServerOptions {
+                blocking_signatures,
+                ..NetServerOptions::default()
+            },
+        )
+    }
+
+    /// Spawns the server thread with explicit [`NetServerOptions`].
+    pub fn spawn_with(mut inner: Box<dyn ServerApi + Send>, opts: NetServerOptions) -> NetServer {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let missed = Arc::new(AtomicU64::new(0));
+        let missed_in = Arc::clone(&missed);
         let join = std::thread::spawn(move || {
             // Requests that arrived while the server was blocked waiting for
             // a Protocol I signature deposit; replayed in arrival order.
-            let mut backlog: std::collections::VecDeque<Request> = Default::default();
+            let mut backlog: VecDeque<Request> = VecDeque::new();
+            let mut journal = ReplyJournal::new();
             loop {
                 let req = match backlog.pop_front() {
                     Some(r) => r,
@@ -68,29 +156,37 @@ impl NetServer {
                 match req {
                     Request::Op {
                         user,
+                        seq,
                         op,
                         round,
                         reply,
                     } => {
+                        if let Some(resp) = journal_hit(&journal, user, seq) {
+                            // A retry of an already-executed operation: serve
+                            // the journaled reply, never re-execute (and never
+                            // re-enter the blocking wait — the first delivery
+                            // already did).
+                            let _ = reply.send(resp);
+                            continue;
+                        }
                         let resp = inner.handle_op(user, &op, round);
+                        journal.insert(user, (seq, resp.clone()));
                         // The reply channel may be dropped if the client
                         // detected deviation and bailed; that's fine.
                         let _ = reply.send(resp);
-                        if blocking_signatures {
-                            // Protocol I: the server may not serve the next
-                            // operation until this user's signature deposit
-                            // arrives. Other users' requests queue up behind
-                            // the block (that latency is the measured cost).
-                            loop {
-                                match rx.recv() {
-                                    Ok(Request::Signature { user: su, signed }) if su == user => {
-                                        inner.deposit_signature(su, signed);
-                                        break;
-                                    }
-                                    Ok(Request::Shutdown) | Err(_) => return,
-                                    Ok(other) => backlog.push_back(other),
-                                }
-                            }
+                        if opts.blocking_signatures
+                            && !blocking_wait(
+                                inner.as_mut(),
+                                &rx,
+                                &mut backlog,
+                                &mut journal,
+                                user,
+                                opts.deposit_timeout,
+                                &missed_in,
+                            )
+                        {
+                            drain(inner.as_mut(), &rx, backlog, &mut journal);
+                            return;
                         }
                     }
                     Request::Signature { user, signed } => {
@@ -104,22 +200,44 @@ impl NetServer {
                     Request::FetchCheckpoint { user, epoch, reply } => {
                         let _ = reply.send(inner.fetch_checkpoint(user, epoch));
                     }
-                    Request::Shutdown => return,
+                    Request::Crash { ack } => {
+                        // The reply journal is durable transport state and
+                        // survives alongside whatever the inner server keeps.
+                        inner.crash_restart();
+                        let _ = ack.send(());
+                    }
+                    Request::Shutdown => {
+                        drain(inner.as_mut(), &rx, backlog, &mut journal);
+                        return;
+                    }
                 }
             }
         });
         NetServer {
             tx,
             join: Some(join),
+            missed,
         }
     }
 
-    /// A cloneable sender for client handles.
-    pub(crate) fn sender(&self) -> Sender<Request> {
-        self.tx.clone()
+    /// Signature deposits the blocking server gave up waiting for (always 0
+    /// in non-blocking mode or on a fault-free network).
+    pub fn missed_deposits(&self) -> u64 {
+        self.missed.load(Ordering::Relaxed)
     }
 
-    /// Stops the server thread and waits for it to exit.
+    /// Crashes the inner server and restarts it from its persisted state,
+    /// synchronously: when this returns `Ok`, the restart has completed.
+    pub fn crash_restart(&self) -> Result<(), NetError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Request::Crash { ack: ack_tx })
+            .map_err(|_| NetError::ServerGone)?;
+        ack_rx.recv().map_err(|_| NetError::ServerGone)
+    }
+
+    /// Stops the server thread gracefully: backlogged and queued requests
+    /// are served (from the journal or by execution), then the thread exits.
     pub fn shutdown(mut self) {
         let _ = self.tx.send(Request::Shutdown);
         if let Some(j) = self.join.take() {
@@ -137,20 +255,180 @@ impl Drop for NetServer {
     }
 }
 
-/// Performs one remote operation (request/response round trip).
+fn journal_hit(journal: &ReplyJournal, user: UserId, seq: u64) -> Option<ServerResponse> {
+    match journal.get(&user) {
+        Some((s, resp)) if *s == seq => Some(resp.clone()),
+        _ => None,
+    }
+}
+
+/// Protocol I: wait (bounded) for `user`'s signature deposit before serving
+/// the next operation. Other users' requests queue up behind the block —
+/// that latency is the measured cost. Returns `false` iff the server must
+/// shut down.
+fn blocking_wait(
+    inner: &mut dyn ServerApi,
+    rx: &Receiver<Request>,
+    backlog: &mut VecDeque<Request>,
+    journal: &mut ReplyJournal,
+    user: UserId,
+    deposit_timeout: Duration,
+    missed: &AtomicU64,
+) -> bool {
+    loop {
+        match rx.recv_timeout(deposit_timeout) {
+            Ok(Request::Signature { user: su, signed }) if su == user => {
+                inner.deposit_signature(su, signed);
+                return true;
+            }
+            Ok(Request::Op {
+                user: ou,
+                seq,
+                op,
+                round,
+                reply,
+            }) => {
+                if ou == user {
+                    if let Some(resp) = journal_hit(journal, ou, seq) {
+                        // The blocked user lost our reply and is retrying:
+                        // answer from the journal while staying blocked (its
+                        // deposit is still owed for this very operation).
+                        let _ = reply.send(resp);
+                        continue;
+                    }
+                }
+                backlog.push_back(Request::Op {
+                    user: ou,
+                    seq,
+                    op,
+                    round,
+                    reply,
+                });
+            }
+            Ok(Request::Crash { ack }) => {
+                // A crash wipes the pending wait: the deposit (if it ever
+                // arrives) will be absorbed by the main loop.
+                inner.crash_restart();
+                let _ = ack.send(());
+                missed.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Ok(Request::Shutdown) => return false,
+            Err(RecvTimeoutError::Disconnected) => return false,
+            Ok(other) => backlog.push_back(other),
+            Err(RecvTimeoutError::Timeout) => {
+                // The deposit is lost or its client died; record the miss
+                // and unblock rather than deadlock the whole deployment.
+                missed.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+    }
+}
+
+/// Graceful-shutdown drain: serve every backlogged and already-queued
+/// request without any further blocking waits, then let the thread exit.
+fn drain(
+    inner: &mut dyn ServerApi,
+    rx: &Receiver<Request>,
+    backlog: VecDeque<Request>,
+    journal: &mut ReplyJournal,
+) {
+    let queued = std::iter::from_fn(|| rx.try_recv().ok());
+    for req in backlog.into_iter().chain(queued) {
+        match req {
+            Request::Op {
+                user,
+                seq,
+                op,
+                round,
+                reply,
+            } => {
+                let resp = match journal_hit(journal, user, seq) {
+                    Some(r) => r,
+                    None => {
+                        let r = inner.handle_op(user, &op, round);
+                        journal.insert(user, (seq, r.clone()));
+                        r
+                    }
+                };
+                let _ = reply.send(resp);
+            }
+            Request::Signature { user, signed } => inner.deposit_signature(user, signed),
+            Request::EpochState(s) => inner.deposit_epoch_state(s),
+            Request::FetchEpochStates { user, epoch, reply } => {
+                let _ = reply.send(inner.fetch_epoch_states(user, epoch));
+            }
+            Request::Checkpoint(c) => inner.deposit_checkpoint(c),
+            Request::FetchCheckpoint { user, epoch, reply } => {
+                let _ = reply.send(inner.fetch_checkpoint(user, epoch));
+            }
+            Request::Crash { ack } => {
+                let _ = ack.send(());
+            }
+            Request::Shutdown => {}
+        }
+    }
+}
+
+/// Performs one remote operation: request → reply, with bounded retry.
+///
+/// Each attempt uses a fresh one-shot reply channel and waits
+/// [`RetryPolicy::attempt_timeout`] for it. A failed *send* means the server
+/// thread (or the link to it) is gone — that is terminal. A disconnected
+/// reply channel means the request was consumed but no reply will come (a
+/// dropped request or reply in flight) — retry immediately. A timeout backs
+/// off exponentially before the retry. Retries reuse the same `seq`, so the
+/// server's reply journal guarantees the operation executes at most once.
 pub(crate) fn remote_op(
     tx: &Sender<Request>,
     user: UserId,
+    seq: u64,
     op: &Op,
     round: u64,
-) -> ServerResponse {
-    let (reply_tx, reply_rx) = bounded(1);
-    tx.send(Request::Op {
-        user,
-        op: op.clone(),
-        round,
-        reply: reply_tx,
-    })
-    .expect("server thread alive");
-    reply_rx.recv().expect("server replies")
+    policy: &RetryPolicy,
+) -> Result<ServerResponse, NetError> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 0..attempts {
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(Request::Op {
+            user,
+            seq,
+            op: op.clone(),
+            round,
+            reply: reply_tx,
+        })
+        .map_err(|_| NetError::ServerGone)?;
+        match reply_rx.recv_timeout(policy.attempt_timeout(user, seq, attempt)) {
+            Ok(resp) => return Ok(resp),
+            // The request or its reply was lost in flight; retry at once.
+            Err(RecvTimeoutError::Disconnected) => continue,
+            // No verdict on this attempt; the backoff grows with `attempt`.
+            Err(RecvTimeoutError::Timeout) => continue,
+        }
+    }
+    Err(NetError::Timeout { attempts })
+}
+
+/// A retried fetch round trip (Protocol III audit reads). Same transport
+/// semantics as [`remote_op`]; `make` builds the request around the
+/// attempt's fresh reply sender.
+pub(crate) fn remote_fetch<T>(
+    tx: &Sender<Request>,
+    user: UserId,
+    seq: u64,
+    policy: &RetryPolicy,
+    mut make: impl FnMut(Sender<T>) -> Request,
+) -> Result<T, NetError> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 0..attempts {
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(make(reply_tx)).map_err(|_| NetError::ServerGone)?;
+        match reply_rx.recv_timeout(policy.attempt_timeout(user, seq, attempt)) {
+            Ok(v) => return Ok(v),
+            Err(RecvTimeoutError::Disconnected) => continue,
+            Err(RecvTimeoutError::Timeout) => continue,
+        }
+    }
+    Err(NetError::Timeout { attempts })
 }

@@ -1,11 +1,20 @@
 //! End-to-end tests of the threaded deployment: concurrency safety,
-//! blocking semantics, and adversary detection over channels.
+//! blocking semantics, adversary detection over channels, and resilience —
+//! benign faults, crash-restarts, and graceful shutdown.
+
+use std::time::Duration;
 
 use tcvs_core::adversary::{LieServer, TamperServer, Trigger};
-use tcvs_core::{Deviation, HonestServer, Op, ProtocolConfig, ProtocolKind, SyncShare};
+use tcvs_core::{
+    Deviation, FaultKind, FaultPlan, FaultRates, HonestServer, Op, ProtocolConfig, ProtocolKind,
+    SyncShare,
+};
 use tcvs_crypto::setup_users;
 use tcvs_merkle::{u64_key, MerkleTree};
-use tcvs_net::{run_throughput, NetClient1, NetClient2, NetClient3, NetServer};
+use tcvs_net::{
+    run_throughput, FaultLink, NetClient1, NetClient2, NetClient3, NetError, NetServer,
+    NetServerOptions, RetryPolicy,
+};
 
 fn config() -> ProtocolConfig {
     ProtocolConfig {
@@ -17,6 +26,15 @@ fn config() -> ProtocolConfig {
 
 fn root0(config: &ProtocolConfig) -> tcvs_core::Digest {
     MerkleTree::with_order(config.order).root_digest()
+}
+
+/// A policy that keeps fault-heavy tests fast without sacrificing retries.
+fn quick_retries() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        base_timeout: Duration::from_millis(40),
+        max_jitter: Duration::from_millis(5),
+    }
 }
 
 #[test]
@@ -70,6 +88,7 @@ fn protocol1_blocking_server_serializes_concurrent_clients() {
     let clients: Vec<NetClient1> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
     assert!(clients.iter().any(|c| c.sync_succeeds(&shares)));
+    assert_eq!(server.missed_deposits(), 0, "every deposit arrived");
     server.shutdown();
 }
 
@@ -81,14 +100,14 @@ fn lie_server_detected_over_the_wire() {
     let mut c = NetClient2::new(0, &r0, cfg, &server);
     let mut detected = None;
     for i in 0..10u64 {
-        if let Err(d) = c.execute(&Op::Get(u64_key(i))) {
-            detected = Some((i, d));
+        if let Err(e) = c.execute(&Op::Get(u64_key(i))) {
+            detected = Some((i, e));
             break;
         }
     }
-    let (at, dev) = detected.expect("lie must be detected");
+    let (at, err) = detected.expect("lie must be detected");
     assert_eq!(at, 3, "detected at the forged answer itself");
-    assert!(matches!(dev, Deviation::BadProof(_)));
+    assert!(matches!(err, NetError::Deviation(Deviation::BadProof(_))));
     server.shutdown();
 }
 
@@ -102,18 +121,20 @@ fn tamper_detected_by_protocol1_signature_chain() {
     c.deposit_initial(&r0).unwrap();
     let mut detected = None;
     for i in 0..10u64 {
-        if let Err(d) = c.execute(&Op::Put(u64_key(i), vec![1])) {
-            detected = Some((i, d));
+        if let Err(e) = c.execute(&Op::Put(u64_key(i), vec![1])) {
+            detected = Some((i, e));
             break;
         }
     }
-    let (at, dev) = detected.expect("tamper must be detected");
+    let (at, err) = detected.expect("tamper must be detected");
     assert_eq!(at, 2, "first op after the silent edit exposes it");
     // The stored signature attests the pre-tamper root; the proof no longer
     // matches it (either surfaces as a root mismatch or a bad signature).
     assert!(matches!(
-        dev,
-        Deviation::BadSignature | Deviation::BadProof(tcvs_merkle::VerifyError::RootMismatch)
+        err,
+        NetError::Deviation(
+            Deviation::BadSignature | Deviation::BadProof(tcvs_merkle::VerifyError::RootMismatch)
+        )
     ));
     server.shutdown();
 }
@@ -152,8 +173,272 @@ fn throughput_rig_runs_all_protocols() {
     for p in [ProtocolKind::Trusted, ProtocolKind::One, ProtocolKind::Two] {
         let r = run_throughput(p, 2, 20, 50, &cfg);
         assert_eq!(r.ops, 40, "{p:?}");
+        assert_eq!(r.failed_ops, 0, "{p:?}");
         assert!(r.ops_per_sec() > 0.0);
         assert_eq!(r.latencies_ns.len(), 40);
         assert!(r.latency_quantile(0.5) <= r.latency_quantile(0.99));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: crash-restarts, shutdown lifecycle, dead servers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_server_yields_server_gone_not_a_panic() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), false);
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    c.execute(&Op::Put(u64_key(1), vec![1])).unwrap();
+    server.shutdown();
+    assert_eq!(
+        c.execute(&Op::Put(u64_key(2), vec![2])),
+        Err(NetError::ServerGone),
+        "requests after shutdown fail cleanly"
+    );
+    assert_eq!(c.ops_done(), 1);
+}
+
+#[test]
+fn honest_server_survives_crash_restart_mid_run() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), false);
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    for i in 0..5u64 {
+        c.execute(&Op::Put(u64_key(i), vec![i as u8])).unwrap();
+    }
+    server.crash_restart().expect("server is alive");
+    for i in 5..10u64 {
+        // The restarted server must answer from the *same* verified history,
+        // or the client's root/ctr tracking raises a (false) deviation.
+        c.execute(&Op::Get(u64_key(i - 5))).expect("no false alarm");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn protocol1_crash_restart_preserves_the_signature_chain() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), true);
+    let r0 = root0(&cfg);
+    let (rings, registry) = setup_users([0x66; 32], 1, 7);
+    let mut c = NetClient1::new(rings.into_iter().next().unwrap(), registry, cfg, &server);
+    c.deposit_initial(&r0).unwrap();
+    for i in 0..4u64 {
+        c.execute(&Op::Put(u64_key(i), vec![i as u8])).unwrap();
+    }
+    server.crash_restart().expect("server is alive");
+    for i in 4..8u64 {
+        c.execute(&Op::Put(u64_key(i), vec![i as u8]))
+            .expect("restored last_sig keeps the chain verifiable");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_a_server_stuck_in_signature_wait() {
+    let cfg = config();
+    let server = NetServer::spawn_with(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions {
+            blocking_signatures: true,
+            deposit_timeout: Duration::from_secs(30),
+        },
+    );
+    let r0 = root0(&cfg);
+    // A Protocol II client never deposits signatures, so after its first op
+    // the blocking server waits for a deposit that will never come.
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    c.execute(&Op::Put(u64_key(1), vec![1])).unwrap();
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "shutdown must not wait out the deposit timeout"
+    );
+}
+
+#[test]
+fn drop_unblocks_a_server_stuck_in_signature_wait() {
+    let cfg = config();
+    let server = NetServer::spawn_with(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions {
+            blocking_signatures: true,
+            deposit_timeout: Duration::from_secs(30),
+        },
+    );
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    c.execute(&Op::Put(u64_key(1), vec![1])).unwrap();
+    let start = std::time::Instant::now();
+    drop(server);
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "Drop joins the thread promptly"
+    );
+}
+
+#[test]
+fn shutdown_drains_requests_backlogged_behind_a_block() {
+    let cfg = config();
+    let server = NetServer::spawn_with(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions {
+            blocking_signatures: true,
+            deposit_timeout: Duration::from_secs(30),
+        },
+    );
+    let r0 = root0(&cfg);
+    // Client A blocks the server (no deposit will come).
+    let mut a = NetClient2::new(0, &r0, cfg, &server);
+    a.execute(&Op::Put(u64_key(1), vec![1])).unwrap();
+    // Client B's request lands in the backlog behind the block.
+    let mut b = NetClient2::new(1, &r0, cfg, &server);
+    let waiter = std::thread::spawn(move || b.execute(&Op::Put(u64_key(2), vec![2])));
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown();
+    waiter
+        .join()
+        .unwrap()
+        .expect("the graceful drain serves the backlogged op");
+}
+
+#[test]
+fn deposit_timeout_unblocks_protocol1_and_counts_the_miss() {
+    let cfg = config();
+    let server = NetServer::spawn_with(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions {
+            blocking_signatures: true,
+            deposit_timeout: Duration::from_millis(50),
+        },
+    );
+    let r0 = root0(&cfg);
+    // A depositing-less client: each op blocks the server until the timeout.
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    c.set_retry_policy(quick_retries());
+    for i in 0..3u64 {
+        c.execute(&Op::Put(u64_key(i), vec![i as u8]))
+            .expect("the timeout keeps the server serving");
+    }
+    assert!(
+        server.missed_deposits() >= 2,
+        "each unblocked wait is recorded, got {}",
+        server.missed_deposits()
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: benign faults are invisible to the detectors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_fault_kinds_cause_no_false_alarms() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), false);
+    let mut plan = FaultPlan::none();
+    plan.schedule(1, FaultKind::DropRequest)
+        .schedule(2, FaultKind::DropReply)
+        .schedule(3, FaultKind::Delay(2))
+        .schedule(4, FaultKind::Duplicate)
+        .schedule(6, FaultKind::CrashRestart);
+    let scheduled = plan.len() as u64;
+    let link = FaultLink::interpose(&server, plan);
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &link);
+    c.set_retry_policy(quick_retries());
+    for i in 0..10u64 {
+        c.execute(&Op::Put(u64_key(i), vec![i as u8]))
+            .unwrap_or_else(|e| panic!("benign fault raised an alarm at op {i}: {e}"));
+    }
+    assert_eq!(c.ops_done(), 10);
+    assert_eq!(link.applied().total(), scheduled, "every fault fired");
+    server.shutdown();
+}
+
+#[test]
+fn seeded_fault_storm_protocol2_zero_false_alarms() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), false);
+    let plan = FaultPlan::seeded(0xfeed, 60, &FaultRates::heavy());
+    assert!(!plan.is_empty());
+    let link = FaultLink::interpose(&server, plan);
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &link);
+    c.set_retry_policy(quick_retries());
+    for i in 0..60u64 {
+        let op = if i % 3 == 0 {
+            Op::Get(u64_key(i % 16))
+        } else {
+            Op::Put(u64_key(i % 16), vec![i as u8])
+        };
+        c.execute(&op)
+            .unwrap_or_else(|e| panic!("benign fault raised an alarm at op {i}: {e}"));
+    }
+    assert!(link.applied().total() > 0, "the storm actually hit");
+    server.shutdown();
+}
+
+#[test]
+fn seeded_fault_storm_protocol1_zero_false_alarms() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), true);
+    let plan = FaultPlan::seeded(0xbead, 40, &FaultRates::light());
+    let link = FaultLink::interpose(&server, plan);
+    let r0 = root0(&cfg);
+    let (rings, registry) = setup_users([0x77; 32], 1, 7);
+    let mut c = NetClient1::new(rings.into_iter().next().unwrap(), registry, cfg, &link);
+    c.set_retry_policy(quick_retries());
+    c.deposit_initial(&r0).unwrap();
+    for i in 0..40u64 {
+        c.execute(&Op::Put(u64_key(i % 32), vec![i as u8]))
+            .unwrap_or_else(|e| panic!("benign fault raised an alarm at op {i}: {e}"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn faults_do_not_mask_a_lying_server() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(LieServer::new(&cfg, Trigger::AtCtr(3))), false);
+    let plan = FaultPlan::seeded(0xabcd, 20, &FaultRates::light());
+    let link = FaultLink::interpose(&server, plan);
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &link);
+    c.set_retry_policy(quick_retries());
+    let mut detected = None;
+    for i in 0..20u64 {
+        if let Err(e) = c.execute(&Op::Get(u64_key(i))) {
+            detected = Some((i, e));
+            break;
+        }
+    }
+    let (at, err) = detected.expect("deviation detected despite benign noise");
+    assert_eq!(at, 3, "exactly-once delivery preserves the detection index");
+    assert!(matches!(err, NetError::Deviation(Deviation::BadProof(_))));
+    server.shutdown();
+}
+
+#[test]
+fn faulty_link_to_a_dead_server_reports_gone_or_timeout() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), false);
+    let link = FaultLink::interpose(&server, FaultPlan::none());
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &link);
+    c.set_retry_policy(RetryPolicy {
+        max_attempts: 2,
+        base_timeout: Duration::from_millis(30),
+        max_jitter: Duration::ZERO,
+    });
+    c.execute(&Op::Put(u64_key(1), vec![1])).unwrap();
+    server.shutdown();
+    match c.execute(&Op::Put(u64_key(2), vec![2])) {
+        Err(NetError::ServerGone) | Err(NetError::Timeout { .. }) => {}
+        other => panic!("expected a transport error, got {other:?}"),
     }
 }

@@ -133,8 +133,16 @@ mod tests {
         let cfg = config();
         // Read the backdoor key explicitly after the tamper.
         let t = Trace::new(vec![
-            ScheduledOp { round: 0, user: 0, op: Op::Put(u64_key(1), vec![1]) },
-            ScheduledOp { round: 1, user: 0, op: Op::Get(b"backdoor".to_vec()) },
+            ScheduledOp {
+                round: 0,
+                user: 0,
+                op: Op::Put(u64_key(1), vec![1]),
+            },
+            ScheduledOp {
+                round: 1,
+                user: 0,
+                op: Op::Get(b"backdoor".to_vec()),
+            },
         ]);
         let mut server = TamperServer::new(&cfg, Trigger::AtCtr(1));
         let v = run_with_oracle(&mut server, &cfg, &t);
@@ -148,9 +156,21 @@ mod tests {
         // *protocols*' detection bounds are stated over FUTURE operations.
         let cfg = config();
         let t = Trace::new(vec![
-            ScheduledOp { round: 0, user: 0, op: Op::Put(u64_key(1), vec![1]) },
-            ScheduledOp { round: 1, user: 1, op: Op::Put(u64_key(2), vec![2]) }, // dropped
-            ScheduledOp { round: 2, user: 0, op: Op::Get(u64_key(1)) },          // unrelated
+            ScheduledOp {
+                round: 0,
+                user: 0,
+                op: Op::Put(u64_key(1), vec![1]),
+            },
+            ScheduledOp {
+                round: 1,
+                user: 1,
+                op: Op::Put(u64_key(2), vec![2]),
+            }, // dropped
+            ScheduledOp {
+                round: 2,
+                user: 0,
+                op: Op::Get(u64_key(1)),
+            }, // unrelated
         ]);
         let mut server = DropServer::new(&cfg, Trigger::AtCtr(1));
         assert_eq!(
@@ -163,9 +183,21 @@ mod tests {
     fn observed_drop_is_a_deviation() {
         let cfg = config();
         let t = Trace::new(vec![
-            ScheduledOp { round: 0, user: 0, op: Op::Put(u64_key(1), vec![1]) },
-            ScheduledOp { round: 1, user: 1, op: Op::Put(u64_key(2), vec![2]) }, // dropped
-            ScheduledOp { round: 2, user: 0, op: Op::Get(u64_key(2)) },          // reads it!
+            ScheduledOp {
+                round: 0,
+                user: 0,
+                op: Op::Put(u64_key(1), vec![1]),
+            },
+            ScheduledOp {
+                round: 1,
+                user: 1,
+                op: Op::Put(u64_key(2), vec![2]),
+            }, // dropped
+            ScheduledOp {
+                round: 2,
+                user: 0,
+                op: Op::Get(u64_key(2)),
+            }, // reads it!
         ]);
         let mut server = DropServer::new(&cfg, Trigger::AtCtr(1));
         let v = run_with_oracle(&mut server, &cfg, &t);
@@ -180,10 +212,22 @@ mod tests {
     fn fork_observable_once_branches_read_each_others_writes() {
         let cfg = config();
         let t = Trace::new(vec![
-            ScheduledOp { round: 0, user: 0, op: Op::Put(u64_key(1), vec![1]) },
+            ScheduledOp {
+                round: 0,
+                user: 0,
+                op: Op::Put(u64_key(1), vec![1]),
+            },
             // Fork at ctr 1: user 0 on branch A, user 1 on branch B.
-            ScheduledOp { round: 1, user: 0, op: Op::Put(u64_key(5), vec![5]) }, // A only
-            ScheduledOp { round: 2, user: 1, op: Op::Get(u64_key(5)) },          // B: missing!
+            ScheduledOp {
+                round: 1,
+                user: 0,
+                op: Op::Put(u64_key(5), vec![5]),
+            }, // A only
+            ScheduledOp {
+                round: 2,
+                user: 1,
+                op: Op::Get(u64_key(5)),
+            }, // B: missing!
         ]);
         let mut server = ForkServer::new(&cfg, Trigger::AtCtr(1), &[0]);
         let v = run_with_oracle(&mut server, &cfg, &t);

@@ -1,6 +1,6 @@
 //! Run reports: what a simulated execution produced and what it cost.
 
-use tcvs_core::{Deviation, ProtocolKind, UserId};
+use tcvs_core::{Deviation, FaultCounts, ProtocolKind, UserId};
 
 /// The moment a user first *knew* the server had deviated (§2.2.1).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,6 +43,9 @@ pub struct RunReport {
     pub sync_bytes: u64,
     /// Protocol III audits performed.
     pub audits: u64,
+    /// Benign faults actually injected during the run (a prefix of the
+    /// spec's plan if detection stopped the run early).
+    pub faults: FaultCounts,
     /// First detection, if any.
     pub detection: Option<DetectionEvent>,
 }
@@ -87,6 +90,7 @@ mod tests {
             sync_rounds: 0,
             sync_bytes: 0,
             audits: 0,
+            faults: FaultCounts::default(),
             detection: None,
         };
         assert_eq!(r.bytes_per_op(), 0.0);
@@ -105,6 +109,7 @@ mod tests {
             sync_rounds: 1,
             sync_bytes: 64,
             audits: 0,
+            faults: FaultCounts::default(),
             detection: None,
         };
         assert_eq!(r.msgs_per_op(), 3.0);

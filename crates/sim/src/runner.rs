@@ -14,11 +14,11 @@
 //! Detection stops the run: the paper assumes the first user to detect
 //! leaves the system and alerts the others out of band.
 
-use tcvs_core::{
-    Client1, Client2, Client3, Deviation, Digest, Op, ProtocolConfig, ProtocolKind, ServerApi,
-    SyncShare, UserId,
-};
 use tcvs_core::strawman::NaiveXorClient;
+use tcvs_core::{
+    Client1, Client2, Client3, Deviation, Digest, FaultKind, FaultPlan, Op, ProtocolConfig,
+    ProtocolKind, ServerApi, SyncShare, UserId,
+};
 use tcvs_crypto::setup_users;
 use tcvs_merkle::MerkleTree;
 use tcvs_workload::Trace;
@@ -42,6 +42,10 @@ pub struct SimSpec {
     /// I/II). Disable to model a system with **no external communication**
     /// (§3 / Theorem 3.1).
     pub final_sync: bool,
+    /// Benign faults to inject, keyed by delivery index. The runner models
+    /// their cost (retransmissions, delay rounds, crash-restarts) and the
+    /// oracle's invariant is that they never cause a deviation alarm.
+    pub faults: FaultPlan,
 }
 
 impl SimSpec {
@@ -54,7 +58,14 @@ impl SimSpec {
             mss_height: 8,
             setup_seed: [0xA5; 32],
             final_sync: true,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// The same spec with a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> SimSpec {
+        self.faults = faults;
+        self
     }
 }
 
@@ -114,6 +125,7 @@ pub fn simulate(
         sync_rounds: 0,
         sync_bytes: 0,
         audits: 0,
+        faults: tcvs_core::FaultCounts::default(),
         detection: None,
     };
     let mut busy_until = 0u64;
@@ -129,7 +141,10 @@ pub fn simulate(
                     // ops executed strictly after the violation point.
                     let after = report.ops_executed.saturating_sub(v);
                     // conservative per-user bound: recompute below.
-                    (Some(after), Some(ops_per_user.iter().copied().max().unwrap_or(0)))
+                    (
+                        Some(after),
+                        Some(ops_per_user.iter().copied().max().unwrap_or(0)),
+                    )
                 }
                 _ => (None, None),
             };
@@ -147,8 +162,43 @@ pub fn simulate(
     // Per-user op counts *after* the violation point (for the k metric).
     let mut ops_after_violation_per_user = vec![0u64; spec.n_users as usize];
 
-    for (idx, sop) in trace.ops().iter().enumerate() {
-        let round = sop.round.max(busy_until);
+    // Benign faults: adjacent reorders permute the delivery order; the
+    // other kinds add cost (retransmissions, delay rounds, restarts) at
+    // their delivery index. None of them may trigger a detection.
+    let order = spec.faults.effective_order(trace.len() as u64);
+    for (idx, &trace_idx) in order.iter().enumerate() {
+        let sop = &trace.ops()[trace_idx as usize];
+        let fault = spec.faults.fault_at(idx as u64);
+        let mut round = sop.round.max(busy_until);
+        match fault {
+            Some(FaultKind::DropRequest) => {
+                // The request is lost and retransmitted a round later.
+                report.faults.drops += 1;
+                report.msgs += 2;
+                round += 1;
+            }
+            Some(FaultKind::DropReply) => {
+                report.faults.drops += 1;
+                report.msgs += 2;
+            }
+            Some(FaultKind::Delay(r)) => {
+                report.faults.delays += 1;
+                round += r;
+            }
+            Some(FaultKind::Duplicate) => {
+                // The duplicate reaches the server but is absorbed by its
+                // reply journal: one extra message, no re-execution.
+                report.faults.duplicates += 1;
+                report.msgs += 1;
+            }
+            Some(FaultKind::ReorderNext) => {
+                // The swap itself happened in `order`; holding the message
+                // back costs a round.
+                report.faults.reorders += 1;
+                round += 1;
+            }
+            Some(FaultKind::CrashRestart) | None => {}
+        }
         let resp = server.handle_op(sop.user, &sop.op, round);
         report.msgs += 2;
         report.bytes += (op_request_size(&sop.op) + resp.encoded_size()) as u64;
@@ -224,6 +274,11 @@ pub fn simulate(
             }
         }
 
+        // A lost reply is retransmitted: the exchange costs one more round.
+        if fault == Some(FaultKind::DropReply) {
+            extra_rounds += 1;
+        }
+
         if let Some(dev) = detection {
             report.makespan_rounds = round + extra_rounds;
             let max_user = ops_after_violation_per_user.iter().copied().max();
@@ -240,6 +295,16 @@ pub fn simulate(
         }
 
         busy_until = round + extra_rounds;
+
+        // A scheduled crash: the server restarts from persisted state
+        // before the next operation (the restart costs two rounds). An
+        // adversary's crash_restart keeps its malicious state — crashing
+        // must never launder a deviation.
+        if fault == Some(FaultKind::CrashRestart) {
+            report.faults.crashes += 1;
+            server.crash_restart();
+            busy_until += 2;
+        }
         report.makespan_rounds = busy_until;
 
         // Broadcast sync-up when any user hits k ops since the last one.
@@ -396,6 +461,7 @@ mod tests {
             mss_height: 7,
             setup_seed: [1; 32],
             final_sync: true,
+            faults: tcvs_core::FaultPlan::none(),
         }
     }
 
@@ -436,7 +502,10 @@ mod tests {
         let r2 = simulate(&s2, &mut sv2, &t, None);
         assert!(r1.msgs_per_op() > r2.msgs_per_op());
         assert!(r1.makespan_rounds > r2.makespan_rounds);
-        assert!(r1.bytes_per_op() > r2.bytes_per_op(), "signatures cost bytes");
+        assert!(
+            r1.bytes_per_op() > r2.bytes_per_op(),
+            "signatures cost bytes"
+        );
     }
 
     #[test]
@@ -466,6 +535,7 @@ mod tests {
             mss_height: 7,
             setup_seed: [2; 32],
             final_sync: true,
+            faults: tcvs_core::FaultPlan::none(),
         };
         let t = tcvs_workload::generate_epoch_workload(
             3,
@@ -511,5 +581,102 @@ mod tests {
         // The final forced sync still catches it — but only at the end.
         let ev = r.detection.expect("end-of-trace sync catches the fork");
         assert_eq!(ev.op_index, 60, "not before the trace ended");
+    }
+
+    #[test]
+    fn benign_fault_storm_never_raises_an_alarm() {
+        use tcvs_core::FaultRates;
+        for p in [
+            ProtocolKind::Trusted,
+            ProtocolKind::One,
+            ProtocolKind::Two,
+            ProtocolKind::NaiveXor,
+        ] {
+            let s = spec(p).with_faults(FaultPlan::seeded(0xacce, 60, &FaultRates::heavy()));
+            let mut server = HonestServer::new(&s.config);
+            let r = simulate(&s, &mut server, &trace(), None);
+            assert!(
+                !r.detected(),
+                "{p:?}: benign faults alarmed: {:?}",
+                r.detection
+            );
+            assert_eq!(r.ops_executed, 60, "{p:?}: every op still executes");
+            assert!(r.faults.total() > 0, "{p:?}: faults were injected");
+        }
+    }
+
+    #[test]
+    fn faults_cost_rounds_and_messages_but_nothing_else() {
+        let t = trace();
+        let clean = spec(ProtocolKind::Two);
+        let mut sv = HonestServer::new(&clean.config);
+        let r_clean = simulate(&clean, &mut sv, &t, None);
+        let faulty = spec(ProtocolKind::Two).with_faults(FaultPlan::seeded(
+            7,
+            60,
+            &tcvs_core::FaultRates::heavy(),
+        ));
+        let mut sv = HonestServer::new(&faulty.config);
+        let r_faulty = simulate(&faulty, &mut sv, &t, None);
+        assert!(r_faulty.makespan_rounds > r_clean.makespan_rounds);
+        assert!(r_faulty.msgs > r_clean.msgs);
+        assert_eq!(r_faulty.ops_executed, r_clean.ops_executed);
+        assert_eq!(r_faulty.sync_rounds, r_clean.sync_rounds);
+    }
+
+    #[test]
+    fn protocol3_epochs_survive_benign_faults() {
+        use tcvs_core::{FaultRates, HonestServer};
+        let mut s = spec(ProtocolKind::Three);
+        s.config.epoch_len = 24;
+        s.faults = FaultPlan::seeded(0xe9, 144, &FaultRates::light());
+        let t = tcvs_workload::generate_epoch_workload(
+            3,
+            6,
+            24,
+            2,
+            &WorkloadSpec {
+                key_space: 16,
+                ..WorkloadSpec::default()
+            },
+        );
+        let mut server = HonestServer::new(&s.config);
+        let r = simulate(&s, &mut server, &t, None);
+        assert!(!r.detected(), "{:?}", r.detection);
+        assert!(r.audits >= 1, "audits still ran: {}", r.audits);
+    }
+
+    #[test]
+    fn fork_attack_still_k_bounded_under_faults() {
+        use tcvs_core::adversary::{ForkServer, Trigger};
+        use tcvs_core::FaultRates;
+        let s = spec(ProtocolKind::Two).with_faults(FaultPlan::seeded(
+            0xdead,
+            60,
+            &FaultRates::light(),
+        ));
+        let t = trace();
+        let mut server = ForkServer::new(&s.config, Trigger::AtCtr(20), &[0]);
+        let r = simulate(&s, &mut server, &t, Some(20));
+        assert!(r.detected(), "faults must not mask the fork");
+        let ev = r.detection.unwrap();
+        assert_eq!(ev.deviation, Deviation::SyncFailed);
+        assert!(ev.max_user_ops_after_violation.unwrap() <= s.config.k + 1);
+    }
+
+    #[test]
+    fn scheduled_crash_restart_preserves_honest_state() {
+        let mut plan = FaultPlan::none();
+        plan.schedule(10, FaultKind::CrashRestart)
+            .schedule(30, FaultKind::CrashRestart);
+        let s = spec(ProtocolKind::Two).with_faults(plan);
+        let mut server = HonestServer::new(&s.config);
+        let r = simulate(&s, &mut server, &trace(), None);
+        assert!(
+            !r.detected(),
+            "restart from persisted state: {:?}",
+            r.detection
+        );
+        assert_eq!(r.faults.crashes, 2);
     }
 }

@@ -19,6 +19,7 @@ fn spec(protocol: ProtocolKind) -> SimSpec {
         mss_height: 7,
         setup_seed: [5; 32],
         final_sync: true,
+        faults: tcvs_core::FaultPlan::none(),
     }
 }
 

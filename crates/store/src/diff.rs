@@ -30,7 +30,8 @@ pub fn diff(base: &[String], target: &[String]) -> EditScript {
         pre += 1;
     }
     let mut suf = 0;
-    while suf < base.len() - pre && suf < target.len() - pre
+    while suf < base.len() - pre
+        && suf < target.len() - pre
         && base[base.len() - 1 - suf] == target[target.len() - 1 - suf]
     {
         suf += 1;

@@ -21,7 +21,11 @@ pub enum PatchError {
 impl fmt::Display for PatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PatchError::CopyOutOfRange { start, len, base_len } => write!(
+            PatchError::CopyOutOfRange {
+                start,
+                len,
+                base_len,
+            } => write!(
                 f,
                 "copy [{start}, {}) out of range for base of {base_len} lines",
                 start + len

@@ -91,7 +91,8 @@ impl Repository {
             let rev = match self.files.get_mut(&path) {
                 Some(h) => h.commit(content, meta),
                 None => {
-                    self.files.insert(path.clone(), FileHistory::create(content, meta));
+                    self.files
+                        .insert(path.clone(), FileHistory::create(content, meta));
                     1
                 }
             };
@@ -170,16 +171,22 @@ mod tests {
             )
             .unwrap();
         assert_eq!(id, 1);
-        assert_eq!(r.checkout("Common.h").unwrap(), &lines(&["#pragma once"])[..]);
+        assert_eq!(
+            r.checkout("Common.h").unwrap(),
+            &lines(&["#pragma once"])[..]
+        );
         assert_eq!(r.file_count(), 2);
     }
 
     #[test]
     fn multi_revision_history() {
         let mut r = Repository::new();
-        r.commit("a", "c1", 1, vec![("f".into(), lines(&["v1"]))]).unwrap();
-        r.commit("b", "c2", 2, vec![("f".into(), lines(&["v2"]))]).unwrap();
-        r.commit("a", "c3", 3, vec![("f".into(), lines(&["v3"]))]).unwrap();
+        r.commit("a", "c1", 1, vec![("f".into(), lines(&["v1"]))])
+            .unwrap();
+        r.commit("b", "c2", 2, vec![("f".into(), lines(&["v2"]))])
+            .unwrap();
+        r.commit("a", "c3", 3, vec![("f".into(), lines(&["v3"]))])
+            .unwrap();
         assert_eq!(r.checkout_at("f", 1).unwrap(), lines(&["v1"]));
         assert_eq!(r.checkout_at("f", 2).unwrap(), lines(&["v2"]));
         assert_eq!(r.checkout("f").unwrap(), &lines(&["v3"])[..]);
@@ -190,7 +197,10 @@ mod tests {
     fn missing_file_errors() {
         let r = Repository::new();
         assert!(matches!(r.checkout("nope"), Err(RepoError::NoSuchFile(_))));
-        assert!(matches!(r.checkout_at("nope", 1), Err(RepoError::NoSuchFile(_))));
+        assert!(matches!(
+            r.checkout_at("nope", 1),
+            Err(RepoError::NoSuchFile(_))
+        ));
     }
 
     #[test]
@@ -203,7 +213,8 @@ mod tests {
     #[test]
     fn log_records_touched_files() {
         let mut r = Repository::new();
-        r.commit("a", "c1", 1, vec![("x".into(), lines(&["1"]))]).unwrap();
+        r.commit("a", "c1", 1, vec![("x".into(), lines(&["1"]))])
+            .unwrap();
         r.commit(
             "b",
             "c2",
@@ -213,17 +224,26 @@ mod tests {
         .unwrap();
         let log = r.log();
         assert_eq!(log.len(), 2);
-        assert_eq!(log[1].files, vec![("x".to_string(), 2), ("y".to_string(), 1)]);
+        assert_eq!(
+            log[1].files,
+            vec![("x".to_string(), 2), ("y".to_string(), 1)]
+        );
         assert_eq!(log[1].author, "b");
     }
 
     #[test]
     fn paths_sorted() {
         let mut r = Repository::new();
-        r.commit("a", "m", 1, vec![
-            ("zebra".into(), lines(&["z"])),
-            ("alpha".into(), lines(&["a"])),
-        ]).unwrap();
+        r.commit(
+            "a",
+            "m",
+            1,
+            vec![
+                ("zebra".into(), lines(&["z"])),
+                ("alpha".into(), lines(&["a"])),
+            ],
+        )
+        .unwrap();
         let ps: Vec<&str> = r.paths().collect();
         assert_eq!(ps, vec!["alpha", "zebra"]);
     }

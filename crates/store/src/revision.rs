@@ -289,8 +289,7 @@ mod tests {
         let mut h = FileHistory::create(lines(&["x"]), meta("a", "first", 10));
         h.commit(lines(&["y"]), meta("b", "second", 20));
         h.commit(lines(&["z"]), meta("c", "third", 30));
-        let entries: Vec<(RevNo, String)> =
-            h.log().map(|(r, m)| (r, m.message.clone())).collect();
+        let entries: Vec<(RevNo, String)> = h.log().map(|(r, m)| (r, m.message.clone())).collect();
         assert_eq!(
             entries,
             vec![

@@ -110,7 +110,7 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
         let op = if roll < spec.mix.get {
             Op::Get(u64_key(key))
         } else if roll < spec.mix.get + spec.mix.range {
-            let span = rng.gen_range(1..=8);
+            let span = rng.gen_range(1u64..=8);
             Op::Range(Some(u64_key(key)), Some(u64_key(key + span)))
         } else if roll < spec.mix.get + spec.mix.range + spec.mix.put {
             let mut value = vec![0u8; spec.value_len];
@@ -196,10 +196,7 @@ mod tests {
         let a = generate(&spec);
         let b = generate(&spec);
         assert_eq!(a.ops(), b.ops());
-        let c = generate(&WorkloadSpec {
-            seed: 43,
-            ..spec
-        });
+        let c = generate(&WorkloadSpec { seed: 43, ..spec });
         assert_ne!(a.ops(), c.ops());
     }
 

@@ -142,7 +142,10 @@ mod tests {
         // t1 is a group-A put of the shared key.
         let t1 = &ops[w.t1_index as usize];
         assert!(w.group_a.contains(&t1.user));
-        assert_eq!(t1.op, Op::Put(u64_key(w.shared_key), b"#define COMMON 2".to_vec()));
+        assert_eq!(
+            t1.op,
+            Op::Put(u64_key(w.shared_key), b"#define COMMON 2".to_vec())
+        );
         // t2 immediately follows and reads the same key from group B.
         let t2 = &ops[w.t1_index as usize + 1];
         assert!(w.group_b.contains(&t2.user));

@@ -70,7 +70,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 dominates rank 50 by roughly 50x; allow slack.
-        assert!(counts[0] > counts[50] * 10, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 10,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // All samples in range.
         assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 50_000);
     }

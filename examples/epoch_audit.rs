@@ -27,6 +27,7 @@ fn main() {
         mss_height: 8,
         setup_seed: [7; 32],
         final_sync: false,
+        faults: tcvs_core::FaultPlan::none(),
     };
     let trace = generate_epoch_workload(
         n_users,
@@ -57,7 +58,11 @@ fn main() {
         r.ops_executed,
         r.makespan_rounds,
         r.audits,
-        if r.detected() { "yes (?!)" } else { "none — all audits passed" }
+        if r.detected() {
+            "yes (?!)"
+        } else {
+            "none — all audits passed"
+        }
     );
 
     // --- Forking server -----------------------------------------------------
@@ -65,7 +70,10 @@ fn main() {
     let fault_round = trace.ops()[trigger as usize].round;
     let mut server = ForkServer::new(&config, Trigger::AtCtr(trigger), &[0]);
     let r = simulate(&spec, &mut server, &trace, Some(trigger));
-    println!("\nforking server (fault at op #{trigger}, round {fault_round}, epoch {}):", fault_round / epoch_len);
+    println!(
+        "\nforking server (fault at op #{trigger}, round {fault_round}, epoch {}):",
+        fault_round / epoch_len
+    );
     match r.detection {
         Some(ev) => {
             println!(

@@ -49,6 +49,7 @@ fn main() {
         mss_height: 8,
         setup_seed: [1; 32],
         final_sync: false,
+        faults: tcvs_core::FaultPlan::none(),
     };
     let mut server = ForkServer::new(&spec.config, Trigger::AtCtr(w.t1_index), &w.group_a);
     let r = simulate(&spec, &mut server, &w.trace, Some(w.t1_index));
@@ -56,7 +57,11 @@ fn main() {
     println!(
         "  {} ops executed, every per-op proof verified, detection: {}",
         r.ops_executed,
-        if r.detected() { "yes (?!)" } else { "NONE — the fork is invisible" }
+        if r.detected() {
+            "yes (?!)"
+        } else {
+            "NONE — the fork is invisible"
+        }
     );
 
     // --- Arm 2: Protocol II with the broadcast channel --------------------
@@ -67,6 +72,7 @@ fn main() {
         mss_height: 8,
         setup_seed: [1; 32],
         final_sync: true,
+        faults: tcvs_core::FaultPlan::none(),
     };
     let mut server = ForkServer::new(&config, Trigger::AtCtr(w.t1_index), &w.group_a);
     let r = simulate(&spec, &mut server, &w.trace, Some(w.t1_index));

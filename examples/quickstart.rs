@@ -17,8 +17,13 @@ fn main() {
     let mut cvs = Cvs::new(&mut session, "alice");
 
     println!("== trusted-cvs quickstart ==\n");
-    cvs.add("Common.h", "#pragma once\n#define VERSION 1\n", "initial import", 1)
-        .expect("add");
+    cvs.add(
+        "Common.h",
+        "#pragma once\n#define VERSION 1\n",
+        "initial import",
+        1,
+    )
+    .expect("add");
     println!("added Common.h at r1");
 
     let mut wf = cvs.checkout("Common.h").expect("checkout");
@@ -45,7 +50,8 @@ fn main() {
     let evil = LieServer::new(&config, Trigger::AtCtr(2));
     let mut session = DirectSession::new(0, evil, config);
     let mut cvs = Cvs::new(&mut session, "alice");
-    cvs.add("Common.h", "#pragma once\n", "import", 1).expect("add");
+    cvs.add("Common.h", "#pragma once\n", "import", 1)
+        .expect("add");
 
     for attempt in 1..=3 {
         match cvs.checkout("Common.h") {

@@ -4,17 +4,20 @@
 //!
 //! Run with: `cargo run -p tcvs-bench --example team_repo`
 
-use tcvs_core::{Deviation, HonestServer, Op, OpResult, ProtocolConfig, SyncShare};
+use tcvs_core::{HonestServer, Op, OpResult, ProtocolConfig, SyncShare};
 use tcvs_cvs::{Cvs, CvsError, VerifiedDb};
 use tcvs_merkle::MerkleTree;
-use tcvs_net::{NetClient2, NetServer};
+use tcvs_net::{NetClient2, NetError, NetServer};
 
 /// Adapts a threaded Protocol II client into a CVS session.
 struct NetSession(NetClient2);
 
 impl VerifiedDb for NetSession {
-    fn execute(&mut self, op: &Op) -> Result<OpResult, Deviation> {
-        self.0.execute(op)
+    fn execute(&mut self, op: &Op) -> Result<OpResult, CvsError> {
+        self.0.execute(op).map_err(|e| match e {
+            NetError::Deviation(d) => CvsError::Deviation(d),
+            other => CvsError::Network(other.to_string()),
+        })
     }
 }
 
@@ -40,7 +43,8 @@ fn main() {
             1,
         )
         .unwrap();
-        cvs.add("Common.h", "#pragma once\n", "initial import", 1).unwrap();
+        cvs.add("Common.h", "#pragma once\n", "initial import", 1)
+            .unwrap();
         println!("alice imported src/main.c and Common.h");
     }
 
@@ -50,13 +54,18 @@ fn main() {
 
     let bob_wf = Cvs::new(&mut bob, "bob").checkout("Common.h").unwrap();
     let carol_wf = Cvs::new(&mut carol, "carol").checkout("Common.h").unwrap();
-    println!("bob and carol both checked out Common.h r{}", bob_wf.base_rev);
+    println!(
+        "bob and carol both checked out Common.h r{}",
+        bob_wf.base_rev
+    );
 
     // Bob commits first.
     {
         let mut wf = bob_wf;
         wf.lines.push("#define BOB 1".to_string());
-        let rev = Cvs::new(&mut bob, "bob").commit(&wf, "bob's feature", 2).unwrap();
+        let rev = Cvs::new(&mut bob, "bob")
+            .commit(&wf, "bob's feature", 2)
+            .unwrap();
         println!("bob committed r{rev}");
     }
 
@@ -67,7 +76,9 @@ fn main() {
         let mut cvs = Cvs::new(&mut carol, "carol");
         match cvs.commit(&wf, "carol's feature", 3) {
             Err(CvsError::Conflict { head, base, .. }) => {
-                println!("carol's commit CONFLICTS (head r{head}, hers based on r{base}) — updating");
+                println!(
+                    "carol's commit CONFLICTS (head r{head}, hers based on r{base}) — updating"
+                );
                 let mut fresh = cvs.checkout("Common.h").unwrap();
                 fresh.lines.push("#define CAROL 1".to_string());
                 let rev = cvs.commit(&fresh, "carol's feature (rebased)", 4).unwrap();
@@ -99,7 +110,11 @@ fn main() {
     println!(
         "\nbroadcast sync-up over {} total ops: {}",
         shares.iter().map(|s| s.lctr).sum::<u64>(),
-        if ok { "consistent — the server performed exactly our operations" } else { "FAILED" }
+        if ok {
+            "consistent — the server performed exactly our operations"
+        } else {
+            "FAILED"
+        }
     );
     assert!(ok);
     server.shutdown();

@@ -105,9 +105,21 @@ fn naive_xor_misses_the_fig3_replay_but_detects_lies() {
     use tcvs_workload::{ScheduledOp, Trace};
     // Fig. 3 scenario (see E4): drop of one of two identical updates.
     let trace = Trace::new(vec![
-        ScheduledOp { round: 0, user: 0, op: Op::Put(u64_key(1), b"base".to_vec()) },
-        ScheduledOp { round: 1, user: 1, op: Op::Put(u64_key(2), b"same".to_vec()) },
-        ScheduledOp { round: 2, user: 2, op: Op::Put(u64_key(2), b"same".to_vec()) },
+        ScheduledOp {
+            round: 0,
+            user: 0,
+            op: Op::Put(u64_key(1), b"base".to_vec()),
+        },
+        ScheduledOp {
+            round: 1,
+            user: 1,
+            op: Op::Put(u64_key(2), b"same".to_vec()),
+        },
+        ScheduledOp {
+            round: 2,
+            user: 2,
+            op: Op::Put(u64_key(2), b"same".to_vec()),
+        },
     ]);
     let s = spec(ProtocolKind::NaiveXor, 3);
     let mut server = make_adversary("drop", &s.config, 1);

@@ -24,7 +24,12 @@ fn verified_cvs_agrees_with_plain_repository_oracle() {
     for i in 0..files {
         let body = format!("file {i}\nline a\nline b\n");
         oracle
-            .commit("user", "import", 0, vec![(format!("f{i}"), to_lines(&body))])
+            .commit(
+                "user",
+                "import",
+                0,
+                vec![(format!("f{i}"), to_lines(&body))],
+            )
             .unwrap();
         cvs.add(&format!("f{i}"), &body, "import", 0).unwrap();
     }
@@ -48,7 +53,12 @@ fn verified_cvs_agrees_with_plain_repository_oracle() {
             }
         }
         oracle
-            .commit("user", &format!("step {step}"), step, vec![(path.clone(), lines.clone())])
+            .commit(
+                "user",
+                &format!("step {step}"),
+                step,
+                vec![(path.clone(), lines.clone())],
+            )
             .unwrap();
         // CVS side: mirror the same content.
         let mut wf = cvs.checkout(&path).unwrap();
@@ -157,8 +167,7 @@ fn dropped_commit_surfaces_at_the_next_operation() {
         Err(CvsError::Deviation(d)) => {
             assert!(matches!(
                 d,
-                tcvs_core::Deviation::CounterRegression { .. }
-                    | tcvs_core::Deviation::BadProof(_)
+                tcvs_core::Deviation::CounterRegression { .. } | tcvs_core::Deviation::BadProof(_)
             ));
         }
         other => panic!("drop must surface at the next op, got {other:?}"),

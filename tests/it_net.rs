@@ -3,9 +3,11 @@
 use std::sync::Arc;
 
 use tcvs_core::adversary::{CounterSkipServer, ForkServer, Trigger};
-use tcvs_core::{Deviation, HonestServer, Op, ProtocolConfig, ProtocolKind, SyncShare};
+use tcvs_core::{
+    Deviation, FaultPlan, FaultRates, HonestServer, Op, ProtocolConfig, ProtocolKind, SyncShare,
+};
 use tcvs_merkle::{u64_key, MerkleTree};
-use tcvs_net::{run_throughput, NetClient1, NetClient2, NetServer};
+use tcvs_net::{run_throughput, FaultLink, NetClient1, NetClient2, NetError, NetServer};
 
 fn config() -> ProtocolConfig {
     ProtocolConfig {
@@ -94,9 +96,12 @@ fn counter_skip_detected_by_protocol1_over_wire() {
     for i in 0..10u64 {
         match c.execute(&Op::Put(u64_key(i), vec![1])) {
             Ok(_) => {}
-            Err(d) => {
+            Err(e) => {
                 // The replayed ctr no longer matches the deposited signature.
-                assert!(matches!(d, Deviation::BadSignature | Deviation::BadProof(_)));
+                assert!(matches!(
+                    e,
+                    NetError::Deviation(Deviation::BadSignature | Deviation::BadProof(_))
+                ));
                 detected = true;
                 break;
             }
@@ -105,6 +110,33 @@ fn counter_skip_detected_by_protocol1_over_wire() {
     assert!(detected, "protocol 1 catches counter reuse at the next op");
     // NetServer is blocked waiting for the detecting client's signature;
     // shutdown unblocks it.
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_through_a_faulty_link_raise_no_false_alarms() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(HonestServer::new(&cfg)), false);
+    let plan = FaultPlan::seeded(0x5eed, 160, &FaultRates::light());
+    let link = Arc::new(FaultLink::interpose(&server, plan));
+    let r0 = root0(&cfg);
+    let mut handles = Vec::new();
+    for u in 0..4u32 {
+        let mut c = NetClient2::new(u, &r0, cfg, link.as_ref());
+        handles.push(std::thread::spawn(move || {
+            for i in 0..40u64 {
+                c.execute(&Op::Put(u64_key(u as u64 * 64 + i), vec![i as u8]))
+                    .unwrap_or_else(|e| {
+                        panic!("benign faults must not alarm (user {u}, op {i}): {e}")
+                    });
+            }
+            c
+        }));
+    }
+    let clients: Vec<NetClient2> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
+    assert!(clients.iter().any(|c| c.sync_succeeds(&shares)));
+    assert!(link.applied().total() > 0, "faults actually fired");
     server.shutdown();
 }
 

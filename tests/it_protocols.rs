@@ -80,9 +80,18 @@ fn cost_ordering_trusted_p2_p1() {
     }
     let (trusted, p2, p1) = (&results[0], &results[1], &results[2]);
     assert!(trusted.bytes_per_op() <= p2.bytes_per_op());
-    assert!(p2.bytes_per_op() < p1.bytes_per_op(), "P1 adds signature bytes");
-    assert!(p2.msgs_per_op() < p1.msgs_per_op(), "P1 adds the deposit message");
-    assert!(p2.makespan_rounds < p1.makespan_rounds, "P1 blocks one extra round");
+    assert!(
+        p2.bytes_per_op() < p1.bytes_per_op(),
+        "P1 adds signature bytes"
+    );
+    assert!(
+        p2.msgs_per_op() < p1.msgs_per_op(),
+        "P1 adds the deposit message"
+    );
+    assert!(
+        p2.makespan_rounds < p1.makespan_rounds,
+        "P1 blocks one extra round"
+    );
 }
 
 #[test]
@@ -133,8 +142,7 @@ fn protocol3_checkpoints_are_signed_and_chained() {
             .fetch_checkpoint(0, e)
             .unwrap_or_else(|| panic!("checkpoint {e} missing"));
         assert_eq!(cp.checker, (e % 3) as u32);
-        let payload =
-            tcvs_core::SignedCheckpoint::payload(cp.epoch, cp.checker, &cp.final_token);
+        let payload = tcvs_core::SignedCheckpoint::payload(cp.epoch, cp.checker, &cp.final_token);
         assert!(registry.verify(cp.checker, &payload, &cp.sig));
     }
 }

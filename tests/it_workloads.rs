@@ -35,7 +35,10 @@ fn zipf_workloads_concentrate_on_hot_keys() {
         .iter()
         .filter(|s| matches!(&s.op, tcvs_core::Op::Put(k, _) if k == &tcvs_merkle::u64_key(0)))
         .count();
-    assert!(hot > 3000 / 100 * 3, "hot key must be >3x uniform share: {hot}");
+    assert!(
+        hot > 3000 / 100 * 3,
+        "hot key must be >3x uniform share: {hot}"
+    );
 }
 
 #[test]

@@ -21,19 +21,23 @@ pub fn spec(protocol: ProtocolKind, n: u32) -> SimSpec {
         mss_height: 9,
         setup_seed: [0x77; 32],
         final_sync: true,
+        faults: tcvs_core::FaultPlan::none(),
     }
 }
 
 /// The three protocols of §4.
-pub const PROTOCOLS: [ProtocolKind; 3] = [
-    ProtocolKind::One,
-    ProtocolKind::Two,
-    ProtocolKind::Three,
-];
+pub const PROTOCOLS: [ProtocolKind; 3] =
+    [ProtocolKind::One, ProtocolKind::Two, ProtocolKind::Three];
 
 /// The six adversary names used by `make_adversary`.
 pub const ADVERSARIES: [&str; 7] = [
-    "fork", "drop", "rollback", "tamper", "counter-skip", "lie", "stale-read",
+    "fork",
+    "drop",
+    "rollback",
+    "tamper",
+    "counter-skip",
+    "lie",
+    "stale-read",
 ];
 
 /// Builds an adversary by name, triggered at `trigger` operations.

@@ -1,0 +1,206 @@
+//! Offline stub for `criterion` 0.5: the same registration API
+//! (`criterion_group!` / `criterion_main!` / groups / `bench_with_input`),
+//! but each benchmark routine is smoke-run a handful of times and a single
+//! rough ns/iter line is printed. No statistics, no reports — the point is
+//! that `cargo bench` compiles and every bench body executes.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How many iterations the stub runs per benchmark (enough to execute the
+/// routine for real without the full statistical sweep).
+const STUB_ITERS: u32 = 3;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared throughput of a benchmark (accepted, ignored by the stub).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the routine.
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Runs `routine` a few times and reports a rough per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..STUB_ITERS {
+            black_box(routine());
+        }
+        let per_iter = start.elapsed().as_nanos() / STUB_ITERS as u128;
+        println!("    ~{per_iter} ns/iter (stub, {STUB_ITERS} iters)");
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    println!("bench {label}");
+    let mut b = Bencher { _private: () };
+    f(&mut b);
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Sets the sample count (ignored by the stub).
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+
+    /// Registers and smoke-runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_bench(id, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for the group (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput for subsequent benches (ignored by the stub).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Smoke-runs a benchmark that takes an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_bench(&label, |b| f(b, input));
+        self
+    }
+
+    /// Smoke-runs a benchmark without an input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("stub/add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("stub/group");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(8));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs_every_target() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p2").id, "p2");
+    }
+}
