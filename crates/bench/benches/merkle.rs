@@ -31,6 +31,28 @@ fn bench_inserts(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_put_with_proof(c: &mut Criterion) {
+    // The §4.1 server hot path: prune the proof for a Put, apply it
+    // copy-on-write, read the new root. Structural sharing keeps both the
+    // prune (zero-copy) and the apply (spine-only) at O(log n).
+    let mut g = c.benchmark_group("merkle/serve_put_with_proof");
+    for n in [1u64 << 10, 1 << 14, 1 << 18] {
+        let tree = build(n, 16);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut live = tree.clone();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let op = Op::Put(u64_key((i * 7919) % n), vec![(i % 251) as u8; 24]);
+                let vo = VerificationObject::new(prune_for_op(&live, &op));
+                apply_op(&mut live, &op).unwrap();
+                (vo.encoded_size(), live.root_digest())
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_get_with_proof(c: &mut Criterion) {
     let mut g = c.benchmark_group("merkle/serve_get_with_proof");
     for n in [1u64 << 10, 1 << 14, 1 << 18] {
@@ -67,6 +89,6 @@ fn bench_verify(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_inserts, bench_get_with_proof, bench_verify
+    targets = bench_inserts, bench_put_with_proof, bench_get_with_proof, bench_verify
 }
 criterion_main!(benches);

@@ -30,9 +30,30 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_read_heavy(c: &mut Criterion) {
+    // The acceptance mix for the concurrent read path: 90% reads / 10%
+    // updates. The trusted baseline routes its reads over the snapshot
+    // wire; Protocol II stays fully serialized (reads are state
+    // transitions there), so the gap between the two is the price of
+    // k-bounded detection.
+    let cfg = config();
+    let mut g = c.benchmark_group("throughput/4clients_x_200ops_10pct_updates");
+    g.sample_size(10);
+    for protocol in [ProtocolKind::Trusted, ProtocolKind::Two] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol.label()),
+            &protocol,
+            |b, &p| {
+                b.iter(|| run_throughput(p, 4, 200, 10, &cfg).ops);
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_protocols
+    targets = bench_protocols, bench_read_heavy
 }
 criterion_main!(benches);

@@ -1,10 +1,13 @@
-//! `expgen` — regenerates every experiment table of `EXPERIMENTS.md`.
+//! `expgen` — regenerates every experiment table of `EXPERIMENTS.md` and
+//! writes machine-readable results to `BENCH_results.json`.
 //!
 //! ```text
-//! expgen                 # run all experiments, full parameters
-//! expgen --quick         # run all experiments, reduced parameters
+//! expgen                 # run all experiments + perf probes, full parameters
+//! expgen --quick         # reduced parameters
 //! expgen e3 e5           # run selected experiments
-//! expgen e6 --quick      # combine
+//! expgen perf            # run only the perf probe suite
+//! expgen --json out.json # write results somewhere else
+//! expgen --no-json       # skip the results file
 //! ```
 //!
 //! Run with `--release` — the numbers are meaningless in debug builds.
@@ -12,19 +15,44 @@
 use std::time::Instant;
 
 use tcvs_bench::experiments::{run_by_id, ALL};
+use tcvs_bench::perf::run_suite;
+use tcvs_bench::results::{render_json, validate};
+use tcvs_bench::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_results.json".to_string());
+    let mut skip_next = false;
     let ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with('-'))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--json" {
+                skip_next = true;
+            }
+            !a.starts_with('-') && !skip_next
+        })
         .map(|a| a.to_lowercase())
         .collect();
+    let perf_only = ids.iter().all(|i| i == "perf") && !ids.is_empty();
+    let run_perf = ids.is_empty() || ids.iter().any(|i| i == "perf");
     let ids: Vec<&str> = if ids.is_empty() {
         ALL.to_vec()
     } else {
-        ids.iter().map(String::as_str).collect()
+        ids.iter()
+            .filter(|i| *i != "perf")
+            .map(String::as_str)
+            .collect()
     };
 
     if cfg!(debug_assertions) {
@@ -37,24 +65,75 @@ fn main() {
     );
 
     let mut failed = false;
-    for id in ids {
-        let start = Instant::now();
-        match run_by_id(id, quick) {
-            Some(tables) => {
-                for t in tables {
-                    println!("{}", t.render());
+    let mut all_tables: Vec<Table> = Vec::new();
+    if !perf_only {
+        for id in ids {
+            let start = Instant::now();
+            match run_by_id(id, quick) {
+                Some(tables) => {
+                    for t in &tables {
+                        println!("{}", t.render());
+                    }
+                    all_tables.extend(tables);
+                    println!(
+                        "[{} completed in {:.1}s]\n",
+                        id,
+                        start.elapsed().as_secs_f64()
+                    );
                 }
-                println!(
-                    "[{} completed in {:.1}s]\n",
-                    id,
-                    start.elapsed().as_secs_f64()
-                );
-            }
-            None => {
-                eprintln!("unknown experiment id: {id} (known: {})", ALL.join(", "));
-                failed = true;
+                None => {
+                    eprintln!(
+                        "unknown experiment id: {id} (known: {}, perf)",
+                        ALL.join(", ")
+                    );
+                    failed = true;
+                }
             }
         }
+    }
+
+    let probes = if run_perf {
+        let start = Instant::now();
+        let probes = run_suite(quick);
+        let mut t = Table::new(
+            "PERF",
+            "hot-path probes (recorded in BENCH_results.json)",
+            &["probe", "ops/s", "proof bytes", "p50 µs", "p99 µs"],
+        );
+        for p in &probes {
+            t.row(vec![
+                p.name.clone(),
+                format!("{:.0}", p.ops_per_sec),
+                p.proof_bytes.map_or("-".into(), |v| format!("{v:.0}")),
+                p.p50_us.map_or("-".into(), |v| format!("{v:.2}")),
+                p.p99_us.map_or("-".into(), |v| format!("{v:.2}")),
+            ]);
+        }
+        println!("{}", t.render());
+        println!(
+            "[perf completed in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
+        probes
+    } else {
+        Vec::new()
+    };
+
+    // Only (re)write the results file when the perf suite actually ran:
+    // a selective `expgen e6` run must not clobber the recorded perf
+    // trajectory with an empty probe list.
+    if !no_json && run_perf && !failed {
+        let mode = if quick { "quick" } else { "full" };
+        let json = render_json(mode, &probes, &all_tables);
+        if let Err(e) = validate(&json) {
+            eprintln!("internal error: generated results JSON is invalid: {e}");
+            std::process::exit(3);
+        }
+        if let Err(e) = std::fs::write(&json_path, &json) {
+            eprintln!("cannot write {json_path}: {e}");
+            std::process::exit(3);
+        }
+        println!("results written to {json_path}");
     }
     if failed {
         std::process::exit(2);

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
+pub mod results;
 pub mod table;
 
 pub use table::Table;

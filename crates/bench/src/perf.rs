@@ -1,0 +1,144 @@
+//! Focused performance probes for the hot paths this repository optimizes
+//! across PRs: proof generation, crash snapshots, and mixed read/write
+//! throughput. `expgen` runs these and records the numbers in
+//! `BENCH_results.json` so the perf trajectory is tracked per PR.
+
+use std::time::Instant;
+
+use tcvs_core::{ProtocolConfig, ProtocolKind, ServerCore};
+use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, VerificationObject};
+use tcvs_net::run_throughput;
+
+/// One probe's outcome: throughput plus optional proof-size and latency
+/// quantiles (probes that don't measure them leave `None`).
+#[derive(Clone, Debug)]
+pub struct PerfResult {
+    /// Probe name (stable key in `BENCH_results.json`).
+    pub name: String,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Mean verification-object size in bytes, if the probe builds proofs.
+    pub proof_bytes: Option<f64>,
+    /// Median per-op latency in microseconds, if measured per-op.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile per-op latency in microseconds, if measured per-op.
+    pub p99_us: Option<f64>,
+}
+
+fn quantile(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Point-update proof generation on a tree of `n` entries: per iteration the
+/// server builds the verification object for a `Put`, applies it, and reads
+/// the new root — the §4.1 hot path every protocol bottlenecks on.
+pub fn point_update_proof_gen(n: u64, order: usize, value_len: usize, iters: u64) -> PerfResult {
+    let mut tree = MerkleTree::with_order(order);
+    for i in 0..n {
+        tree.insert(u64_key(i), vec![0xAB; value_len])
+            .expect("full tree");
+    }
+    let mut proof_bytes = 0u64;
+    let mut lat = Vec::with_capacity(iters as usize);
+    let started = Instant::now();
+    for i in 0..iters {
+        // Spread updates across the key space deterministically.
+        let op = Op::Put(u64_key((i * 7919) % n), vec![(i % 251) as u8; value_len]);
+        let t = Instant::now();
+        let vo = VerificationObject::new(prune_for_op(&tree, &op));
+        apply_op(&mut tree, &op).expect("full tree");
+        std::hint::black_box(tree.root_digest());
+        lat.push(t.elapsed().as_nanos() as u64);
+        proof_bytes += vo.encoded_size() as u64;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    PerfResult {
+        name: format!("point_update_proof_gen/n{n}_order{order}_val{value_len}"),
+        ops_per_sec: iters as f64 / elapsed.max(1e-9),
+        proof_bytes: Some(proof_bytes as f64 / iters as f64),
+        p50_us: Some(quantile(&lat, 0.5)),
+        p99_us: Some(quantile(&lat, 0.99)),
+    }
+}
+
+/// Read-heavy mixed throughput: `clients` threads against one server,
+/// `update_pct`% updates (the acceptance mix is 90/10 reads/writes).
+pub fn mixed_throughput(
+    protocol: ProtocolKind,
+    clients: u32,
+    ops_per_client: u64,
+    update_pct: u32,
+) -> PerfResult {
+    let config = ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    };
+    let r = run_throughput(protocol, clients, ops_per_client, update_pct, &config);
+    let mut lat = r.latencies_ns.clone();
+    lat.sort_unstable();
+    PerfResult {
+        name: format!(
+            "throughput/{}_{}clients_{}pct_updates",
+            protocol.label(),
+            clients,
+            update_pct
+        ),
+        ops_per_sec: r.ops_per_sec(),
+        proof_bytes: None,
+        p50_us: Some(quantile(&lat, 0.5)),
+        p99_us: Some(quantile(&lat, 0.99)),
+    }
+}
+
+/// Crash-snapshot capture cost on a database of `n` entries: captures per
+/// second (the higher, the cheaper a capture; an O(1) capture stays flat as
+/// `n` grows).
+pub fn crash_snapshot_capture(n: u64, iters: u64) -> PerfResult {
+    let config = ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    };
+    let mut core = ServerCore::new(&config);
+    for i in 0..n {
+        core.process(0, &Op::Put(u64_key(i), vec![0xCD; 24]), i);
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(core.crash_snapshot());
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    PerfResult {
+        name: format!("crash_snapshot_capture/n{n}"),
+        ops_per_sec: iters as f64 / elapsed.max(1e-9),
+        proof_bytes: None,
+        p50_us: None,
+        p99_us: None,
+    }
+}
+
+/// The standard probe suite; `quick` shrinks sizes for CI smoke runs.
+pub fn run_suite(quick: bool) -> Vec<PerfResult> {
+    let (n, iters) = if quick {
+        (1 << 12, 400)
+    } else {
+        (1 << 14, 2000)
+    };
+    let (clients, ops) = if quick { (4, 100) } else { (4, 500) };
+    let snap_iters = if quick { 50 } else { 200 };
+    vec![
+        point_update_proof_gen(n, 16, 24, iters),
+        point_update_proof_gen(n, 16, 256, iters),
+        mixed_throughput(ProtocolKind::Trusted, clients, ops, 10),
+        mixed_throughput(ProtocolKind::Two, clients, ops, 10),
+        mixed_throughput(ProtocolKind::Two, clients, ops, 90),
+        crash_snapshot_capture(n, snap_iters),
+        crash_snapshot_capture(n * 4, snap_iters),
+    ]
+}

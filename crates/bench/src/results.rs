@@ -1,0 +1,270 @@
+//! Machine-readable benchmark results: `BENCH_results.json`.
+//!
+//! Every `expgen` run writes the perf-probe suite (ops/sec, proof bytes,
+//! p50/p99 latency) plus any experiment tables it produced, and compares
+//! the probes against the recorded pre-PR baselines so the perf trajectory
+//! is tracked across PRs. The format is plain JSON, hand-rolled (the build
+//! environment has no serde); [`validate`] round-checks the emitted bytes.
+
+use std::fmt::Write as _;
+
+use crate::perf::PerfResult;
+use crate::table::Table;
+
+/// Schema identifier written into every results file.
+pub const SCHEMA: &str = "tcvs-bench-results/v1";
+
+/// Perf-probe numbers recorded on the commit *before* the copy-on-write
+/// Merkle refactor (PR 2), measured with `expgen perf` on the same
+/// machine class the current run uses. Comparisons in the JSON divide
+/// current ops/sec by these.
+pub fn recorded_baselines() -> Vec<PerfResult> {
+    // Measured at seed+PR1 (commit 34d6110, eager-clone tree, serialized
+    // reads), full mode, single-core container; best of two runs.
+    let p =
+        |name: &str, ops: f64, bytes: Option<f64>, p50: Option<f64>, p99: Option<f64>| PerfResult {
+            name: name.into(),
+            ops_per_sec: ops,
+            proof_bytes: bytes,
+            p50_us: p50,
+            p99_us: p99,
+        };
+    vec![
+        p(
+            "point_update_proof_gen/n16384_order16_val24",
+            65943.0,
+            Some(1779.0),
+            Some(13.14),
+            Some(29.13),
+        ),
+        p(
+            "point_update_proof_gen/n16384_order16_val256",
+            41615.0,
+            Some(3635.0),
+            Some(21.68),
+            Some(46.75),
+        ),
+        p(
+            "throughput/trusted_4clients_10pct_updates",
+            112904.0,
+            None,
+            Some(32.09),
+            Some(81.59),
+        ),
+        p(
+            "throughput/protocol-2_4clients_10pct_updates",
+            51068.0,
+            None,
+            Some(71.85),
+            Some(172.06),
+        ),
+        p(
+            "throughput/protocol-2_4clients_90pct_updates",
+            28737.0,
+            None,
+            Some(138.25),
+            Some(228.99),
+        ),
+        p("crash_snapshot_capture/n16384", 3390.0, None, None, None),
+        p("crash_snapshot_capture/n65536", 730.0, None, None, None),
+    ]
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), num)
+}
+
+fn probe_json(p: &PerfResult, indent: &str) -> String {
+    format!(
+        "{indent}{{\"name\": \"{}\", \"ops_per_sec\": {}, \"proof_bytes\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+        esc(&p.name),
+        num(p.ops_per_sec),
+        opt(p.proof_bytes),
+        opt(p.p50_us),
+        opt(p.p99_us),
+    )
+}
+
+/// Renders the full results document.
+///
+/// `mode` records how the numbers were produced (`"full"` / `"quick"`);
+/// comparisons are emitted for every probe with a recorded baseline.
+pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> String {
+    let baselines = recorded_baselines();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"mode\": \"{}\",", esc(mode));
+
+    out.push_str("  \"probes\": [\n");
+    let rows: Vec<String> = probes.iter().map(|p| probe_json(p, "    ")).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"baselines\": [\n");
+    let rows: Vec<String> = baselines.iter().map(|p| probe_json(p, "    ")).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"comparisons\": [\n");
+    let mut comps = Vec::new();
+    for b in &baselines {
+        if let Some(cur) = probes.iter().find(|p| p.name == b.name) {
+            let speedup = if b.ops_per_sec > 0.0 {
+                cur.ops_per_sec / b.ops_per_sec
+            } else {
+                f64::NAN
+            };
+            comps.push(format!(
+                "    {{\"name\": \"{}\", \"baseline_ops_per_sec\": {}, \"current_ops_per_sec\": {}, \"speedup\": {}}}",
+                esc(&b.name),
+                num(b.ops_per_sec),
+                num(cur.ops_per_sec),
+                num(speedup),
+            ));
+        }
+    }
+    out.push_str(&comps.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"experiments\": [\n");
+    let mut exps = Vec::new();
+    for t in tables {
+        let headers: Vec<String> = t
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect();
+        let rows: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        exps.push(format!(
+            "    {{\"id\": \"{}\", \"caption\": \"{}\", \"headers\": [{}], \"rows\": [{}]}}",
+            esc(&t.id),
+            esc(&t.caption),
+            headers.join(", "),
+            rows.join(", "),
+        ));
+    }
+    out.push_str(&exps.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Minimal structural validation of an emitted document: balanced braces
+/// and brackets outside strings, correct string escaping, and presence of
+/// the schema marker. `expgen` refuses to write a file that fails this, and
+/// the CI bench-smoke job re-checks the file it produced.
+pub fn validate(json: &str) -> Result<(), String> {
+    if !json.contains(SCHEMA) {
+        return Err("missing schema marker".into());
+    }
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err("unbalanced brackets".into());
+        }
+    }
+    if in_str {
+        return Err("unterminated string".into());
+    }
+    if depth_obj != 0 || depth_arr != 0 {
+        return Err("unbalanced brackets".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(name: &str, ops: f64) -> PerfResult {
+        PerfResult {
+            name: name.into(),
+            ops_per_sec: ops,
+            proof_bytes: Some(123.0),
+            p50_us: Some(1.5),
+            p99_us: None,
+        }
+    }
+
+    #[test]
+    fn render_validates() {
+        let mut t = Table::new("E1", "demo \"quoted\"", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        let json = render_json("quick", &[probe("p/one", 1000.0)], &[t]);
+        validate(&json).unwrap();
+        assert!(json.contains("\"p/one\""));
+        assert!(json.contains("\\n"));
+    }
+
+    #[test]
+    fn comparisons_match_baselines_by_name() {
+        let names: Vec<String> = recorded_baselines().into_iter().map(|b| b.name).collect();
+        assert!(!names.is_empty());
+        // Every baseline name keys a probe the standard suite produces in
+        // full mode (quick mode shrinks n, producing different names).
+        for n in &names {
+            assert!(n.contains('/'), "probe names are namespaced: {n}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("{").is_err());
+        assert!(validate("{}").is_err()); // no schema marker
+        let ok = format!("{{\"schema\": \"{SCHEMA}\"}}");
+        validate(&ok).unwrap();
+    }
+}

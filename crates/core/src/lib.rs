@@ -54,7 +54,9 @@ pub use client2::Client2;
 pub use client3::Client3;
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
 pub use msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, SyncShare};
-pub use server::{HonestServer, ServerApi, ServerCore, ServerMetrics, ServerSnapshot};
+pub use server::{
+    HonestServer, ReadSnapshot, ServerApi, ServerCore, ServerMetrics, ServerSnapshot,
+};
 pub use types::{Ctr, Deviation, Epoch, ProtocolConfig, ProtocolKind};
 
 // Re-export the vocabulary types users of this crate always need.

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use tcvs_crypto::{UserId, NO_USER};
-use tcvs_merkle::{apply_op, prune_for_op, MerkleTree, Op, VerificationObject};
+use tcvs_crypto::{Digest, UserId, NO_USER};
+use tcvs_merkle::{apply_op, prune_for_op, MerkleTree, Op, OpResult, VerificationObject};
 
 use crate::msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState};
 use crate::types::{Ctr, Epoch, ProtocolConfig};
@@ -209,8 +209,14 @@ impl ServerCore {
         self.checkpoints.get(&epoch).cloned()
     }
 
-    /// Captures the *full* durable state for a crash-restart: the byte-level
-    /// [`ServerCore::snapshot`] plus the protocol deposit boxes.
+    /// Captures the *full* durable state for a crash-restart: the database
+    /// plus the protocol deposit boxes.
+    ///
+    /// The database capture is an O(1) root-pointer copy: the tree is
+    /// copy-on-write, so the snapshot shares every node with the live tree
+    /// and later mutations copy only the spine they touch. Capturing is
+    /// therefore cheap enough to run on every operation (the fault-injection
+    /// harness does exactly that).
     ///
     /// Unlike [`ServerCore::snapshot`] (a planned backup, after which users
     /// re-establish session state), a crash must preserve the deposits:
@@ -220,7 +226,10 @@ impl ServerCore {
     /// like a deviating one.
     pub fn crash_snapshot(&self) -> ServerSnapshot {
         ServerSnapshot {
-            core: self.snapshot(),
+            db: self.db.clone(),
+            ctr: self.ctr,
+            last_user: self.last_user,
+            epoch_len: self.epoch_len,
             last_sig: self.last_sig.clone(),
             epoch_states: self.epoch_states.values().cloned().collect(),
             checkpoints: self.checkpoints.values().cloned().collect(),
@@ -229,35 +238,63 @@ impl ServerCore {
         }
     }
 
-    /// Rebuilds a server from a [`ServerCore::crash_snapshot`]. The database
-    /// digests are re-verified during decode; the deposit boxes are restored
-    /// verbatim.
+    /// Rebuilds a server from a [`ServerCore::crash_snapshot`]. The deposit
+    /// boxes are restored verbatim.
     pub fn crash_restore(snap: &ServerSnapshot) -> Result<ServerCore, tcvs_merkle::CodecError> {
-        let mut core = ServerCore::restore(&snap.core)?;
-        core.last_sig = snap.last_sig.clone();
-        core.epoch_states = snap
-            .epoch_states
-            .iter()
-            .map(|s| ((s.epoch, s.user), s.clone()))
-            .collect();
-        core.checkpoints = snap
-            .checkpoints
-            .iter()
-            .map(|c| (c.epoch, c.clone()))
-            .collect();
-        core.user_epochs = snap.user_epochs.iter().copied().collect();
-        core.metrics = snap.metrics;
-        Ok(core)
+        use tcvs_merkle::CodecError;
+        if snap.epoch_len == 0 {
+            return Err(CodecError::Malformed("zero epoch length"));
+        }
+        Ok(ServerCore {
+            db: snap.db.clone(),
+            ctr: snap.ctr,
+            last_user: snap.last_user,
+            last_sig: snap.last_sig.clone(),
+            epoch_len: snap.epoch_len,
+            epoch_states: snap
+                .epoch_states
+                .iter()
+                .map(|s| ((s.epoch, s.user), s.clone()))
+                .collect(),
+            checkpoints: snap
+                .checkpoints
+                .iter()
+                .map(|c| (c.epoch, c.clone()))
+                .collect(),
+            user_epochs: snap.user_epochs.iter().copied().collect(),
+            metrics: snap.metrics,
+        })
+    }
+
+    /// Publishes an O(1) read snapshot of the current state: a structurally
+    /// shared copy of the database plus the counter it is current as of.
+    /// Point and range queries served from it are identical to queries
+    /// served by the live tree at this instant.
+    pub fn read_snapshot(&self) -> ReadSnapshot {
+        ReadSnapshot {
+            db: self.db.clone(),
+            ctr: self.ctr,
+        }
     }
 }
 
 /// Durable state captured by [`ServerCore::crash_snapshot`]: everything an
 /// honest server must carry across a crash-restart to stay indistinguishable
 /// from one that never crashed.
+///
+/// The database is held as a structurally shared tree (captured in O(1));
+/// [`ServerSnapshot::core_bytes`] reports what the byte-level persisted form
+/// would cost, for diagnostics.
 #[derive(Clone, Debug)]
 pub struct ServerSnapshot {
-    /// The byte-level database/counter snapshot.
-    core: Vec<u8>,
+    /// The database at capture time (copy-on-write share of the live tree).
+    db: MerkleTree,
+    /// Operation counter at capture time.
+    ctr: Ctr,
+    /// Last-operating user at capture time.
+    last_user: UserId,
+    /// Rounds per epoch.
+    epoch_len: u64,
     /// Protocol I: the deposited signature over the latest state.
     last_sig: Option<SignedState>,
     /// Protocol III: deposited per-user epoch states.
@@ -271,9 +308,62 @@ pub struct ServerSnapshot {
 }
 
 impl ServerSnapshot {
-    /// Size of the byte-level core snapshot (diagnostics).
+    /// Estimated size of the byte-level persisted form (diagnostics).
     pub fn core_bytes(&self) -> usize {
-        self.core.len()
+        24 + self.db.encoded_size()
+    }
+
+    /// Root digest of the captured database.
+    pub fn root_digest(&self) -> Digest {
+        self.db.root_digest()
+    }
+}
+
+/// An immutable, structurally shared view of the server's database as of a
+/// particular operation counter, published for the concurrent read path.
+///
+/// Capturing one is O(1) (tree clone is a root-pointer copy), and serving
+/// queries from it never blocks — or is blocked by — the write path: later
+/// writes copy the spine they touch, leaving this snapshot's nodes intact.
+#[derive(Clone, Debug)]
+pub struct ReadSnapshot {
+    db: MerkleTree,
+    ctr: Ctr,
+}
+
+impl ReadSnapshot {
+    /// The operation counter this snapshot is current as of (the next
+    /// operation the serialized path will assign).
+    pub fn ctr(&self) -> Ctr {
+        self.ctr
+    }
+
+    /// Root digest of the snapshot database.
+    pub fn root_digest(&self) -> Digest {
+        self.db.root_digest()
+    }
+
+    /// Serves a read-only operation from the snapshot, with its proof.
+    /// Returns `None` for updates: only the serialized write path may
+    /// transform state.
+    pub fn serve(&self, op: &Op) -> Option<(OpResult, VerificationObject)> {
+        if op.is_update() {
+            return None;
+        }
+        let vo = VerificationObject::new(prune_for_op(&self.db, op));
+        let result = self.serve_result(op)?;
+        Some((result, vo))
+    }
+
+    /// Serves a read-only operation without building a proof — for clients
+    /// that trust the server (the baseline) and skip verification anyway.
+    /// Returns `None` for updates.
+    pub fn serve_result(&self, op: &Op) -> Option<OpResult> {
+        if op.is_update() {
+            return None;
+        }
+        let mut replay = self.db.clone();
+        Some(apply_op(&mut replay, op).expect("full tree never yields stubs"))
     }
 }
 
@@ -309,6 +399,18 @@ pub trait ServerApi {
     /// [`ServerCore::crash_snapshot`], modelling a server that loses all
     /// volatile state and recovers only what it persisted.
     fn crash_restart(&mut self) {}
+
+    /// Publishes an O(1) snapshot for the concurrent read path, or `None`
+    /// if this server does not support snapshot reads.
+    ///
+    /// The default is `None` — deliberately. The parallel read path is a
+    /// *performance* feature of the honest server; an adversarial server
+    /// must never be handed a side channel that answers queries outside the
+    /// serialized, countered, detection-bearing request stream. Transports
+    /// only spin up reader threads when the server opts in.
+    fn read_snapshot(&self) -> Option<ReadSnapshot> {
+        None
+    }
 }
 
 /// A server that follows the protocol exactly.
@@ -363,6 +465,10 @@ impl ServerApi for HonestServer {
         let snap = self.core.crash_snapshot();
         self.core = ServerCore::crash_restore(&snap)
             .expect("a snapshot the server itself produced decodes");
+    }
+
+    fn read_snapshot(&self) -> Option<ReadSnapshot> {
+        Some(self.core.read_snapshot())
     }
 }
 

@@ -1,0 +1,62 @@
+//! Ad-hoc profile of the point-update hot path: where do the microseconds
+//! go? Run with `cargo run --release -p tcvs-merkle --example profile_hotpath`.
+
+use std::time::Instant;
+
+use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, VerificationObject};
+
+fn main() {
+    let n = 1u64 << 14;
+    let iters = 20000u64;
+    let mut tree = MerkleTree::with_order(16);
+    for i in 0..n {
+        tree.insert(u64_key(i), vec![0xAB; 24]).unwrap();
+    }
+
+    // Prune alone.
+    let t = Instant::now();
+    for i in 0..iters {
+        let op = Op::Put(u64_key((i * 7919) % n), vec![0u8; 24]);
+        std::hint::black_box(prune_for_op(&tree, &op));
+    }
+    println!(
+        "prune only:      {:>8.2} ns/op",
+        t.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    // Apply alone (no proof held).
+    let t = Instant::now();
+    for i in 0..iters {
+        let op = Op::Put(u64_key((i * 7919) % n), vec![(i % 251) as u8; 24]);
+        apply_op(&mut tree, &op).unwrap();
+        std::hint::black_box(tree.root_digest());
+    }
+    println!(
+        "apply only:      {:>8.2} ns/op",
+        t.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    // Full server step: prune + apply while the proof is alive.
+    let t = Instant::now();
+    for i in 0..iters {
+        let op = Op::Put(u64_key((i * 7919) % n), vec![(i % 251) as u8; 24]);
+        let vo = VerificationObject::new(prune_for_op(&tree, &op));
+        apply_op(&mut tree, &op).unwrap();
+        std::hint::black_box((tree.root_digest(), vo.encoded_size()));
+    }
+    println!(
+        "prune+apply:     {:>8.2} ns/op",
+        t.elapsed().as_nanos() as f64 / iters as f64
+    );
+
+    // Digest recompute cost in isolation: rehash one leaf-sized payload.
+    let payload = vec![0u8; 16 * 32];
+    let t = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(tcvs_crypto::sha256(&payload));
+    }
+    println!(
+        "one 512B hash:   {:>8.2} ns",
+        t.elapsed().as_nanos() as f64 / iters as f64
+    );
+}

@@ -11,7 +11,7 @@
 
 use tcvs_crypto::Digest;
 
-use crate::node::Node;
+use crate::node::{LeafEntry, Node};
 use crate::tree::MerkleTree;
 
 /// Errors from decoding a serialized tree.
@@ -49,6 +49,8 @@ const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
 const MAGIC: &[u8; 4] = b"TCVM";
 const VERSION: u8 = 1;
+/// Header sentinel for "entry count unknown" (pruned trees).
+const LEN_UNKNOWN: u64 = u64::MAX;
 
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -92,11 +94,11 @@ fn encode_node(node: &Node, out: &mut Vec<u8>) {
         Node::Leaf { entries, .. } => {
             out.push(TAG_LEAF);
             out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-            for (k, v) in entries {
-                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
-                out.extend_from_slice(k);
-                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-                out.extend_from_slice(v);
+            for e in entries {
+                out.extend_from_slice(&(e.key.len() as u32).to_le_bytes());
+                out.extend_from_slice(&e.key);
+                out.extend_from_slice(&(e.value.len() as u32).to_le_bytes());
+                out.extend_from_slice(&e.value);
             }
         }
         Node::Internal { keys, children, .. } => {
@@ -128,7 +130,9 @@ fn decode_node(c: &mut Cursor<'_>, order: usize, depth: usize) -> Result<Node, C
             for _ in 0..n {
                 let k = c.bytes()?.to_vec();
                 let v = c.bytes()?.to_vec();
-                entries.push((k, v));
+                // Pair digests are recomputed from content, never trusted
+                // from the wire (they are not even serialized).
+                entries.push(LeafEntry::new(k, v));
             }
             let mut node = Node::Leaf {
                 entries,
@@ -148,7 +152,7 @@ fn decode_node(c: &mut Cursor<'_>, order: usize, depth: usize) -> Result<Node, C
             }
             let mut children = Vec::with_capacity(nk + 1);
             for _ in 0..=nk {
-                children.push(decode_node(c, order, depth + 1)?);
+                children.push(std::sync::Arc::new(decode_node(c, order, depth + 1)?));
             }
             let mut node = Node::Internal {
                 keys,
@@ -164,12 +168,15 @@ fn decode_node(c: &mut Cursor<'_>, order: usize, depth: usize) -> Result<Node, C
 
 impl MerkleTree {
     /// Serializes the tree (full or pruned) to bytes, digests implicit.
+    /// Pruned trees carry no authenticated entry count; their header
+    /// records the `LEN_UNKNOWN` sentinel.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.encoded_size());
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
         out.extend_from_slice(&(self.order() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        let len = self.len().map_or(LEN_UNKNOWN, |l| l as u64);
+        out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(self.root_digest().as_bytes());
         encode_node(self.root_ref(), &mut out);
         out
@@ -189,7 +196,7 @@ impl MerkleTree {
         if order < crate::tree::MIN_ORDER {
             return Err(CodecError::Malformed("order below minimum"));
         }
-        let len = u64::from_le_bytes(c.take(8)?.try_into().expect("8")) as usize;
+        let recorded_len = u64::from_le_bytes(c.take(8)?.try_into().expect("8"));
         let recorded_root = c.digest()?;
         let root = decode_node(&mut c, order, 0)?;
         if c.pos != bytes.len() {
@@ -198,6 +205,17 @@ impl MerkleTree {
         if root.digest() != recorded_root {
             return Err(CodecError::DigestMismatch);
         }
+        // Pruned trees never report a length (it is unauthenticated); for
+        // full trees the header count must match the decoded content.
+        let len = if root.contains_stub() {
+            None
+        } else {
+            let counted = root.entry_count();
+            if recorded_len != LEN_UNKNOWN && recorded_len != counted as u64 {
+                return Err(CodecError::Malformed("entry count mismatch"));
+            }
+            Some(counted)
+        };
         Ok(MerkleTree::from_parts(root, order, len))
     }
 }

@@ -1,9 +1,23 @@
-//! B+-tree nodes with cached digests, including pruned (stub) subtrees.
+//! Copy-on-write B+-tree nodes with cached digests, including pruned (stub)
+//! subtrees.
 //!
 //! The digest scheme follows §4.1 of the paper: a leaf's digest hashes the
 //! data stored at the leaf; an internal node's digest hashes its children's
 //! digests. We additionally bind the separator keys into internal digests so
 //! a proof also authenticates the *search structure*, not just the data.
+//!
+//! Two representation choices make the hot path cheap:
+//!
+//! * children are [`Arc<Node>`], so trees share structure: cloning a tree is
+//!   an O(1) root-pointer copy, a mutation copies only the O(log n) spine
+//!   (see [`std::sync::Arc::make_mut`]), and pruning shares whole subtrees
+//!   with the live tree instead of deep-cloning entries;
+//! * each leaf entry caches its `kv_hash` (the digest of the key/value
+//!   pair), and the leaf digest hashes those fixed-width digests — so
+//!   updating one value rehashes that one pair plus 32-byte digests, not
+//!   every value in the leaf.
+
+use std::sync::Arc;
 
 use tcvs_crypto::{Digest, Sha256};
 
@@ -17,6 +31,53 @@ pub fn u64_key(x: u64) -> Key {
     x.to_be_bytes().to_vec()
 }
 
+/// One `(key, value)` pair in a leaf, with its cached pair digest.
+#[derive(Clone, Debug)]
+pub(crate) struct LeafEntry {
+    pub(crate) key: Key,
+    pub(crate) value: Value,
+    /// `H("tcvs-merkle-kv" ‖ |k| ‖ k ‖ |v| ‖ v)`, cached so leaf digests
+    /// hash fixed-width digests instead of raw values.
+    pub(crate) kv_hash: Digest,
+}
+
+/// The pair digest an entry caches (length-prefixed, so entry boundaries
+/// are unambiguous).
+pub(crate) fn kv_hash(key: &[u8], value: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"tcvs-merkle-kv");
+    h.update(&(key.len() as u64).to_be_bytes());
+    h.update(key);
+    h.update(&(value.len() as u64).to_be_bytes());
+    h.update(value);
+    h.finalize()
+}
+
+impl LeafEntry {
+    /// Builds an entry, computing its pair digest.
+    pub(crate) fn new(key: Key, value: Value) -> LeafEntry {
+        let kv_hash = kv_hash(&key, &value);
+        LeafEntry {
+            key,
+            value,
+            kv_hash,
+        }
+    }
+
+    /// Replaces the value (and pair digest), returning the old value.
+    pub(crate) fn replace_value(&mut self, value: Value) -> Value {
+        self.kv_hash = kv_hash(&self.key, &value);
+        std::mem::replace(&mut self.value, value)
+    }
+
+    /// Recomputes the cached pair digest from the stored key and value.
+    /// Clients run this on received proofs — a cached digest from the wire
+    /// is never trusted.
+    pub(crate) fn rehash(&mut self) {
+        self.kv_hash = kv_hash(&self.key, &self.value);
+    }
+}
+
 /// A node of the Merkle B+-tree.
 ///
 /// `Stub` nodes appear only in *pruned* trees (verification objects): they
@@ -28,14 +89,14 @@ pub(crate) enum Node {
     Stub(Digest),
     /// A leaf holding sorted `(key, value)` entries.
     Leaf {
-        entries: Vec<(Key, Value)>,
+        entries: Vec<LeafEntry>,
         digest: Digest,
     },
     /// An internal node with `keys.len() + 1` children; subtree `i` holds
     /// keys `k` with `keys[i-1] <= k < keys[i]` (lexicographic).
     Internal {
         keys: Vec<Key>,
-        children: Vec<Node>,
+        children: Vec<Arc<Node>>,
         digest: Digest,
     },
 }
@@ -61,7 +122,8 @@ impl Node {
     }
 
     /// Recomputes and caches this node's digest from its (already-correct)
-    /// children digests / entries. Stubs keep their stored digest.
+    /// children digests / entry pair digests. Stubs keep their stored
+    /// digest.
     pub(crate) fn recompute_digest(&mut self) {
         match self {
             Node::Stub(_) => {}
@@ -69,11 +131,8 @@ impl Node {
                 let mut h = Sha256::new();
                 h.update(b"tcvs-merkle-leaf");
                 h.update(&(entries.len() as u64).to_be_bytes());
-                for (k, v) in entries.iter() {
-                    h.update(&(k.len() as u64).to_be_bytes());
-                    h.update(k);
-                    h.update(&(v.len() as u64).to_be_bytes());
-                    h.update(v);
+                for e in entries.iter() {
+                    h.update(e.kv_hash.as_bytes());
                 }
                 *digest = h.finalize();
             }
@@ -104,30 +163,26 @@ impl Node {
         matches!(self, Node::Stub(_))
     }
 
+    /// True iff this subtree contains a stub anywhere.
+    pub(crate) fn contains_stub(&self) -> bool {
+        match self {
+            Node::Stub(_) => true,
+            Node::Leaf { .. } => false,
+            Node::Internal { children, .. } => children.iter().any(|c| c.contains_stub()),
+        }
+    }
+
     /// Replaces this node with a stub carrying its digest.
     pub(crate) fn to_stub(&self) -> Node {
         Node::Stub(self.digest())
     }
 
-    /// Shallow copy: a leaf is copied fully; an internal node keeps its keys
-    /// but its children become stubs. Used to materialize the siblings a
-    /// delete may need for borrow/merge.
-    pub(crate) fn shallow_copy(&self) -> Node {
+    /// Number of entries stored in materialized leaves of this subtree.
+    pub(crate) fn entry_count(&self) -> usize {
         match self {
-            Node::Stub(d) => Node::Stub(*d),
-            Node::Leaf { entries, digest } => Node::Leaf {
-                entries: entries.clone(),
-                digest: *digest,
-            },
-            Node::Internal {
-                keys,
-                children,
-                digest,
-            } => Node::Internal {
-                keys: keys.clone(),
-                children: children.iter().map(Node::to_stub).collect(),
-                digest: *digest,
-            },
+            Node::Stub(_) => 0,
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { children, .. } => children.iter().map(|c| c.entry_count()).sum(),
         }
     }
 
@@ -137,7 +192,10 @@ impl Node {
             Node::Stub(_) => 0,
             Node::Leaf { .. } => 1,
             Node::Internal { children, .. } => {
-                1 + children.iter().map(Node::materialized_nodes).sum::<usize>()
+                1 + children
+                    .iter()
+                    .map(|c| c.materialized_nodes())
+                    .sum::<usize>()
             }
         }
     }
@@ -151,35 +209,79 @@ impl Node {
                 1 + 8
                     + entries
                         .iter()
-                        .map(|(k, v)| 16 + k.len() + v.len())
+                        .map(|e| 16 + e.key.len() + e.value.len())
                         .sum::<usize>()
             }
             Node::Internal { keys, children, .. } => {
                 1 + 8
                     + keys.iter().map(|k| 8 + k.len()).sum::<usize>()
                     + 8
-                    + children.iter().map(Node::encoded_size).sum::<usize>()
+                    + children.iter().map(|c| c.encoded_size()).sum::<usize>()
             }
         }
     }
+}
 
-    /// Recomputes every materialized digest in the subtree bottom-up (stub
-    /// digests are taken as given). Clients run this on received proofs so
-    /// the root digest provably commits to the *materialized content*, not
-    /// to whatever cached digests the server chose to send.
-    pub(crate) fn recompute_all(&mut self) {
-        if let Node::Internal { children, .. } = self {
-            for c in children.iter_mut() {
-                c.recompute_all();
+/// Shallow copy for proof construction: a leaf is *shared* (the Arc is
+/// cloned, zero-copy); an internal node keeps its keys but its children
+/// become stubs. Used to materialize the siblings a delete may need for
+/// borrow/merge.
+pub(crate) fn shallow_copy(node: &Arc<Node>) -> Arc<Node> {
+    match &**node {
+        Node::Stub(_) | Node::Leaf { .. } => Arc::clone(node),
+        Node::Internal {
+            keys,
+            children,
+            digest,
+        } => Arc::new(Node::Internal {
+            keys: keys.clone(),
+            children: children.iter().map(|c| Arc::new(c.to_stub())).collect(),
+            digest: *digest,
+        }),
+    }
+}
+
+/// Recomputes every materialized digest in the subtree bottom-up —
+/// including the per-entry pair digests (stub digests are taken as given).
+/// Clients run this on received proofs so the root digest provably commits
+/// to the *materialized content*, not to whatever cached digests the server
+/// chose to send.
+///
+/// Copy-on-write: shared nodes are cloned before being rehashed, so a tree
+/// this proof shares structure with is never written through.
+pub(crate) fn recompute_all(node: &mut Arc<Node>) {
+    let n = Arc::make_mut(node);
+    match n {
+        Node::Stub(_) => {}
+        Node::Leaf { entries, .. } => {
+            for e in entries.iter_mut() {
+                e.rehash();
             }
         }
-        self.recompute_digest();
+        Node::Internal { children, .. } => {
+            for c in children.iter_mut() {
+                recompute_all(c);
+            }
+        }
     }
+    n.recompute_digest();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    pub(crate) fn leaf(entries: Vec<(Key, Value)>) -> Node {
+        let mut l = Node::Leaf {
+            entries: entries
+                .into_iter()
+                .map(|(k, v)| LeafEntry::new(k, v))
+                .collect(),
+            digest: Digest::ZERO,
+        };
+        l.recompute_digest();
+        l
+    }
 
     #[test]
     fn empty_leaf_has_stable_digest() {
@@ -191,21 +293,9 @@ mod tests {
 
     #[test]
     fn leaf_digest_binds_keys_and_values() {
-        let mut l1 = Node::Leaf {
-            entries: vec![(b"k".to_vec(), b"v1".to_vec())],
-            digest: Digest::ZERO,
-        };
-        let mut l2 = Node::Leaf {
-            entries: vec![(b"k".to_vec(), b"v2".to_vec())],
-            digest: Digest::ZERO,
-        };
-        let mut l3 = Node::Leaf {
-            entries: vec![(b"j".to_vec(), b"v1".to_vec())],
-            digest: Digest::ZERO,
-        };
-        l1.recompute_digest();
-        l2.recompute_digest();
-        l3.recompute_digest();
+        let l1 = leaf(vec![(b"k".to_vec(), b"v1".to_vec())]);
+        let l2 = leaf(vec![(b"k".to_vec(), b"v2".to_vec())]);
+        let l3 = leaf(vec![(b"j".to_vec(), b"v1".to_vec())]);
         assert_ne!(l1.digest(), l2.digest());
         assert_ne!(l1.digest(), l3.digest());
     }
@@ -213,36 +303,36 @@ mod tests {
     #[test]
     fn leaf_digest_binds_entry_boundaries() {
         // ("ab","c") vs ("a","bc") must not collide.
-        let mut l1 = Node::Leaf {
-            entries: vec![(b"ab".to_vec(), b"c".to_vec())],
-            digest: Digest::ZERO,
-        };
-        let mut l2 = Node::Leaf {
-            entries: vec![(b"a".to_vec(), b"bc".to_vec())],
-            digest: Digest::ZERO,
-        };
-        l1.recompute_digest();
-        l2.recompute_digest();
+        let l1 = leaf(vec![(b"ab".to_vec(), b"c".to_vec())]);
+        let l2 = leaf(vec![(b"a".to_vec(), b"bc".to_vec())]);
         assert_ne!(l1.digest(), l2.digest());
     }
 
     #[test]
+    fn replace_value_updates_pair_digest() {
+        let mut l = leaf(vec![(b"k".to_vec(), b"v1".to_vec())]);
+        let before = l.digest();
+        if let Node::Leaf { entries, .. } = &mut l {
+            let old = entries[0].replace_value(b"v2".to_vec());
+            assert_eq!(old, b"v1".to_vec());
+        }
+        l.recompute_digest();
+        assert_ne!(l.digest(), before);
+        // And the digest equals that of a freshly-built identical leaf.
+        assert_eq!(
+            l.digest(),
+            leaf(vec![(b"k".to_vec(), b"v2".to_vec())]).digest()
+        );
+    }
+
+    #[test]
     fn internal_digest_binds_children_order() {
-        let mut a = Node::empty_leaf();
-        a = Node::Leaf {
-            entries: vec![(b"a".to_vec(), b"1".to_vec())],
-            digest: a.digest(),
-        };
-        a.recompute_digest();
-        let mut b = Node::Leaf {
-            entries: vec![(b"b".to_vec(), b"2".to_vec())],
-            digest: Digest::ZERO,
-        };
-        b.recompute_digest();
+        let a = Arc::new(leaf(vec![(b"a".to_vec(), b"1".to_vec())]));
+        let b = Arc::new(leaf(vec![(b"b".to_vec(), b"2".to_vec())]));
 
         let mut n1 = Node::Internal {
             keys: vec![b"b".to_vec()],
-            children: vec![a.clone(), b.clone()],
+            children: vec![Arc::clone(&a), Arc::clone(&b)],
             digest: Digest::ZERO,
         };
         let mut n2 = Node::Internal {
@@ -257,11 +347,7 @@ mod tests {
 
     #[test]
     fn stub_preserves_digest() {
-        let mut l = Node::Leaf {
-            entries: vec![(b"k".to_vec(), b"v".to_vec())],
-            digest: Digest::ZERO,
-        };
-        l.recompute_digest();
+        let l = leaf(vec![(b"k".to_vec(), b"v".to_vec())]);
         let s = l.to_stub();
         assert_eq!(s.digest(), l.digest());
         assert!(s.is_stub());
@@ -270,25 +356,41 @@ mod tests {
 
     #[test]
     fn shallow_copy_of_internal_keeps_digest() {
-        let mut a = Node::Leaf {
-            entries: vec![(b"a".to_vec(), b"1".to_vec())],
-            digest: Digest::ZERO,
-        };
-        a.recompute_digest();
-        let mut b = Node::Leaf {
-            entries: vec![(b"m".to_vec(), b"2".to_vec())],
-            digest: Digest::ZERO,
-        };
-        b.recompute_digest();
+        let a = Arc::new(leaf(vec![(b"a".to_vec(), b"1".to_vec())]));
+        let b = Arc::new(leaf(vec![(b"m".to_vec(), b"2".to_vec())]));
         let mut n = Node::Internal {
             keys: vec![b"m".to_vec()],
             children: vec![a, b],
             digest: Digest::ZERO,
         };
         n.recompute_digest();
-        let s = n.shallow_copy();
+        let n = Arc::new(n);
+        let s = shallow_copy(&n);
         assert_eq!(s.digest(), n.digest());
         assert_eq!(s.materialized_nodes(), 1);
+    }
+
+    #[test]
+    fn shallow_copy_of_leaf_is_shared() {
+        let l = Arc::new(leaf(vec![(b"k".to_vec(), b"v".to_vec())]));
+        let s = shallow_copy(&l);
+        assert!(Arc::ptr_eq(&l, &s), "leaf shallow copies share the Arc");
+    }
+
+    #[test]
+    fn recompute_all_restores_tampered_caches() {
+        // Corrupt a cached kv_hash; recompute_all must heal it so the root
+        // commits to the actual content.
+        let honest = Arc::new(leaf(vec![(b"k".to_vec(), b"v".to_vec())]));
+        let mut tampered = (*honest).clone();
+        if let Node::Leaf { entries, .. } = &mut tampered {
+            entries[0].kv_hash = Digest::ZERO;
+        }
+        tampered.recompute_digest();
+        assert_ne!(tampered.digest(), honest.digest());
+        let mut t = Arc::new(tampered);
+        recompute_all(&mut t);
+        assert_eq!(t.digest(), honest.digest());
     }
 
     #[test]

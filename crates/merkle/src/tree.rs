@@ -13,11 +13,29 @@
 //! succeeds, the recomputed answer and new root digest are authoritative.
 //! Touching a stub during replay means the proof was incomplete (server
 //! misbehaviour).
+//!
+//! ## Copy-on-write
+//!
+//! Nodes are held behind [`Arc`], so trees *share structure*:
+//!
+//! * `Clone` is an O(1) root-pointer copy — a clone is a snapshot;
+//! * a mutation clones only the root-to-leaf spine it touches
+//!   ([`Arc::make_mut`]); untouched siblings stay shared with every
+//!   snapshot taken earlier;
+//! * pruning shares the materialized leaves and in-range subtrees with the
+//!   live tree instead of deep-cloning their entries — proof construction
+//!   allocates only the spine of stub-filled internal nodes.
+//!
+//! Sharing is never observable through the API: any mutation of one tree
+//! first un-shares the affected nodes, so other handles keep their exact
+//! pre-mutation state.
+
+use std::sync::Arc;
 
 use tcvs_crypto::Digest;
 
 use crate::error::TreeError;
-use crate::node::{Key, Node, Value};
+use crate::node::{recompute_all, shallow_copy, Key, LeafEntry, Node, Value};
 
 /// Minimum supported branching order.
 pub const MIN_ORDER: usize = 4;
@@ -28,12 +46,11 @@ pub const DEFAULT_ORDER: usize = 16;
 /// A Merkle B+-tree over byte keys and values.
 #[derive(Clone, Debug)]
 pub struct MerkleTree {
-    root: Node,
+    root: Arc<Node>,
     order: usize,
-    /// Entry count; meaningful for full trees (pruned trees inherit the
-    /// server value only if the server chooses to send it — clients must not
-    /// rely on it).
-    len: usize,
+    /// Entry count: `Some` for full trees, `None` for pruned trees, where
+    /// the count is not authenticated and must not be relied upon.
+    len: Option<usize>,
 }
 
 /// Returns the index of the child subtree that covers `key`.
@@ -52,9 +69,9 @@ impl MerkleTree {
     pub fn with_order(order: usize) -> MerkleTree {
         assert!(order >= MIN_ORDER, "order {order} < minimum {MIN_ORDER}");
         MerkleTree {
-            root: Node::empty_leaf(),
+            root: Arc::new(Node::empty_leaf()),
             order,
-            len: 0,
+            len: Some(0),
         }
     }
 
@@ -68,14 +85,22 @@ impl MerkleTree {
         self.order
     }
 
-    /// Number of entries (full trees only).
-    pub fn len(&self) -> usize {
+    /// Number of entries: `Some(n)` for a full tree, `None` for a pruned
+    /// tree (a proof does not authenticate a count, so pruned trees refuse
+    /// to report one — misuse fails to compile instead of returning the
+    /// unverified server value).
+    pub fn len(&self) -> Option<usize> {
         self.len
     }
 
-    /// True iff the tree holds no entries.
+    /// True iff this is a full tree known to hold no entries.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len == Some(0)
+    }
+
+    /// True iff this tree contains a stub anywhere (i.e. it is pruned).
+    pub fn is_pruned(&self) -> bool {
+        self.root.contains_stub()
     }
 
     /// Number of materialized (non-stub) nodes; for a pruned tree this is
@@ -95,15 +120,15 @@ impl MerkleTree {
 
     /// Point lookup. `Err(IncompleteProof)` if the search hits a stub.
     pub fn get(&self, key: &[u8]) -> Result<Option<&Value>, TreeError> {
-        let mut node = &self.root;
+        let mut node: &Node = &self.root;
         loop {
             match node {
                 Node::Stub(_) => return Err(TreeError::IncompleteProof),
                 Node::Leaf { entries, .. } => {
                     return Ok(entries
-                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .binary_search_by(|e| e.key.as_slice().cmp(key))
                         .ok()
-                        .map(|i| &entries[i].1));
+                        .map(|i| &entries[i].value));
                 }
                 Node::Internal { keys, children, .. } => {
                     node = &children[child_index(keys, key)];
@@ -138,17 +163,19 @@ impl MerkleTree {
     pub fn insert(&mut self, key: Key, value: Value) -> Result<Option<Value>, TreeError> {
         let (old, split) = insert_rec(&mut self.root, key, value, self.order)?;
         if let Some((sep, right)) = split {
-            let old_root = std::mem::replace(&mut self.root, Node::empty_leaf());
+            let old_root = std::mem::replace(&mut self.root, Arc::new(Node::empty_leaf()));
             let mut new_root = Node::Internal {
                 keys: vec![sep],
                 children: vec![old_root, right],
                 digest: Digest::ZERO,
             };
             new_root.recompute_digest();
-            self.root = new_root;
+            self.root = Arc::new(new_root);
         }
         if old.is_none() {
-            self.len += 1;
+            if let Some(len) = &mut self.len {
+                *len += 1;
+            }
         }
         Ok(old)
     }
@@ -157,22 +184,28 @@ impl MerkleTree {
     pub fn delete(&mut self, key: &[u8]) -> Result<Option<Value>, TreeError> {
         let old = delete_rec(&mut self.root, key, self.order)?;
         // Collapse a root that shrank to a single child.
-        if let Node::Internal { children, .. } = &mut self.root {
-            if children.len() == 1 {
-                self.root = children.pop().expect("one child");
+        let collapsed = match &*self.root {
+            Node::Internal { children, .. } if children.len() == 1 => {
+                Some(Arc::clone(&children[0]))
             }
+            _ => None,
+        };
+        if let Some(child) = collapsed {
+            self.root = child;
         }
         if old.is_some() {
-            self.len -= 1;
+            if let Some(len) = &mut self.len {
+                *len -= 1;
+            }
         }
         Ok(old)
     }
 
-    /// Recomputes every materialized node digest bottom-up, replacing any
-    /// cached digests. Run on *received* pruned trees before trusting their
-    /// root digest.
+    /// Recomputes every materialized digest bottom-up — including per-entry
+    /// pair digests — replacing any cached digests. Run on *received* pruned
+    /// trees before trusting their root digest.
     pub fn recompute_all_digests(&mut self) {
-        self.root.recompute_all();
+        recompute_all(&mut self.root);
     }
 
     /// Borrow of the root node (crate-internal, for the codec).
@@ -182,44 +215,49 @@ impl MerkleTree {
 
     /// Reassembles a tree from decoded parts (crate-internal, for the
     /// codec; the caller has already verified digests and structure).
-    pub(crate) fn from_parts(root: Node, order: usize, len: usize) -> MerkleTree {
-        MerkleTree { root, order, len }
+    pub(crate) fn from_parts(root: Node, order: usize, len: Option<usize>) -> MerkleTree {
+        MerkleTree {
+            root: Arc::new(root),
+            order,
+            len,
+        }
     }
 
     // ------------------------------------------------------------------
     // Pruning (verification-object construction)
     // ------------------------------------------------------------------
 
-    /// Pruned copy sufficient to replay `get(key)` or `insert(key, _)`:
+    /// Pruned tree sufficient to replay `get(key)` or `insert(key, _)`:
     /// the root-to-leaf path for `key` is materialized, everything else is
-    /// stubs.
+    /// stubs. Zero-copy: the materialized leaf is shared with `self`.
     pub fn prune_for_point(&self, key: &[u8]) -> MerkleTree {
         MerkleTree {
             root: prune_interval_rec(&self.root, Some(key), Some(key)),
             order: self.order,
-            len: self.len,
+            len: None,
         }
     }
 
-    /// Pruned copy sufficient to replay `range(lo, hi)`: every subtree
+    /// Pruned tree sufficient to replay `range(lo, hi)`: every subtree
     /// intersecting the closed interval `[lo, hi]` is materialized.
+    /// Zero-copy: in-range subtrees are shared whole with `self`.
     pub fn prune_for_range(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> MerkleTree {
         MerkleTree {
             root: prune_interval_rec(&self.root, lo, hi),
             order: self.order,
-            len: self.len,
+            len: None,
         }
     }
 
-    /// Pruned copy sufficient to replay `delete(key)`: the path for `key`
+    /// Pruned tree sufficient to replay `delete(key)`: the path for `key`
     /// is materialized, and at every level the path node's adjacent siblings
-    /// are shallow-materialized (leaves fully; internal nodes keys-only) so
-    /// the replay can decide and perform borrows/merges.
+    /// are shallow-materialized (leaves shared whole; internal nodes
+    /// keys-only) so the replay can decide and perform borrows/merges.
     pub fn prune_for_delete(&self, key: &[u8]) -> MerkleTree {
         MerkleTree {
             root: prune_delete_rec(&self.root, key),
             order: self.order,
-            len: self.len,
+            len: None,
         }
     }
 
@@ -228,16 +266,17 @@ impl MerkleTree {
     // ------------------------------------------------------------------
 
     /// Verifies structural invariants: key order, separator correctness,
-    /// occupancy bounds, uniform depth, and digest consistency. Intended for
-    /// tests; cost is O(n).
+    /// occupancy bounds, uniform depth, and digest/pair-digest consistency.
+    /// Intended for tests; cost is O(n).
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut depth = None;
         check_rec(&self.root, None, None, self.order, true, 0, &mut depth)?;
-        let counted = count_entries(&self.root);
-        if counted != self.len {
-            return Err(format!("len {} != counted {}", self.len, counted));
+        let counted = self.root.entry_count();
+        match self.len {
+            Some(len) if counted != len => Err(format!("len {len} != counted {counted}")),
+            None => Err("full tree with unknown len".into()),
+            _ => Ok(()),
         }
-        Ok(())
     }
 }
 
@@ -251,33 +290,39 @@ impl Default for MerkleTree {
 // Recursive workers
 // ----------------------------------------------------------------------
 
-type SplitInfo = Option<(Key, Node)>;
+type SplitInfo = Option<(Key, Arc<Node>)>;
 
 fn insert_rec(
-    node: &mut Node,
+    node: &mut Arc<Node>,
     key: Key,
     value: Value,
     order: usize,
 ) -> Result<(Option<Value>, SplitInfo), TreeError> {
+    if matches!(&**node, Node::Stub(_)) {
+        return Err(TreeError::IncompleteProof);
+    }
+    // Copy-on-write: un-share this node before mutating it, so snapshots
+    // and proofs holding the old version are unaffected.
+    let node = Arc::make_mut(node);
     match node {
-        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Stub(_) => unreachable!("checked above"),
         Node::Leaf { entries, .. } => {
-            let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(&key)) {
-                Ok(i) => Some(std::mem::replace(&mut entries[i].1, value)),
+            let old = match entries.binary_search_by(|e| e.key.as_slice().cmp(&key)) {
+                Ok(i) => Some(entries[i].replace_value(value)),
                 Err(i) => {
-                    entries.insert(i, (key, value));
+                    entries.insert(i, LeafEntry::new(key, value));
                     None
                 }
             };
             let split = if entries.len() > order {
                 let right_entries = entries.split_off(entries.len() / 2);
-                let sep = right_entries[0].0.clone();
+                let sep = right_entries[0].key.clone();
                 let mut right = Node::Leaf {
                     entries: right_entries,
                     digest: Digest::ZERO,
                 };
                 right.recompute_digest();
-                Some((sep, right))
+                Some((sep, Arc::new(right)))
             } else {
                 None
             };
@@ -304,7 +349,7 @@ fn insert_rec(
                     digest: Digest::ZERO,
                 };
                 right.recompute_digest();
-                Some((promote, right))
+                Some((promote, Arc::new(right)))
             } else {
                 None
             };
@@ -314,14 +359,18 @@ fn insert_rec(
     }
 }
 
-fn delete_rec(node: &mut Node, key: &[u8], order: usize) -> Result<Option<Value>, TreeError> {
+fn delete_rec(node: &mut Arc<Node>, key: &[u8], order: usize) -> Result<Option<Value>, TreeError> {
+    if matches!(&**node, Node::Stub(_)) {
+        return Err(TreeError::IncompleteProof);
+    }
+    let node = Arc::make_mut(node);
     match node {
-        Node::Stub(_) => Err(TreeError::IncompleteProof),
+        Node::Stub(_) => unreachable!("checked above"),
         Node::Leaf { entries, .. } => {
             let old = entries
-                .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                .binary_search_by(|e| e.key.as_slice().cmp(key))
                 .ok()
-                .map(|i| entries.remove(i).1);
+                .map(|i| entries.remove(i).value);
             node.recompute_digest();
             Ok(old)
         }
@@ -366,7 +415,7 @@ fn has_spare(node: &Node, order: usize) -> Result<bool, TreeError> {
 /// client must transform state identically.
 fn rebalance(
     keys: &mut Vec<Key>,
-    children: &mut Vec<Node>,
+    children: &mut Vec<Arc<Node>>,
     idx: usize,
     order: usize,
 ) -> Result<(), TreeError> {
@@ -381,38 +430,30 @@ fn rebalance(
     }
 }
 
-fn borrow_from_left(keys: &mut [Key], children: &mut [Node], idx: usize) -> Result<(), TreeError> {
+fn borrow_from_left(
+    keys: &mut [Key],
+    children: &mut [Arc<Node>],
+    idx: usize,
+) -> Result<(), TreeError> {
     let (l, r) = children.split_at_mut(idx);
-    let left = &mut l[idx - 1];
-    let cur = &mut r[0];
+    let left = Arc::make_mut(&mut l[idx - 1]);
+    let cur = Arc::make_mut(&mut r[0]);
     match (left, cur) {
-        (
-            Node::Leaf {
-                entries: le,
-                digest: ld,
-            },
-            Node::Leaf {
-                entries: ce,
-                digest: cd,
-            },
-        ) => {
+        (Node::Leaf { entries: le, .. }, Node::Leaf { entries: ce, .. }) => {
             let moved = le.pop().ok_or(TreeError::IncompleteProof)?;
             ce.insert(0, moved);
-            keys[idx - 1] = ce[0].0.clone();
-            // Recompute both digests in place.
-            *ld = Digest::ZERO;
-            *cd = Digest::ZERO;
+            keys[idx - 1] = ce[0].key.clone();
         }
         (
             Node::Internal {
                 keys: lk,
                 children: lc,
-                digest: ld,
+                ..
             },
             Node::Internal {
                 keys: ck,
                 children: cc,
-                digest: cd,
+                ..
             },
         ) => {
             let sep = std::mem::replace(
@@ -421,50 +462,42 @@ fn borrow_from_left(keys: &mut [Key], children: &mut [Node], idx: usize) -> Resu
             );
             ck.insert(0, sep);
             cc.insert(0, lc.pop().ok_or(TreeError::IncompleteProof)?);
-            *ld = Digest::ZERO;
-            *cd = Digest::ZERO;
         }
         _ => return Err(TreeError::IncompleteProof),
     }
-    children[idx - 1].recompute_digest();
-    children[idx].recompute_digest();
+    // Both nodes are unique after make_mut above, so these are in-place.
+    Arc::make_mut(&mut children[idx - 1]).recompute_digest();
+    Arc::make_mut(&mut children[idx]).recompute_digest();
     Ok(())
 }
 
-fn borrow_from_right(keys: &mut [Key], children: &mut [Node], idx: usize) -> Result<(), TreeError> {
+fn borrow_from_right(
+    keys: &mut [Key],
+    children: &mut [Arc<Node>],
+    idx: usize,
+) -> Result<(), TreeError> {
     let (l, r) = children.split_at_mut(idx + 1);
-    let cur = &mut l[idx];
-    let right = &mut r[0];
+    let cur = Arc::make_mut(&mut l[idx]);
+    let right = Arc::make_mut(&mut r[0]);
     match (cur, right) {
-        (
-            Node::Leaf {
-                entries: ce,
-                digest: cd,
-            },
-            Node::Leaf {
-                entries: re,
-                digest: rd,
-            },
-        ) => {
+        (Node::Leaf { entries: ce, .. }, Node::Leaf { entries: re, .. }) => {
             if re.is_empty() {
                 return Err(TreeError::IncompleteProof);
             }
             let moved = re.remove(0);
             ce.push(moved);
-            keys[idx] = re[0].0.clone();
-            *cd = Digest::ZERO;
-            *rd = Digest::ZERO;
+            keys[idx] = re[0].key.clone();
         }
         (
             Node::Internal {
                 keys: ck,
                 children: cc,
-                digest: cd,
+                ..
             },
             Node::Internal {
                 keys: rk,
                 children: rc,
-                digest: rd,
+                ..
             },
         ) => {
             if rk.is_empty() || rc.is_empty() {
@@ -473,13 +506,11 @@ fn borrow_from_right(keys: &mut [Key], children: &mut [Node], idx: usize) -> Res
             let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
             ck.push(sep);
             cc.push(rc.remove(0));
-            *cd = Digest::ZERO;
-            *rd = Digest::ZERO;
         }
         _ => return Err(TreeError::IncompleteProof),
     }
-    children[idx].recompute_digest();
-    children[idx + 1].recompute_digest();
+    Arc::make_mut(&mut children[idx]).recompute_digest();
+    Arc::make_mut(&mut children[idx + 1]).recompute_digest();
     Ok(())
 }
 
@@ -487,12 +518,16 @@ fn borrow_from_right(keys: &mut [Key], children: &mut [Node], idx: usize) -> Res
 /// `keys[li]`.
 fn merge_into_left(
     keys: &mut Vec<Key>,
-    children: &mut Vec<Node>,
+    children: &mut Vec<Arc<Node>>,
     li: usize,
 ) -> Result<(), TreeError> {
     let right = children.remove(li + 1);
     let sep = keys.remove(li);
-    match (&mut children[li], right) {
+    // Take the right node by value, cloning only if a snapshot still
+    // shares it.
+    let right = Arc::try_unwrap(right).unwrap_or_else(|shared| (*shared).clone());
+    let left = Arc::make_mut(&mut children[li]);
+    match (left, right) {
         (Node::Leaf { entries: le, .. }, Node::Leaf { entries: re, .. }) => {
             le.extend(re);
         }
@@ -514,7 +549,7 @@ fn merge_into_left(
         }
         _ => return Err(TreeError::IncompleteProof),
     }
-    children[li].recompute_digest();
+    Arc::make_mut(&mut children[li]).recompute_digest();
     Ok(())
 }
 
@@ -527,11 +562,11 @@ fn range_rec(
     match node {
         Node::Stub(_) => Err(TreeError::IncompleteProof),
         Node::Leaf { entries, .. } => {
-            for (k, v) in entries {
-                let above_lo = lo.is_none_or(|l| k.as_slice() >= l);
-                let below_hi = hi.is_none_or(|h| k.as_slice() < h);
+            for e in entries {
+                let above_lo = lo.is_none_or(|l| e.key.as_slice() >= l);
+                let below_hi = hi.is_none_or(|h| e.key.as_slice() < h);
                 if above_lo && below_hi {
-                    out.push((k.clone(), v.clone()));
+                    out.push((e.key.clone(), e.value.clone()));
                 }
             }
             Ok(())
@@ -556,14 +591,13 @@ fn range_rec(
 }
 
 /// Materializes exactly the subtrees whose key interval intersects the
-/// closed interval `[lo, hi]` (`None` = unbounded).
-fn prune_interval_rec(node: &Node, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Node {
-    match node {
-        Node::Stub(d) => Node::Stub(*d),
-        Node::Leaf { entries, digest } => Node::Leaf {
-            entries: entries.clone(),
-            digest: *digest,
-        },
+/// closed interval `[lo, hi]` (`None` = unbounded), *sharing* them with the
+/// source tree: leaves and fully-in-range subtrees are `Arc`-cloned whole;
+/// only the boundary spine of internal nodes (with out-of-range children
+/// stubbed) is freshly allocated.
+fn prune_interval_rec(node: &Arc<Node>, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Arc<Node> {
+    match &**node {
+        Node::Stub(_) | Node::Leaf { .. } => Arc::clone(node),
         Node::Internal {
             keys,
             children,
@@ -571,66 +605,59 @@ fn prune_interval_rec(node: &Node, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Node
         } => {
             let start = lo.map_or(0, |l| child_index(keys, l));
             let end = hi.map_or(children.len() - 1, |h| child_index(keys, h));
-            let new_children: Vec<Node> = children
+            let new_children: Vec<Arc<Node>> = children
                 .iter()
                 .enumerate()
                 .map(|(i, c)| {
-                    if i >= start && i <= end {
-                        prune_interval_rec(c, lo, hi)
+                    if i < start || i > end {
+                        Arc::new(c.to_stub())
+                    } else if (i > start || lo.is_none()) && (i < end || hi.is_none()) {
+                        // The child's whole key interval lies inside
+                        // [lo, hi]: recursing would materialize every
+                        // node, so share the subtree as-is.
+                        Arc::clone(c)
                     } else {
-                        c.to_stub()
+                        prune_interval_rec(c, lo, hi)
                     }
                 })
                 .collect();
-            Node::Internal {
+            Arc::new(Node::Internal {
                 keys: keys.clone(),
                 children: new_children,
                 digest: *digest,
-            }
+            })
         }
     }
 }
 
-fn prune_delete_rec(node: &Node, key: &[u8]) -> Node {
-    match node {
-        Node::Stub(d) => Node::Stub(*d),
-        Node::Leaf { entries, digest } => Node::Leaf {
-            entries: entries.clone(),
-            digest: *digest,
-        },
+fn prune_delete_rec(node: &Arc<Node>, key: &[u8]) -> Arc<Node> {
+    match &**node {
+        Node::Stub(_) | Node::Leaf { .. } => Arc::clone(node),
         Node::Internal {
             keys,
             children,
             digest,
         } => {
             let idx = child_index(keys, key);
-            let new_children: Vec<Node> = children
+            let new_children: Vec<Arc<Node>> = children
                 .iter()
                 .enumerate()
                 .map(|(i, c)| {
                     if i == idx {
                         prune_delete_rec(c, key)
                     } else if i + 1 == idx || i == idx + 1 {
-                        c.shallow_copy()
+                        shallow_copy(c)
                     } else {
-                        c.to_stub()
+                        Arc::new(c.to_stub())
                     }
                 })
                 .collect();
-            Node::Internal {
+            Arc::new(Node::Internal {
                 keys: keys.clone(),
                 children: new_children,
                 digest: *digest,
-            }
+            })
         }
-    }
-}
-
-fn count_entries(node: &Node) -> usize {
-    match node {
-        Node::Stub(_) => 0,
-        Node::Leaf { entries, .. } => entries.len(),
-        Node::Internal { children, .. } => children.iter().map(count_entries).sum(),
     }
 }
 
@@ -661,23 +688,30 @@ fn check_rec(
                 return Err(format!("leaf overfull: {}", entries.len()));
             }
             for w in entries.windows(2) {
-                if w[0].0 >= w[1].0 {
+                if w[0].key >= w[1].key {
                     return Err("leaf keys out of order".into());
                 }
             }
-            for (k, _) in entries {
+            for e in entries {
                 if let Some(l) = lo {
-                    if k.as_slice() < l {
+                    if e.key.as_slice() < l {
                         return Err("leaf key below lower bound".into());
                     }
                 }
                 if let Some(h) = hi {
-                    if k.as_slice() >= h {
+                    if e.key.as_slice() >= h {
                         return Err("leaf key above upper bound".into());
                     }
                 }
             }
+            // Recompute both the per-entry pair digests and the leaf digest
+            // to catch a stale cache at either level.
             let mut copy = node.clone();
+            if let Node::Leaf { entries, .. } = &mut copy {
+                for e in entries.iter_mut() {
+                    e.rehash();
+                }
+            }
             copy.recompute_digest();
             if copy.digest() != node.digest() {
                 return Err("stale leaf digest".into());

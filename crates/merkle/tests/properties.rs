@@ -16,6 +16,9 @@ enum Action {
     Delete(u16),
     Get(u16),
     Range(u16, u16),
+    /// Range with optional bounds: `None` on either side is an open end, so
+    /// `RangeOpen(None, None)` is a full scan.
+    RangeOpen(Option<u16>, Option<u16>),
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
@@ -24,6 +27,9 @@ fn action_strategy() -> impl Strategy<Value = Action> {
         any::<u16>().prop_map(|k| Action::Delete(k % 512)),
         any::<u16>().prop_map(|k| Action::Get(k % 512)),
         (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Action::Range(a % 512, b % 512)),
+        (any::<bool>(), any::<u16>(), any::<bool>(), any::<u16>()).prop_map(|(la, a, lb, b)| {
+            Action::RangeOpen(la.then_some(a % 512), lb.then_some(b % 512))
+        }),
     ]
 }
 
@@ -39,6 +45,13 @@ fn to_op(a: &Action) -> Op {
         Action::Range(a, b) => {
             let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
             Op::Range(Some(key(lo)), Some(key(hi)))
+        }
+        Action::RangeOpen(a, b) => {
+            let (lo, hi) = match (a, b) {
+                (Some(a), Some(b)) if a > b => (Some(*b), Some(*a)),
+                _ => (*a, *b),
+            };
+            Op::Range(lo.map(key), hi.map(key))
         }
     }
 }
@@ -81,7 +94,7 @@ proptest! {
             prop_assert_eq!(got, want);
         }
         tree.check_invariants().map_err(TestCaseError::fail)?;
-        prop_assert_eq!(tree.len(), model.len());
+        prop_assert_eq!(tree.len(), Some(model.len()));
         // Full scan agrees with the model.
         let entries = tree.entries().unwrap();
         let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
@@ -168,11 +181,97 @@ proptest! {
         }
         keys.sort();
         keys.dedup();
-        prop_assert_eq!(t.len(), keys.len());
+        prop_assert_eq!(t.len(), Some(keys.len()));
         // Delete in a different order than insertion.
         for k in keys.iter().rev() {
             prop_assert!(t.delete(&key(*k)).unwrap().is_some());
         }
         prop_assert_eq!(t.root_digest(), MerkleTree::with_order(4).root_digest());
+    }
+
+    /// An `O(1)` Arc-sharing clone and an eager deep copy (codec round-trip,
+    /// zero shared nodes) are observationally identical: same answers,
+    /// byte-identical proofs, bit-identical root digests, same verify
+    /// verdicts — and the frozen original never moves while its clone
+    /// diverges through arbitrary splits and merges.
+    #[test]
+    fn cow_clone_matches_eager_deep_copy(
+        setup in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..120),
+        actions in proptest::collection::vec(action_strategy(), 1..60),
+        order in prop_oneof![Just(4usize), Just(8)],
+    ) {
+        let mut base = MerkleTree::with_order(order);
+        for (k, v) in &setup {
+            base.insert(key(k % 256), vec![*v]).unwrap();
+        }
+        let frozen = base.root_digest();
+        let mut shared = base.clone();
+        let mut eager = MerkleTree::from_bytes(&base.to_bytes()).unwrap();
+        prop_assert_eq!(shared.root_digest(), eager.root_digest());
+        for a in &actions {
+            let op = to_op(a);
+            let known = shared.root_digest();
+            let pruned_shared = prune_for_op(&shared, &op);
+            let pruned_eager = prune_for_op(&eager, &op);
+            prop_assert_eq!(pruned_shared.to_bytes(), pruned_eager.to_bytes());
+            let vo = VerificationObject::new(pruned_shared);
+            let got_shared = apply_op(&mut shared, &op).unwrap();
+            let got_eager = apply_op(&mut eager, &op).unwrap();
+            prop_assert_eq!(&got_shared, &got_eager);
+            prop_assert_eq!(shared.root_digest(), eager.root_digest());
+            let verified = verify_response(
+                &known, order, &vo, &op, Some(&got_shared), Some(&shared.root_digest()),
+            ).map_err(|e| TestCaseError::fail(format!("{a:?}: {e}")))?;
+            prop_assert_eq!(verified.new_root, eager.root_digest());
+        }
+        // The original is a frozen snapshot: its clone's mutations (COW)
+        // must never have reached back into the shared structure.
+        prop_assert_eq!(base.root_digest(), frozen);
+        base.check_invariants().map_err(TestCaseError::fail)?;
+        shared.check_invariants().map_err(TestCaseError::fail)?;
+        eager.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(shared.entries().unwrap(), eager.entries().unwrap());
+        prop_assert_eq!(base.entries().unwrap().len(), setup.iter()
+            .map(|(k, _)| key(k % 256)).collect::<std::collections::BTreeSet<_>>().len());
+    }
+}
+
+/// With order 4 and dense sequential keys every leaf sits near capacity: a
+/// fresh-key Put splits a leaf whose proof neighbours are stubs, and a
+/// Delete underflows a leaf that must merge with (or borrow from) a sibling
+/// right at a stub boundary. The Arc-sharing clone and the eager deep copy
+/// must produce byte-identical proofs and replay to the same new root in
+/// every case — including ranges with one or both ends open.
+#[test]
+fn stub_adjacent_splits_and_merges_replay_identically() {
+    let mut base = MerkleTree::with_order(4);
+    for k in 0..256u16 {
+        base.insert(key(k), vec![k as u8]).unwrap();
+    }
+    let shared = base.clone();
+    let eager_bytes = base.to_bytes();
+    for op in [
+        Op::Put(key(100), vec![0xFF]),   // overwrite in place
+        Op::Put(key(1000), vec![0xFF]),  // fresh key: leaf split beside stubs
+        Op::Delete(key(7)),              // underflow: merge/borrow beside stubs
+        Op::Range(None, None),           // full scan
+        Op::Range(None, Some(key(42))),  // open low end
+        Op::Range(Some(key(200)), None), // open high end
+    ] {
+        let mut s = shared.clone();
+        let mut e = MerkleTree::from_bytes(&eager_bytes).unwrap();
+        let known = s.root_digest();
+        let pruned_shared = prune_for_op(&s, &op);
+        let pruned_eager = prune_for_op(&e, &op);
+        assert_eq!(pruned_shared.to_bytes(), pruned_eager.to_bytes(), "{op:?}");
+        let vo = VerificationObject::new(pruned_shared);
+        let got = apply_op(&mut s, &op).unwrap();
+        assert_eq!(got, apply_op(&mut e, &op).unwrap(), "{op:?}");
+        assert_eq!(s.root_digest(), e.root_digest(), "{op:?}");
+        let verified =
+            verify_response(&known, 4, &vo, &op, Some(&got), Some(&s.root_digest())).unwrap();
+        assert_eq!(verified.new_root, s.root_digest(), "{op:?}");
+        // COW isolation: neither replay leaked back into the shared base.
+        assert_eq!(shared.root_digest(), known, "{op:?}");
     }
 }

@@ -16,7 +16,7 @@ fn build(order: usize, keys: impl IntoIterator<Item = u64>) -> MerkleTree {
 fn empty_tree_basics() {
     let t = MerkleTree::with_order(4);
     assert!(t.is_empty());
-    assert_eq!(t.len(), 0);
+    assert_eq!(t.len(), Some(0));
     assert_eq!(t.get(&u64_key(0)).unwrap(), None);
     assert_eq!(t.entries().unwrap(), vec![]);
     t.check_invariants().unwrap();
@@ -34,7 +34,7 @@ fn empty_trees_share_root_digest() {
 fn sequential_insert_then_read_back() {
     for order in [4, 5, 8, 16, 64] {
         let t = build(order, 0..500);
-        assert_eq!(t.len(), 500);
+        assert_eq!(t.len(), Some(500));
         t.check_invariants()
             .unwrap_or_else(|e| panic!("order {order}: {e}"));
         for k in 0..500 {
@@ -65,7 +65,7 @@ fn update_changes_root_digest() {
     let r0 = t.root_digest();
     t.insert(u64_key(25), b"different".to_vec()).unwrap();
     assert_ne!(t.root_digest(), r0);
-    assert_eq!(t.len(), 50, "replace must not change len");
+    assert_eq!(t.len(), Some(50), "replace must not change len");
 }
 
 #[test]
@@ -121,7 +121,7 @@ fn delete_absent_key_is_noop() {
     let r0 = t.root_digest();
     assert_eq!(t.delete(&u64_key(51)).unwrap(), None);
     assert_eq!(t.root_digest(), r0);
-    assert_eq!(t.len(), 100);
+    assert_eq!(t.len(), Some(100));
 }
 
 #[test]

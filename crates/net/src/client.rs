@@ -8,11 +8,17 @@
 //! so the server can deduplicate retries (exactly-once execution).
 
 use crossbeam::channel::Sender;
-use tcvs_core::{Client1, Client2, Digest, Op, OpResult, ProtocolConfig, SyncShare, UserId};
+use tcvs_core::{
+    Client1, Client2, Ctr, Deviation, Digest, Op, OpResult, ProtocolConfig, SyncShare, UserId,
+};
 use tcvs_crypto::{KeyRegistry, Keyring};
+use tcvs_merkle::{replay_unanchored, VerifyError};
 
 use crate::error::{NetError, RetryPolicy};
-use crate::server::{remote_fetch, remote_op, Endpoint, Request};
+use crate::server::{
+    remote_fetch, remote_op, remote_read, Endpoint, ReadRequest, Request, SnapshotSlot,
+};
+use std::sync::Arc;
 
 fn send_deposit(tx: &Sender<Request>, req: Request) -> Result<(), NetError> {
     tx.send(req).map_err(|_| NetError::ServerGone)
@@ -271,9 +277,17 @@ impl NetClient3 {
 }
 
 /// An unverifying client: the trusted-server baseline.
+///
+/// When the endpoint exposes a concurrent read path, point and range
+/// queries are served directly from the latest published snapshot on the
+/// caller's own thread — no wire hop, no proof. Updates always take the
+/// serialized path. Trusting the server anyway, this client loses nothing
+/// by reading from a snapshot; it is the shared-memory analogue of hitting
+/// a read replica.
 pub struct NetClientTrusted {
     user: UserId,
     tx: Sender<Request>,
+    snapshots: Option<SnapshotSlot>,
     ops: u64,
     seq: u64,
     policy: RetryPolicy,
@@ -285,6 +299,7 @@ impl NetClientTrusted {
         NetClientTrusted {
             user,
             tx: server.wire().0,
+            snapshots: server.read_wire().map(|w| w.slot),
             ops: 0,
             seq: 0,
             policy: RetryPolicy::default(),
@@ -299,6 +314,17 @@ impl NetClientTrusted {
     /// Executes one unverified operation.
     pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
         self.seq += 1;
+        if !op.is_update() {
+            if let Some(slot) = &self.snapshots {
+                // Grab the current snapshot (O(1): one Arc clone under a
+                // briefly-held lock) and answer from it right here.
+                let snap = Arc::clone(&slot.lock());
+                if let Some(result) = snap.serve_result(op) {
+                    self.ops += 1;
+                    return Ok(result);
+                }
+            }
+        }
         let resp = remote_op(&self.tx, self.user, self.seq, op, self.ops, &self.policy)?;
         self.ops += 1;
         Ok(resp.result)
@@ -307,5 +333,99 @@ impl NetClientTrusted {
     /// Operations completed.
     pub fn ops_done(&self) -> u64 {
         self.ops
+    }
+}
+
+/// A verifying reader over the concurrent snapshot path.
+///
+/// Every answer is replay-verified: the proof must replay to the exact root
+/// digest the server committed to for the snapshot, and the claimed result
+/// must match the replayed result — a fabricated answer or tampered proof
+/// surfaces as [`NetError::Deviation`]. Snapshot counters must never move
+/// backwards across this reader's queries.
+///
+/// A snapshot reader performs **no server state transition** (no counter
+/// increment, no σ-token fold), so it adds nothing to — and, crucially,
+/// subtracts nothing from — the k-bounded fork detection carried by the
+/// serialized Protocol I/II/III clients. It buys read scalability for
+/// queries whose freshness requirement is "some committed state no older
+/// than my last read", which is exactly what a CVS checkout needs.
+pub struct NetSnapshotReader {
+    user: UserId,
+    order: usize,
+    read_tx: Sender<ReadRequest>,
+    last_ctr: Ctr,
+    ops: u64,
+    seq: u64,
+    policy: RetryPolicy,
+}
+
+impl NetSnapshotReader {
+    /// Binds a reader to `server`'s read path. Returns `None` when the
+    /// endpoint has no read path (adversarial servers never offer one, and
+    /// a [`crate::FaultLink`] deliberately hides its server's).
+    pub fn bind(user: UserId, config: &ProtocolConfig, server: &impl Endpoint) -> Option<Self> {
+        Some(NetSnapshotReader {
+            user,
+            order: config.order,
+            read_tx: server.read_wire()?.tx,
+            last_ctr: 0,
+            ops: 0,
+            seq: 0,
+            policy: RetryPolicy::default(),
+        })
+    }
+
+    /// Replaces the retry policy (timeouts, attempts, jitter).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Executes one verified read (point or range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is an update: state transitions belong to the
+    /// serialized path by construction.
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        assert!(!op.is_update(), "snapshot readers serve reads only");
+        self.seq += 1;
+        let resp = remote_read(&self.read_tx, self.user, self.seq, op, &self.policy)?;
+        // Replay the proof from scratch (every cached digest recomputed) and
+        // check the claimed answer against the replayed one.
+        let (proof_root, _) = replay_unanchored(self.order, &resp.vo, op, Some(&resp.result))
+            .map_err(|e| NetError::Deviation(Deviation::BadProof(e)))?;
+        // The proof must be against the very root the server committed to
+        // for this snapshot — not some other state it happens to have.
+        if proof_root != resp.root {
+            return Err(NetError::Deviation(Deviation::BadProof(
+                VerifyError::RootMismatch,
+            )));
+        }
+        // Snapshot time never runs backwards for one reader.
+        if resp.ctr < self.last_ctr {
+            return Err(NetError::Deviation(Deviation::CounterRegression {
+                seen: resp.ctr,
+                expected_at_least: self.last_ctr,
+            }));
+        }
+        self.last_ctr = resp.ctr;
+        self.ops += 1;
+        Ok(resp.result)
+    }
+
+    /// The snapshot counter of the most recent verified read.
+    pub fn last_ctr(&self) -> Ctr {
+        self.last_ctr
+    }
+
+    /// Operations completed.
+    pub fn ops_done(&self) -> u64 {
+        self.ops
+    }
+
+    /// User id.
+    pub fn user(&self) -> UserId {
+        self.user
     }
 }

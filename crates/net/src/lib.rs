@@ -25,6 +25,19 @@
 //! [`NetServer::crash_restart`] crash-restarts the inner server from its
 //! persisted state, and shutdown drains backlogged requests before the
 //! thread exits.
+//!
+//! ## Concurrent read path
+//!
+//! Servers that opt in (the honest server does; adversaries cannot) expose
+//! a second wire serving point/range queries from the latest **published
+//! snapshot** — an O(1), structurally shared capture of the database that
+//! the write thread refreshes after every committed operation. Reads on
+//! this path run in a reader pool, in parallel with each other and with the
+//! serialized write path; state transitions (all updates, and every
+//! Protocol I/II/III exchange) remain strictly serialized on the original
+//! wire. [`NetClientTrusted`] routes reads over it automatically;
+//! [`NetSnapshotReader`] adds replay verification against the snapshot root
+//! the server commits to.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,7 +49,7 @@ mod fault;
 mod server;
 
 pub use bench_rig::{run_throughput, ThroughputReport};
-pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted};
+pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted, NetSnapshotReader};
 pub use error::{NetError, RetryPolicy};
 pub use fault::FaultLink;
-pub use server::{Endpoint, NetServer, NetServerOptions};
+pub use server::{Endpoint, NetServer, NetServerOptions, ReadWireHandle, WireHandle};

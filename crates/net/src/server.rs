@@ -23,9 +23,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
 use tcvs_core::{
-    Epoch, Op, ServerApi, ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, UserId,
+    Ctr, Digest, Epoch, Op, OpResult, ReadSnapshot, ServerApi, ServerResponse, SignedCheckpoint,
+    SignedEpochState, SignedState, UserId,
 };
+use tcvs_merkle::VerificationObject;
 
 use crate::error::{NetError, RetryPolicy};
 
@@ -62,6 +65,25 @@ pub(crate) enum Request {
     Shutdown,
 }
 
+/// A read-only request for the concurrent snapshot read path. Carries no
+/// user identity or sequence number: reads from a published snapshot are
+/// idempotent, so retries need no journal.
+pub(crate) struct ReadRequest {
+    pub(crate) op: Op,
+    pub(crate) reply: Sender<ReadResponse>,
+}
+
+/// Reply from the snapshot read path: the answer, its proof, and the
+/// snapshot root/counter the proof is against.
+pub(crate) struct ReadResponse {
+    pub(crate) result: OpResult,
+    pub(crate) vo: VerificationObject,
+    /// Root digest of the snapshot the server claims this answer reflects.
+    pub(crate) root: Digest,
+    /// Counter the snapshot was current as of.
+    pub(crate) ctr: Ctr,
+}
+
 pub(crate) mod sealed {
     pub trait Sealed {}
 }
@@ -69,6 +91,17 @@ pub(crate) mod sealed {
 /// An opaque handle onto a server thread's request channel. Only this
 /// crate can look inside; clients obtain one through [`Endpoint`].
 pub struct WireHandle(pub(crate) Sender<Request>);
+
+/// An opaque handle onto a server's concurrent read path (if it has one).
+/// Only this crate can look inside. It carries two ways in: the published
+/// snapshot slot itself (proof-free reads executed on the caller's thread —
+/// the shared-memory fast path the trusted baseline uses) and the channel
+/// into the server's reader pool (proof-bearing reads for verifying
+/// clients).
+pub struct ReadWireHandle {
+    pub(crate) slot: SnapshotSlot,
+    pub(crate) tx: Sender<ReadRequest>,
+}
 
 /// Something clients can bind to: a [`NetServer`] directly, or a
 /// [`crate::FaultLink`] interposed in front of one.
@@ -79,6 +112,15 @@ pub trait Endpoint: sealed::Sealed {
     /// The wire into this endpoint (crate-internal).
     #[doc(hidden)]
     fn wire(&self) -> WireHandle;
+
+    /// The concurrent read wire, if this endpoint exposes one. The default
+    /// is `None`: a [`crate::FaultLink`] deliberately inherits it, so faults
+    /// exercise the serialized, detection-bearing path — the read path is a
+    /// scalability side channel only honest deployments opt into.
+    #[doc(hidden)]
+    fn read_wire(&self) -> Option<ReadWireHandle> {
+        None
+    }
 }
 
 /// Tuning knobs for a server thread.
@@ -92,6 +134,10 @@ pub struct NetServerOptions {
     /// deposit, records a miss, and moves on. Bounds the Protocol I deadlock
     /// when a client dies (or its deposit is lost) mid-exchange.
     pub deposit_timeout: Duration,
+    /// Number of reader threads serving point/range queries concurrently
+    /// from the latest published snapshot (only spawned when the inner
+    /// server opts in via [`ServerApi::read_snapshot`]). Clamped to ≥ 1.
+    pub read_pool: usize,
 }
 
 impl Default for NetServerOptions {
@@ -99,9 +145,15 @@ impl Default for NetServerOptions {
         NetServerOptions {
             blocking_signatures: false,
             deposit_timeout: Duration::from_secs(2),
+            read_pool: 2,
         }
     }
 }
+
+/// The slot the write thread publishes fresh snapshots into and readers
+/// load from. Swapping the inner `Arc` is O(1) and never torn: a reader
+/// either sees the tree before an update or after it, never a mix.
+pub(crate) type SnapshotSlot = Arc<Mutex<Arc<ReadSnapshot>>>;
 
 /// The per-user reply journal: last `(seq, reply)` served to each user.
 type ReplyJournal = HashMap<UserId, (u64, ServerResponse)>;
@@ -109,6 +161,7 @@ type ReplyJournal = HashMap<UserId, (u64, ServerResponse)>;
 /// Handle to a running server thread.
 pub struct NetServer {
     tx: Sender<Request>,
+    read: Option<(SnapshotSlot, Sender<ReadRequest>)>,
     join: Option<JoinHandle<()>>,
     missed: Arc<AtomicU64>,
 }
@@ -118,6 +171,13 @@ impl sealed::Sealed for NetServer {}
 impl Endpoint for NetServer {
     fn wire(&self) -> WireHandle {
         WireHandle(self.tx.clone())
+    }
+
+    fn read_wire(&self) -> Option<ReadWireHandle> {
+        self.read.as_ref().map(|(slot, tx)| ReadWireHandle {
+            slot: Arc::clone(slot),
+            tx: tx.clone(),
+        })
     }
 }
 
@@ -140,6 +200,16 @@ impl NetServer {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let missed = Arc::new(AtomicU64::new(0));
         let missed_in = Arc::clone(&missed);
+        // Probe for a read path before `inner` moves into the write thread.
+        // Adversaries keep the default `None` and never get reader threads:
+        // every answer they give stays on the serialized, countered path.
+        let read = inner.read_snapshot().map(|snap| {
+            let slot: SnapshotSlot = Arc::new(Mutex::new(Arc::new(snap)));
+            let (read_tx, read_rx) = unbounded::<ReadRequest>();
+            spawn_readers(&slot, read_rx, opts.read_pool.max(1));
+            (slot, read_tx)
+        });
+        let slot = read.as_ref().map(|(slot, _)| Arc::clone(slot));
         let join = std::thread::spawn(move || {
             // Requests that arrived while the server was blocked waiting for
             // a Protocol I signature deposit; replayed in arrival order.
@@ -171,6 +241,10 @@ impl NetServer {
                         }
                         let resp = inner.handle_op(user, &op, round);
                         journal.insert(user, (seq, resp.clone()));
+                        // Publish before replying: a client that sees its
+                        // write acknowledged must find it in the snapshot
+                        // (read-your-writes across the two paths).
+                        publish(inner.as_mut(), slot.as_ref());
                         // The reply channel may be dropped if the client
                         // detected deviation and bailed; that's fine.
                         let _ = reply.send(resp);
@@ -183,9 +257,10 @@ impl NetServer {
                                 user,
                                 opts.deposit_timeout,
                                 &missed_in,
+                                slot.as_ref(),
                             )
                         {
-                            drain(inner.as_mut(), &rx, backlog, &mut journal);
+                            drain(inner.as_mut(), &rx, backlog, &mut journal, slot.as_ref());
                             return;
                         }
                     }
@@ -204,10 +279,13 @@ impl NetServer {
                         // The reply journal is durable transport state and
                         // survives alongside whatever the inner server keeps.
                         inner.crash_restart();
+                        // Readers must see the restored state, not a
+                        // pre-crash root the restarted server no longer has.
+                        publish(inner.as_mut(), slot.as_ref());
                         let _ = ack.send(());
                     }
                     Request::Shutdown => {
-                        drain(inner.as_mut(), &rx, backlog, &mut journal);
+                        drain(inner.as_mut(), &rx, backlog, &mut journal, slot.as_ref());
                         return;
                     }
                 }
@@ -215,6 +293,7 @@ impl NetServer {
         });
         NetServer {
             tx,
+            read,
             join: Some(join),
             missed,
         }
@@ -255,6 +334,54 @@ impl Drop for NetServer {
     }
 }
 
+/// Publishes the server's current state into the snapshot slot (O(1): the
+/// tree is structurally shared, the swap is one `Arc` store).
+fn publish(inner: &mut dyn ServerApi, slot: Option<&SnapshotSlot>) {
+    if let Some(slot) = slot {
+        if let Some(snap) = inner.read_snapshot() {
+            *slot.lock() = Arc::new(snap);
+        }
+    }
+}
+
+/// Spawns the reader pool: detached threads pulling read requests off a
+/// shared queue and answering them from the latest published snapshot.
+/// They exit when every read-wire sender is gone.
+fn spawn_readers(slot: &SnapshotSlot, read_rx: Receiver<ReadRequest>, pool: usize) {
+    let read_rx = Arc::new(Mutex::new(read_rx));
+    for _ in 0..pool {
+        let slot = Arc::clone(slot);
+        let read_rx = Arc::clone(&read_rx);
+        std::thread::spawn(move || loop {
+            // Hold the queue lock only to dequeue; serving (prune + replay)
+            // happens outside it, so readers overlap on multi-core hosts.
+            let dequeued = {
+                let guard = read_rx.lock();
+                guard.recv()
+            };
+            let req = match dequeued {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let snap = Arc::clone(&slot.lock());
+            match snap.serve(&req.op) {
+                Some((result, vo)) => {
+                    let _ = req.reply.send(ReadResponse {
+                        result,
+                        vo,
+                        root: snap.root_digest(),
+                        ctr: snap.ctr(),
+                    });
+                }
+                // An update on the read wire is a client bug; dropping the
+                // reply sender disconnects the waiter rather than serving a
+                // state transition outside the serialized path.
+                None => drop(req.reply),
+            }
+        });
+    }
+}
+
 fn journal_hit(journal: &ReplyJournal, user: UserId, seq: u64) -> Option<ServerResponse> {
     match journal.get(&user) {
         Some((s, resp)) if *s == seq => Some(resp.clone()),
@@ -266,6 +393,7 @@ fn journal_hit(journal: &ReplyJournal, user: UserId, seq: u64) -> Option<ServerR
 /// the next operation. Other users' requests queue up behind the block —
 /// that latency is the measured cost. Returns `false` iff the server must
 /// shut down.
+#[allow(clippy::too_many_arguments)]
 fn blocking_wait(
     inner: &mut dyn ServerApi,
     rx: &Receiver<Request>,
@@ -274,6 +402,7 @@ fn blocking_wait(
     user: UserId,
     deposit_timeout: Duration,
     missed: &AtomicU64,
+    slot: Option<&SnapshotSlot>,
 ) -> bool {
     loop {
         match rx.recv_timeout(deposit_timeout) {
@@ -309,6 +438,7 @@ fn blocking_wait(
                 // A crash wipes the pending wait: the deposit (if it ever
                 // arrives) will be absorbed by the main loop.
                 inner.crash_restart();
+                publish(inner, slot);
                 let _ = ack.send(());
                 missed.fetch_add(1, Ordering::Relaxed);
                 return true;
@@ -333,6 +463,7 @@ fn drain(
     rx: &Receiver<Request>,
     backlog: VecDeque<Request>,
     journal: &mut ReplyJournal,
+    slot: Option<&SnapshotSlot>,
 ) {
     let queued = std::iter::from_fn(|| rx.try_recv().ok());
     for req in backlog.into_iter().chain(queued) {
@@ -349,6 +480,7 @@ fn drain(
                     None => {
                         let r = inner.handle_op(user, &op, round);
                         journal.insert(user, (seq, r.clone()));
+                        publish(inner, slot);
                         r
                     }
                 };
@@ -413,6 +545,33 @@ pub(crate) fn remote_op(
 /// A retried fetch round trip (Protocol III audit reads). Same transport
 /// semantics as [`remote_op`]; `make` builds the request around the
 /// attempt's fresh reply sender.
+/// One read over the concurrent snapshot path, with the same bounded-retry
+/// transport semantics as [`remote_op`]. Reads are idempotent, so retries
+/// need no server-side journal; `seq` only seeds the backoff jitter.
+pub(crate) fn remote_read(
+    tx: &Sender<ReadRequest>,
+    user: UserId,
+    seq: u64,
+    op: &Op,
+    policy: &RetryPolicy,
+) -> Result<ReadResponse, NetError> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 0..attempts {
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(ReadRequest {
+            op: op.clone(),
+            reply: reply_tx,
+        })
+        .map_err(|_| NetError::ServerGone)?;
+        match reply_rx.recv_timeout(policy.attempt_timeout(user, seq, attempt)) {
+            Ok(resp) => return Ok(resp),
+            Err(RecvTimeoutError::Disconnected) => continue,
+            Err(RecvTimeoutError::Timeout) => continue,
+        }
+    }
+    Err(NetError::Timeout { attempts })
+}
+
 pub(crate) fn remote_fetch<T>(
     tx: &Sender<Request>,
     user: UserId,

@@ -245,6 +245,7 @@ fn shutdown_unblocks_a_server_stuck_in_signature_wait() {
         NetServerOptions {
             blocking_signatures: true,
             deposit_timeout: Duration::from_secs(30),
+            ..NetServerOptions::default()
         },
     );
     let r0 = root0(&cfg);
@@ -268,6 +269,7 @@ fn drop_unblocks_a_server_stuck_in_signature_wait() {
         NetServerOptions {
             blocking_signatures: true,
             deposit_timeout: Duration::from_secs(30),
+            ..NetServerOptions::default()
         },
     );
     let r0 = root0(&cfg);
@@ -289,6 +291,7 @@ fn shutdown_drains_requests_backlogged_behind_a_block() {
         NetServerOptions {
             blocking_signatures: true,
             deposit_timeout: Duration::from_secs(30),
+            ..NetServerOptions::default()
         },
     );
     let r0 = root0(&cfg);
@@ -314,6 +317,7 @@ fn deposit_timeout_unblocks_protocol1_and_counts_the_miss() {
         NetServerOptions {
             blocking_signatures: true,
             deposit_timeout: Duration::from_millis(50),
+            ..NetServerOptions::default()
         },
     );
     let r0 = root0(&cfg);
