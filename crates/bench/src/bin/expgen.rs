@@ -2,12 +2,13 @@
 //! writes machine-readable results to `BENCH_results.json`.
 //!
 //! ```text
-//! expgen                 # run all experiments + perf probes, full parameters
-//! expgen --quick         # reduced parameters
-//! expgen e3 e5           # run selected experiments
-//! expgen perf            # run only the perf probe suite
-//! expgen --json out.json # write results somewhere else
-//! expgen --no-json       # skip the results file
+//! expgen                    # run all experiments + perf probes, full parameters
+//! expgen --quick            # reduced parameters
+//! expgen e3 e5              # run selected experiments
+//! expgen perf               # run only the perf probe suite
+//! expgen --json out.json    # write results somewhere else
+//! expgen --no-json          # skip the results file
+//! expgen --validate f.json  # validate an existing results file and exit
 //! ```
 //!
 //! Run with `--release` — the numbers are meaningless in debug builds.
@@ -15,12 +16,40 @@
 use std::time::Instant;
 
 use tcvs_bench::experiments::{run_by_id, ALL};
-use tcvs_bench::perf::run_suite;
-use tcvs_bench::results::{render_json, validate};
+use tcvs_bench::perf::run_suite_observed;
+use tcvs_bench::results::{render_json_with_metrics, validate, validate_schema, SCHEMA};
 use tcvs_bench::Table;
+
+/// `expgen --validate <file>`: check an emitted results file against the
+/// `tcvs-bench-results/v1` schema. Exit 0 on success, 2 on any failure —
+/// this is what the CI bench-smoke job runs on the artifact it uploads.
+fn validate_file(path: &str) -> ! {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = validate(&json).and_then(|()| validate_schema(&json)) {
+        eprintln!("{path}: INVALID: {e}");
+        std::process::exit(2);
+    }
+    println!("{path}: valid {SCHEMA}");
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--validate") {
+        match args.get(i + 1) {
+            Some(path) => validate_file(path),
+            None => {
+                eprintln!("--validate requires a file argument");
+                std::process::exit(2);
+            }
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let no_json = args.iter().any(|a| a == "--no-json");
     let json_path = args
@@ -92,9 +121,9 @@ fn main() {
         }
     }
 
-    let probes = if run_perf {
+    let (probes, metrics) = if run_perf {
         let start = Instant::now();
-        let probes = run_suite(quick);
+        let (probes, metrics) = run_suite_observed(quick);
         let mut t = Table::new(
             "PERF",
             "hot-path probes (recorded in BENCH_results.json)",
@@ -114,9 +143,9 @@ fn main() {
             "[perf completed in {:.1}s]\n",
             start.elapsed().as_secs_f64()
         );
-        probes
+        (probes, metrics)
     } else {
-        Vec::new()
+        (Vec::new(), Default::default())
     };
 
     // Only (re)write the results file when the perf suite actually ran:
@@ -124,8 +153,8 @@ fn main() {
     // trajectory with an empty probe list.
     if !no_json && run_perf && !failed {
         let mode = if quick { "quick" } else { "full" };
-        let json = render_json(mode, &probes, &all_tables);
-        if let Err(e) = validate(&json) {
+        let json = render_json_with_metrics(mode, &probes, &all_tables, &metrics);
+        if let Err(e) = validate(&json).and_then(|()| validate_schema(&json)) {
             eprintln!("internal error: generated results JSON is invalid: {e}");
             std::process::exit(3);
         }

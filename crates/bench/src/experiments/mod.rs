@@ -6,6 +6,7 @@
 
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -18,7 +19,9 @@ pub mod e9;
 use crate::table::Table;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// Dispatches an experiment by id.
 pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Table>> {
@@ -33,6 +36,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e8" => Some(e8::run(quick)),
         "e9" => Some(e9::run(quick)),
         "e10" => Some(e10::run(quick)),
+        "e11" => Some(e11::run(quick)),
         _ => None,
     }
 }

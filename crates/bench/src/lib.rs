@@ -16,11 +16,13 @@
 //! | E8 | §4.2 PKI assumption | hash/signature substrate costs |
 //! | E9 | §1 | end-to-end CVS overhead of trusting nothing |
 //! | E10 | §2.2.1 | detection matrix across adversaries × protocols |
+//! | E11 | Thms. 4.1/4.3 | measured detection latency vs theoretical bounds |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod json;
 pub mod perf;
 pub mod results;
 pub mod table;

@@ -8,6 +8,9 @@
 
 use std::fmt::Write as _;
 
+use tcvs_obs::{MetricValue, MetricsSnapshot};
+
+use crate::json::{parse, Value};
 use crate::perf::PerfResult;
 use crate::table::Table;
 
@@ -110,11 +113,23 @@ fn probe_json(p: &PerfResult, indent: &str) -> String {
     )
 }
 
-/// Renders the full results document.
+/// Renders the full results document with no metrics section content.
 ///
 /// `mode` records how the numbers were produced (`"full"` / `"quick"`);
 /// comparisons are emitted for every probe with a recorded baseline.
 pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> String {
+    render_json_with_metrics(mode, probes, tables, &MetricsSnapshot::default())
+}
+
+/// [`render_json`] plus a `"metrics"` section serializing a point-in-time
+/// [`MetricsSnapshot`] (the instrumented throughput probe's counters and
+/// histograms) so dashboards can track them per PR alongside the probes.
+pub fn render_json_with_metrics(
+    mode: &str,
+    probes: &[PerfResult],
+    tables: &[Table],
+    metrics: &MetricsSnapshot,
+) -> String {
     let baselines = recorded_baselines();
     let mut out = String::new();
     out.push_str("{\n");
@@ -150,6 +165,33 @@ pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> Strin
         }
     }
     out.push_str(&comps.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"metrics\": [\n");
+    let rows: Vec<String> = metrics
+        .entries
+        .iter()
+        .map(|e| match &e.value {
+            MetricValue::Counter(v) => format!(
+                "    {{\"name\": \"{}\", \"kind\": \"counter\", \"value\": {v}}}",
+                esc(&e.name)
+            ),
+            MetricValue::Gauge(v) => format!(
+                "    {{\"name\": \"{}\", \"kind\": \"gauge\", \"value\": {v}}}",
+                esc(&e.name)
+            ),
+            MetricValue::Histogram {
+                count,
+                sum,
+                p50,
+                p99,
+            } => format!(
+                "    {{\"name\": \"{}\", \"kind\": \"histogram\", \"count\": {count}, \"sum\": {sum}, \"p50\": {p50}, \"p99\": {p99}}}",
+                esc(&e.name)
+            ),
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
     out.push_str("\n  ],\n");
 
     out.push_str("  \"experiments\": [\n");
@@ -225,6 +267,120 @@ pub fn validate(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn require_arr<'a>(doc: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    doc.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("'{key}' must be an array"))
+}
+
+fn check_probe(p: &Value, section: &str) -> Result<(), String> {
+    let name = p
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{section}: probe missing string 'name'"))?;
+    if !matches!(p.get("ops_per_sec"), Some(Value::Num(_))) {
+        return Err(format!("{section}/{name}: 'ops_per_sec' must be a number"));
+    }
+    for field in ["proof_bytes", "p50_us", "p99_us"] {
+        if !p.get(field).is_some_and(Value::is_num_or_null) {
+            return Err(format!("{section}/{name}: '{field}' must be number|null"));
+        }
+    }
+    Ok(())
+}
+
+/// Full structural validation of a `tcvs-bench-results/v1` document: the
+/// file must parse as JSON, carry the exact schema id, and every section
+/// must have the shape `render_json` produces — probes/baselines with
+/// numeric fields, comparisons keyed by name, experiment tables whose rows
+/// are as wide as their headers, and metrics entries typed by `kind`.
+///
+/// This is what `expgen --validate` (and the CI bench-smoke job) runs
+/// against the artifact it just produced.
+pub fn validate_schema(json: &str) -> Result<(), String> {
+    let doc = parse(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema is '{s}', expected '{SCHEMA}'")),
+        None => return Err("missing string 'schema'".into()),
+    }
+    if doc.get("mode").and_then(Value::as_str).is_none() {
+        return Err("missing string 'mode'".into());
+    }
+    for section in ["probes", "baselines"] {
+        for p in require_arr(&doc, section)? {
+            check_probe(p, section)?;
+        }
+    }
+    for c in require_arr(&doc, "comparisons")? {
+        let name = c
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("comparisons: entry missing string 'name'")?;
+        for field in ["baseline_ops_per_sec", "current_ops_per_sec", "speedup"] {
+            if !c.get(field).is_some_and(Value::is_num_or_null) {
+                return Err(format!("comparisons/{name}: '{field}' must be number|null"));
+            }
+        }
+    }
+    for m in require_arr(&doc, "metrics")? {
+        let name = m
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("metrics: entry missing string 'name'")?;
+        let fields: &[&str] = match m.get("kind").and_then(Value::as_str) {
+            Some("counter") | Some("gauge") => &["value"],
+            Some("histogram") => &["count", "sum", "p50", "p99"],
+            other => {
+                return Err(format!("metrics/{name}: unknown kind {other:?}"));
+            }
+        };
+        for field in fields {
+            if !matches!(m.get(field), Some(Value::Num(_))) {
+                return Err(format!("metrics/{name}: '{field}' must be a number"));
+            }
+        }
+    }
+    for e in require_arr(&doc, "experiments")? {
+        let id = e
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("experiments: entry missing string 'id'")?;
+        if e.get("caption").and_then(Value::as_str).is_none() {
+            return Err(format!("experiments/{id}: missing string 'caption'"));
+        }
+        let headers = e
+            .get("headers")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("experiments/{id}: 'headers' must be an array"))?;
+        if headers.iter().any(|h| h.as_str().is_none()) {
+            return Err(format!("experiments/{id}: headers must be strings"));
+        }
+        for (i, row) in e
+            .get("rows")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("experiments/{id}: 'rows' must be an array"))?
+            .iter()
+            .enumerate()
+        {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| format!("experiments/{id}: row {i} must be an array"))?;
+            if cells.len() != headers.len() {
+                return Err(format!(
+                    "experiments/{id}: row {i} has {} cells for {} headers",
+                    cells.len(),
+                    headers.len()
+                ));
+            }
+            if cells.iter().any(|c| c.as_str().is_none()) {
+                return Err(format!("experiments/{id}: row {i} cells must be strings"));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,8 +401,47 @@ mod tests {
         t.row(vec!["1".into(), "x\ny".into()]);
         let json = render_json("quick", &[probe("p/one", 1000.0)], &[t]);
         validate(&json).unwrap();
+        validate_schema(&json).unwrap();
         assert!(json.contains("\"p/one\""));
         assert!(json.contains("\\n"));
+    }
+
+    #[test]
+    fn metrics_section_round_trips_through_the_validator() {
+        let registry = tcvs_obs::MetricsRegistry::new();
+        registry.counter("net.server.ops_served").add(7);
+        registry.gauge("net.depth").set(-2);
+        registry.histogram("net.server.op_micros").observe(100);
+        let json = render_json_with_metrics("quick", &[], &[], &registry.snapshot());
+        validate_schema(&json).unwrap();
+        assert!(json.contains("\"kind\": \"counter\", \"value\": 7"));
+        assert!(json.contains("\"kind\": \"gauge\", \"value\": -2"));
+        assert!(json.contains("\"kind\": \"histogram\""));
+    }
+
+    #[test]
+    fn schema_validator_pinpoints_shape_errors() {
+        // Well-formed JSON that is not a results document.
+        let err = validate_schema("{\"schema\": \"nope\"}").unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+        // A row narrower than its headers.
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
+             \"baselines\": [], \"comparisons\": [], \"metrics\": [], \
+             \"experiments\": [{{\"id\": \"E1\", \"caption\": \"c\", \
+             \"headers\": [\"a\", \"b\"], \"rows\": [[\"1\"]]}}]}}"
+        );
+        let err = validate_schema(&bad).unwrap_err();
+        assert!(err.contains("1 cells for 2 headers"), "{err}");
+        // A probe with a string where a number belongs.
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \
+             \"probes\": [{{\"name\": \"p\", \"ops_per_sec\": \"fast\", \
+             \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null}}], \
+             \"baselines\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+        );
+        let err = validate_schema(&bad).unwrap_err();
+        assert!(err.contains("ops_per_sec"), "{err}");
     }
 
     #[test]

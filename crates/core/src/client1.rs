@@ -19,6 +19,7 @@
 
 use tcvs_crypto::{Digest, KeyRegistry, Keyring};
 use tcvs_merkle::{verify_response, Op, OpResult};
+use tcvs_obs::{Event, EventKind, Tracer};
 
 use crate::msg::{ServerResponse, SignedState, SyncShare};
 use crate::state::signed_payload;
@@ -35,6 +36,8 @@ pub struct Client1 {
     gctr: Ctr,
     /// Operations since the last sync-up (drives the sync trigger).
     ops_since_sync: u64,
+    /// Event tracer (disabled by default; see [`Client1::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl Client1 {
@@ -48,7 +51,15 @@ impl Client1 {
             lctr: 0,
             gctr: 0,
             ops_since_sync: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer: deposit, sync-up, and verdict events are
+    /// emitted with this client's counter values. Events carry logical time
+    /// (`gctr`), so traced runs stay deterministic.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This user's id.
@@ -88,6 +99,30 @@ impl Client1 {
     /// the new state, which the caller must deposit at the server before the
     /// server may serve the next operation.
     pub fn handle_response(
+        &mut self,
+        op: &Op,
+        resp: &ServerResponse,
+    ) -> Result<(OpResult, SignedState), Deviation> {
+        let out = self.handle_response_inner(op, resp);
+        match &out {
+            Ok((_, deposit)) => {
+                let ctr = deposit.ctr;
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Deposit, self.keyring.user)
+                        .detail(format!("ctr={ctr} lctr={} gctr={}", self.lctr, self.gctr))
+                });
+            }
+            Err(dev) => {
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Detection, self.keyring.user)
+                        .detail(format!("{dev} lctr={} gctr={}", self.lctr, self.gctr))
+                });
+            }
+        }
+        out
+    }
+
+    fn handle_response_inner(
         &mut self,
         op: &Op,
         resp: &ServerResponse,
@@ -158,7 +193,15 @@ impl Client1 {
     /// `gctrᵢ == Σₖ lctrₖ`.
     pub fn sync_succeeds(&self, shares: &[SyncShare]) -> bool {
         let total: u64 = shares.iter().map(|s| s.lctr).sum();
-        self.gctr == total
+        let ok = self.gctr == total;
+        self.tracer.emit(|| {
+            Event::new(self.gctr, EventKind::SyncUp, self.keyring.user).detail(format!(
+                "{} gctr={} total_lctr={total}",
+                if ok { "ok" } else { "fail" },
+                self.gctr
+            ))
+        });
+        ok
     }
 
     /// Records that a sync-up round completed (resets the trigger).

@@ -24,6 +24,7 @@
 
 use tcvs_crypto::{Digest, UserId};
 use tcvs_merkle::{replay_unanchored, Op, OpResult};
+use tcvs_obs::{Event, EventKind, Tracer};
 
 use crate::forensics::{LoggedTransition, TransitionLog};
 use crate::msg::{ServerResponse, SyncShare};
@@ -49,6 +50,8 @@ pub struct Client2 {
     /// future-work extension in [`crate::forensics`]). `None` keeps the
     /// paper's constant-memory guarantee (§2.2.5).
     log: Option<TransitionLog>,
+    /// Event tracer (disabled by default; see [`Client2::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl Client2 {
@@ -64,7 +67,15 @@ impl Client2 {
             lctr: 0,
             ops_since_sync: 0,
             log: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer: accumulation, sync-up, and verdict events
+    /// are emitted with this client's counter values. Events carry logical
+    /// time (`gctr`), so traced runs stay deterministic.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Enables transition logging (trades constant memory for exact fault
@@ -101,6 +112,29 @@ impl Client2 {
     /// Processes the server's response to `op`, returning the authenticated
     /// answer.
     pub fn handle_response(
+        &mut self,
+        op: &Op,
+        resp: &ServerResponse,
+    ) -> Result<OpResult, Deviation> {
+        let out = self.handle_response_inner(op, resp);
+        match &out {
+            Ok(_) => {
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Deposit, self.user)
+                        .detail(format!("accum lctr={} gctr={}", self.lctr, self.gctr))
+                });
+            }
+            Err(dev) => {
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Detection, self.user)
+                        .detail(format!("{dev} lctr={} gctr={}", self.lctr, self.gctr))
+                });
+            }
+        }
+        out
+    }
+
+    fn handle_response_inner(
         &mut self,
         op: &Op,
         resp: &ServerResponse,
@@ -159,13 +193,23 @@ impl Client2 {
     /// happened anywhere, the trivial all-zero check.
     pub fn sync_succeeds(&self, shares: &[SyncShare]) -> bool {
         let x = shares.iter().fold(Digest::ZERO, |acc, s| acc ^ s.sigma);
-        if shares.iter().all(|s| s.lctr == 0) {
-            return x == Digest::ZERO;
-        }
-        match self.last {
-            Some(last) => self.initial ^ last == x,
-            None => false,
-        }
+        let ok = if shares.iter().all(|s| s.lctr == 0) {
+            x == Digest::ZERO
+        } else {
+            match self.last {
+                Some(last) => self.initial ^ last == x,
+                None => false,
+            }
+        };
+        self.tracer.emit(|| {
+            Event::new(self.gctr, EventKind::SyncUp, self.user).detail(format!(
+                "{} lctr={} gctr={}",
+                if ok { "ok" } else { "fail" },
+                self.lctr,
+                self.gctr
+            ))
+        });
+        ok
     }
 
     /// Records a completed sync-up round.

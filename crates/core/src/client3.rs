@@ -28,6 +28,7 @@
 
 use tcvs_crypto::{Digest, KeyRegistry, Keyring, UserId};
 use tcvs_merkle::{replay_unanchored, Op, OpResult};
+use tcvs_obs::{Event, EventKind, Tracer};
 
 use crate::msg::{ServerResponse, SignedCheckpoint, SignedEpochState};
 use crate::state::{initial_token, state_token};
@@ -57,6 +58,8 @@ pub struct Client3 {
     pending_deposits: Vec<SignedEpochState>,
     /// The next epoch this user is the designated checker for.
     audit_cursor: Epoch,
+    /// Event tracer (disabled by default; see [`Client3::set_tracer`]).
+    tracer: Tracer,
 }
 
 impl Client3 {
@@ -84,7 +87,15 @@ impl Client3 {
             lctr: 0,
             pending_deposits: Vec::new(),
             audit_cursor,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer: epoch-state deposits, audits, and verdict
+    /// events are emitted with counter / epoch values. Events carry logical
+    /// time (`gctr` or the audited epoch), so traced runs stay deterministic.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This user's id.
@@ -133,6 +144,35 @@ impl Client3 {
     /// must now be deposited on the server (non-empty on the second
     /// operation of a new epoch).
     pub fn handle_response(
+        &mut self,
+        op: &Op,
+        resp: &ServerResponse,
+        round: u64,
+    ) -> Result<(OpResult, Vec<SignedEpochState>), Deviation> {
+        let out = self.handle_response_inner(op, resp, round);
+        match &out {
+            Ok((_, deposits)) => {
+                for d in deposits {
+                    let (epoch, ops) = (d.epoch, d.ops);
+                    self.tracer.emit(|| {
+                        Event::new(self.gctr, EventKind::Deposit, self.keyring.user)
+                            .detail(format!("epoch={epoch} ops={ops} gctr={}", self.gctr))
+                    });
+                }
+            }
+            Err(dev) => {
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Detection, self.keyring.user).detail(format!(
+                        "{dev} epoch={} lctr={} gctr={}",
+                        self.cur_epoch, self.lctr, self.gctr
+                    ))
+                });
+            }
+        }
+        out
+    }
+
+    fn handle_response_inner(
         &mut self,
         op: &Op,
         resp: &ServerResponse,
@@ -218,6 +258,30 @@ impl Client3 {
     /// On success returns the signed checkpoint to deposit; on failure the
     /// deviation that was detected.
     pub fn audit(
+        &mut self,
+        epoch: Epoch,
+        states: &[SignedEpochState],
+        prev_checkpoint: Option<&SignedCheckpoint>,
+    ) -> Result<SignedCheckpoint, Deviation> {
+        let out = self.audit_inner(epoch, states, prev_checkpoint);
+        match &out {
+            Ok(_) => {
+                self.tracer.emit(|| {
+                    Event::new(epoch, EventKind::Audit, self.keyring.user)
+                        .detail(format!("ok epoch={epoch}"))
+                });
+            }
+            Err(dev) => {
+                self.tracer.emit(|| {
+                    Event::new(epoch, EventKind::Detection, self.keyring.user)
+                        .detail(format!("audit {dev} epoch={epoch}"))
+                });
+            }
+        }
+        out
+    }
+
+    fn audit_inner(
         &mut self,
         epoch: Epoch,
         states: &[SignedEpochState],

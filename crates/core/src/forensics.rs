@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use tcvs_crypto::{Digest, UserId};
+use tcvs_obs::{render_log, Event};
 
 use crate::types::Ctr;
 
@@ -183,6 +184,47 @@ pub fn diagnose(logs: &[TransitionLog], initial: &Digest) -> Verdict {
     }
 }
 
+/// A forensic verdict together with the observability timeline that led up
+/// to it — the input an investigator actually receives after a failed
+/// sync-up: the localized anomaly *and* the event log around it.
+#[derive(Clone, Debug)]
+pub struct DiagnosisReport {
+    /// The graph-reconstruction verdict.
+    pub verdict: Verdict,
+    /// The traced events preceding the failed sync-up, in emission order.
+    pub timeline: Vec<Event>,
+}
+
+impl DiagnosisReport {
+    /// Renders the report as diffable text: the verdict line followed by
+    /// the timeline (one event per line).
+    pub fn render(&self) -> String {
+        let mut out = format!("verdict: {:?}\n", self.verdict);
+        if !self.timeline.is_empty() {
+            out.push_str("timeline:\n");
+            out.push_str(&render_log(&self.timeline));
+        }
+        out
+    }
+}
+
+/// [`diagnose`], with the traced event timeline attached to the result.
+///
+/// When a sync-up fails, the caller hands over both the transition logs and
+/// whatever events its tracer sink collected; the report pairs the located
+/// anomaly with that timeline so the handoff to the paper's "external
+/// mechanism" carries the full run context.
+pub fn diagnose_with_timeline(
+    logs: &[TransitionLog],
+    initial: &Digest,
+    timeline: Vec<Event>,
+) -> DiagnosisReport {
+    DiagnosisReport {
+        verdict: diagnose(logs, initial),
+        timeline,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +341,23 @@ mod tests {
             Verdict::OrphanState { victim, .. } => assert_eq!(victim, 2),
             other => panic!("expected orphan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn timeline_attaches_to_report() {
+        use tcvs_obs::EventKind;
+        let ls = logs(vec![t("s0", "s1", 0, 0), t("evil", "s2", 1, 1)]);
+        let timeline = vec![
+            Event::new(1, EventKind::SyncUp, 0).detail("fail"),
+            Event::new(2, EventKind::Detection, 1).detail("orphan"),
+        ];
+        let report = diagnose_with_timeline(&ls, &tok("s0"), timeline);
+        assert!(matches!(report.verdict, Verdict::OrphanState { .. }));
+        assert_eq!(report.timeline.len(), 2);
+        let text = report.render();
+        assert!(text.starts_with("verdict: OrphanState"));
+        assert!(text.contains("timeline:"));
+        assert!(text.contains("sync-up"));
     }
 
     #[test]

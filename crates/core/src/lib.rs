@@ -53,6 +53,7 @@ pub use client1::Client1;
 pub use client2::Client2;
 pub use client3::Client3;
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
+pub use forensics::{diagnose, diagnose_with_timeline, DiagnosisReport, TransitionLog, Verdict};
 pub use msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, SyncShare};
 pub use server::{
     HonestServer, ReadSnapshot, ServerApi, ServerCore, ServerMetrics, ServerSnapshot,

@@ -1,20 +1,27 @@
 //! `tcvs` — an interactive trusted-cvs shell over an in-process server.
 //!
 //! ```text
-//! $ cargo run -p tcvs-cvs --bin tcvs
+//! $ cargo run -p tcvs-cvs --bin tcvs -- --metrics
 //! tcvs> user alice
 //! tcvs> add Common.h "#pragma once"
 //! tcvs> sync
+//! tcvs> metrics
 //! ```
 //!
 //! Try `attack fork` and watch the sync-up catch the partition attack.
+//! `--metrics` turns on the observability layer: protocol events are traced
+//! and the `metrics` command (and a final dump at exit) reports counters.
 
 use std::io::{BufRead, Write};
 
 use tcvs_cvs::Repl;
 
 fn main() {
+    let metrics = std::env::args().skip(1).any(|a| a == "--metrics");
     let mut repl = Repl::new();
+    if metrics {
+        repl.enable_metrics();
+    }
     println!("trusted-cvs interactive shell — `help` for commands, ctrl-d to exit");
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -30,6 +37,12 @@ fn main() {
                     println!("{reply}");
                 }
             }
+        }
+    }
+    if metrics {
+        let text = repl.metrics_text();
+        if !text.is_empty() {
+            println!("\nsession metrics:\n{text}");
         }
     }
 }

@@ -13,6 +13,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::Arc;
+
+use tcvs_obs::{MemorySink, MetricsRegistry, Tracer};
 
 use tcvs_core::adversary::{
     CounterSkipServer, DropServer, ForkServer, LieServer, RollbackServer, TamperServer, Trigger,
@@ -39,6 +42,16 @@ pub struct Repl {
     stamp: u64,
     /// Set once any session detects deviation; all further ops refuse.
     poisoned: bool,
+    /// Observability, present after [`Repl::enable_metrics`]: the registry
+    /// behind the `metrics` command, the tracer handed to every client, and
+    /// the in-memory sink the clients' protocol events land in.
+    obs: Option<ReplObs>,
+}
+
+struct ReplObs {
+    registry: Arc<MetricsRegistry>,
+    tracer: Tracer,
+    sink: Arc<MemorySink>,
 }
 
 /// A borrowed session for one command: routes through the REPL's server.
@@ -75,7 +88,33 @@ impl Repl {
             round: 0,
             stamp: 0,
             poisoned: false,
+            obs: None,
         }
+    }
+
+    /// Turns on observability (the `tcvs --metrics` flag): every session's
+    /// protocol events are traced into memory, commands and detections are
+    /// counted, and the `metrics` command reports both. Survives `attack`
+    /// world resets.
+    pub fn enable_metrics(&mut self) {
+        let (tracer, sink) = Tracer::memory();
+        for (_, client) in self.clients.values_mut() {
+            client.set_tracer(tracer.clone());
+        }
+        self.obs = Some(ReplObs {
+            registry: Arc::new(MetricsRegistry::new()),
+            tracer,
+            sink,
+        });
+    }
+
+    /// The current metrics in diffable text form (empty when metrics are
+    /// not enabled).
+    pub fn metrics_text(&self) -> String {
+        self.obs
+            .as_ref()
+            .map(|o| o.registry.snapshot().render_text())
+            .unwrap_or_default()
     }
 
     /// Executes one command line, returning the text to print.
@@ -84,13 +123,20 @@ impl Repl {
         if line.is_empty() || line.starts_with('#') {
             return String::new();
         }
-        if self.poisoned && line != "help" {
+        // `help` and `metrics` stay available after detection — the event
+        // timeline is exactly what a poisoned session wants to inspect.
+        if self.poisoned && line != "help" && line != "metrics" {
             return "session poisoned: server deviation was detected; restart required".into();
         }
         let tokens = tokenize(line);
         let (cmd, args) = tokens.split_first().map(|(c, a)| (c.as_str(), a)).unwrap();
+        if let Some(obs) = &self.obs {
+            obs.registry.counter("cvs.commands").inc();
+            obs.registry.counter(&format!("cvs.cmd.{cmd}")).inc();
+        }
         let result = match cmd {
             "help" => Ok(HELP.to_string()),
+            "metrics" => Ok(self.cmd_metrics()),
             "user" => self.cmd_user(args),
             "add" => self.cmd_add(args),
             "cat" => self.cmd_cat(args),
@@ -109,10 +155,34 @@ impl Repl {
             Err(e) => {
                 if e.contains("deviation") {
                     self.poisoned = true;
+                    if let Some(obs) = &self.obs {
+                        obs.registry.counter("cvs.detections").inc();
+                    }
                 }
                 format!("error: {e}")
             }
         }
+    }
+
+    /// The `metrics` command: counter values plus the tail of the protocol
+    /// event timeline.
+    fn cmd_metrics(&mut self) -> String {
+        let Some(obs) = &self.obs else {
+            return "metrics are off (run `tcvs --metrics`, or call Repl::enable_metrics)".into();
+        };
+        let mut out = obs.registry.snapshot().render_text();
+        let events = obs.sink.events();
+        if !events.is_empty() {
+            let tail = &events[events.len().saturating_sub(10)..];
+            let _ = write!(
+                out,
+                "\nlast {} of {} events:\n{}",
+                tail.len(),
+                events.len(),
+                tcvs_obs::render_log(tail)
+            );
+        }
+        out
     }
 
     fn with_cvs<T>(
@@ -138,10 +208,11 @@ impl Repl {
         if !self.clients.contains_key(name) {
             let id = self.next_user_id;
             self.next_user_id += 1;
-            self.clients.insert(
-                name.clone(),
-                (id, Client2::new(id, &self.root0, self.config)),
-            );
+            let mut client = Client2::new(id, &self.root0, self.config);
+            if let Some(obs) = &self.obs {
+                client.set_tracer(obs.tracer.clone());
+            }
+            self.clients.insert(name.clone(), (id, client));
         }
         self.current = Some(name.clone());
         Ok(format!("now acting as {name}"))
@@ -248,6 +319,9 @@ impl Repl {
             format!("sync-up OK over {total} operations: single consistent history")
         } else {
             self.poisoned = true;
+            if let Some(obs) = &self.obs {
+                obs.registry.counter("cvs.detections").inc();
+            }
             "SYNC-UP FAILED: the server deviated (fork/drop/replay); leave the system".into()
         }
     }
@@ -271,7 +345,11 @@ impl Repl {
             "lie" => Box::new(LieServer::new(&self.config, t)),
             other => return Err(format!("unknown attack: {other}")),
         };
+        let observed = self.obs.is_some();
         *self = Repl::with_server(server, self.config);
+        if observed {
+            self.enable_metrics();
+        }
         Ok(format!(
             "fresh world over a malicious `{name}` server (attack at op #{trigger}); recreate users and watch the protocol catch it"
         ))
@@ -327,6 +405,7 @@ commands:
   log <path> | diff <path> a b | annotate <path> | ls | rm <path>
   sync                           broadcast sync-up across all users
   attack <name> [trigger]        restart against a malicious server
+  metrics                        counters + recent protocol events (needs --metrics)
   help";
 
 #[cfg(test)]
@@ -420,6 +499,59 @@ mod tests {
         r.exec("cat shared");
         let out = r.exec("sync");
         assert!(out.contains("FAILED"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_reports_counts_and_events() {
+        let mut r = Repl::new();
+        assert!(r.exec("metrics").contains("metrics are off"));
+        r.enable_metrics();
+        r.exec("user alice");
+        r.exec(r#"add f "v1""#);
+        r.exec("sync");
+        let out = r.exec("metrics");
+        assert!(out.contains("cvs.commands"), "{out}");
+        assert!(out.contains("cvs.cmd.sync"), "{out}");
+        assert!(out.contains("sync-up"), "traced events shown: {out}");
+        assert!(r.metrics_text().contains("cvs.cmd.add"));
+    }
+
+    #[test]
+    fn metrics_survive_attack_reset_and_poisoning() {
+        let mut r = Repl::new();
+        r.enable_metrics();
+        r.exec("attack lie 2");
+        r.exec("user alice");
+        r.exec(r#"add f "v1""#);
+        for _ in 0..6 {
+            if r.exec("cat f").contains("deviation") {
+                break;
+            }
+        }
+        // Poisoned sessions still answer `metrics`, and the detection was
+        // counted and traced.
+        let out = r.exec("metrics");
+        assert!(out.contains("cvs.detections"), "{out}");
+        assert!(out.contains("detection"), "{out}");
+    }
+
+    #[test]
+    fn failed_sync_counts_as_detection() {
+        let mut r = Repl::new();
+        r.enable_metrics();
+        r.exec("attack fork 3");
+        r.exec("user alice");
+        r.exec("user bob");
+        r.exec("user alice");
+        r.exec(r#"add f "v1""#);
+        r.exec("user bob");
+        for i in 0..4 {
+            r.exec(&format!(r#"commit f "v{i}" -m edit"#));
+        }
+        r.exec("user alice");
+        r.exec("cat f");
+        assert!(r.exec("sync").contains("FAILED"));
+        assert!(r.metrics_text().contains("cvs.detections"));
     }
 
     #[test]

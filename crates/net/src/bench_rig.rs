@@ -10,7 +10,8 @@ use tcvs_crypto::setup_users;
 use tcvs_merkle::{u64_key, MerkleTree};
 
 use crate::client::{NetClient1, NetClient2, NetClientTrusted};
-use crate::server::NetServer;
+use crate::obs::NetStats;
+use crate::server::{NetServer, NetServerOptions};
 
 /// Result of one throughput run.
 #[derive(Clone, Debug)]
@@ -80,9 +81,38 @@ pub fn run_throughput(
     update_pct: u32,
     config: &ProtocolConfig,
 ) -> ThroughputReport {
+    run_throughput_observed(
+        protocol,
+        n_clients,
+        ops_per_client,
+        update_pct,
+        config,
+        NetStats::disabled(),
+    )
+}
+
+/// [`run_throughput`] with observability attached: the server thread, the
+/// reader pool, and every worker's client feed the counters and histograms
+/// in `stats`. Used by the overhead probe to compare instrumented vs dark
+/// throughput on the same rig.
+pub fn run_throughput_observed(
+    protocol: ProtocolKind,
+    n_clients: u32,
+    ops_per_client: u64,
+    update_pct: u32,
+    config: &ProtocolConfig,
+    stats: NetStats,
+) -> ThroughputReport {
     let root0 = MerkleTree::with_order(config.order).root_digest();
     let blocking = protocol == ProtocolKind::One;
-    let server = NetServer::spawn(Box::new(HonestServer::new(config)), blocking);
+    let server = NetServer::spawn_observed(
+        Box::new(HonestServer::new(config)),
+        NetServerOptions {
+            blocking_signatures: blocking,
+            ..NetServerOptions::default()
+        },
+        stats.clone(),
+    );
     let sink: LatencySink = Arc::new(Mutex::new(Vec::with_capacity(
         (n_clients as u64 * ops_per_client) as usize,
     )));
@@ -94,6 +124,7 @@ pub fn run_throughput(
             start = Instant::now();
             for u in 0..n_clients {
                 let mut c = NetClientTrusted::new(u, &server);
+                c.set_stats(stats.clone());
                 let sink = Arc::clone(&sink);
                 handles.push(std::thread::spawn(move || {
                     let mut done = 0;
@@ -115,7 +146,11 @@ pub fn run_throughput(
             let (rings, registry) = setup_users([0x11; 32], n_clients, height.max(4));
             let mut clients: Vec<NetClient1> = rings
                 .into_iter()
-                .map(|r| NetClient1::new(r, registry.clone(), *config, &server))
+                .map(|r| {
+                    let mut c = NetClient1::new(r, registry.clone(), *config, &server);
+                    c.set_stats(stats.clone());
+                    c
+                })
                 .collect();
             clients[0].deposit_initial(&root0).expect("fresh server");
             start = Instant::now();
@@ -139,6 +174,7 @@ pub fn run_throughput(
             start = Instant::now();
             for u in 0..n_clients {
                 let mut c = NetClient2::new(u, &root0, *config, &server);
+                c.set_stats(stats.clone());
                 let sink = Arc::clone(&sink);
                 handles.push(std::thread::spawn(move || {
                     let mut done = 0;

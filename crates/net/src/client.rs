@@ -15,6 +15,7 @@ use tcvs_crypto::{KeyRegistry, Keyring};
 use tcvs_merkle::{replay_unanchored, VerifyError};
 
 use crate::error::{NetError, RetryPolicy};
+use crate::obs::NetStats;
 use crate::server::{
     remote_fetch, remote_op, remote_read, Endpoint, ReadRequest, Request, SnapshotSlot,
 };
@@ -35,6 +36,7 @@ pub struct NetClient1 {
     ops: u64,
     seq: u64,
     policy: RetryPolicy,
+    stats: NetStats,
 }
 
 impl NetClient1 {
@@ -52,7 +54,15 @@ impl NetClient1 {
             ops: 0,
             seq: 0,
             policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
         }
+    }
+
+    /// Attaches observability handles: transport retries feed the shared
+    /// counters, and the inner protocol client emits through the tracer.
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.inner.set_tracer(stats.tracer.clone());
+        self.stats = stats;
     }
 
     /// Replaces the retry policy (timeouts, attempts, jitter).
@@ -83,6 +93,7 @@ impl NetClient1 {
             op,
             self.ops,
             &self.policy,
+            &self.stats,
         )?;
         self.ops += 1;
         let (result, deposit) = self.inner.handle_response(op, &resp)?;
@@ -125,6 +136,7 @@ pub struct NetClient2 {
     ops: u64,
     seq: u64,
     policy: RetryPolicy,
+    stats: NetStats,
 }
 
 impl NetClient2 {
@@ -141,7 +153,15 @@ impl NetClient2 {
             ops: 0,
             seq: 0,
             policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
         }
+    }
+
+    /// Attaches observability handles: transport retries feed the shared
+    /// counters, and the inner protocol client emits through the tracer.
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.inner.set_tracer(stats.tracer.clone());
+        self.stats = stats;
     }
 
     /// Replaces the retry policy (timeouts, attempts, jitter).
@@ -159,6 +179,7 @@ impl NetClient2 {
             op,
             self.ops,
             &self.policy,
+            &self.stats,
         )?;
         self.ops += 1;
         Ok(self.inner.handle_response(op, &resp)?)
@@ -193,6 +214,7 @@ pub struct NetClient3 {
     ops: u64,
     seq: u64,
     policy: RetryPolicy,
+    stats: NetStats,
     /// Client-side clock: rounds advance one per operation (the bench rig's
     /// stand-in for wall time; epoch length is interpreted in ops).
     round: u64,
@@ -214,8 +236,16 @@ impl NetClient3 {
             ops: 0,
             seq: 0,
             policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
             round: 0,
         }
+    }
+
+    /// Attaches observability handles: transport retries feed the shared
+    /// counters, and the inner protocol client emits through the tracer.
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.inner.set_tracer(stats.tracer.clone());
+        self.stats = stats;
     }
 
     /// Replaces the retry policy (timeouts, attempts, jitter).
@@ -235,6 +265,7 @@ impl NetClient3 {
             op,
             round,
             &self.policy,
+            &self.stats,
         )?;
         self.ops += 1;
         let (result, deposits) = self.inner.handle_response(op, &resp, round)?;
@@ -244,20 +275,30 @@ impl NetClient3 {
         if let Some(epoch) = self.inner.pending_audit() {
             let user = self.inner.user();
             self.seq += 1;
-            let states = remote_fetch(&self.tx, user, self.seq, &self.policy, |reply| {
-                Request::FetchEpochStates { user, epoch, reply }
-            })?;
+            let states = remote_fetch(
+                &self.tx,
+                user,
+                self.seq,
+                &self.policy,
+                &self.stats,
+                |reply| Request::FetchEpochStates { user, epoch, reply },
+            )?;
             let prev = if epoch == 0 {
                 None
             } else {
                 self.seq += 1;
-                remote_fetch(&self.tx, user, self.seq, &self.policy, |reply| {
-                    Request::FetchCheckpoint {
+                remote_fetch(
+                    &self.tx,
+                    user,
+                    self.seq,
+                    &self.policy,
+                    &self.stats,
+                    |reply| Request::FetchCheckpoint {
                         user,
                         epoch: epoch - 1,
                         reply,
-                    }
-                })?
+                    },
+                )?
             };
             let cp = self.inner.audit(epoch, &states, prev.as_ref())?;
             send_deposit(&self.tx, Request::Checkpoint(cp))?;
@@ -291,6 +332,7 @@ pub struct NetClientTrusted {
     ops: u64,
     seq: u64,
     policy: RetryPolicy,
+    stats: NetStats,
 }
 
 impl NetClientTrusted {
@@ -303,7 +345,14 @@ impl NetClientTrusted {
             ops: 0,
             seq: 0,
             policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
         }
+    }
+
+    /// Attaches observability handles (transport retries, snapshot-read
+    /// counters). Metric updates happen outside the snapshot-slot lock.
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.stats = stats;
     }
 
     /// Replaces the retry policy (timeouts, attempts, jitter).
@@ -317,15 +366,30 @@ impl NetClientTrusted {
         if !op.is_update() {
             if let Some(slot) = &self.snapshots {
                 // Grab the current snapshot (O(1): one Arc clone under a
-                // briefly-held lock) and answer from it right here.
+                // briefly-held lock) and answer from it right here. The
+                // timestamp opens after the guard is gone: instrumentation
+                // must never lengthen the slot's critical section.
                 let snap = Arc::clone(&slot.lock());
+                let started = std::time::Instant::now();
                 if let Some(result) = snap.serve_result(op) {
                     self.ops += 1;
+                    self.stats.reads_served.inc();
+                    self.stats
+                        .read_micros
+                        .observe(started.elapsed().as_micros() as u64);
                     return Ok(result);
                 }
             }
         }
-        let resp = remote_op(&self.tx, self.user, self.seq, op, self.ops, &self.policy)?;
+        let resp = remote_op(
+            &self.tx,
+            self.user,
+            self.seq,
+            op,
+            self.ops,
+            &self.policy,
+            &self.stats,
+        )?;
         self.ops += 1;
         Ok(resp.result)
     }
@@ -358,6 +422,7 @@ pub struct NetSnapshotReader {
     ops: u64,
     seq: u64,
     policy: RetryPolicy,
+    stats: NetStats,
 }
 
 impl NetSnapshotReader {
@@ -373,7 +438,13 @@ impl NetSnapshotReader {
             ops: 0,
             seq: 0,
             policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
         })
+    }
+
+    /// Attaches observability handles (transport retry counters).
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.stats = stats;
     }
 
     /// Replaces the retry policy (timeouts, attempts, jitter).
@@ -390,7 +461,14 @@ impl NetSnapshotReader {
     pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
         assert!(!op.is_update(), "snapshot readers serve reads only");
         self.seq += 1;
-        let resp = remote_read(&self.read_tx, self.user, self.seq, op, &self.policy)?;
+        let resp = remote_read(
+            &self.read_tx,
+            self.user,
+            self.seq,
+            op,
+            &self.policy,
+            &self.stats,
+        )?;
         // Replay the proof from scratch (every cached digest recomputed) and
         // check the claimed answer against the replayed one.
         let (proof_root, _) = replay_unanchored(self.order, &resp.vo, op, Some(&resp.result))

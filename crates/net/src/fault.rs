@@ -34,7 +34,9 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 use tcvs_core::{FaultCounts, FaultKind, FaultPlan, UserId};
+use tcvs_obs::{Event, EventKind};
 
+use crate::obs::NetStats;
 use crate::server::{sealed, Endpoint, Request, WireHandle};
 
 /// How long one simulated delay round lasts on the wire.
@@ -60,6 +62,17 @@ impl FaultLink {
     /// `server`, executing `plan` against the operations that pass through
     /// (in arrival order; the `n`-th distinct operation is op index `n`).
     pub fn interpose(server: &impl Endpoint, plan: FaultPlan) -> FaultLink {
+        FaultLink::interpose_observed(server, plan, NetStats::disabled())
+    }
+
+    /// Like [`FaultLink::interpose`], but each injected fault also emits a
+    /// [`EventKind::FaultInjected`] event through `stats` (logical time =
+    /// the op index the fault hit).
+    pub fn interpose_observed(
+        server: &impl Endpoint,
+        plan: FaultPlan,
+        stats: NetStats,
+    ) -> FaultLink {
         let down = server.wire().0;
         let (tx, rx) = unbounded::<Request>();
         let applied = Arc::new(Mutex::new(FaultCounts::default()));
@@ -81,6 +94,12 @@ impl FaultLink {
                         reply,
                     } if seen.insert((user, seq)) => {
                         let fault = plan.fault_at(op_index);
+                        if let Some(kind) = fault {
+                            stats.tracer.emit(|| {
+                                Event::new(op_index, EventKind::FaultInjected, user)
+                                    .detail(format!("{kind:?}"))
+                            });
+                        }
                         op_index += 1;
                         match fault {
                             None => down

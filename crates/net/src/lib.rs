@@ -46,10 +46,12 @@ mod bench_rig;
 mod client;
 mod error;
 mod fault;
+mod obs;
 mod server;
 
-pub use bench_rig::{run_throughput, ThroughputReport};
+pub use bench_rig::{run_throughput, run_throughput_observed, ThroughputReport};
 pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted, NetSnapshotReader};
 pub use error::{NetError, RetryPolicy};
 pub use fault::FaultLink;
+pub use obs::NetStats;
 pub use server::{Endpoint, NetServer, NetServerOptions, ReadWireHandle, WireHandle};

@@ -20,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -29,8 +29,10 @@ use tcvs_core::{
     SignedEpochState, SignedState, UserId,
 };
 use tcvs_merkle::VerificationObject;
+use tcvs_obs::{Event, EventKind, NO_ACTOR};
 
 use crate::error::{NetError, RetryPolicy};
+use crate::obs::NetStats;
 
 /// A request to the server thread.
 pub(crate) enum Request {
@@ -196,7 +198,19 @@ impl NetServer {
     }
 
     /// Spawns the server thread with explicit [`NetServerOptions`].
-    pub fn spawn_with(mut inner: Box<dyn ServerApi + Send>, opts: NetServerOptions) -> NetServer {
+    pub fn spawn_with(inner: Box<dyn ServerApi + Send>, opts: NetServerOptions) -> NetServer {
+        NetServer::spawn_observed(inner, opts, NetStats::disabled())
+    }
+
+    /// Spawns the server thread with metric/event instrumentation feeding
+    /// `stats`. Timestamps are taken and metrics recorded strictly outside
+    /// the snapshot-slot critical section, so attaching stats does not
+    /// lengthen the serialized region the concurrent readers contend on.
+    pub fn spawn_observed(
+        mut inner: Box<dyn ServerApi + Send>,
+        opts: NetServerOptions,
+        stats: NetStats,
+    ) -> NetServer {
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let missed = Arc::new(AtomicU64::new(0));
         let missed_in = Arc::clone(&missed);
@@ -206,7 +220,7 @@ impl NetServer {
         let read = inner.read_snapshot().map(|snap| {
             let slot: SnapshotSlot = Arc::new(Mutex::new(Arc::new(snap)));
             let (read_tx, read_rx) = unbounded::<ReadRequest>();
-            spawn_readers(&slot, read_rx, opts.read_pool.max(1));
+            spawn_readers(&slot, read_rx, opts.read_pool.max(1), stats.clone());
             (slot, read_tx)
         });
         let slot = read.as_ref().map(|(slot, _)| Arc::clone(slot));
@@ -236,18 +250,36 @@ impl NetServer {
                             // the journaled reply, never re-execute (and never
                             // re-enter the blocking wait — the first delivery
                             // already did).
+                            stats.journal_hits.inc();
+                            stats
+                                .tracer
+                                .emit(|| Event::new(seq, EventKind::JournalHit, user));
                             let _ = reply.send(resp);
                             continue;
                         }
+                        // The op timestamp opens before the serialized region
+                        // and closes after it; the histogram/tracer updates
+                        // happen strictly after `publish` released the slot
+                        // lock (and after the reply is on its way).
+                        let started = Instant::now();
                         let resp = inner.handle_op(user, &op, round);
                         journal.insert(user, (seq, resp.clone()));
                         // Publish before replying: a client that sees its
                         // write acknowledged must find it in the snapshot
                         // (read-your-writes across the two paths).
                         publish(inner.as_mut(), slot.as_ref());
+                        let ctr = resp.ctr;
                         // The reply channel may be dropped if the client
                         // detected deviation and bailed; that's fine.
                         let _ = reply.send(resp);
+                        stats.ops_served.inc();
+                        stats
+                            .op_micros
+                            .observe(started.elapsed().as_micros() as u64);
+                        stats.tracer.emit(|| {
+                            Event::new(ctr, EventKind::OpServed, user)
+                                .detail(format!("seq={seq} round={round}"))
+                        });
                         if opts.blocking_signatures
                             && !blocking_wait(
                                 inner.as_mut(),
@@ -258,6 +290,7 @@ impl NetServer {
                                 opts.deposit_timeout,
                                 &missed_in,
                                 slot.as_ref(),
+                                &stats,
                             )
                         {
                             drain(inner.as_mut(), &rx, backlog, &mut journal, slot.as_ref());
@@ -265,7 +298,11 @@ impl NetServer {
                         }
                     }
                     Request::Signature { user, signed } => {
+                        let ctr = signed.ctr;
                         inner.deposit_signature(user, signed);
+                        stats
+                            .tracer
+                            .emit(|| Event::new(ctr, EventKind::Deposit, user));
                     }
                     Request::EpochState(s) => inner.deposit_epoch_state(s),
                     Request::FetchEpochStates { user, epoch, reply } => {
@@ -276,6 +313,10 @@ impl NetServer {
                         let _ = reply.send(inner.fetch_checkpoint(user, epoch));
                     }
                     Request::Crash { ack } => {
+                        stats.crashes.inc();
+                        stats
+                            .tracer
+                            .emit(|| Event::new(0, EventKind::Crash, NO_ACTOR));
                         // The reply journal is durable transport state and
                         // survives alongside whatever the inner server keeps.
                         inner.crash_restart();
@@ -283,6 +324,9 @@ impl NetServer {
                         // pre-crash root the restarted server no longer has.
                         publish(inner.as_mut(), slot.as_ref());
                         let _ = ack.send(());
+                        stats
+                            .tracer
+                            .emit(|| Event::new(0, EventKind::Restart, NO_ACTOR));
                     }
                     Request::Shutdown => {
                         drain(inner.as_mut(), &rx, backlog, &mut journal, slot.as_ref());
@@ -347,11 +391,17 @@ fn publish(inner: &mut dyn ServerApi, slot: Option<&SnapshotSlot>) {
 /// Spawns the reader pool: detached threads pulling read requests off a
 /// shared queue and answering them from the latest published snapshot.
 /// They exit when every read-wire sender is gone.
-fn spawn_readers(slot: &SnapshotSlot, read_rx: Receiver<ReadRequest>, pool: usize) {
+fn spawn_readers(
+    slot: &SnapshotSlot,
+    read_rx: Receiver<ReadRequest>,
+    pool: usize,
+    stats: NetStats,
+) {
     let read_rx = Arc::new(Mutex::new(read_rx));
     for _ in 0..pool {
         let slot = Arc::clone(slot);
         let read_rx = Arc::clone(&read_rx);
+        let stats = stats.clone();
         std::thread::spawn(move || loop {
             // Hold the queue lock only to dequeue; serving (prune + replay)
             // happens outside it, so readers overlap on multi-core hosts.
@@ -363,15 +413,28 @@ fn spawn_readers(slot: &SnapshotSlot, read_rx: Receiver<ReadRequest>, pool: usiz
                 Ok(r) => r,
                 Err(_) => return,
             };
+            // The timestamp opens *after* the slot lock has been taken and
+            // released (the clone is one refcount bump under the guard);
+            // nothing below touches the slot again, so instrumentation adds
+            // zero time to the critical section writers contend on.
             let snap = Arc::clone(&slot.lock());
+            let started = Instant::now();
             match snap.serve(&req.op) {
                 Some((result, vo)) => {
+                    let ctr = snap.ctr();
                     let _ = req.reply.send(ReadResponse {
                         result,
                         vo,
                         root: snap.root_digest(),
-                        ctr: snap.ctr(),
+                        ctr,
                     });
+                    stats.reads_served.inc();
+                    stats
+                        .read_micros
+                        .observe(started.elapsed().as_micros() as u64);
+                    stats
+                        .tracer
+                        .emit(|| Event::new(ctr, EventKind::ReadServed, NO_ACTOR));
                 }
                 // An update on the read wire is a client bug; dropping the
                 // reply sender disconnects the waiter rather than serving a
@@ -403,11 +466,16 @@ fn blocking_wait(
     deposit_timeout: Duration,
     missed: &AtomicU64,
     slot: Option<&SnapshotSlot>,
+    stats: &NetStats,
 ) -> bool {
     loop {
         match rx.recv_timeout(deposit_timeout) {
             Ok(Request::Signature { user: su, signed }) if su == user => {
+                let ctr = signed.ctr;
                 inner.deposit_signature(su, signed);
+                stats
+                    .tracer
+                    .emit(|| Event::new(ctr, EventKind::Deposit, su));
                 return true;
             }
             Ok(Request::Op {
@@ -437,10 +505,21 @@ fn blocking_wait(
             Ok(Request::Crash { ack }) => {
                 // A crash wipes the pending wait: the deposit (if it ever
                 // arrives) will be absorbed by the main loop.
+                stats.crashes.inc();
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::Crash, NO_ACTOR));
                 inner.crash_restart();
                 publish(inner, slot);
                 let _ = ack.send(());
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::Restart, NO_ACTOR));
                 missed.fetch_add(1, Ordering::Relaxed);
+                stats.missed_deposits.inc();
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::MissedDeposit, user).detail("crash"));
                 return true;
             }
             Ok(Request::Shutdown) => return false,
@@ -450,6 +529,10 @@ fn blocking_wait(
                 // The deposit is lost or its client died; record the miss
                 // and unblock rather than deadlock the whole deployment.
                 missed.fetch_add(1, Ordering::Relaxed);
+                stats.missed_deposits.inc();
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::MissedDeposit, user).detail("timeout"));
                 return true;
             }
         }
@@ -519,9 +602,16 @@ pub(crate) fn remote_op(
     op: &Op,
     round: u64,
     policy: &RetryPolicy,
+    stats: &NetStats,
 ) -> Result<ServerResponse, NetError> {
     let attempts = policy.max_attempts.max(1);
     for attempt in 0..attempts {
+        if attempt > 0 {
+            stats.retries.inc();
+            stats.tracer.emit(|| {
+                Event::new(seq, EventKind::Retry, user).detail(format!("attempt={attempt}"))
+            });
+        }
         let (reply_tx, reply_rx) = bounded(1);
         tx.send(Request::Op {
             user,
@@ -554,9 +644,16 @@ pub(crate) fn remote_read(
     seq: u64,
     op: &Op,
     policy: &RetryPolicy,
+    stats: &NetStats,
 ) -> Result<ReadResponse, NetError> {
     let attempts = policy.max_attempts.max(1);
     for attempt in 0..attempts {
+        if attempt > 0 {
+            stats.retries.inc();
+            stats.tracer.emit(|| {
+                Event::new(seq, EventKind::Retry, user).detail(format!("attempt={attempt}"))
+            });
+        }
         let (reply_tx, reply_rx) = bounded(1);
         tx.send(ReadRequest {
             op: op.clone(),
@@ -577,10 +674,17 @@ pub(crate) fn remote_fetch<T>(
     user: UserId,
     seq: u64,
     policy: &RetryPolicy,
+    stats: &NetStats,
     mut make: impl FnMut(Sender<T>) -> Request,
 ) -> Result<T, NetError> {
     let attempts = policy.max_attempts.max(1);
     for attempt in 0..attempts {
+        if attempt > 0 {
+            stats.retries.inc();
+            stats.tracer.emit(|| {
+                Event::new(seq, EventKind::Retry, user).detail(format!("attempt={attempt}"))
+            });
+        }
         let (reply_tx, reply_rx) = bounded(1);
         tx.send(make(reply_tx)).map_err(|_| NetError::ServerGone)?;
         match reply_rx.recv_timeout(policy.attempt_timeout(user, seq, attempt)) {

@@ -1,0 +1,462 @@
+//! The metrics registry: counters, gauges, and histograms over plain
+//! atomics, snapshotted into a deterministic, name-sorted form.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-shared: a
+//! component obtains its handles once (at construction) and increments
+//! lock-free afterwards — the registry's lock is touched only at
+//! registration and snapshot time, never on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds zero, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, and the last bucket absorbs everything from
+/// `2^(HISTOGRAM_BUCKETS-2)` up (including `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, else `1 + floor(log2(v))`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free histogram with power-of-two buckets.
+///
+/// `observe` is two relaxed atomic adds plus one bucket increment; quantile
+/// queries return the inclusive upper bound of the bucket the quantile
+/// falls in (an upper estimate, exact for the bucketed resolution).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; HISTOGRAM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wraps on overflow; callers record durations
+    /// in nanoseconds, which would take centuries to wrap).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Upper bound of the bucket the `q`-quantile falls in (`q` clamped to
+    /// `[0, 1]`; 0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Per-bucket counts (index = [`bucket_index`]).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// What kind of metric a snapshot entry describes, and its value(s).
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(i64),
+    /// A histogram summary.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Upper estimate of the median.
+        p50: u64,
+        /// Upper estimate of the 99th percentile.
+        p99: u64,
+    },
+}
+
+impl MetricValue {
+    /// Stable lowercase kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// One named metric in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Registered name (dot-namespaced, e.g. `net.ops_served`).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time, name-sorted capture of a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Entries sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// The value of a counter entry, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot as aligned, diffable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        for e in &self.entries {
+            let line = match &e.value {
+                MetricValue::Counter(v) => {
+                    format!("{:width$}  counter    {v}\n", e.name, width = width)
+                }
+                MetricValue::Gauge(v) => {
+                    format!("{:width$}  gauge      {v}\n", e.name, width = width)
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p99,
+                } => format!(
+                    "{:width$}  histogram  count={count} sum={sum} p50<={p50} p99<={p99}\n",
+                    e.name,
+                    width = width
+                ),
+            };
+            out.push_str(&line);
+        }
+        out
+    }
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: calling twice with the
+/// same name returns the same handle, so independently constructed
+/// components can share an aggregate.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    slots: Mutex<BTreeMap<String, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(Arc::new(Counter::new())))
+        {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(Arc::new(Gauge::new())))
+        {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut slots = self.slots.lock().expect("metrics registry poisoned");
+        match slots
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(Arc::new(Histogram::new())))
+        {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Captures every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.lock().expect("metrics registry poisoned");
+        let entries = slots
+            .iter()
+            .map(|(name, slot)| MetricEntry {
+                name: name.clone(),
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.5),
+                        p99: h.quantile(0.99),
+                    },
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.slots.lock().map(|s| s.len()).unwrap_or(0);
+        write!(f, "MetricsRegistry({n} metrics)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket index is in range.
+        for shift in 0..64 {
+            assert!(bucket_index(1u64 << shift) < HISTOGRAM_BUCKETS);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} bucket={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} bucket={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_upper_bounds() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        // True p50 is 500 → bucket [512, 1023] upper bound 1023 covers it.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1023).contains(&p99), "p99={p99}");
+        // q=0 returns the first non-empty bucket's bound; q=1 the last.
+        assert!(h.quantile(0.0) >= 1);
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.bucket_counts()[0], 1);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x.ops");
+        let b = r.counter("x.ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = r.gauge("x.depth");
+        g.set(5);
+        g.add(-2);
+        let h = r.histogram("x.lat");
+        h.observe(100);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x.ops"), Some(3));
+        assert_eq!(snap.get("x.depth"), Some(&MetricValue::Gauge(3)));
+        let names: Vec<_> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot is name-sorted");
+        let text = snap.render_text();
+        assert!(text.contains("x.ops") && text.contains("counter"));
+        assert!(text.contains("histogram"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_clashes() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("same");
+        let _ = r.gauge("same");
+    }
+}

@@ -1,0 +1,159 @@
+//! Tracers and sinks: how events get from emitting components to whoever
+//! wants them — and how they cost (almost) nothing when nobody does.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{render_log, Event};
+
+/// Where events go. Implementations must tolerate concurrent `record`
+/// calls (the threaded deployment emits from several threads).
+pub trait EventSink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, ev: Event);
+}
+
+/// An in-memory sink: events accumulate in arrival order.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("sink poisoned").clone()
+    }
+
+    /// Removes and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("sink poisoned"))
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the recorded events as a diffable text log.
+    pub fn render_log(&self) -> String {
+        render_log(&self.events.lock().expect("sink poisoned"))
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&self, ev: Event) {
+        self.events.lock().expect("sink poisoned").push(ev);
+    }
+}
+
+/// A cloneable handle components emit through.
+///
+/// The disabled tracer (the default) is an `Option::None` check per emit:
+/// the closure that builds the event — including any `format!` — never
+/// runs, so dark instrumentation allocates nothing.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl Tracer {
+    /// The disabled tracer: every emit is a no-op.
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer writing into `sink`.
+    pub fn to_sink(sink: Arc<dyn EventSink>) -> Tracer {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// A tracer plus the in-memory sink it writes to.
+    pub fn memory() -> (Tracer, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (
+            Tracer {
+                sink: Some(Arc::clone(&sink) as Arc<dyn EventSink>),
+            },
+            sink,
+        )
+    }
+
+    /// True iff a sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits the event built by `f` — which runs only when a sink is
+    /// attached.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(f());
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tracer({})",
+            if self.is_enabled() {
+                "attached"
+            } else {
+                "disabled"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let t = Tracer::disabled();
+        let mut built = false;
+        t.emit(|| {
+            built = true;
+            Event::new(0, EventKind::OpServed, 0)
+        });
+        assert!(!built, "closure must not run without a sink");
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn memory_sink_accumulates_in_order() {
+        let (t, sink) = Tracer::memory();
+        for i in 0..5 {
+            t.emit(|| Event::new(i, EventKind::OpServed, 0));
+        }
+        assert_eq!(sink.len(), 5);
+        let evs = sink.events();
+        assert_eq!(evs[4].t, 4);
+        assert_eq!(sink.take().len(), 5);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let (t, sink) = Tracer::memory();
+        let t2 = t.clone();
+        t.emit(|| Event::new(0, EventKind::Deposit, 1));
+        t2.emit(|| Event::new(1, EventKind::Deposit, 2));
+        assert_eq!(sink.len(), 2);
+    }
+}

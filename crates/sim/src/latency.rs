@@ -1,0 +1,204 @@
+//! Detection-latency accounting: how long the system was exposed between
+//! the server's first deviation and the first alarm, measured against the
+//! paper's theoretical bounds.
+//!
+//! * Protocols I and II detect within `k` operations *of any single user*
+//!   (Theorems 4.1 / 4.2): once some user completes `k` post-violation
+//!   operations a sync-up fires and fails. The sync-up itself runs after
+//!   the `k`-th operation, so a run may observe up to `k + 1` user ops.
+//! * Protocol III detects within **two epochs** (Theorem 4.3): the epoch
+//!   of the violation is audited in epoch `e + 2`.
+//! * The trusted baseline and the strawmen carry no bound.
+//!
+//! The harness knows ground truth — which delivery index first deviated —
+//! so [`crate::simulate_observed`] can pair the injected-deviation
+//! timestamp with the first [`tcvs_obs::EventKind::Detection`] event and
+//! report the measured latency in ops, rounds, and (for Protocol III)
+//! epochs.
+
+use tcvs_core::{ProtocolConfig, ProtocolKind};
+
+/// The paper's theoretical detection bound for a protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyBound {
+    /// Detection within this many operations by any single user
+    /// (Theorems 4.1 / 4.2: `k`).
+    UserOps(u64),
+    /// Detection within this many epochs (Theorem 4.3: 2).
+    Epochs(u64),
+    /// No detection bound (trusted baseline, strawmen).
+    Unbounded,
+}
+
+impl LatencyBound {
+    /// Stable text rendering for reports ("k=16 user-ops", "2 epochs", "-").
+    pub fn render(&self) -> String {
+        match self {
+            LatencyBound::UserOps(k) => format!("k={k} user-ops"),
+            LatencyBound::Epochs(e) => format!("{e} epochs"),
+            LatencyBound::Unbounded => "-".to_string(),
+        }
+    }
+}
+
+/// The theoretical bound for `protocol` under `config`.
+pub fn theoretical_bound(protocol: ProtocolKind, config: &ProtocolConfig) -> LatencyBound {
+    match protocol {
+        ProtocolKind::One | ProtocolKind::Two => LatencyBound::UserOps(config.k),
+        ProtocolKind::Three => LatencyBound::Epochs(2),
+        ProtocolKind::Trusted | ProtocolKind::TokenRing | ProtocolKind::NaiveXor => {
+            LatencyBound::Unbounded
+        }
+    }
+}
+
+/// Measured first-deviation → first-alarm latency of one run.
+///
+/// All fields use logical time (delivery indices, rounds, epochs) — never
+/// wall-clock — so seeded runs report identical latencies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectionLatency {
+    /// Delivery index at which the server first deviated (ground truth).
+    pub deviation_op: u64,
+    /// Delivery index at which a user first detected.
+    pub detection_op: u64,
+    /// System-wide operations executed between the two.
+    pub ops: u64,
+    /// Rounds elapsed between the two.
+    pub rounds: u64,
+    /// Maximum operations any single user completed after the violation —
+    /// the quantity Theorems 4.1 / 4.2 bound by `k`.
+    pub max_user_ops: Option<u64>,
+    /// Epochs elapsed between the two (Protocol III runs only).
+    pub epochs: Option<u64>,
+    /// The theoretical bound this run is measured against.
+    pub bound: LatencyBound,
+}
+
+impl DetectionLatency {
+    /// Whether the measured latency respects the theoretical bound.
+    /// `None` when the protocol has no bound (or the bounded quantity was
+    /// not measured).
+    pub fn within_bound(&self) -> Option<bool> {
+        match self.bound {
+            LatencyBound::UserOps(k) => self.max_user_ops.map(|m| m <= k + 1),
+            LatencyBound::Epochs(e) => self.epochs.map(|d| d <= e),
+            LatencyBound::Unbounded => None,
+        }
+    }
+
+    /// One stable report line: measured latency vs. the bound.
+    pub fn render(&self) -> String {
+        let epochs = match self.epochs {
+            Some(e) => format!(" epochs={e}"),
+            None => String::new(),
+        };
+        let user = match self.max_user_ops {
+            Some(m) => format!(" max_user_ops={m}"),
+            None => String::new(),
+        };
+        let verdict = match self.within_bound() {
+            Some(true) => " within-bound",
+            Some(false) => " BOUND-EXCEEDED",
+            None => "",
+        };
+        format!(
+            "deviation@{} detected@{} ops={} rounds={}{epochs}{user} bound[{}]{verdict}",
+            self.deviation_op,
+            self.detection_op,
+            self.ops,
+            self.rounds,
+            self.bound.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(k: u64) -> ProtocolConfig {
+        ProtocolConfig {
+            order: 8,
+            k,
+            epoch_len: 50,
+        }
+    }
+
+    #[test]
+    fn bounds_follow_the_theorems() {
+        let c = config(16);
+        assert_eq!(
+            theoretical_bound(ProtocolKind::One, &c),
+            LatencyBound::UserOps(16)
+        );
+        assert_eq!(
+            theoretical_bound(ProtocolKind::Two, &c),
+            LatencyBound::UserOps(16)
+        );
+        assert_eq!(
+            theoretical_bound(ProtocolKind::Three, &c),
+            LatencyBound::Epochs(2)
+        );
+        assert_eq!(
+            theoretical_bound(ProtocolKind::Trusted, &c),
+            LatencyBound::Unbounded
+        );
+    }
+
+    #[test]
+    fn within_bound_user_ops() {
+        let mut lat = DetectionLatency {
+            deviation_op: 10,
+            detection_op: 30,
+            ops: 20,
+            rounds: 25,
+            max_user_ops: Some(8),
+            epochs: None,
+            bound: LatencyBound::UserOps(8),
+        };
+        assert_eq!(lat.within_bound(), Some(true));
+        lat.max_user_ops = Some(9); // the sync-up round after the k-th op
+        assert_eq!(lat.within_bound(), Some(true));
+        lat.max_user_ops = Some(10);
+        assert_eq!(lat.within_bound(), Some(false));
+        lat.max_user_ops = None;
+        assert_eq!(lat.within_bound(), None);
+    }
+
+    #[test]
+    fn within_bound_epochs() {
+        let lat = DetectionLatency {
+            deviation_op: 0,
+            detection_op: 40,
+            ops: 40,
+            rounds: 90,
+            max_user_ops: None,
+            epochs: Some(2),
+            bound: LatencyBound::Epochs(2),
+        };
+        assert_eq!(lat.within_bound(), Some(true));
+        let late = DetectionLatency {
+            epochs: Some(3),
+            ..lat
+        };
+        assert_eq!(late.within_bound(), Some(false));
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let lat = DetectionLatency {
+            deviation_op: 20,
+            detection_op: 27,
+            ops: 7,
+            rounds: 12,
+            max_user_ops: Some(3),
+            epochs: None,
+            bound: LatencyBound::UserOps(8),
+        };
+        assert_eq!(
+            lat.render(),
+            "deviation@20 detected@27 ops=7 rounds=12 max_user_ops=3 bound[k=8 user-ops] within-bound"
+        );
+    }
+}

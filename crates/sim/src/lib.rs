@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod latency;
 mod oracle;
 mod report;
 mod runner;
 pub mod token_ring;
 
+pub use latency::{theoretical_bound, DetectionLatency, LatencyBound};
 pub use oracle::{run_with_oracle, OracleVerdict};
 pub use report::{DetectionEvent, RunReport};
-pub use runner::{initial_root, op_request_size, simulate, SimSpec};
+pub use runner::{initial_root, op_request_size, simulate, simulate_observed, SimSpec};

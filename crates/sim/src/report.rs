@@ -2,6 +2,8 @@
 
 use tcvs_core::{Deviation, FaultCounts, ProtocolKind, UserId};
 
+use crate::latency::DetectionLatency;
+
 /// The moment a user first *knew* the server had deviated (§2.2.1).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DetectionEvent {
@@ -48,6 +50,9 @@ pub struct RunReport {
     pub faults: FaultCounts,
     /// First detection, if any.
     pub detection: Option<DetectionEvent>,
+    /// Measured deviation → detection latency (set when the harness knew
+    /// the violation point and the run detected at or after it).
+    pub detection_latency: Option<DetectionLatency>,
 }
 
 impl RunReport {
@@ -92,6 +97,7 @@ mod tests {
             audits: 0,
             faults: FaultCounts::default(),
             detection: None,
+            detection_latency: None,
         };
         assert_eq!(r.bytes_per_op(), 0.0);
         assert_eq!(r.msgs_per_op(), 0.0);
@@ -111,6 +117,7 @@ mod tests {
             audits: 0,
             faults: FaultCounts::default(),
             detection: None,
+            detection_latency: None,
         };
         assert_eq!(r.msgs_per_op(), 3.0);
         assert_eq!(r.bytes_per_op(), 100.0);

@@ -21,8 +21,10 @@ use tcvs_core::{
 };
 use tcvs_crypto::setup_users;
 use tcvs_merkle::MerkleTree;
+use tcvs_obs::{Event, EventKind, Tracer, NO_ACTOR};
 use tcvs_workload::Trace;
 
+use crate::latency::{theoretical_bound, DetectionLatency};
 use crate::report::{DetectionEvent, RunReport};
 
 /// Simulation parameters.
@@ -107,8 +109,25 @@ pub fn simulate(
     trace: &Trace,
     violation_op: Option<u64>,
 ) -> RunReport {
+    simulate_observed(spec, server, trace, violation_op, &Tracer::disabled())
+}
+
+/// [`simulate`], with structured events emitted through `tracer`.
+///
+/// Every event carries logical time only (delivery index, round, epoch), so
+/// two runs of the same spec and trace produce byte-identical logs. When
+/// the harness supplied `violation_op`, the run additionally measures the
+/// deviation → detection latency ([`RunReport::detection_latency`]) against
+/// the paper's theoretical bound for the protocol.
+pub fn simulate_observed(
+    spec: &SimSpec,
+    server: &mut dyn ServerApi,
+    trace: &Trace,
+    violation_op: Option<u64>,
+    tracer: &Tracer,
+) -> RunReport {
     let root0 = initial_root(&spec.config);
-    let mut clients = build_clients(spec, &root0);
+    let mut clients = build_clients(spec, &root0, tracer);
 
     // Protocol I initialization: elected user 0 signs h(M(D0) || 0).
     if let ClientSet::One(cs) = &mut clients {
@@ -127,14 +146,20 @@ pub fn simulate(
         audits: 0,
         faults: tcvs_core::FaultCounts::default(),
         detection: None,
+        detection_latency: None,
     };
     let mut busy_until = 0u64;
     let mut ops_per_user = vec![0u64; spec.n_users as usize];
+    // The round at which the violation delivery index was served (for the
+    // rounds / epochs latency metrics).
+    let mut violation_round: Option<u64> = None;
 
+    let config = spec.config;
     let finish = |report: &mut RunReport,
                   detection: Option<(u64, u64, UserId, Deviation)>,
                   ops_per_user: &[u64],
-                  violation_op: Option<u64>| {
+                  violation_op: Option<u64>,
+                  violation_round: Option<u64>| {
         if let Some((op_index, round, by_user, deviation)) = detection {
             let (after, max_user) = match violation_op {
                 Some(v) if op_index >= v => {
@@ -148,6 +173,22 @@ pub fn simulate(
                 }
                 _ => (None, None),
             };
+            if let Some(v) = violation_op {
+                if op_index >= v {
+                    let vr = violation_round.unwrap_or(round);
+                    let epochs = matches!(report.protocol, ProtocolKind::Three)
+                        .then(|| (round / config.epoch_len).saturating_sub(vr / config.epoch_len));
+                    report.detection_latency = Some(DetectionLatency {
+                        deviation_op: v,
+                        detection_op: op_index,
+                        ops: op_index - v,
+                        rounds: round.saturating_sub(vr),
+                        max_user_ops: None, // fixed up by the caller
+                        epochs,
+                        bound: theoretical_bound(report.protocol, &config),
+                    });
+                }
+            }
             report.detection = Some(DetectionEvent {
                 op_index,
                 round,
@@ -199,7 +240,23 @@ pub fn simulate(
             }
             Some(FaultKind::CrashRestart) | None => {}
         }
+        if let Some(f) = fault {
+            tracer.emit(|| {
+                Event::new(idx as u64, EventKind::FaultInjected, sop.user).detail(format!("{f:?}"))
+            });
+        }
+        if violation_op == Some(idx as u64) {
+            violation_round = Some(round);
+            tracer.emit(|| {
+                Event::new(idx as u64, EventKind::DeviationInjected, NO_ACTOR)
+                    .detail(format!("round={round}"))
+            });
+        }
         let resp = server.handle_op(sop.user, &sop.op, round);
+        tracer.emit(|| {
+            Event::new(idx as u64, EventKind::OpServed, sop.user)
+                .detail(format!("round={round} ctr={}", resp.ctr))
+        });
         report.msgs += 2;
         report.bytes += (op_request_size(&sop.op) + resp.encoded_size()) as u64;
         report.ops_executed += 1;
@@ -281,15 +338,23 @@ pub fn simulate(
 
         if let Some(dev) = detection {
             report.makespan_rounds = round + extra_rounds;
+            tracer.emit(|| {
+                Event::new(idx as u64, EventKind::Detection, sop.user)
+                    .detail(format!("{dev} round={round}"))
+            });
             let max_user = ops_after_violation_per_user.iter().copied().max();
             finish(
                 &mut report,
                 Some((idx as u64, round, sop.user, dev)),
                 &ops_per_user,
                 violation_op,
+                violation_round,
             );
             if let (Some(ev), Some(m)) = (report.detection.as_mut(), max_user) {
                 ev.max_user_ops_after_violation = violation_op.map(|_| m);
+            }
+            if let (Some(lat), Some(m)) = (report.detection_latency.as_mut(), max_user) {
+                lat.max_user_ops = Some(m);
             }
             return report;
         }
@@ -302,22 +367,32 @@ pub fn simulate(
         // must never launder a deviation.
         if fault == Some(FaultKind::CrashRestart) {
             report.faults.crashes += 1;
+            tracer.emit(|| Event::new(idx as u64, EventKind::Crash, NO_ACTOR).detail("scheduled"));
             server.crash_restart();
+            tracer.emit(|| Event::new(idx as u64, EventKind::Restart, NO_ACTOR));
             busy_until += 2;
         }
         report.makespan_rounds = busy_until;
 
         // Broadcast sync-up when any user hits k ops since the last one.
-        if let Some(dev) = maybe_sync(&mut clients, &mut report, &mut busy_until) {
+        if let Some(dev) = maybe_sync(&mut clients, &mut report, &mut busy_until, tracer) {
+            tracer.emit(|| {
+                Event::new(idx as u64, EventKind::Detection, sop.user)
+                    .detail(format!("{dev} round={busy_until}"))
+            });
             let max_user = ops_after_violation_per_user.iter().copied().max();
             finish(
                 &mut report,
                 Some((idx as u64, busy_until, sop.user, dev)),
                 &ops_per_user,
                 violation_op,
+                violation_round,
             );
             if let (Some(ev), Some(m)) = (report.detection.as_mut(), max_user) {
                 ev.max_user_ops_after_violation = violation_op.map(|_| m);
+            }
+            if let (Some(lat), Some(m)) = (report.detection_latency.as_mut(), max_user) {
+                lat.max_user_ops = Some(m);
             }
             return report;
         }
@@ -327,7 +402,11 @@ pub fn simulate(
     if !spec.final_sync {
         return report;
     }
-    if let Some(dev) = force_sync(&mut clients, &mut report, &mut busy_until) {
+    if let Some(dev) = force_sync(&mut clients, &mut report, &mut busy_until, tracer) {
+        tracer.emit(|| {
+            Event::new(trace.len() as u64, EventKind::Detection, 0)
+                .detail(format!("{dev} round={busy_until}"))
+        });
         let max_user = ops_after_violation_per_user.iter().copied().max();
         let n = trace.len() as u64;
         finish(
@@ -335,15 +414,19 @@ pub fn simulate(
             Some((n, busy_until, 0, dev)),
             &ops_per_user,
             violation_op,
+            violation_round,
         );
         if let (Some(ev), Some(m)) = (report.detection.as_mut(), max_user) {
             ev.max_user_ops_after_violation = violation_op.map(|_| m);
+        }
+        if let (Some(lat), Some(m)) = (report.detection_latency.as_mut(), max_user) {
+            lat.max_user_ops = Some(m);
         }
     }
     report
 }
 
-fn build_clients(spec: &SimSpec, root0: &Digest) -> ClientSet {
+fn build_clients(spec: &SimSpec, root0: &Digest, tracer: &Tracer) -> ClientSet {
     match spec.protocol {
         ProtocolKind::Trusted => ClientSet::Trusted,
         ProtocolKind::One => {
@@ -351,13 +434,21 @@ fn build_clients(spec: &SimSpec, root0: &Digest) -> ClientSet {
             ClientSet::One(
                 rings
                     .into_iter()
-                    .map(|r| Client1::new(r, registry.clone(), spec.config))
+                    .map(|r| {
+                        let mut c = Client1::new(r, registry.clone(), spec.config);
+                        c.set_tracer(tracer.clone());
+                        c
+                    })
                     .collect(),
             )
         }
         ProtocolKind::Two => ClientSet::Two(
             (0..spec.n_users)
-                .map(|u| Client2::new(u, root0, spec.config))
+                .map(|u| {
+                    let mut c = Client2::new(u, root0, spec.config);
+                    c.set_tracer(tracer.clone());
+                    c
+                })
                 .collect(),
         ),
         ProtocolKind::Three => {
@@ -365,7 +456,12 @@ fn build_clients(spec: &SimSpec, root0: &Digest) -> ClientSet {
             ClientSet::Three(
                 rings
                     .into_iter()
-                    .map(|r| Client3::new(r, registry.clone(), spec.n_users, root0, spec.config))
+                    .map(|r| {
+                        let mut c =
+                            Client3::new(r, registry.clone(), spec.n_users, root0, spec.config);
+                        c.set_tracer(tracer.clone());
+                        c
+                    })
                     .collect(),
             )
         }
@@ -386,6 +482,7 @@ fn maybe_sync(
     clients: &mut ClientSet,
     report: &mut RunReport,
     busy_until: &mut u64,
+    tracer: &Tracer,
 ) -> Option<Deviation> {
     let wants = match clients {
         ClientSet::One(cs) => cs.iter().any(|c| c.wants_sync()),
@@ -395,7 +492,7 @@ fn maybe_sync(
     if !wants {
         return None;
     }
-    force_sync(clients, report, busy_until)
+    force_sync(clients, report, busy_until, tracer)
 }
 
 /// Unconditionally performs a sync-up round for protocols that have one.
@@ -403,7 +500,15 @@ fn force_sync(
     clients: &mut ClientSet,
     report: &mut RunReport,
     busy_until: &mut u64,
+    tracer: &Tracer,
 ) -> Option<Deviation> {
+    if matches!(
+        clients,
+        ClientSet::One(_) | ClientSet::Two(_) | ClientSet::NaiveXor(_)
+    ) {
+        let t = *busy_until;
+        tracer.emit(|| Event::new(t, EventKind::SyncTriggered, NO_ACTOR));
+    }
     let ok = match clients {
         ClientSet::One(cs) => {
             let shares: Vec<SyncShare> = cs.iter().map(|c| c.sync_share()).collect();
