@@ -8,35 +8,67 @@
 //! expgen perf               # run only the perf probe suite
 //! expgen --json out.json    # write results somewhere else
 //! expgen --no-json          # skip the results file
-//! expgen --validate f.json  # validate an existing results file and exit
+//! expgen --validate f.json  # validate an existing artifact and exit
+//! expgen trace              # export a seeded fork-attack run: Perfetto
+//!                           # JSON (BENCH_trace.json) + OpenMetrics
+//!                           # (BENCH_metrics.prom)
 //! ```
+//!
+//! `--validate` dispatches on artifact shape: `tcvs-bench-results/v1`
+//! JSON, Chrome-trace/Perfetto JSON, or OpenMetrics text exposition.
 //!
 //! Run with `--release` — the numbers are meaningless in debug builds.
 
 use std::time::Instant;
 
-use tcvs_bench::experiments::{run_by_id, ALL};
+use tcvs_bench::experiments::{e12, run_by_id, ALL};
 use tcvs_bench::perf::run_suite_observed;
-use tcvs_bench::results::{render_json_with_metrics, validate, validate_schema, SCHEMA};
+use tcvs_bench::results::{render_json_with_metrics, validate, validate_artifact, validate_schema};
 use tcvs_bench::Table;
 
-/// `expgen --validate <file>`: check an emitted results file against the
-/// `tcvs-bench-results/v1` schema. Exit 0 on success, 2 on any failure —
-/// this is what the CI bench-smoke job runs on the artifact it uploads.
+/// `expgen --validate <file>`: check an emitted artifact (results JSON,
+/// Perfetto trace, or OpenMetrics exposition). Exit 0 on success, 2 on any
+/// failure — this is what the CI bench-smoke job runs on the artifacts it
+/// uploads.
 fn validate_file(path: &str) -> ! {
-    let json = match std::fs::read_to_string(path) {
+    let content = match std::fs::read_to_string(path) {
         Ok(j) => j,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(2);
         }
     };
-    if let Err(e) = validate(&json).and_then(|()| validate_schema(&json)) {
+    if let Err(e) = validate_artifact(&content) {
         eprintln!("{path}: INVALID: {e}");
         std::process::exit(2);
     }
-    println!("{path}: valid {SCHEMA}");
+    println!("{path}: valid");
     std::process::exit(0);
+}
+
+/// `expgen trace`: runs the seeded E12 fork-attack simulation once and
+/// writes its two exporter artifacts, self-validating each before writing
+/// (exit 3 on an internally-invalid artifact, the same contract as the
+/// results file).
+fn emit_trace_artifacts(quick: bool) {
+    let (trace_json, openmetrics, dump, _) = e12::artifacts(quick);
+    for (path, content) in [
+        ("BENCH_trace.json", &trace_json),
+        ("BENCH_metrics.prom", &openmetrics),
+    ] {
+        if let Err(e) = validate_artifact(content) {
+            eprintln!("internal error: generated {path} is invalid: {e}");
+            std::process::exit(3);
+        }
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(3);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(dump) = dump {
+        println!("\nflight-recorder dump (detection fired):\n{dump}");
+    }
 }
 
 fn main() {
@@ -73,9 +105,17 @@ fn main() {
         })
         .map(|a| a.to_lowercase())
         .collect();
+    let run_trace = ids.iter().any(|i| i == "trace");
+    let ids: Vec<String> = ids.into_iter().filter(|i| i != "trace").collect();
+    if run_trace {
+        emit_trace_artifacts(quick);
+        if ids.is_empty() {
+            return;
+        }
+    }
     let perf_only = ids.iter().all(|i| i == "perf") && !ids.is_empty();
-    let run_perf = ids.is_empty() || ids.iter().any(|i| i == "perf");
-    let ids: Vec<&str> = if ids.is_empty() {
+    let run_perf = ids.is_empty() && !run_trace || ids.iter().any(|i| i == "perf");
+    let ids: Vec<&str> = if ids.is_empty() && !run_trace {
         ALL.to_vec()
     } else {
         ids.iter()

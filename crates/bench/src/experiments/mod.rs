@@ -7,6 +7,7 @@
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e12;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -19,8 +20,8 @@ pub mod e9;
 use crate::table::Table;
 
 /// All experiment ids in order.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// Dispatches an experiment by id.
@@ -37,6 +38,7 @@ pub fn run_by_id(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e9" => Some(e9::run(quick)),
         "e10" => Some(e10::run(quick)),
         "e11" => Some(e11::run(quick)),
+        "e12" => Some(e12::run(quick)),
         _ => None,
     }
 }

@@ -17,6 +17,7 @@
 //! | E9 | §1 | end-to-end CVS overhead of trusting nothing |
 //! | E10 | §2.2.1 | detection matrix across adversaries × protocols |
 //! | E11 | Thms. 4.1/4.3 | measured detection latency vs theoretical bounds |
+//! | E12 | §2.1 model | seeded runs export byte-identical trace/metric artifacts |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -19,7 +19,7 @@
 
 use tcvs_crypto::{Digest, KeyRegistry, Keyring};
 use tcvs_merkle::{verify_response, Op, OpResult};
-use tcvs_obs::{Event, EventKind, Tracer};
+use tcvs_obs::{stage, Event, EventKind, SpanContext, Tracer};
 
 use crate::msg::{ServerResponse, SignedState, SyncShare};
 use crate::state::signed_payload;
@@ -38,6 +38,9 @@ pub struct Client1 {
     ops_since_sync: u64,
     /// Event tracer (disabled by default; see [`Client1::set_tracer`]).
     tracer: Tracer,
+    /// Trace context of the operation currently being verified (set by the
+    /// transport layer before `handle_response`); emitted events link to it.
+    current_span: Option<SpanContext>,
 }
 
 impl Client1 {
@@ -52,6 +55,7 @@ impl Client1 {
             gctr: 0,
             ops_since_sync: 0,
             tracer: Tracer::disabled(),
+            current_span: None,
         }
     }
 
@@ -60,6 +64,14 @@ impl Client1 {
     /// (`gctr`), so traced runs stay deterministic.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Sets (or clears) the wire trace context subsequent verdict events
+    /// attach to. The transport handle calls this once per operation with
+    /// the same root context it put on the wire, so the client's deposit /
+    /// detection spans land in the same trace as the server's handling.
+    pub fn set_current_span(&mut self, ctx: Option<SpanContext>) {
+        self.current_span = ctx;
     }
 
     /// This user's id.
@@ -110,12 +122,14 @@ impl Client1 {
                 self.tracer.emit(|| {
                     Event::new(self.gctr, EventKind::Deposit, self.keyring.user)
                         .detail(format!("ctr={ctr} lctr={} gctr={}", self.lctr, self.gctr))
+                        .span_opt(self.current_span.map(|c| c.child(stage::DEPOSIT)))
                 });
             }
             Err(dev) => {
                 self.tracer.emit(|| {
                     Event::new(self.gctr, EventKind::Detection, self.keyring.user)
                         .detail(format!("{dev} lctr={} gctr={}", self.lctr, self.gctr))
+                        .span_opt(self.current_span.map(|c| c.child(stage::VERDICT)))
                 });
             }
         }
@@ -195,11 +209,13 @@ impl Client1 {
         let total: u64 = shares.iter().map(|s| s.lctr).sum();
         let ok = self.gctr == total;
         self.tracer.emit(|| {
-            Event::new(self.gctr, EventKind::SyncUp, self.keyring.user).detail(format!(
-                "{} gctr={} total_lctr={total}",
-                if ok { "ok" } else { "fail" },
-                self.gctr
-            ))
+            Event::new(self.gctr, EventKind::SyncUp, self.keyring.user)
+                .detail(format!(
+                    "{} gctr={} total_lctr={total}",
+                    if ok { "ok" } else { "fail" },
+                    self.gctr
+                ))
+                .span_opt(self.current_span.map(|c| c.child(stage::SYNC)))
         });
         ok
     }

@@ -24,7 +24,7 @@
 
 use tcvs_crypto::{Digest, UserId};
 use tcvs_merkle::{replay_unanchored, Op, OpResult};
-use tcvs_obs::{Event, EventKind, Tracer};
+use tcvs_obs::{stage, Event, EventKind, SpanContext, Tracer};
 
 use crate::forensics::{LoggedTransition, TransitionLog};
 use crate::msg::{ServerResponse, SyncShare};
@@ -52,6 +52,9 @@ pub struct Client2 {
     log: Option<TransitionLog>,
     /// Event tracer (disabled by default; see [`Client2::set_tracer`]).
     tracer: Tracer,
+    /// Trace context of the operation currently being verified (set by the
+    /// transport layer before `handle_response`); emitted events link to it.
+    current_span: Option<SpanContext>,
 }
 
 impl Client2 {
@@ -68,6 +71,7 @@ impl Client2 {
             ops_since_sync: 0,
             log: None,
             tracer: Tracer::disabled(),
+            current_span: None,
         }
     }
 
@@ -76,6 +80,14 @@ impl Client2 {
     /// time (`gctr`), so traced runs stay deterministic.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Sets (or clears) the wire trace context subsequent verdict events
+    /// attach to. The transport handle calls this once per operation with
+    /// the same root context it put on the wire, so the client's verdict
+    /// spans land in the same trace as the server's handling.
+    pub fn set_current_span(&mut self, ctx: Option<SpanContext>) {
+        self.current_span = ctx;
     }
 
     /// Enables transition logging (trades constant memory for exact fault
@@ -122,12 +134,14 @@ impl Client2 {
                 self.tracer.emit(|| {
                     Event::new(self.gctr, EventKind::Deposit, self.user)
                         .detail(format!("accum lctr={} gctr={}", self.lctr, self.gctr))
+                        .span_opt(self.current_span.map(|c| c.child(stage::DEPOSIT)))
                 });
             }
             Err(dev) => {
                 self.tracer.emit(|| {
                     Event::new(self.gctr, EventKind::Detection, self.user)
                         .detail(format!("{dev} lctr={} gctr={}", self.lctr, self.gctr))
+                        .span_opt(self.current_span.map(|c| c.child(stage::VERDICT)))
                 });
             }
         }
@@ -202,12 +216,14 @@ impl Client2 {
             }
         };
         self.tracer.emit(|| {
-            Event::new(self.gctr, EventKind::SyncUp, self.user).detail(format!(
-                "{} lctr={} gctr={}",
-                if ok { "ok" } else { "fail" },
-                self.lctr,
-                self.gctr
-            ))
+            Event::new(self.gctr, EventKind::SyncUp, self.user)
+                .detail(format!(
+                    "{} lctr={} gctr={}",
+                    if ok { "ok" } else { "fail" },
+                    self.lctr,
+                    self.gctr
+                ))
+                .span_opt(self.current_span.map(|c| c.child(stage::SYNC)))
         });
         ok
     }

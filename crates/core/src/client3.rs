@@ -28,7 +28,7 @@
 
 use tcvs_crypto::{Digest, KeyRegistry, Keyring, UserId};
 use tcvs_merkle::{replay_unanchored, Op, OpResult};
-use tcvs_obs::{Event, EventKind, Tracer};
+use tcvs_obs::{stage, Event, EventKind, SpanContext, Tracer};
 
 use crate::msg::{ServerResponse, SignedCheckpoint, SignedEpochState};
 use crate::state::{initial_token, state_token};
@@ -60,6 +60,9 @@ pub struct Client3 {
     audit_cursor: Epoch,
     /// Event tracer (disabled by default; see [`Client3::set_tracer`]).
     tracer: Tracer,
+    /// Trace context of the operation currently being verified (set by the
+    /// transport layer before `handle_response`); emitted events link to it.
+    current_span: Option<SpanContext>,
 }
 
 impl Client3 {
@@ -88,6 +91,7 @@ impl Client3 {
             pending_deposits: Vec::new(),
             audit_cursor,
             tracer: Tracer::disabled(),
+            current_span: None,
         }
     }
 
@@ -96,6 +100,14 @@ impl Client3 {
     /// time (`gctr` or the audited epoch), so traced runs stay deterministic.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Sets (or clears) the wire trace context subsequent verdict events
+    /// attach to. The transport handle calls this once per operation with
+    /// the same root context it put on the wire, so the client's deposit /
+    /// detection spans land in the same trace as the server's handling.
+    pub fn set_current_span(&mut self, ctx: Option<SpanContext>) {
+        self.current_span = ctx;
     }
 
     /// This user's id.
@@ -157,15 +169,18 @@ impl Client3 {
                     self.tracer.emit(|| {
                         Event::new(self.gctr, EventKind::Deposit, self.keyring.user)
                             .detail(format!("epoch={epoch} ops={ops} gctr={}", self.gctr))
+                            .span_opt(self.current_span.map(|c| c.child(stage::DEPOSIT)))
                     });
                 }
             }
             Err(dev) => {
                 self.tracer.emit(|| {
-                    Event::new(self.gctr, EventKind::Detection, self.keyring.user).detail(format!(
-                        "{dev} epoch={} lctr={} gctr={}",
-                        self.cur_epoch, self.lctr, self.gctr
-                    ))
+                    Event::new(self.gctr, EventKind::Detection, self.keyring.user)
+                        .detail(format!(
+                            "{dev} epoch={} lctr={} gctr={}",
+                            self.cur_epoch, self.lctr, self.gctr
+                        ))
+                        .span_opt(self.current_span.map(|c| c.child(stage::VERDICT)))
                 });
             }
         }
@@ -269,12 +284,14 @@ impl Client3 {
                 self.tracer.emit(|| {
                     Event::new(epoch, EventKind::Audit, self.keyring.user)
                         .detail(format!("ok epoch={epoch}"))
+                        .span_opt(self.current_span.map(|c| c.child(stage::SYNC)))
                 });
             }
             Err(dev) => {
                 self.tracer.emit(|| {
                     Event::new(epoch, EventKind::Detection, self.keyring.user)
                         .detail(format!("audit {dev} epoch={epoch}"))
+                        .span_opt(self.current_span.map(|c| c.child(stage::VERDICT)))
                 });
             }
         }

@@ -6,18 +6,27 @@
 //! tcvs> add Common.h "#pragma once"
 //! tcvs> sync
 //! tcvs> metrics
+//! tcvs> trace
 //! ```
 //!
 //! Try `attack fork` and watch the sync-up catch the partition attack.
-//! `--metrics` turns on the observability layer: protocol events are traced
-//! and the `metrics` command (and a final dump at exit) reports counters.
+//! `--metrics` turns on the observability layer: protocol events land in a
+//! bounded flight recorder, and the `metrics` / `trace` commands (and a
+//! final dump at exit) report counters and the span timeline.
+//! `--metrics-out <path>` (implies `--metrics`) additionally writes the
+//! final counters as OpenMetrics text exposition to `path` at exit.
 
 use std::io::{BufRead, Write};
 
 use tcvs_cvs::Repl;
 
 fn main() {
-    let metrics = std::env::args().skip(1).any(|a| a == "--metrics");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1).cloned());
+    let metrics = metrics_out.is_some() || args.iter().any(|a| a == "--metrics");
     let mut repl = Repl::new();
     if metrics {
         repl.enable_metrics();
@@ -43,6 +52,12 @@ fn main() {
         let text = repl.metrics_text();
         if !text.is_empty() {
             println!("\nsession metrics:\n{text}");
+        }
+    }
+    if let Some(path) = metrics_out {
+        match std::fs::write(&path, repl.openmetrics_text()) {
+            Ok(()) => eprintln!("wrote OpenMetrics exposition to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
 }

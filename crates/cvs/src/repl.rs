@@ -15,7 +15,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use tcvs_obs::{MemorySink, MetricsRegistry, Tracer};
+use tcvs_obs::{
+    render_chrome_trace, render_openmetrics, FlightRecorder, MetricsRegistry, Tracer,
+    FLIGHT_RECORDER_DEFAULT_CAP,
+};
 
 use tcvs_core::adversary::{
     CounterSkipServer, DropServer, ForkServer, LieServer, RollbackServer, TamperServer, Trigger,
@@ -44,14 +47,28 @@ pub struct Repl {
     poisoned: bool,
     /// Observability, present after [`Repl::enable_metrics`]: the registry
     /// behind the `metrics` command, the tracer handed to every client, and
-    /// the in-memory sink the clients' protocol events land in.
+    /// the flight-recorder ring the clients' protocol events land in —
+    /// bounded memory no matter how long the session runs.
     obs: Option<ReplObs>,
 }
 
 struct ReplObs {
     registry: Arc<MetricsRegistry>,
     tracer: Tracer,
-    sink: Arc<MemorySink>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl ReplObs {
+    /// Mirrors the flight-recorder counters into gauges so snapshots (text,
+    /// OpenMetrics) show how much of the timeline the ring still holds.
+    fn sync_ring_gauges(&self) {
+        self.registry
+            .gauge("obs.flight.recorded")
+            .set(self.recorder.recorded() as i64);
+        self.registry
+            .gauge("obs.flight.overwritten")
+            .set(self.recorder.overwritten() as i64);
+    }
 }
 
 /// A borrowed session for one command: routes through the REPL's server.
@@ -97,14 +114,14 @@ impl Repl {
     /// counted, and the `metrics` command reports both. Survives `attack`
     /// world resets.
     pub fn enable_metrics(&mut self) {
-        let (tracer, sink) = Tracer::memory();
+        let (tracer, recorder) = Tracer::flight(FLIGHT_RECORDER_DEFAULT_CAP);
         for (_, client) in self.clients.values_mut() {
             client.set_tracer(tracer.clone());
         }
         self.obs = Some(ReplObs {
             registry: Arc::new(MetricsRegistry::new()),
             tracer,
-            sink,
+            recorder,
         });
     }
 
@@ -113,7 +130,22 @@ impl Repl {
     pub fn metrics_text(&self) -> String {
         self.obs
             .as_ref()
-            .map(|o| o.registry.snapshot().render_text())
+            .map(|o| {
+                o.sync_ring_gauges();
+                o.registry.snapshot().render_text()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The current metrics in OpenMetrics text exposition (empty when
+    /// metrics are not enabled) — what `tcvs --metrics-out` writes at exit.
+    pub fn openmetrics_text(&self) -> String {
+        self.obs
+            .as_ref()
+            .map(|o| {
+                o.sync_ring_gauges();
+                render_openmetrics(&o.registry.snapshot())
+            })
             .unwrap_or_default()
     }
 
@@ -123,9 +155,10 @@ impl Repl {
         if line.is_empty() || line.starts_with('#') {
             return String::new();
         }
-        // `help` and `metrics` stay available after detection — the event
-        // timeline is exactly what a poisoned session wants to inspect.
-        if self.poisoned && line != "help" && line != "metrics" {
+        // `help`, `metrics` and `trace` stay available after detection —
+        // the event timeline is exactly what a poisoned session wants to
+        // inspect.
+        if self.poisoned && line != "help" && line != "metrics" && !line.starts_with("trace") {
             return "session poisoned: server deviation was detected; restart required".into();
         }
         let tokens = tokenize(line);
@@ -137,6 +170,7 @@ impl Repl {
         let result = match cmd {
             "help" => Ok(HELP.to_string()),
             "metrics" => Ok(self.cmd_metrics()),
+            "trace" => Ok(self.cmd_trace(args)),
             "user" => self.cmd_user(args),
             "add" => self.cmd_add(args),
             "cat" => self.cmd_cat(args),
@@ -170,19 +204,40 @@ impl Repl {
         let Some(obs) = &self.obs else {
             return "metrics are off (run `tcvs --metrics`, or call Repl::enable_metrics)".into();
         };
+        obs.sync_ring_gauges();
         let mut out = obs.registry.snapshot().render_text();
-        let events = obs.sink.events();
+        let events = obs.recorder.snapshot();
         if !events.is_empty() {
             let tail = &events[events.len().saturating_sub(10)..];
             let _ = write!(
                 out,
                 "\nlast {} of {} events:\n{}",
                 tail.len(),
-                events.len(),
+                obs.recorder.recorded(),
                 tcvs_obs::render_log(tail)
             );
         }
         out
+    }
+
+    /// The `trace` command: the flight-recorder timeline as a text log, or
+    /// — with `trace json` — as Chrome-trace JSON for Perfetto.
+    fn cmd_trace(&mut self, args: &[String]) -> String {
+        let Some(obs) = &self.obs else {
+            return "tracing is off (run `tcvs --metrics`, or call Repl::enable_metrics)".into();
+        };
+        let events = obs.recorder.snapshot();
+        match args.first().map(String::as_str) {
+            Some("json") => render_chrome_trace(&events),
+            _ if events.is_empty() => "no events recorded yet".into(),
+            _ => format!(
+                "flight recorder: {} retained of {} recorded ({} overwritten)\n{}",
+                events.len(),
+                obs.recorder.recorded(),
+                obs.recorder.overwritten(),
+                obs.recorder.render_log()
+            ),
+        }
     }
 
     fn with_cvs<T>(
@@ -406,6 +461,7 @@ commands:
   sync                           broadcast sync-up across all users
   attack <name> [trigger]        restart against a malicious server
   metrics                        counters + recent protocol events (needs --metrics)
+  trace [json]                   flight-recorder timeline; `json` emits Chrome-trace
   help";
 
 #[cfg(test)]
@@ -552,6 +608,45 @@ mod tests {
         r.exec("cat f");
         assert!(r.exec("sync").contains("FAILED"));
         assert!(r.metrics_text().contains("cvs.detections"));
+    }
+
+    #[test]
+    fn trace_command_renders_timeline_and_chrome_json() {
+        let mut r = Repl::new();
+        assert!(r.exec("trace").contains("tracing is off"));
+        r.enable_metrics();
+        assert!(r.exec("trace").contains("no events"));
+        r.exec("user alice");
+        r.exec(r#"add f "v1""#);
+        r.exec("sync");
+        let text = r.exec("trace");
+        assert!(text.contains("flight recorder:"), "{text}");
+        assert!(text.contains("sync-up"), "{text}");
+        let json = r.exec("trace json");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("sync-up"), "{json}");
+        // The ring counters surface in both text and OpenMetrics form.
+        assert!(r.metrics_text().contains("obs.flight.recorded"));
+        let om = r.openmetrics_text();
+        assert!(om.contains("obs_flight_recorded"), "{om}");
+        assert!(om.ends_with("# EOF\n"), "{om}");
+    }
+
+    #[test]
+    fn trace_survives_poisoning() {
+        let mut r = Repl::new();
+        r.enable_metrics();
+        r.exec("attack lie 2");
+        r.exec("user alice");
+        r.exec(r#"add f "v1""#);
+        for _ in 0..6 {
+            if r.exec("cat f").contains("deviation") {
+                break;
+            }
+        }
+        assert!(r.exec("cat f").contains("poisoned"));
+        assert!(r.exec("trace").contains("detection"));
+        assert!(r.exec("trace json").contains("verdict"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use tcvs_core::{
 };
 use tcvs_crypto::{KeyRegistry, Keyring};
 use tcvs_merkle::{replay_unanchored, VerifyError};
+use tcvs_obs::SpanContext;
 
 use crate::error::{NetError, RetryPolicy};
 use crate::obs::NetStats;
@@ -79,19 +80,25 @@ impl NetClient1 {
             Request::Signature {
                 user: self.inner.user(),
                 signed: init,
+                ctx: None,
             },
         )
     }
 
-    /// Executes one verified operation.
+    /// Executes one verified operation. The whole exchange — request,
+    /// server handling, verification verdict, signature deposit — shares
+    /// one trace rooted at this client's `(user, seq)`.
     pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
         self.seq += 1;
+        let ctx = SpanContext::root(self.inner.user(), self.seq);
+        self.inner.set_current_span(Some(ctx));
         let resp = remote_op(
             &self.tx,
             self.inner.user(),
             self.seq,
             op,
             self.ops,
+            Some(ctx),
             &self.policy,
             &self.stats,
         )?;
@@ -102,6 +109,7 @@ impl NetClient1 {
             Request::Signature {
                 user: self.inner.user(),
                 signed: deposit,
+                ctx: Some(ctx),
             },
         )?;
         Ok(result)
@@ -169,15 +177,19 @@ impl NetClient2 {
         self.policy = policy;
     }
 
-    /// Executes one verified operation.
+    /// Executes one verified operation. Request, server handling, and the
+    /// verification verdict share one trace rooted at `(user, seq)`.
     pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
         self.seq += 1;
+        let ctx = SpanContext::root(self.inner.user(), self.seq);
+        self.inner.set_current_span(Some(ctx));
         let resp = remote_op(
             &self.tx,
             self.inner.user(),
             self.seq,
             op,
             self.ops,
+            Some(ctx),
             &self.policy,
             &self.stats,
         )?;
@@ -258,12 +270,15 @@ impl NetClient3 {
     pub fn execute_at(&mut self, op: &Op, round: u64) -> Result<OpResult, NetError> {
         self.round = round;
         self.seq += 1;
+        let ctx = SpanContext::root(self.inner.user(), self.seq);
+        self.inner.set_current_span(Some(ctx));
         let resp = remote_op(
             &self.tx,
             self.inner.user(),
             self.seq,
             op,
             round,
+            Some(ctx),
             &self.policy,
             &self.stats,
         )?;
@@ -387,6 +402,7 @@ impl NetClientTrusted {
             self.seq,
             op,
             self.ops,
+            Some(SpanContext::root(self.user, self.seq)),
             &self.policy,
             &self.stats,
         )?;
@@ -466,6 +482,7 @@ impl NetSnapshotReader {
             self.user,
             self.seq,
             op,
+            Some(SpanContext::root(self.user, self.seq)),
             &self.policy,
             &self.stats,
         )?;

@@ -34,7 +34,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 use tcvs_core::{FaultCounts, FaultKind, FaultPlan, UserId};
-use tcvs_obs::{Event, EventKind};
+use tcvs_obs::{stage, Event, EventKind};
 
 use crate::obs::NetStats;
 use crate::server::{sealed, Endpoint, Request, WireHandle};
@@ -91,6 +91,7 @@ impl FaultLink {
                         seq,
                         op,
                         round,
+                        ctx,
                         reply,
                     } if seen.insert((user, seq)) => {
                         let fault = plan.fault_at(op_index);
@@ -98,6 +99,7 @@ impl FaultLink {
                             stats.tracer.emit(|| {
                                 Event::new(op_index, EventKind::FaultInjected, user)
                                     .detail(format!("{kind:?}"))
+                                    .span_opt(ctx.map(|c| c.child(stage::FAULT)))
                             });
                         }
                         op_index += 1;
@@ -108,6 +110,7 @@ impl FaultLink {
                                     seq,
                                     op,
                                     round,
+                                    ctx,
                                     reply,
                                 })
                                 .is_ok(),
@@ -125,6 +128,7 @@ impl FaultLink {
                                     seq,
                                     op,
                                     round,
+                                    ctx,
                                     reply: dead_tx,
                                 })
                                 .is_ok()
@@ -137,6 +141,7 @@ impl FaultLink {
                                     seq,
                                     op,
                                     round,
+                                    ctx,
                                     reply,
                                 })
                                 .is_ok()
@@ -148,6 +153,7 @@ impl FaultLink {
                                     seq,
                                     op: op.clone(),
                                     round,
+                                    ctx,
                                     reply: reply.clone(),
                                 };
                                 down.send(Request::Op {
@@ -155,6 +161,7 @@ impl FaultLink {
                                     seq,
                                     op,
                                     round,
+                                    ctx,
                                     reply,
                                 })
                                 .is_ok()
@@ -172,6 +179,7 @@ impl FaultLink {
                                     seq,
                                     op,
                                     round,
+                                    ctx,
                                     reply,
                                 });
                                 stashed_now = true;
@@ -185,6 +193,7 @@ impl FaultLink {
                                         seq,
                                         op,
                                         round,
+                                        ctx,
                                         reply,
                                     })
                                     .is_ok();

@@ -29,7 +29,7 @@ use tcvs_core::{
     SignedEpochState, SignedState, UserId,
 };
 use tcvs_merkle::VerificationObject;
-use tcvs_obs::{Event, EventKind, NO_ACTOR};
+use tcvs_obs::{stage, Event, EventKind, SpanContext, NO_ACTOR};
 
 use crate::error::{NetError, RetryPolicy};
 use crate::obs::NetStats;
@@ -42,11 +42,17 @@ pub(crate) enum Request {
         seq: u64,
         op: Op,
         round: u64,
+        /// Wire-propagated trace context: the client's root span for this
+        /// logical operation. Every event the server (or an interposed
+        /// fault link) emits while handling the request is a child of it.
+        ctx: Option<SpanContext>,
         reply: Sender<ServerResponse>,
     },
     Signature {
         user: UserId,
         signed: SignedState,
+        /// Trace context of the operation this deposit settles.
+        ctx: Option<SpanContext>,
     },
     EpochState(SignedEpochState),
     FetchEpochStates {
@@ -72,6 +78,8 @@ pub(crate) enum Request {
 /// idempotent, so retries need no journal.
 pub(crate) struct ReadRequest {
     pub(crate) op: Op,
+    /// Wire-propagated trace context for the reader's logical operation.
+    pub(crate) ctx: Option<SpanContext>,
     pub(crate) reply: Sender<ReadResponse>,
 }
 
@@ -243,6 +251,7 @@ impl NetServer {
                         seq,
                         op,
                         round,
+                        ctx,
                         reply,
                     } => {
                         if let Some(resp) = journal_hit(&journal, user, seq) {
@@ -251,9 +260,10 @@ impl NetServer {
                             // re-enter the blocking wait — the first delivery
                             // already did).
                             stats.journal_hits.inc();
-                            stats
-                                .tracer
-                                .emit(|| Event::new(seq, EventKind::JournalHit, user));
+                            stats.tracer.emit(|| {
+                                Event::new(seq, EventKind::JournalHit, user)
+                                    .span_opt(ctx.map(|c| c.child(stage::JOURNAL)))
+                            });
                             let _ = reply.send(resp);
                             continue;
                         }
@@ -279,6 +289,7 @@ impl NetServer {
                         stats.tracer.emit(|| {
                             Event::new(ctr, EventKind::OpServed, user)
                                 .detail(format!("seq={seq} round={round}"))
+                                .span_opt(ctx.map(|c| c.child(stage::SERVER)))
                         });
                         if opts.blocking_signatures
                             && !blocking_wait(
@@ -297,12 +308,13 @@ impl NetServer {
                             return;
                         }
                     }
-                    Request::Signature { user, signed } => {
+                    Request::Signature { user, signed, ctx } => {
                         let ctr = signed.ctr;
                         inner.deposit_signature(user, signed);
-                        stats
-                            .tracer
-                            .emit(|| Event::new(ctr, EventKind::Deposit, user));
+                        stats.tracer.emit(|| {
+                            Event::new(ctr, EventKind::Deposit, user)
+                                .span_opt(ctx.map(|c| c.child(stage::DEPOSIT)))
+                        });
                     }
                     Request::EpochState(s) => inner.deposit_epoch_state(s),
                     Request::FetchEpochStates { user, epoch, reply } => {
@@ -432,9 +444,10 @@ fn spawn_readers(
                     stats
                         .read_micros
                         .observe(started.elapsed().as_micros() as u64);
-                    stats
-                        .tracer
-                        .emit(|| Event::new(ctr, EventKind::ReadServed, NO_ACTOR));
+                    stats.tracer.emit(|| {
+                        Event::new(ctr, EventKind::ReadServed, NO_ACTOR)
+                            .span_opt(req.ctx.map(|c| c.child(stage::READ)))
+                    });
                 }
                 // An update on the read wire is a client bug; dropping the
                 // reply sender disconnects the waiter rather than serving a
@@ -470,12 +483,17 @@ fn blocking_wait(
 ) -> bool {
     loop {
         match rx.recv_timeout(deposit_timeout) {
-            Ok(Request::Signature { user: su, signed }) if su == user => {
+            Ok(Request::Signature {
+                user: su,
+                signed,
+                ctx,
+            }) if su == user => {
                 let ctr = signed.ctr;
                 inner.deposit_signature(su, signed);
-                stats
-                    .tracer
-                    .emit(|| Event::new(ctr, EventKind::Deposit, su));
+                stats.tracer.emit(|| {
+                    Event::new(ctr, EventKind::Deposit, su)
+                        .span_opt(ctx.map(|c| c.child(stage::DEPOSIT)))
+                });
                 return true;
             }
             Ok(Request::Op {
@@ -483,6 +501,7 @@ fn blocking_wait(
                 seq,
                 op,
                 round,
+                ctx,
                 reply,
             }) => {
                 if ou == user {
@@ -499,6 +518,7 @@ fn blocking_wait(
                     seq,
                     op,
                     round,
+                    ctx,
                     reply,
                 });
             }
@@ -556,6 +576,7 @@ fn drain(
                 seq,
                 op,
                 round,
+                ctx: _,
                 reply,
             } => {
                 let resp = match journal_hit(journal, user, seq) {
@@ -569,7 +590,11 @@ fn drain(
                 };
                 let _ = reply.send(resp);
             }
-            Request::Signature { user, signed } => inner.deposit_signature(user, signed),
+            Request::Signature {
+                user,
+                signed,
+                ctx: _,
+            } => inner.deposit_signature(user, signed),
             Request::EpochState(s) => inner.deposit_epoch_state(s),
             Request::FetchEpochStates { user, epoch, reply } => {
                 let _ = reply.send(inner.fetch_epoch_states(user, epoch));
@@ -594,13 +619,17 @@ fn drain(
 /// reply channel means the request was consumed but no reply will come (a
 /// dropped request or reply in flight) — retry immediately. A timeout backs
 /// off exponentially before the retry. Retries reuse the same `seq`, so the
-/// server's reply journal guarantees the operation executes at most once.
+/// server's reply journal guarantees the operation executes at most once —
+/// and reuse the same trace context (the retry is a new span in the *same*
+/// trace, not a new trace).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn remote_op(
     tx: &Sender<Request>,
     user: UserId,
     seq: u64,
     op: &Op,
     round: u64,
+    ctx: Option<SpanContext>,
     policy: &RetryPolicy,
     stats: &NetStats,
 ) -> Result<ServerResponse, NetError> {
@@ -609,7 +638,9 @@ pub(crate) fn remote_op(
         if attempt > 0 {
             stats.retries.inc();
             stats.tracer.emit(|| {
-                Event::new(seq, EventKind::Retry, user).detail(format!("attempt={attempt}"))
+                Event::new(seq, EventKind::Retry, user)
+                    .detail(format!("attempt={attempt}"))
+                    .span_opt(ctx.map(|c| c.child(stage::RETRY)))
             });
         }
         let (reply_tx, reply_rx) = bounded(1);
@@ -618,6 +649,7 @@ pub(crate) fn remote_op(
             seq,
             op: op.clone(),
             round,
+            ctx,
             reply: reply_tx,
         })
         .map_err(|_| NetError::ServerGone)?;
@@ -643,6 +675,7 @@ pub(crate) fn remote_read(
     user: UserId,
     seq: u64,
     op: &Op,
+    ctx: Option<SpanContext>,
     policy: &RetryPolicy,
     stats: &NetStats,
 ) -> Result<ReadResponse, NetError> {
@@ -651,12 +684,15 @@ pub(crate) fn remote_read(
         if attempt > 0 {
             stats.retries.inc();
             stats.tracer.emit(|| {
-                Event::new(seq, EventKind::Retry, user).detail(format!("attempt={attempt}"))
+                Event::new(seq, EventKind::Retry, user)
+                    .detail(format!("attempt={attempt}"))
+                    .span_opt(ctx.map(|c| c.child(stage::RETRY)))
             });
         }
         let (reply_tx, reply_rx) = bounded(1);
         tx.send(ReadRequest {
             op: op.clone(),
+            ctx,
             reply: reply_tx,
         })
         .map_err(|_| NetError::ServerGone)?;

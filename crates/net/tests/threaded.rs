@@ -446,3 +446,64 @@ fn faulty_link_to_a_dead_server_reports_gone_or_timeout() {
         other => panic!("expected a transport error, got {other:?}"),
     }
 }
+
+#[test]
+fn wire_trace_links_client_and_server_spans_of_one_operation() {
+    use tcvs_net::{NetServerOptions, NetStats};
+    use tcvs_obs::{EventKind, MetricsRegistry, SpanContext, Tracer};
+
+    let cfg = config();
+    let (tracer, sink) = Tracer::memory();
+    let stats = NetStats::new(std::sync::Arc::new(MetricsRegistry::new()), tracer);
+    let server = NetServer::spawn_observed(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions::default(),
+        stats.clone(),
+    );
+    // Route through a (quiet) fault link too: pass-through must preserve
+    // the trace context it forwards.
+    let link = FaultLink::interpose_observed(&server, FaultPlan::none(), stats.clone());
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &link);
+    c.set_stats(stats.clone());
+    for i in 0..5u64 {
+        c.execute(&Op::Put(u64_key(i), vec![i as u8])).unwrap();
+    }
+    server.shutdown();
+
+    // One logical operation, one trace: the server's op-served span and the
+    // client's deposit span for (user 0, seq 3) both descend from the same
+    // deterministic root.
+    let root = SpanContext::root(0, 3);
+    let events = sink.events();
+    let served = events
+        .iter()
+        .find(|e| e.kind == EventKind::OpServed && e.span.is_some_and(|sp| sp.trace == root.trace))
+        .expect("server-side span for seq 3 recorded");
+    let deposit = events
+        .iter()
+        .find(|e| e.kind == EventKind::Deposit && e.span.is_some_and(|sp| sp.trace == root.trace))
+        .expect("client-side span for seq 3 recorded");
+    let served_span = served.span.unwrap();
+    let deposit_span = deposit.span.unwrap();
+    assert_eq!(
+        served_span.parent,
+        Some(root.span),
+        "server hop links to the root"
+    );
+    assert_eq!(
+        deposit_span.parent,
+        Some(root.span),
+        "client verdict links to the root"
+    );
+    assert_ne!(
+        served_span.span, deposit_span.span,
+        "distinct spans, one trace"
+    );
+    // Spans from a different operation live in a different trace.
+    let other = SpanContext::root(0, 4);
+    assert_ne!(other.trace, root.trace);
+    assert!(events
+        .iter()
+        .any(|e| e.span.is_some_and(|sp| sp.trace == other.trace)));
+}

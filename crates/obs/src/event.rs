@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use crate::span::SpanContext;
+
 /// Actor value meaning "no specific user" (the server itself, or the
 /// harness).
 pub const NO_ACTOR: u32 = u32::MAX;
@@ -95,6 +97,10 @@ pub struct Event {
     pub user: u32,
     /// Free-form detail: counter values, outcomes, evidence.
     pub detail: String,
+    /// The wire-propagated span this event belongs to, when the emitting
+    /// component took part in a traced operation. `None` renders exactly
+    /// as before spans existed, so span-less logs stay byte-stable.
+    pub span: Option<SpanContext>,
 }
 
 impl Event {
@@ -105,12 +111,26 @@ impl Event {
             kind,
             user,
             detail: String::new(),
+            span: None,
         }
     }
 
     /// Attaches detail text (builder style).
     pub fn detail(mut self, detail: impl Into<String>) -> Event {
         self.detail = detail.into();
+        self
+    }
+
+    /// Attaches a span context (builder style).
+    pub fn span(mut self, ctx: SpanContext) -> Event {
+        self.span = Some(ctx);
+        self
+    }
+
+    /// Attaches a span context when one is present (builder style; the
+    /// common shape at call sites that thread an `Option` through).
+    pub fn span_opt(mut self, ctx: Option<SpanContext>) -> Event {
+        self.span = ctx;
         self
     }
 
@@ -121,7 +141,7 @@ impl Event {
         } else {
             format!("u{}", self.user)
         };
-        if self.detail.is_empty() {
+        let mut line = if self.detail.is_empty() {
             format!("{:>8}  {:<18} {:<6}", self.t, self.kind.label(), user)
         } else {
             format!(
@@ -131,7 +151,12 @@ impl Event {
                 user,
                 self.detail
             )
+        };
+        if let Some(ctx) = &self.span {
+            line.push_str("  ");
+            line.push_str(&ctx.render());
         }
+        line
     }
 }
 
@@ -191,6 +216,24 @@ mod tests {
         );
         let anon = Event::new(0, EventKind::Crash, NO_ACTOR);
         assert!(anon.render_line().contains(" - "));
+    }
+
+    #[test]
+    fn span_suffix_only_renders_when_present() {
+        use crate::span::{stage, SpanContext};
+        let bare = Event::new(42, EventKind::SyncUp, 1).detail("ok lctr=8");
+        let spanned = bare
+            .clone()
+            .span(SpanContext::root(1, 3).child(stage::SYNC));
+        assert!(!bare.render_line().contains("trace="));
+        let line = spanned.render_line();
+        assert!(line.starts_with(&bare.render_line()), "{line}");
+        assert!(
+            line.contains("trace=") && line.contains("parent="),
+            "{line}"
+        );
+        // `span_opt(None)` is the identity.
+        assert_eq!(bare.clone().span_opt(None), bare);
     }
 
     #[test]

@@ -453,6 +453,39 @@ mod tests {
     }
 
     #[test]
+    fn histogram_overflow_and_underflow_buckets() {
+        let h = Histogram::new();
+        // Underflow edge: zero lands in its dedicated bucket 0, not in the
+        // `[1, 2)` bucket, and never inflates quantiles.
+        h.observe(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile(1.0), 0);
+        // Overflow edge: the last bucket absorbs the top of the u64 range.
+        h.observe(u64::MAX);
+        h.observe(1u64 << 63);
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Sum wraps (documented); count stays exact.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(1u64 << 63));
+        // Bucket population is conserved across the full range.
+        let total: u64 = h.bucket_counts().iter().sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn counter_saturates_by_wrapping_not_panicking() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        // One past the top wraps to zero (fetch_add semantics) — relied on
+        // nowhere, but it must not panic in release or debug builds.
+        c.inc();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "different kind")]
     fn registry_rejects_kind_clashes() {
         let r = MetricsRegistry::new();

@@ -1,0 +1,199 @@
+//! The flight recorder: a fixed-size ring-buffer sink that is cheap enough
+//! to leave on for the lifetime of a deployment.
+//!
+//! Where [`crate::MemorySink`] keeps the *oldest* events and drops new ones
+//! once full (the right policy for a bounded diagnostic capture with a
+//! known start), the recorder keeps the *newest*: it overwrites the oldest
+//! slot, so at any moment it holds the last `capacity` events — exactly
+//! what you want dumped when a deviation verdict, crash-restart, or failed
+//! sync-up fires after hours of healthy traffic.
+//!
+//! Writer coordination is lock-free: each `record` reserves a slot with one
+//! `fetch_add` on the write cursor, then stores the event under that slot's
+//! own mutex (slots are never contended except when the ring wraps onto an
+//! in-flight writer, `capacity` writes later). The crate forbids `unsafe`,
+//! so per-slot mutexes stand in for the atomics-over-`MaybeUninit` idiom a
+//! `no_std` ring would use — the reservation, which is what serializes
+//! writers, stays a single atomic instruction either way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{render_log, Event};
+use crate::trace::EventSink;
+
+/// Default ring capacity: 4096 events ≈ a few hundred KB — bounded memory
+/// however long the run.
+pub const FLIGHT_RECORDER_DEFAULT_CAP: usize = 4096;
+
+/// A fixed-size, overwrite-oldest event ring (see module docs).
+pub struct FlightRecorder {
+    slots: Box<[Mutex<Option<Event>>]>,
+    /// Total events ever recorded; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+    /// Events overwritten because the ring wrapped.
+    overwritten: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(FLIGHT_RECORDER_DEFAULT_CAP)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the default capacity.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// A recorder holding the last `cap` events (clamped to ≥ 1).
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to overwriting (total recorded minus capacity, once the
+    /// ring has wrapped).
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// The retained timeline, oldest first.
+    ///
+    /// The snapshot is consistent per slot (each slot is read under its
+    /// lock); a writer racing the snapshot contributes either its old or
+    /// its new event, never a torn one. Under the deterministic simulator
+    /// — a single emitting thread — the snapshot is exact.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let cap = self.slots.len() as u64;
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let (start, len) = if cursor <= cap {
+            (0, cursor)
+        } else {
+            (cursor % cap, cap)
+        };
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let idx = ((start + i) % cap) as usize;
+            if let Some(ev) = self.slots[idx].lock().expect("slot poisoned").clone() {
+                out.push(ev);
+            }
+        }
+        out
+    }
+
+    /// Renders the retained timeline as a diffable text log.
+    pub fn render_log(&self) -> String {
+        render_log(&self.snapshot())
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn record(&self, ev: Event) {
+        let ticket = self.cursor.fetch_add(1, Ordering::AcqRel);
+        let idx = (ticket % self.slots.len() as u64) as usize;
+        let evicted = self.slots[idx]
+            .lock()
+            .expect("slot poisoned")
+            .replace(ev)
+            .is_some();
+        if evicted {
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FlightRecorder(cap={}, recorded={}, overwritten={})",
+            self.capacity(),
+            self.recorded(),
+            self.overwritten()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::trace::Tracer;
+    use std::sync::Arc;
+
+    fn ev(t: u64) -> Event {
+        Event::new(t, EventKind::OpServed, 0)
+    }
+
+    #[test]
+    fn partial_ring_snapshots_in_order() {
+        let r = FlightRecorder::with_capacity(8);
+        for t in 0..5 {
+            r.record(ev(t));
+        }
+        let snap: Vec<u64> = r.snapshot().iter().map(|e| e.t).collect();
+        assert_eq!(snap, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.overwritten(), 0);
+        assert_eq!(r.recorded(), 5);
+    }
+
+    #[test]
+    fn wrapped_ring_keeps_the_newest_events() {
+        let r = FlightRecorder::with_capacity(4);
+        for t in 0..10 {
+            r.record(ev(t));
+        }
+        let snap: Vec<u64> = r.snapshot().iter().map(|e| e.t).collect();
+        assert_eq!(snap, vec![6, 7, 8, 9], "last `capacity` events, in order");
+        assert_eq!(r.overwritten(), 6);
+        assert_eq!(r.recorded(), 10);
+    }
+
+    #[test]
+    fn works_as_a_tracer_sink() {
+        let r = Arc::new(FlightRecorder::with_capacity(2));
+        let t = Tracer::to_sink(Arc::clone(&r) as Arc<dyn crate::EventSink>);
+        for i in 0..3 {
+            t.emit(|| ev(i));
+        }
+        assert_eq!(r.snapshot().len(), 2);
+        assert!(r.render_log().contains("op-served"));
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing_within_capacity() {
+        let r = Arc::new(FlightRecorder::with_capacity(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|tid| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        r.record(ev(tid * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 1024);
+        assert_eq!(r.overwritten(), 0);
+        assert_eq!(r.snapshot().len(), 1024);
+    }
+}

@@ -2,6 +2,7 @@
 //! wants them — and how they cost (almost) nothing when nobody does.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::{render_log, Event};
@@ -13,16 +14,53 @@ pub trait EventSink: Send + Sync {
     fn record(&self, ev: Event);
 }
 
-/// An in-memory sink: events accumulate in arrival order.
-#[derive(Default)]
+/// Default [`MemorySink`] capacity: large enough that every test and
+/// interactive session keeps its full timeline, small enough that a
+/// long-running simulation cannot grow the sink without bound.
+pub const MEMORY_SINK_DEFAULT_CAP: usize = 1 << 20;
+
+/// An in-memory sink: events accumulate in arrival order, up to a fixed
+/// capacity. Once full, **new** events are dropped (the head of a timeline
+/// is where a diagnosis starts; keep it) and counted in
+/// [`MemorySink::dropped`] — callers with a registry should surface that
+/// count as a metric so silent truncation is visible. Components that want
+/// the opposite policy — keep the newest, overwrite the oldest — use the
+/// [`crate::FlightRecorder`] instead.
 pub struct MemorySink {
     events: Mutex<Vec<Event>>,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for MemorySink {
+    fn default() -> MemorySink {
+        MemorySink::with_capacity(MEMORY_SINK_DEFAULT_CAP)
+    }
 }
 
 impl MemorySink {
-    /// A fresh, empty sink.
+    /// A fresh, empty sink with the default capacity.
     pub fn new() -> MemorySink {
         MemorySink::default()
+    }
+
+    /// A fresh, empty sink holding at most `cap` events (clamped to ≥ 1).
+    pub fn with_capacity(cap: usize) -> MemorySink {
+        MemorySink {
+            events: Mutex::new(Vec::new()),
+            cap: cap.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of events this sink retains.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of events dropped because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// A copy of everything recorded so far.
@@ -53,7 +91,13 @@ impl MemorySink {
 
 impl EventSink for MemorySink {
     fn record(&self, ev: Event) {
-        self.events.lock().expect("sink poisoned").push(ev);
+        let mut events = self.events.lock().expect("sink poisoned");
+        if events.len() < self.cap {
+            events.push(ev);
+        } else {
+            drop(events);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -86,6 +130,30 @@ impl Tracer {
                 sink: Some(Arc::clone(&sink) as Arc<dyn EventSink>),
             },
             sink,
+        )
+    }
+
+    /// A tracer plus a bounded in-memory sink holding at most `cap` events
+    /// (further events are dropped and counted, not stored).
+    pub fn memory_bounded(cap: usize) -> (Tracer, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::with_capacity(cap));
+        (
+            Tracer {
+                sink: Some(Arc::clone(&sink) as Arc<dyn EventSink>),
+            },
+            sink,
+        )
+    }
+
+    /// A tracer plus the [`crate::FlightRecorder`] ring it writes to: the
+    /// always-on, overwrite-oldest sink for long-running deployments.
+    pub fn flight(cap: usize) -> (Tracer, Arc<crate::FlightRecorder>) {
+        let recorder = Arc::new(crate::FlightRecorder::with_capacity(cap));
+        (
+            Tracer {
+                sink: Some(Arc::clone(&recorder) as Arc<dyn EventSink>),
+            },
+            recorder,
         )
     }
 
@@ -146,6 +214,31 @@ mod tests {
         assert_eq!(evs[4].t, 4);
         assert_eq!(sink.take().len(), 5);
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn full_sink_drops_newest_and_counts() {
+        let (t, sink) = Tracer::memory_bounded(3);
+        assert_eq!(sink.capacity(), 3);
+        for i in 0..10 {
+            t.emit(|| Event::new(i, EventKind::OpServed, 0));
+        }
+        assert_eq!(sink.len(), 3, "capacity is a hard bound");
+        assert_eq!(sink.dropped(), 7);
+        // The oldest events survive: the head of a timeline is kept.
+        assert_eq!(sink.events()[0].t, 0);
+        assert_eq!(sink.events()[2].t, 2);
+        // Draining makes room again.
+        sink.take();
+        t.emit(|| Event::new(99, EventKind::OpServed, 0));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 7, "drop count is cumulative");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let sink = MemorySink::with_capacity(0);
+        assert_eq!(sink.capacity(), 1);
     }
 
     #[test]

@@ -33,4 +33,7 @@ pub mod token_ring;
 pub use latency::{theoretical_bound, DetectionLatency, LatencyBound};
 pub use oracle::{run_with_oracle, OracleVerdict};
 pub use report::{DetectionEvent, RunReport};
-pub use runner::{initial_root, op_request_size, simulate, simulate_observed, SimSpec};
+pub use runner::{
+    initial_root, op_request_size, simulate, simulate_observed, simulate_with_flight_recorder,
+    SimSpec,
+};

@@ -14,6 +14,7 @@
 //! Detection stops the run: the paper assumes the first user to detect
 //! leaves the system and alerts the others out of band.
 
+use std::sync::Arc;
 use tcvs_core::strawman::NaiveXorClient;
 use tcvs_core::{
     Client1, Client2, Client3, Deviation, Digest, FaultKind, FaultPlan, Op, ProtocolConfig,
@@ -21,7 +22,7 @@ use tcvs_core::{
 };
 use tcvs_crypto::setup_users;
 use tcvs_merkle::MerkleTree;
-use tcvs_obs::{Event, EventKind, Tracer, NO_ACTOR};
+use tcvs_obs::{stage, Event, EventKind, FlightRecorder, SpanContext, Tracer, NO_ACTOR};
 use tcvs_workload::Trace;
 
 use crate::latency::{theoretical_bound, DetectionLatency};
@@ -202,6 +203,9 @@ pub fn simulate_observed(
 
     // Per-user op counts *after* the violation point (for the k metric).
     let mut ops_after_violation_per_user = vec![0u64; spec.n_users as usize];
+    // Per-user sequence numbers: the same numbering the threaded transport
+    // uses, so simulator span trees match wire span trees op for op.
+    let mut seqs = vec![0u64; spec.n_users as usize];
 
     // Benign faults: adjacent reorders permute the delivery order; the
     // other kinds add cost (retransmissions, delay rounds, restarts) at
@@ -210,6 +214,10 @@ pub fn simulate_observed(
     for (idx, &trace_idx) in order.iter().enumerate() {
         let sop = &trace.ops()[trace_idx as usize];
         let fault = spec.faults.fault_at(idx as u64);
+        seqs[sop.user as usize] += 1;
+        // The root span for this logical operation: everything this delivery
+        // causes — fault, server handling, verdict, sync — links under it.
+        let ctx = SpanContext::root(sop.user, seqs[sop.user as usize]);
         let mut round = sop.round.max(busy_until);
         match fault {
             Some(FaultKind::DropRequest) => {
@@ -242,7 +250,9 @@ pub fn simulate_observed(
         }
         if let Some(f) = fault {
             tracer.emit(|| {
-                Event::new(idx as u64, EventKind::FaultInjected, sop.user).detail(format!("{f:?}"))
+                Event::new(idx as u64, EventKind::FaultInjected, sop.user)
+                    .detail(format!("{f:?}"))
+                    .span(ctx.child(stage::FAULT))
             });
         }
         if violation_op == Some(idx as u64) {
@@ -250,12 +260,14 @@ pub fn simulate_observed(
             tracer.emit(|| {
                 Event::new(idx as u64, EventKind::DeviationInjected, NO_ACTOR)
                     .detail(format!("round={round}"))
+                    .span(ctx)
             });
         }
         let resp = server.handle_op(sop.user, &sop.op, round);
         tracer.emit(|| {
             Event::new(idx as u64, EventKind::OpServed, sop.user)
                 .detail(format!("round={round} ctr={}", resp.ctr))
+                .span(ctx.child(stage::SERVER))
         });
         report.msgs += 2;
         report.bytes += (op_request_size(&sop.op) + resp.encoded_size()) as u64;
@@ -274,6 +286,7 @@ pub fn simulate_observed(
             ClientSet::Trusted => {}
             ClientSet::One(cs) => {
                 let c = &mut cs[sop.user as usize];
+                c.set_current_span(Some(ctx));
                 match c.handle_response(&sop.op, &resp) {
                     Ok((_result, deposit)) => {
                         report.msgs += 1;
@@ -285,7 +298,9 @@ pub fn simulate_observed(
                 }
             }
             ClientSet::Two(cs) => {
-                if let Err(d) = cs[sop.user as usize].handle_response(&sop.op, &resp) {
+                let c = &mut cs[sop.user as usize];
+                c.set_current_span(Some(ctx));
+                if let Err(d) = c.handle_response(&sop.op, &resp) {
                     detection = Some(d);
                 }
             }
@@ -295,6 +310,7 @@ pub fn simulate_observed(
                 }
             }
             ClientSet::Three(cs) => {
+                cs[sop.user as usize].set_current_span(Some(ctx));
                 match cs[sop.user as usize].handle_response(&sop.op, &resp, round) {
                     Ok((_result, deposits)) => {
                         for d in deposits {
@@ -341,6 +357,7 @@ pub fn simulate_observed(
             tracer.emit(|| {
                 Event::new(idx as u64, EventKind::Detection, sop.user)
                     .detail(format!("{dev} round={round}"))
+                    .span(ctx.child(stage::VERDICT))
             });
             let max_user = ops_after_violation_per_user.iter().copied().max();
             finish(
@@ -379,6 +396,7 @@ pub fn simulate_observed(
             tracer.emit(|| {
                 Event::new(idx as u64, EventKind::Detection, sop.user)
                     .detail(format!("{dev} round={busy_until}"))
+                    .span(ctx.child(stage::SYNC))
             });
             let max_user = ops_after_violation_per_user.iter().copied().max();
             finish(
@@ -424,6 +442,30 @@ pub fn simulate_observed(
         }
     }
     report
+}
+
+/// [`simulate_observed`] with an always-on [`FlightRecorder`] as the sink:
+/// the bounded-memory deployment shape for long traces.
+///
+/// Every event of the run flows into a ring of `cap` slots (oldest
+/// overwritten), so memory stays constant however long the trace. When the
+/// run ends in a deviation verdict — a per-op detection, a failed sync-up,
+/// or anything the protocol surfaces as [`Deviation`] — the recorder's
+/// retained tail is rendered and returned alongside the report: the black
+/// box for the forensics that follow. Scheduled crash-restarts during the
+/// run land in the same ring, so a post-crash dump shows them too. Honest
+/// runs return `None`: nothing fired, nothing to dump.
+pub fn simulate_with_flight_recorder(
+    spec: &SimSpec,
+    server: &mut dyn ServerApi,
+    trace: &Trace,
+    violation_op: Option<u64>,
+    cap: usize,
+) -> (RunReport, Option<String>, Arc<FlightRecorder>) {
+    let (tracer, recorder) = Tracer::flight(cap);
+    let report = simulate_observed(spec, server, trace, violation_op, &tracer);
+    let dump = report.detected().then(|| recorder.render_log());
+    (report, dump, recorder)
 }
 
 fn build_clients(spec: &SimSpec, root0: &Digest, tracer: &Tracer) -> ClientSet {

@@ -6,7 +6,9 @@
 use tcvs_core::adversary::{ForkServer, TamperServer, Trigger};
 use tcvs_core::{HonestServer, ProtocolConfig, ProtocolKind};
 use tcvs_obs::{EventKind, Tracer};
-use tcvs_sim::{simulate_observed, DetectionLatency, LatencyBound, SimSpec};
+use tcvs_sim::{
+    simulate_observed, simulate_with_flight_recorder, DetectionLatency, LatencyBound, SimSpec,
+};
 use tcvs_workload::{generate, generate_epoch_workload, OpMix, WorkloadSpec};
 
 fn spec(protocol: ProtocolKind, k: u64, epoch_len: u64) -> SimSpec {
@@ -159,6 +161,55 @@ fn protocol3_latency_is_two_epoch_bounded() {
         "Theorem 4.3: detection within two epochs, got {epochs}"
     );
     assert_eq!(lat.within_bound(), Some(true));
+}
+
+#[test]
+fn fork_attack_flight_dump_causally_links_the_forked_operations() {
+    let s = spec(ProtocolKind::Two, 8, 16);
+    let t = trace(9);
+    let mut server = ForkServer::new(&s.config, Trigger::AtCtr(20), &[0]);
+    let (report, dump, recorder) = simulate_with_flight_recorder(&s, &mut server, &t, Some(20), 64);
+    assert!(report.detected());
+    let dump = dump.expect("a detected run dumps the flight recorder");
+    assert!(
+        dump.contains("detection"),
+        "the verdict is in the dump:\n{dump}"
+    );
+    // Causality: the detection span and the server's op-served span for the
+    // same delivery belong to the same trace (the forked client's op), and
+    // each is parented on that operation's root span.
+    let events = recorder.snapshot();
+    let detection = events
+        .iter()
+        .find(|e| e.kind == EventKind::Detection)
+        .expect("detection event retained");
+    let det_span = detection.span.expect("detection carries a span");
+    let served_same_trace = events.iter().any(|e| {
+        e.kind == EventKind::OpServed && e.span.is_some_and(|sp| sp.trace == det_span.trace)
+    });
+    assert!(
+        served_same_trace,
+        "an op-served span shares the detection's trace"
+    );
+    assert!(
+        det_span.parent.is_some(),
+        "the verdict links back to the operation's root span"
+    );
+    // Ring bound: the recorder never retains more than its capacity, and a
+    // long run records more than it keeps.
+    assert!(events.len() <= 64);
+    assert!(recorder.recorded() >= events.len() as u64);
+}
+
+#[test]
+fn honest_flight_runs_dump_nothing() {
+    let s = spec(ProtocolKind::Two, 8, 16);
+    let mut server = HonestServer::new(&s.config);
+    let (report, dump, recorder) =
+        simulate_with_flight_recorder(&s, &mut server, &trace(3), None, 32);
+    assert!(!report.detected());
+    assert!(dump.is_none(), "nothing fired, nothing to dump");
+    assert!(recorder.recorded() > 0, "the ring was recording all along");
 }
 
 #[test]
