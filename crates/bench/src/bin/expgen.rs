@@ -21,6 +21,7 @@
 
 use std::time::Instant;
 
+use tcvs_bench::durability::run_durability_suite;
 use tcvs_bench::experiments::{e12, run_by_id, ALL};
 use tcvs_bench::perf::run_suite_observed;
 use tcvs_bench::results::{render_json_with_metrics, validate, validate_artifact, validate_schema};
@@ -161,15 +162,16 @@ fn main() {
         }
     }
 
-    let (probes, metrics) = if run_perf {
+    let (probes, durability, metrics) = if run_perf {
         let start = Instant::now();
         let (probes, metrics) = run_suite_observed(quick);
+        let durability = run_durability_suite(quick);
         let mut t = Table::new(
             "PERF",
             "hot-path probes (recorded in BENCH_results.json)",
             &["probe", "ops/s", "proof bytes", "p50 µs", "p99 µs"],
         );
-        for p in &probes {
+        for p in probes.iter().chain(&durability) {
             t.row(vec![
                 p.name.clone(),
                 format!("{:.0}", p.ops_per_sec),
@@ -183,9 +185,9 @@ fn main() {
             "[perf completed in {:.1}s]\n",
             start.elapsed().as_secs_f64()
         );
-        (probes, metrics)
+        (probes, durability, metrics)
     } else {
-        (Vec::new(), Default::default())
+        (Vec::new(), Vec::new(), Default::default())
     };
 
     // Only (re)write the results file when the perf suite actually ran:
@@ -193,7 +195,7 @@ fn main() {
     // trajectory with an empty probe list.
     if !no_json && run_perf && !failed {
         let mode = if quick { "quick" } else { "full" };
-        let json = render_json_with_metrics(mode, &probes, &all_tables, &metrics);
+        let json = render_json_with_metrics(mode, &probes, &durability, &all_tables, &metrics);
         if let Err(e) = validate(&json).and_then(|()| validate_schema(&json)) {
             eprintln!("internal error: generated results JSON is invalid: {e}");
             std::process::exit(3);

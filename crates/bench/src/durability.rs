@@ -1,0 +1,173 @@
+//! Durability probes: what the write-ahead log costs on the commit path
+//! and what recovery costs after a crash.
+//!
+//! Four numbers are tracked per PR in `BENCH_results.json`'s
+//! `"durability"` section:
+//!
+//! * `commit_mem` — end-to-end op throughput through [`DurableServer`]
+//!   over the in-memory medium: framing + checksumming + journal
+//!   mirroring, with the physical disk out of the picture.
+//! * `commit_file` — the same rig over [`FileMedium`] with a real `fsync`
+//!   per commit; the gap to `commit_mem` is the price of the disk.
+//! * `recovery_replay` — records replayed per second when recovering a
+//!   checkpoint-free log: the worst-case restart path.
+//! * `checkpoint` — checkpoints captured per second on a populated store;
+//!   bounds how aggressively `checkpoint_every` can be dialed down.
+
+use std::time::Instant;
+
+use tcvs_core::ProtocolConfig;
+use tcvs_merkle::{u64_key, Op};
+use tcvs_storage::{
+    DurabilityOptions, DurableOptions, DurableServer, DurableStorage, FileMedium, Medium,
+    MemMedium, StorageObs,
+};
+
+use crate::perf::PerfResult;
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 16,
+        k: u64::MAX,
+        epoch_len: 1 << 30,
+    }
+}
+
+/// The deterministic op stream every probe applies: op index → op.
+fn scripted(j: u64) -> Op {
+    match j % 4 {
+        0 | 2 => Op::Put(u64_key(j % 1024), vec![(j % 251) as u8; 24]),
+        1 => Op::Get(u64_key((j + 13) % 1024)),
+        _ => Op::Delete(u64_key((j + 7) % 1024)),
+    }
+}
+
+fn open_server<M: Medium>(medium: M, checkpoint_every: u64) -> DurableServer<DurableStorage<M>> {
+    let store = DurableStorage::open(medium, DurableOptions::default());
+    DurableServer::open(
+        store,
+        config(),
+        DurabilityOptions { checkpoint_every },
+        StorageObs::disabled(),
+    )
+    .expect("open durable server")
+}
+
+fn quantile(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn commit_probe<M: Medium>(label: &str, medium: M, ops: u64) -> PerfResult {
+    let mut server = open_server(medium, 256);
+    let mut lat = Vec::with_capacity(ops as usize);
+    let started = Instant::now();
+    for j in 0..ops {
+        let t = Instant::now();
+        server.apply(0, j, &scripted(j), j).expect("durable commit");
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    PerfResult {
+        name: format!("durability/commit_{label}_n{ops}"),
+        ops_per_sec: ops as f64 / elapsed.max(1e-9),
+        proof_bytes: None,
+        p50_us: Some(quantile(&lat, 0.5)),
+        p99_us: Some(quantile(&lat, 0.99)),
+    }
+}
+
+/// Durable commit throughput over the in-memory medium.
+pub fn durable_commit_mem(ops: u64) -> PerfResult {
+    commit_probe("mem", MemMedium::new(), ops)
+}
+
+/// Durable commit throughput over the filesystem (one `fsync` per commit).
+/// The probe directory lives under the OS temp dir and is removed after.
+pub fn durable_commit_file(ops: u64) -> PerfResult {
+    let dir = std::env::temp_dir().join(format!("tcvs-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let medium = FileMedium::open(&dir).expect("temp probe dir");
+    let result = commit_probe("file", medium, ops);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+/// Recovery replay rate: `ops` records committed with checkpoints disabled,
+/// then the whole log replayed from genesis `iters` times.
+pub fn recovery_replay(ops: u64, iters: u64) -> PerfResult {
+    let medium = MemMedium::new();
+    {
+        let mut server = open_server(medium.clone(), 0);
+        for j in 0..ops {
+            server.apply(0, j, &scripted(j), j).expect("seed commit");
+        }
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        let server = open_server(medium.clone(), 0);
+        assert_eq!(server.last_recovery().records_replayed, ops);
+        std::hint::black_box(server.core().root_digest());
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    PerfResult {
+        name: format!("durability/recovery_replay_n{ops}"),
+        ops_per_sec: (ops * iters) as f64 / elapsed.max(1e-9),
+        proof_bytes: None,
+        p50_us: None,
+        p99_us: None,
+    }
+}
+
+/// Checkpoint capture rate on a store holding `ops` committed operations.
+pub fn checkpoint_cost(ops: u64, iters: u64) -> PerfResult {
+    let mut server = open_server(MemMedium::new(), 0);
+    for j in 0..ops {
+        server.apply(0, j, &scripted(j), j).expect("seed commit");
+    }
+    let started = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(server.checkpoint_now().expect("checkpoint"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    PerfResult {
+        name: format!("durability/checkpoint_n{ops}"),
+        ops_per_sec: iters as f64 / elapsed.max(1e-9),
+        proof_bytes: None,
+        p50_us: None,
+        p99_us: None,
+    }
+}
+
+/// The durability probe suite; `quick` shrinks sizes for CI smoke runs.
+pub fn run_durability_suite(quick: bool) -> Vec<PerfResult> {
+    let (ops, iters) = if quick { (500, 5) } else { (4000, 25) };
+    vec![
+        durable_commit_mem(ops),
+        durable_commit_file(if quick { 200 } else { 1000 }),
+        recovery_replay(ops, iters),
+        checkpoint_cost(ops, iters.max(20)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_finite_numbers() {
+        for p in run_durability_suite(true) {
+            assert!(p.name.starts_with("durability/"), "{}", p.name);
+            assert!(
+                p.ops_per_sec.is_finite() && p.ops_per_sec > 0.0,
+                "{}: {}",
+                p.name,
+                p.ops_per_sec
+            );
+        }
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durability;
 pub mod experiments;
 pub mod json;
 pub mod perf;

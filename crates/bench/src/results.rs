@@ -113,20 +113,24 @@ fn probe_json(p: &PerfResult, indent: &str) -> String {
     )
 }
 
-/// Renders the full results document with no metrics section content.
+/// Renders the full results document with no metrics or durability section
+/// content.
 ///
 /// `mode` records how the numbers were produced (`"full"` / `"quick"`);
 /// comparisons are emitted for every probe with a recorded baseline.
 pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> String {
-    render_json_with_metrics(mode, probes, tables, &MetricsSnapshot::default())
+    render_json_with_metrics(mode, probes, &[], tables, &MetricsSnapshot::default())
 }
 
-/// [`render_json`] plus a `"metrics"` section serializing a point-in-time
-/// [`MetricsSnapshot`] (the instrumented throughput probe's counters and
-/// histograms) so dashboards can track them per PR alongside the probes.
+/// [`render_json`] plus the `"durability"` section (the storage-engine
+/// probe suite from [`crate::durability`]) and a `"metrics"` section
+/// serializing a point-in-time [`MetricsSnapshot`] (the instrumented
+/// throughput probe's counters and histograms) so dashboards can track
+/// them per PR alongside the probes.
 pub fn render_json_with_metrics(
     mode: &str,
     probes: &[PerfResult],
+    durability: &[PerfResult],
     tables: &[Table],
     metrics: &MetricsSnapshot,
 ) -> String {
@@ -143,6 +147,11 @@ pub fn render_json_with_metrics(
 
     out.push_str("  \"baselines\": [\n");
     let rows: Vec<String> = baselines.iter().map(|p| probe_json(p, "    ")).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"durability\": [\n");
+    let rows: Vec<String> = durability.iter().map(|p| probe_json(p, "    ")).collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ],\n");
 
@@ -307,7 +316,7 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
     if doc.get("mode").and_then(Value::as_str).is_none() {
         return Err("missing string 'mode'".into());
     }
-    for section in ["probes", "baselines"] {
+    for section in ["probes", "baselines", "durability"] {
         for p in require_arr(&doc, section)? {
             check_probe(p, section)?;
         }
@@ -501,7 +510,7 @@ mod tests {
         registry.counter("net.server.ops_served").add(7);
         registry.gauge("net.depth").set(-2);
         registry.histogram("net.server.op_micros").observe(100);
-        let json = render_json_with_metrics("quick", &[], &[], &registry.snapshot());
+        let json = render_json_with_metrics("quick", &[], &[], &[], &registry.snapshot());
         validate_schema(&json).unwrap();
         assert!(json.contains("\"kind\": \"counter\", \"value\": 7"));
         assert!(json.contains("\"kind\": \"gauge\", \"value\": -2"));
@@ -516,7 +525,8 @@ mod tests {
         // A row narrower than its headers.
         let bad = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
-             \"baselines\": [], \"comparisons\": [], \"metrics\": [], \
+             \"baselines\": [], \"durability\": [], \"comparisons\": [], \
+             \"metrics\": [], \
              \"experiments\": [{{\"id\": \"E1\", \"caption\": \"c\", \
              \"headers\": [\"a\", \"b\"], \"rows\": [[\"1\"]]}}]}}"
         );
@@ -527,7 +537,8 @@ mod tests {
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \
              \"probes\": [{{\"name\": \"p\", \"ops_per_sec\": \"fast\", \
              \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null}}], \
-             \"baselines\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+             \"baselines\": [], \"durability\": [], \"comparisons\": [], \
+             \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
         assert!(err.contains("ops_per_sec"), "{err}");

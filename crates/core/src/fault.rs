@@ -33,6 +33,30 @@ pub enum FaultKind {
     /// The server crashes after serving this operation and restarts from
     /// its persisted state before the next one.
     CrashRestart,
+    /// The storage medium misbehaves around this operation's commit. The
+    /// fault applies *below* the storage engine (between engine and
+    /// medium), not on the wire; network links pass it through untouched.
+    Storage(StorageFault),
+}
+
+/// One benign storage-medium fault, injected by a shim between the storage
+/// engine and its medium. All four model real disk behavior that a durable
+/// engine must survive: recovery may lose the *unacknowledged* tail but must
+/// never corrupt acknowledged state and never replay a torn record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageFault {
+    /// The append is cut short mid-record (power loss mid-write): only a
+    /// prefix of the record reaches the medium.
+    TornWrite,
+    /// A read returns fewer bytes than the file holds (transient short
+    /// read); a retry sees the full contents.
+    ShortRead,
+    /// An fsync is silently dropped: the data sits in the volatile cache
+    /// and is lost if a crash follows before the next successful sync.
+    FsyncLost,
+    /// A single bit of the just-written record flips on the medium
+    /// (latent sector corruption); the record checksum must catch it.
+    BitFlip,
 }
 
 /// Per-operation fault probabilities (percent) for seeded plan generation.
@@ -48,6 +72,8 @@ pub struct FaultRates {
     pub reorder_pct: u8,
     /// Chance the server crash-restarts after an operation.
     pub crash_pct: u8,
+    /// Chance the storage medium faults around an operation's commit.
+    pub storage_pct: u8,
     /// Maximum delay, in rounds (delays are 1..=max).
     pub max_delay_rounds: u64,
 }
@@ -67,6 +93,7 @@ impl FaultRates {
             dup_pct: 3,
             reorder_pct: 3,
             crash_pct: 1,
+            storage_pct: 1,
             max_delay_rounds: 3,
         }
     }
@@ -79,6 +106,7 @@ impl FaultRates {
             dup_pct: 10,
             reorder_pct: 10,
             crash_pct: 5,
+            storage_pct: 5,
             max_delay_rounds: 8,
         }
     }
@@ -89,6 +117,7 @@ impl FaultRates {
             + self.dup_pct as u64
             + self.reorder_pct as u64
             + self.crash_pct as u64
+            + self.storage_pct as u64
     }
 }
 
@@ -105,12 +134,15 @@ pub struct FaultCounts {
     pub reorders: u64,
     /// Server crash-restarts.
     pub crashes: u64,
+    /// Storage-medium faults (torn writes, short reads, lost fsyncs,
+    /// bit-flips).
+    pub storage: u64,
 }
 
 impl FaultCounts {
     /// Total scheduled faults.
     pub fn total(&self) -> u64 {
-        self.drops + self.delays + self.duplicates + self.reorders + self.crashes
+        self.drops + self.delays + self.duplicates + self.reorders + self.crashes + self.storage
     }
 }
 
@@ -190,8 +222,18 @@ impl FaultPlan {
                     continue;
                 }
                 FaultKind::ReorderNext
-            } else {
+            } else if roll < {
+                edge += rates.crash_pct as u64;
+                edge
+            } {
                 FaultKind::CrashRestart
+            } else {
+                FaultKind::Storage(match rng.next_below(4) {
+                    0 => StorageFault::TornWrite,
+                    1 => StorageFault::ShortRead,
+                    2 => StorageFault::FsyncLost,
+                    _ => StorageFault::BitFlip,
+                })
             };
             plan.schedule(op, kind);
         }
@@ -218,6 +260,7 @@ impl FaultPlan {
                 FaultKind::Duplicate => c.duplicates += 1,
                 FaultKind::ReorderNext => c.reorders += 1,
                 FaultKind::CrashRestart => c.crashes += 1,
+                FaultKind::Storage(_) => c.storage += 1,
             }
         }
         c
@@ -265,6 +308,7 @@ mod tests {
             dup_pct: 0,
             reorder_pct: 0,
             crash_pct: 0,
+            storage_pct: 0,
             max_delay_rounds: 4,
         };
         let plan = FaultPlan::seeded(1, 200, &rates);
@@ -286,6 +330,7 @@ mod tests {
             dup_pct: 0,
             reorder_pct: 0,
             crash_pct: 0,
+            storage_pct: 0,
             max_delay_rounds: 1,
         };
         assert!(FaultPlan::seeded(3, 1000, &rates).is_empty());
@@ -314,12 +359,40 @@ mod tests {
             dup_pct: 0,
             reorder_pct: 100,
             crash_pct: 0,
+            storage_pct: 0,
             max_delay_rounds: 1,
         };
         for seed in 0..20 {
             let plan = FaultPlan::seeded(seed, 6, &rates);
             assert!(plan.fault_at(5).is_none(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn storage_only_rates_schedule_storage_faults() {
+        let rates = FaultRates {
+            drop_pct: 0,
+            delay_pct: 0,
+            dup_pct: 0,
+            reorder_pct: 0,
+            crash_pct: 0,
+            storage_pct: 100,
+            max_delay_rounds: 1,
+        };
+        let plan = FaultPlan::seeded(11, 200, &rates);
+        assert_eq!(plan.len(), 200);
+        let mut kinds = [false; 4];
+        for (_, kind) in plan.iter() {
+            match kind {
+                FaultKind::Storage(StorageFault::TornWrite) => kinds[0] = true,
+                FaultKind::Storage(StorageFault::ShortRead) => kinds[1] = true,
+                FaultKind::Storage(StorageFault::FsyncLost) => kinds[2] = true,
+                FaultKind::Storage(StorageFault::BitFlip) => kinds[3] = true,
+                other => panic!("only storage faults were scheduled, got {other:?}"),
+            }
+        }
+        assert_eq!(kinds, [true; 4], "all four storage faults appear");
+        assert_eq!(plan.counts().storage, 200);
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod types;
 pub use client1::Client1;
 pub use client2::Client2;
 pub use client3::Client3;
-pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates};
+pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates, StorageFault};
 pub use forensics::{diagnose, diagnose_with_timeline, DiagnosisReport, TransitionLog, Verdict};
 pub use msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, SyncShare};
 pub use server::{

@@ -352,6 +352,85 @@ impl ServerSnapshot {
     pub fn flight_events(&self) -> &[Event] {
         &self.flight
     }
+
+    /// Assembles a snapshot from its parts — the inverse of the accessors
+    /// below, for storage engines that persist snapshots field by field and
+    /// must rebuild one on recovery. `epoch_len` of zero is rejected, as in
+    /// [`ServerCore::crash_restore`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        db: MerkleTree,
+        ctr: Ctr,
+        last_user: UserId,
+        epoch_len: u64,
+        last_sig: Option<SignedState>,
+        epoch_states: Vec<SignedEpochState>,
+        checkpoints: Vec<SignedCheckpoint>,
+        user_epochs: Vec<(UserId, Epoch)>,
+        metrics: ServerMetrics,
+        flight: Vec<Event>,
+    ) -> Result<ServerSnapshot, tcvs_merkle::CodecError> {
+        if epoch_len == 0 {
+            return Err(tcvs_merkle::CodecError::Malformed("zero epoch length"));
+        }
+        Ok(ServerSnapshot {
+            db,
+            ctr,
+            last_user,
+            epoch_len,
+            last_sig,
+            epoch_states,
+            checkpoints,
+            user_epochs,
+            metrics,
+            flight,
+        })
+    }
+
+    /// The captured database (copy-on-write share).
+    pub fn db(&self) -> &MerkleTree {
+        &self.db
+    }
+
+    /// Operation counter at capture time.
+    pub fn ctr(&self) -> Ctr {
+        self.ctr
+    }
+
+    /// Last-operating user at capture time.
+    pub fn last_user(&self) -> UserId {
+        self.last_user
+    }
+
+    /// Rounds per epoch.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Protocol I: the deposited signature over the latest state.
+    pub fn last_sig(&self) -> Option<&SignedState> {
+        self.last_sig.as_ref()
+    }
+
+    /// Protocol III: deposited per-user epoch states.
+    pub fn epoch_states(&self) -> &[SignedEpochState] {
+        &self.epoch_states
+    }
+
+    /// Protocol III: audited checkpoints.
+    pub fn checkpoints(&self) -> &[SignedCheckpoint] {
+        &self.checkpoints
+    }
+
+    /// Per-user epoch bookkeeping.
+    pub fn user_epochs(&self) -> &[(UserId, Epoch)] {
+        &self.user_epochs
+    }
+
+    /// Traffic accounting at capture time.
+    pub fn snapshot_metrics(&self) -> ServerMetrics {
+        self.metrics
+    }
 }
 
 /// An immutable, structurally shared view of the server's database as of a
@@ -408,6 +487,20 @@ pub trait ServerApi {
     /// Handles one operation at (the server's view of) `round`.
     fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse;
 
+    /// Handles one operation, additionally carrying the client's retry
+    /// sequence number `seq` (the exactly-once key the transport journals
+    /// replies under).
+    ///
+    /// The default ignores `seq` and delegates to
+    /// [`ServerApi::handle_op`] — in-memory servers have no use for it. A
+    /// durable server overrides this to log `(user, seq, op, round)` before
+    /// returning, so that after a real crash it can regenerate the reply
+    /// journal by replay and the transport keeps its exactly-once promise.
+    fn handle_op_seq(&mut self, user: UserId, seq: u64, op: &Op, round: u64) -> ServerResponse {
+        let _ = seq;
+        self.handle_op(user, op, round)
+    }
+
     /// Protocol I: the client deposits its signature over the new state.
     fn deposit_signature(&mut self, user: UserId, s: SignedState);
 
@@ -444,6 +537,18 @@ pub trait ServerApi {
     /// serialized, countered, detection-bearing request stream. Transports
     /// only spin up reader threads when the server opts in.
     fn read_snapshot(&self) -> Option<ReadSnapshot> {
+        None
+    }
+
+    /// The reply journal recovered from durable storage, as
+    /// `(user, seq, response)` triples — `None` when this server keeps no
+    /// durable journal (every in-memory server).
+    ///
+    /// Transports call this at spawn and after every
+    /// [`ServerApi::crash_restart`] to re-seed their exactly-once journal:
+    /// a retry of an operation acknowledged before the crash must be
+    /// answered from the journal, byte-identical, not re-executed.
+    fn recovered_journal(&self) -> Option<Vec<(UserId, u64, ServerResponse)>> {
         None
     }
 }

@@ -213,6 +213,14 @@ impl MerkleTree {
         &self.root
     }
 
+    /// Erases the cached entry count (crate-internal). Proofs decode
+    /// through [`crate::VerificationObject::from_bytes`], and a proof never
+    /// authenticates a count — erasing it keeps decode→encode an identity
+    /// even for proofs whose pruning happened to keep every leaf.
+    pub(crate) fn forget_len(&mut self) {
+        self.len = None;
+    }
+
     /// Reassembles a tree from decoded parts (crate-internal, for the
     /// codec; the caller has already verified digests and structure).
     pub(crate) fn from_parts(root: Node, order: usize, len: Option<usize>) -> MerkleTree {

@@ -50,6 +50,24 @@ impl VerificationObject {
     pub fn order(&self) -> usize {
         self.tree.order()
     }
+
+    /// Serializes the proof (its pruned tree) for persistence. Stub nodes
+    /// carry their digests, so the encoding commits to exactly what the
+    /// proof committed to.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.tree.to_bytes()
+    }
+
+    /// Decodes a persisted proof; all materialized digests are re-verified
+    /// during decode, so a corrupted proof is rejected rather than trusted.
+    pub fn from_bytes(bytes: &[u8]) -> Result<VerificationObject, crate::CodecError> {
+        let mut tree = MerkleTree::from_bytes(bytes)?;
+        // A proof never authenticates an entry count; erase the count the
+        // decoder recomputed so decode→encode stays byte-identical even
+        // for proofs whose pruning kept every leaf.
+        tree.forget_len();
+        Ok(VerificationObject { tree })
+    }
 }
 
 /// Outcome of a successful verification.

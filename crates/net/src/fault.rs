@@ -185,6 +185,21 @@ impl FaultLink {
                                 stashed_now = true;
                                 true
                             }
+                            Some(FaultKind::Storage(_)) => {
+                                // Storage faults apply between the engine
+                                // and its medium, not on the wire; the link
+                                // counts them and passes the request clean.
+                                counts.lock().storage += 1;
+                                down.send(Request::Op {
+                                    user,
+                                    seq,
+                                    op,
+                                    round,
+                                    ctx,
+                                    reply,
+                                })
+                                .is_ok()
+                            }
                             Some(FaultKind::CrashRestart) => {
                                 counts.lock().crashes += 1;
                                 let ok = down

@@ -28,6 +28,7 @@ pub struct NetStats {
     pub(crate) ops_served: Arc<Counter>,
     pub(crate) reads_served: Arc<Counter>,
     pub(crate) journal_hits: Arc<Counter>,
+    pub(crate) journal_evictions: Arc<Counter>,
     pub(crate) missed_deposits: Arc<Counter>,
     pub(crate) crashes: Arc<Counter>,
     pub(crate) retries: Arc<Counter>,
@@ -43,6 +44,7 @@ impl NetStats {
             ops_served: registry.counter("net.server.ops_served"),
             reads_served: registry.counter("net.server.reads_served"),
             journal_hits: registry.counter("net.server.journal_hits"),
+            journal_evictions: registry.counter("net.server.journal_evictions"),
             missed_deposits: registry.counter("net.server.missed_deposits"),
             crashes: registry.counter("net.server.crashes"),
             retries: registry.counter("net.client.retries"),

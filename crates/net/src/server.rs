@@ -237,6 +237,10 @@ impl NetServer {
             // a Protocol I signature deposit; replayed in arrival order.
             let mut backlog: VecDeque<Request> = VecDeque::new();
             let mut journal = ReplyJournal::new();
+            // A durable inner server may already hold recovered replies from
+            // a previous process; a retry arriving over the wire must hit
+            // them, not re-execute.
+            seed_journal(inner.as_ref(), &mut journal);
             loop {
                 let req = match backlog.pop_front() {
                     Some(r) => r,
@@ -272,8 +276,11 @@ impl NetServer {
                         // happen strictly after `publish` released the slot
                         // lock (and after the reply is on its way).
                         let started = Instant::now();
-                        let resp = inner.handle_op(user, &op, round);
-                        journal.insert(user, (seq, resp.clone()));
+                        // The sequence number rides down to the inner server
+                        // so a durable backend can log it and recover its own
+                        // copy of the reply journal.
+                        let resp = inner.handle_op_seq(user, seq, &op, round);
+                        journal_insert(&mut journal, &stats, user, seq, resp.clone());
                         // Publish before replying: a client that sees its
                         // write acknowledged must find it in the snapshot
                         // (read-your-writes across the two paths).
@@ -329,9 +336,12 @@ impl NetServer {
                         stats
                             .tracer
                             .emit(|| Event::new(0, EventKind::Crash, NO_ACTOR));
-                        // The reply journal is durable transport state and
+                        // The reply journal is durable transport state: a
+                        // durable inner server recovers its own copy, which
+                        // replaces ours; otherwise the in-memory journal
                         // survives alongside whatever the inner server keeps.
                         inner.crash_restart();
+                        seed_journal(inner.as_ref(), &mut journal);
                         // Readers must see the restored state, not a
                         // pre-crash root the restarted server no longer has.
                         publish(inner.as_mut(), slot.as_ref());
@@ -465,6 +475,38 @@ fn journal_hit(journal: &ReplyJournal, user: UserId, seq: u64) -> Option<ServerR
     }
 }
 
+/// Installs `user`'s newest reply, evicting the entry below the freshly
+/// acknowledged watermark. A new sequence number from a user is an implicit
+/// ack of every older one (the client retries strictly in order), so the
+/// journal stays bounded at one entry per user; each displaced entry is
+/// counted so deployments can see the eviction rate.
+fn journal_insert(
+    journal: &mut ReplyJournal,
+    stats: &NetStats,
+    user: UserId,
+    seq: u64,
+    resp: ServerResponse,
+) {
+    if let Some((old_seq, _)) = journal.insert(user, (seq, resp)) {
+        if old_seq < seq {
+            stats.journal_evictions.inc();
+        }
+    }
+}
+
+/// Re-seeds the transport journal from whatever the inner server recovered
+/// durably, so a retry of a pre-crash operation is still answered from the
+/// journal instead of re-executing. An inner server with no durable journal
+/// (`None`) keeps the transport thread's in-memory journal as before.
+fn seed_journal(inner: &dyn ServerApi, journal: &mut ReplyJournal) {
+    if let Some(entries) = inner.recovered_journal() {
+        journal.clear();
+        for (user, seq, resp) in entries {
+            journal.insert(user, (seq, resp));
+        }
+    }
+}
+
 /// Protocol I: wait (bounded) for `user`'s signature deposit before serving
 /// the next operation. Other users' requests queue up behind the block —
 /// that latency is the measured cost. Returns `false` iff the server must
@@ -530,6 +572,7 @@ fn blocking_wait(
                     .tracer
                     .emit(|| Event::new(0, EventKind::Crash, NO_ACTOR));
                 inner.crash_restart();
+                seed_journal(inner, journal);
                 publish(inner, slot);
                 let _ = ack.send(());
                 stats
@@ -582,7 +625,7 @@ fn drain(
                 let resp = match journal_hit(journal, user, seq) {
                     Some(r) => r,
                     None => {
-                        let r = inner.handle_op(user, &op, round);
+                        let r = inner.handle_op_seq(user, seq, &op, round);
                         journal.insert(user, (seq, r.clone()));
                         publish(inner, slot);
                         r
@@ -730,4 +773,114 @@ pub(crate) fn remote_fetch<T>(
         }
     }
     Err(NetError::Timeout { attempts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_core::ProtocolConfig;
+    use tcvs_merkle::u64_key;
+    use tcvs_storage::{
+        response_bytes, DurabilityOptions, DurableOptions, DurableServer, DurableStorage,
+        MemMedium, StorageObs,
+    };
+
+    fn open_durable(medium: MemMedium) -> DurableServer<DurableStorage<MemMedium>> {
+        let config = ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 64,
+        };
+        let store = DurableStorage::open(medium, DurableOptions::default());
+        DurableServer::open(
+            store,
+            config,
+            DurabilityOptions::default(),
+            StorageObs::disabled(),
+        )
+        .expect("open durable server")
+    }
+
+    fn send_op(tx: &Sender<Request>, user: UserId, seq: u64, op: Op, round: u64) -> ServerResponse {
+        let (reply_tx, reply_rx) = bounded(1);
+        tx.send(Request::Op {
+            user,
+            seq,
+            op,
+            round,
+            ctx: None,
+            reply: reply_tx,
+        })
+        .expect("server thread alive");
+        reply_rx.recv().expect("reply delivered")
+    }
+
+    /// The full durability wiring: operations flow through the transport to
+    /// a durable inner server with their sequence numbers; when the whole
+    /// transport (thread *and* its in-memory journal) is torn down and the
+    /// medium loses its unsynced tail, a freshly spawned server over the
+    /// recovered store still answers a retry of the last acknowledged
+    /// operation from the journal — byte-identical, without re-executing —
+    /// because `spawn` seeds the journal from `recovered_journal()`.
+    #[test]
+    fn recovered_journal_survives_transport_replacement() {
+        let medium = MemMedium::new();
+        let stats = NetStats::disabled();
+        let server = NetServer::spawn_observed(
+            Box::new(open_durable(medium.clone())),
+            NetServerOptions::default(),
+            stats.clone(),
+        );
+        let tx = server.wire().0;
+        send_op(&tx, 7, 0, Op::Put(u64_key(1), b"a".to_vec()), 0);
+        let acked = send_op(&tx, 7, 1, Op::Put(u64_key(2), b"b".to_vec()), 1);
+        // Seq 1 displaced seq 0's journal entry: one eviction, counted.
+        assert_eq!(
+            stats.snapshot().counter("net.server.journal_evictions"),
+            Some(1)
+        );
+
+        // Kill the transport (its thread-local journal dies with it) and the
+        // page cache; only what the durable engine synced survives.
+        drop(server);
+        medium.crash();
+
+        let stats2 = NetStats::disabled();
+        let server2 = NetServer::spawn_observed(
+            Box::new(open_durable(medium)),
+            NetServerOptions::default(),
+            stats2.clone(),
+        );
+        let tx2 = server2.wire().0;
+        // A retry of the last acknowledged op: journal hit, not a re-run.
+        let replay = send_op(&tx2, 7, 1, Op::Put(u64_key(2), b"b".to_vec()), 1);
+        assert_eq!(response_bytes(&replay), response_bytes(&acked));
+        let snap = stats2.snapshot();
+        assert_eq!(snap.counter("net.server.journal_hits"), Some(1));
+        assert_eq!(snap.counter("net.server.ops_served"), Some(0));
+
+        // New work continues exactly where the acknowledged history ended.
+        let next = send_op(&tx2, 7, 2, Op::Get(u64_key(2)), 2);
+        assert_eq!(next.ctr, acked.ctr + 1);
+    }
+
+    /// An in-place crash (`Request::Crash`) over a durable inner server:
+    /// the recovered journal replaces the transport's copy and retries
+    /// still hit it.
+    #[test]
+    fn crash_restart_reseeds_the_journal_from_durable_state() {
+        let medium = MemMedium::new();
+        let stats = NetStats::disabled();
+        let server = NetServer::spawn_observed(
+            Box::new(open_durable(medium)),
+            NetServerOptions::default(),
+            stats.clone(),
+        );
+        let tx = server.wire().0;
+        let acked = send_op(&tx, 3, 9, Op::Put(u64_key(5), b"x".to_vec()), 0);
+        server.crash_restart().expect("restart");
+        let replay = send_op(&tx, 3, 9, Op::Put(u64_key(5), b"x".to_vec()), 0);
+        assert_eq!(response_bytes(&replay), response_bytes(&acked));
+        assert_eq!(stats.snapshot().counter("net.server.journal_hits"), Some(1));
+    }
 }

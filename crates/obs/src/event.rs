@@ -37,6 +37,9 @@ pub enum EventKind {
     Crash,
     /// The server restarted from persisted state.
     Restart,
+    /// Durable storage finished crash recovery; detail records the
+    /// checkpoint used, records replayed, and any torn tail discarded.
+    Recovery,
     /// A broadcast sync-up was triggered (some user reached `k` ops).
     SyncTriggered,
     /// A broadcast sync-up completed; detail records the outcome.
@@ -65,6 +68,7 @@ impl EventKind {
             EventKind::Checkpoint => "checkpoint",
             EventKind::Crash => "crash",
             EventKind::Restart => "restart",
+            EventKind::Recovery => "recovery",
             EventKind::SyncTriggered => "sync-triggered",
             EventKind::SyncUp => "sync-up",
             EventKind::Audit => "audit",
@@ -194,6 +198,7 @@ mod tests {
             EventKind::Checkpoint,
             EventKind::Crash,
             EventKind::Restart,
+            EventKind::Recovery,
             EventKind::SyncTriggered,
             EventKind::SyncUp,
             EventKind::Audit,

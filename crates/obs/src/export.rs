@@ -122,7 +122,7 @@ fn category(kind: EventKind) -> &'static str {
         EventKind::OpServed | EventKind::ReadServed | EventKind::ProofBuilt => "serve",
         EventKind::Retry | EventKind::JournalHit | EventKind::FaultInjected => "transport",
         EventKind::Deposit | EventKind::MissedDeposit | EventKind::Checkpoint => "deposit",
-        EventKind::Crash | EventKind::Restart => "crash",
+        EventKind::Crash | EventKind::Restart | EventKind::Recovery => "crash",
         EventKind::SyncTriggered | EventKind::SyncUp | EventKind::Audit => "sync",
         EventKind::DeviationInjected | EventKind::Detection => "verdict",
     }

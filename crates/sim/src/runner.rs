@@ -246,6 +246,13 @@ pub fn simulate_observed(
                 report.faults.reorders += 1;
                 round += 1;
             }
+            Some(FaultKind::Storage(_)) => {
+                // Storage faults hit the medium under a durable engine; the
+                // round-based simulator runs in-memory servers, so the
+                // fault costs nothing here beyond being counted. The
+                // storage-level property tests exercise the real effect.
+                report.faults.storage += 1;
+            }
             Some(FaultKind::CrashRestart) | None => {}
         }
         if let Some(f) = fault {

@@ -1,0 +1,162 @@
+//! Kill-anywhere crash smoke test over the real filesystem.
+//!
+//! Orchestrator mode (`crash_smoke <dir> <rounds>`) spawns itself in worker
+//! mode, lets the worker append durable operations for a pseudo-random few
+//! milliseconds, SIGKILLs it, recovers the store in-process, and verifies
+//! the recovered world against an in-memory oracle that replays the same
+//! deterministic op stream. Repeats for `<rounds>` rounds; any divergence,
+//! corruption stop, or recovery failure exits nonzero.
+//!
+//! Worker mode (`crash_smoke worker <dir>`) recovers the store, then
+//! applies ops `f(ctr), f(ctr+1), …` forever — the op stream is a pure
+//! function of the op index, so the oracle can reconstruct the full history
+//! from the recovered counter alone.
+
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use tcvs_core::{ProtocolConfig, ServerApi, ServerCore};
+use tcvs_merkle::{u64_key, Op};
+use tcvs_storage::{
+    response_bytes, DurabilityOptions, DurableOptions, DurableServer, DurableStorage, FileMedium,
+    StorageObs,
+};
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 4,
+        k: 4,
+        epoch_len: 64,
+    }
+}
+
+/// The deterministic op stream: op index → (user, seq, op, round).
+fn scripted(j: u64) -> (u32, u64, Op, u64) {
+    let user = (j % 3) as u32;
+    let op = match j % 4 {
+        0 => Op::Put(u64_key(j % 97), vec![(j % 251) as u8; 5]),
+        1 => Op::Get(u64_key((j + 13) % 97)),
+        2 => Op::Put(u64_key((j + 31) % 97), vec![(j % 13) as u8]),
+        _ => Op::Delete(u64_key((j + 7) % 97)),
+    };
+    (user, j, op, j)
+}
+
+fn open(dir: &str) -> Result<DurableServer<DurableStorage<FileMedium>>, String> {
+    let medium = FileMedium::open(dir).map_err(|e| format!("open medium: {e}"))?;
+    let opts = DurableOptions {
+        segment_bytes: 8 * 1024,
+        retain_checkpoints: 2,
+    };
+    let store = DurableStorage::open(medium, opts);
+    DurableServer::open(
+        store,
+        config(),
+        DurabilityOptions {
+            checkpoint_every: 16,
+        },
+        StorageObs::disabled(),
+    )
+    .map_err(|e| format!("open server: {e}"))
+}
+
+fn worker(dir: &str) -> Result<(), String> {
+    let mut server = open(dir)?;
+    let mut j = server.core().ctr();
+    loop {
+        let (user, seq, op, round) = scripted(j);
+        server
+            .apply(user, seq, &op, round)
+            .map_err(|e| format!("apply {j}: {e}"))?;
+        j += 1;
+    }
+}
+
+fn orchestrate(dir: &str, rounds: u64) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut max_ctr = 0u64;
+    for round in 0..rounds {
+        let mut child = Command::new(&exe)
+            .arg("worker")
+            .arg(dir)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn worker: {e}"))?;
+        // A different kill point every round: the crash lands before the
+        // first op, mid-append, mid-fsync, mid-checkpoint, …
+        std::thread::sleep(Duration::from_millis(15 + (round * 7) % 60));
+        child.kill().map_err(|e| format!("kill worker: {e}"))?; // SIGKILL
+        child.wait().map_err(|e| format!("wait worker: {e}"))?;
+
+        let server = open(dir)?;
+        let report = server.last_recovery().clone();
+        if let Some(stop) = &report.corrupt_stop {
+            return Err(format!("round {round}: recovery hit corruption: {stop}"));
+        }
+        let ctr = server.core().ctr();
+        if ctr < max_ctr {
+            return Err(format!(
+                "round {round}: recovered ctr {ctr} regressed below {max_ctr}"
+            ));
+        }
+        max_ctr = ctr;
+
+        // Oracle: replay the scripted stream from genesis in memory; the
+        // recovered server must be indistinguishable from one that never
+        // crashed, and journal replies must be byte-identical.
+        let journal = server.recovered_journal().unwrap_or_default();
+        let mut oracle = ServerCore::new(&config());
+        let mut wanted: Vec<(u64, Vec<u8>)> = Vec::new();
+        for j in 0..ctr {
+            let (user, seq, op, round_no) = scripted(j);
+            let resp = oracle.process(user, &op, round_no);
+            if journal.iter().any(|(_, s, _)| *s == seq) {
+                wanted.push((seq, response_bytes(&resp)));
+            }
+        }
+        if server.core().root_digest() != oracle.root_digest() {
+            return Err(format!(
+                "round {round}: recovered root diverges from oracle at ctr {ctr}"
+            ));
+        }
+        for (user, seq, resp) in &journal {
+            let Some((_, oracle_bytes)) = wanted.iter().find(|(s, _)| s == seq) else {
+                return Err(format!(
+                    "round {round}: journal entry for user {user} seq {seq} beyond ctr {ctr}"
+                ));
+            };
+            if &response_bytes(resp) != oracle_bytes {
+                return Err(format!(
+                    "round {round}: journal reply for user {user} seq {seq} not byte-identical"
+                ));
+            }
+        }
+        println!(
+            "round {round}: recovered ctr={ctr} replayed={} torn_tail={} — ok",
+            report.records_replayed,
+            report.torn_tail.is_some(),
+        );
+    }
+    println!("crash-smoke: {rounds} kill -9 rounds survived, final ctr {max_ctr}");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("worker") => match args.get(2) {
+            Some(dir) => worker(dir),
+            None => Err("usage: crash_smoke worker <dir>".into()),
+        },
+        Some(dir) => {
+            let rounds = args.get(2).and_then(|r| r.parse().ok()).unwrap_or(25);
+            orchestrate(dir, rounds)
+        }
+        None => Err("usage: crash_smoke <dir> [rounds] | crash_smoke worker <dir>".into()),
+    };
+    if let Err(msg) = result {
+        eprintln!("crash-smoke FAILED: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,564 @@
+//! The durable server engine: [`tcvs_core::ServerApi`] over a [`Storage`].
+//!
+//! [`DurableServer`] wraps the deterministic [`ServerCore`] with
+//! write-ahead discipline: every state-changing message — operation,
+//! signature deposit, epoch-state deposit, audited checkpoint, plus any
+//! flight-recorder frames emitted since the previous commit — is committed
+//! to the log (one append, one fsync) *before* the core applies it and the
+//! response leaves the process. A crash at any instant therefore loses at
+//! most work that was never acknowledged.
+//!
+//! Because the core is deterministic, the log carries only inputs (see
+//! [`Record`]): recovery restores the newest checkpoint and replays the
+//! tail through the same [`ServerCore::process`] path, regenerating every
+//! response — including the reply-journal entries the transport
+//! acknowledged — byte-identically.
+//!
+//! Commit failures are crash-stop: the [`tcvs_core::ServerApi`] entry
+//! points panic rather than acknowledge an op that was never made durable.
+//! The fallible [`DurableServer::apply`] exists for harnesses that inject
+//! storage faults and want the error back instead.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tcvs_core::{
+    Epoch, ProtocolConfig, ReadSnapshot, ServerApi, ServerCore, ServerMetrics, ServerResponse,
+    SignedCheckpoint, SignedEpochState, SignedState, UserId,
+};
+use tcvs_merkle::Op;
+use tcvs_obs::{Counter, Event, EventKind, MetricsRegistry, Tracer};
+
+use crate::codec::DurableState;
+use crate::error::StorageError;
+use crate::record::{JournalEntry, Record, NO_SEQ};
+use crate::storage::{RecoveryReport, Storage, WriteBatch};
+
+/// Tuning knobs for [`DurableServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityOptions {
+    /// Take a checkpoint after this many committed operations (0 disables
+    /// automatic checkpoints; [`DurableServer::checkpoint_now`] still works).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions {
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// Storage-engine observability: tracer plus commit/recovery counters.
+pub struct StorageObs {
+    /// Event tracer (recovery events are emitted through it).
+    pub tracer: Tracer,
+    registry: Arc<MetricsRegistry>,
+    commits: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    recovery_replayed: Arc<Counter>,
+    torn_tail_dropped_bytes: Arc<Counter>,
+}
+
+impl StorageObs {
+    /// Observability wired to `tracer` and a fresh registry.
+    pub fn new(tracer: Tracer) -> StorageObs {
+        let registry = Arc::new(MetricsRegistry::new());
+        StorageObs {
+            commits: registry.counter("storage.commits"),
+            checkpoints: registry.counter("storage.checkpoints"),
+            recoveries: registry.counter("storage.recoveries"),
+            recovery_replayed: registry.counter("storage.recovery_replayed"),
+            torn_tail_dropped_bytes: registry.counter("storage.torn_tail_dropped_bytes"),
+            registry,
+            tracer,
+        }
+    }
+
+    /// No-op observability.
+    pub fn disabled() -> StorageObs {
+        StorageObs::new(Tracer::disabled())
+    }
+
+    /// The metrics registry (for export/snapshot).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+/// A crash-safe server: [`ServerCore`] behind a write-ahead log (see
+/// module docs).
+pub struct DurableServer<S: Storage> {
+    storage: S,
+    core: ServerCore,
+    config: ProtocolConfig,
+    opts: DurabilityOptions,
+    obs: StorageObs,
+    /// Mirror of the transport's exactly-once journal: the latest
+    /// `(seq, response)` per user, regenerated on recovery.
+    journal: HashMap<UserId, (u64, ServerResponse)>,
+    /// High-water mark of flight events already committed to the log.
+    flight_drained: u64,
+    ops_since_checkpoint: u64,
+    last_report: RecoveryReport,
+    /// Flight events recovered from the log tail (the checkpoint's own
+    /// tail lives in the snapshot).
+    recovered_flight: Vec<Event>,
+}
+
+impl<S: Storage> DurableServer<S> {
+    /// Opens the engine: recovers from `storage` (checkpoint + replay) or
+    /// starts fresh from `config` when the storage is empty.
+    pub fn open(
+        storage: S,
+        config: ProtocolConfig,
+        opts: DurabilityOptions,
+        obs: StorageObs,
+    ) -> Result<DurableServer<S>, StorageError> {
+        let mut server = DurableServer {
+            storage,
+            core: ServerCore::new(&config),
+            config,
+            opts,
+            obs,
+            journal: HashMap::new(),
+            flight_drained: 0,
+            ops_since_checkpoint: 0,
+            last_report: RecoveryReport::default(),
+            recovered_flight: Vec::new(),
+        };
+        server.recover()?;
+        Ok(server)
+    }
+
+    /// Runs recovery against the storage, replacing the in-memory world
+    /// with what was durable. Keeps the attached flight recorder (the live
+    /// ring is host-side infrastructure, not server state).
+    fn recover(&mut self) -> Result<(), StorageError> {
+        let recorder = self.core.flight_recorder();
+        let recovered = self.storage.recover()?;
+        self.journal.clear();
+        self.recovered_flight.clear();
+        self.core = match &recovered.checkpoint {
+            Some((_, state)) => {
+                let ds = DurableState::from_bytes(state)?;
+                for (user, seq, resp) in ds.journal {
+                    self.journal.insert(user, (seq, resp));
+                }
+                ServerCore::crash_restore(&ds.snapshot)
+                    .map_err(|_| StorageError::io("checkpoint snapshot rejected"))?
+            }
+            None => ServerCore::new(&self.config),
+        };
+        for (_lsn, rec) in recovered.tail {
+            match rec {
+                Record::Op {
+                    user,
+                    seq,
+                    op,
+                    round,
+                } => {
+                    let resp = self.core.process(user, &op, round);
+                    if seq != NO_SEQ {
+                        self.journal.insert(user, (seq, resp));
+                    }
+                }
+                Record::Signature(s) => self.core.store_signature(s),
+                Record::EpochState(s) => self.core.store_epoch_state(s),
+                Record::AuditCheckpoint(c) => self.core.store_checkpoint(c),
+                Record::Flight(ev) => self.recovered_flight.push(ev),
+            }
+        }
+        if let Some(r) = recorder {
+            self.core.attach_flight_recorder(Arc::clone(&r));
+            self.flight_drained = r.recorded();
+        } else {
+            self.flight_drained = 0;
+        }
+        self.ops_since_checkpoint = 0;
+        let report = recovered.report;
+        self.obs.recoveries.inc();
+        self.obs.recovery_replayed.add(report.records_replayed);
+        if let Some(tt) = &report.torn_tail {
+            self.obs.torn_tail_dropped_bytes.add(tt.dropped_bytes);
+        }
+        self.obs.tracer.emit(|| {
+            Event::new(self.core.ctr(), EventKind::Recovery, self.core.last_user()).detail(format!(
+                "replayed={} torn={} corrupt_ckpts={}",
+                report.records_replayed,
+                report.torn_tail.is_some(),
+                report.corrupt_checkpoints
+            ))
+        });
+        self.last_report = report;
+        Ok(())
+    }
+
+    /// Attaches an always-on flight recorder; frames it captures are
+    /// committed to the log alongside the ops that caused them, so the
+    /// black box survives real (process-death) crashes.
+    pub fn attach_flight_recorder(&mut self, recorder: Arc<tcvs_obs::FlightRecorder>) {
+        self.flight_drained = recorder.recorded();
+        self.core.attach_flight_recorder(recorder);
+    }
+
+    /// Read access to the core (tests, oracles).
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
+    /// The storage backend.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// What the most recent recovery saw.
+    pub fn last_recovery(&self) -> &RecoveryReport {
+        &self.last_report
+    }
+
+    /// Flight-recorder frames recovered from the log tail at the last
+    /// recovery (oldest first). Frames older than the last checkpoint live
+    /// in the snapshot instead ([`tcvs_core::ServerSnapshot::flight_events`]).
+    pub fn recovered_flight(&self) -> &[Event] {
+        &self.recovered_flight
+    }
+
+    /// Storage observability (metrics registry, tracer).
+    pub fn obs(&self) -> &StorageObs {
+        &self.obs
+    }
+
+    /// Stages flight frames recorded since the last commit. The ring holds
+    /// the newest `capacity` frames, so a burst larger than the ring between
+    /// two commits loses its oldest frames — same contract as the ring
+    /// itself.
+    fn drain_flight(&mut self, batch: &mut WriteBatch) {
+        let Some(r) = self.core.flight_recorder() else {
+            return;
+        };
+        let total = r.recorded();
+        if total <= self.flight_drained {
+            return;
+        }
+        let tail = r.snapshot();
+        let fresh = (total - self.flight_drained) as usize;
+        let start = tail.len().saturating_sub(fresh);
+        for ev in &tail[start..] {
+            batch.push(Record::Flight(ev.clone()));
+        }
+        self.flight_drained = total;
+    }
+
+    /// Commits `rec` (plus pending flight frames) durably.
+    fn commit(&mut self, rec: Record) -> Result<(), StorageError> {
+        let mut batch = WriteBatch::new();
+        batch.push(rec);
+        self.drain_flight(&mut batch);
+        self.storage.commit(batch)?;
+        self.obs.commits.inc();
+        Ok(())
+    }
+
+    /// The fallible op path: log → sync → apply → journal. This is
+    /// [`tcvs_core::ServerApi::handle_op_seq`] with the storage error
+    /// surfaced instead of panicking — for fault-injection harnesses.
+    pub fn apply(
+        &mut self,
+        user: UserId,
+        seq: u64,
+        op: &Op,
+        round: u64,
+    ) -> Result<ServerResponse, StorageError> {
+        self.commit(Record::Op {
+            user,
+            seq,
+            op: op.clone(),
+            round,
+        })?;
+        let resp = self.core.process(user, op, round);
+        if seq != NO_SEQ {
+            self.journal.insert(user, (seq, resp.clone()));
+        }
+        self.ops_since_checkpoint += 1;
+        if self.opts.checkpoint_every > 0 && self.ops_since_checkpoint >= self.opts.checkpoint_every
+        {
+            self.checkpoint_now()?;
+        }
+        Ok(resp)
+    }
+
+    /// Takes a checkpoint immediately: persists the full durable world
+    /// (server snapshot + reply journal) and lets the storage prune the log
+    /// behind it.
+    pub fn checkpoint_now(&mut self) -> Result<u64, StorageError> {
+        let mut journal: Vec<JournalEntry> = self
+            .journal
+            .iter()
+            .map(|(u, (s, r))| (*u, *s, r.clone()))
+            .collect();
+        journal.sort_by_key(|(u, _, _)| *u);
+        let state = DurableState {
+            snapshot: self.core.crash_snapshot(),
+            journal,
+        };
+        let lsn = self.storage.checkpoint(&state.to_bytes())?;
+        self.obs.checkpoints.inc();
+        self.ops_since_checkpoint = 0;
+        Ok(lsn)
+    }
+}
+
+impl<S: Storage> ServerApi for DurableServer<S> {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        self.handle_op_seq(user, NO_SEQ, op, round)
+    }
+
+    fn handle_op_seq(&mut self, user: UserId, seq: u64, op: &Op, round: u64) -> ServerResponse {
+        // Crash-stop: acknowledging an op that is not durable would break
+        // the recovery contract, so a commit failure is fatal here.
+        self.apply(user, seq, op, round)
+            .expect("durable commit failed; refusing to acknowledge")
+    }
+
+    fn deposit_signature(&mut self, _user: UserId, s: SignedState) {
+        self.commit(Record::Signature(s.clone()))
+            .expect("durable commit failed; refusing to acknowledge");
+        self.core.store_signature(s);
+    }
+
+    fn deposit_epoch_state(&mut self, s: SignedEpochState) {
+        self.commit(Record::EpochState(s.clone()))
+            .expect("durable commit failed; refusing to acknowledge");
+        self.core.store_epoch_state(s);
+    }
+
+    fn fetch_epoch_states(&mut self, _requester: UserId, epoch: Epoch) -> Vec<SignedEpochState> {
+        self.core.epoch_states(epoch)
+    }
+
+    fn deposit_checkpoint(&mut self, c: SignedCheckpoint) {
+        self.commit(Record::AuditCheckpoint(c.clone()))
+            .expect("durable commit failed; refusing to acknowledge");
+        self.core.store_checkpoint(c);
+    }
+
+    fn fetch_checkpoint(&mut self, _requester: UserId, epoch: Epoch) -> Option<SignedCheckpoint> {
+        self.core.checkpoint(epoch)
+    }
+
+    fn metrics(&self) -> ServerMetrics {
+        self.core.metrics()
+    }
+
+    /// A *real* crash-restart: all volatile state is dropped and the world
+    /// is rebuilt from storage alone (checkpoint + log replay), unlike the
+    /// in-memory [`tcvs_core::HonestServer`] whose restart round-trips
+    /// through a snapshot it conveniently still holds.
+    fn crash_restart(&mut self) {
+        self.recover().expect("recovery after crash");
+    }
+
+    fn read_snapshot(&self) -> Option<ReadSnapshot> {
+        Some(self.core.read_snapshot())
+    }
+
+    fn recovered_journal(&self) -> Option<Vec<JournalEntry>> {
+        let mut out: Vec<JournalEntry> = self
+            .journal
+            .iter()
+            .map(|(u, (s, r))| (*u, *s, r.clone()))
+            .collect();
+        out.sort_by_key(|(u, _, _)| *u);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::response_bytes;
+    use crate::medium::MemMedium;
+    use crate::storage::{DurableOptions, DurableStorage, MemStorage};
+    use tcvs_merkle::u64_key;
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 4,
+            epoch_len: 10,
+        }
+    }
+
+    fn op(i: u64) -> Op {
+        match i % 3 {
+            0 => Op::Put(u64_key(i % 17), vec![i as u8; 3]),
+            1 => Op::Get(u64_key((i + 5) % 17)),
+            _ => Op::Delete(u64_key((i + 11) % 17)),
+        }
+    }
+
+    fn durable(mem: &MemMedium, every: u64) -> DurableServer<DurableStorage<MemMedium>> {
+        let store = DurableStorage::open(mem.clone(), DurableOptions::default());
+        DurableServer::open(
+            store,
+            config(),
+            DurabilityOptions {
+                checkpoint_every: every,
+            },
+            StorageObs::disabled(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mem_backend_behaves_like_honest_server() {
+        let mut durable = DurableServer::open(
+            MemStorage::new(),
+            config(),
+            DurabilityOptions::default(),
+            StorageObs::disabled(),
+        )
+        .unwrap();
+        let mut honest = tcvs_core::HonestServer::new(&config());
+        for i in 0..40 {
+            let a = durable.handle_op_seq((i % 3) as u32, i, &op(i), i);
+            let b = honest.handle_op((i % 3) as u32, &op(i), i);
+            assert_eq!(response_bytes(&a), response_bytes(&b));
+        }
+        assert_eq!(durable.core().root_digest(), honest.core().root_digest());
+    }
+
+    #[test]
+    fn crash_restart_recovers_from_storage_alone() {
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 8);
+        let mut acked = Vec::new();
+        for i in 0..30 {
+            acked.push(response_bytes(&s.handle_op_seq(
+                (i % 3) as u32,
+                i,
+                &op(i),
+                i,
+            )));
+        }
+        let root = s.core().root_digest();
+        let ctr = s.core().ctr();
+        s.crash_restart();
+        assert_eq!(s.core().root_digest(), root);
+        assert_eq!(s.core().ctr(), ctr);
+        // The journal regenerated byte-identical replies for the last ack
+        // of each user.
+        let journal = s.recovered_journal().unwrap();
+        assert_eq!(journal.len(), 3);
+        for (user, seq, resp) in journal {
+            assert_eq!(seq, 27 + user as u64);
+            assert_eq!(response_bytes(&resp), acked[seq as usize]);
+        }
+        // And the server keeps serving correctly.
+        let r = s.handle_op_seq(0, 30, &op(30), 30);
+        assert_eq!(r.ctr, 30);
+    }
+
+    #[test]
+    fn process_death_loses_nothing_acknowledged() {
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 10);
+        for i in 0..25 {
+            s.handle_op_seq((i % 3) as u32, i, &op(i), i);
+        }
+        let root = s.core().root_digest();
+        drop(s); // process death: all volatile state gone
+        mem.crash(); // and the page cache with it
+        let s2 = durable(&mem, 10);
+        assert_eq!(s2.core().root_digest(), root);
+        assert_eq!(s2.core().ctr(), 25);
+        assert!(s2.last_recovery().corrupt_stop.is_none());
+    }
+
+    #[test]
+    fn deposits_survive_a_real_crash() {
+        let (mut rings, _) = tcvs_crypto::setup_users([7; 32], 1, 4);
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 100);
+        s.handle_op_seq(0, 0, &op(0), 0);
+        let root = s.core().root_digest();
+        let payload = tcvs_core::state::signed_payload(&root, 1);
+        s.deposit_signature(
+            0,
+            SignedState {
+                signer: 0,
+                root,
+                ctr: 1,
+                sig: rings[0].sign(&payload).unwrap(),
+            },
+        );
+        drop(s);
+        mem.crash();
+        let mut s2 = durable(&mem, 100);
+        // The deposit is served back on the very next op.
+        let r = s2.handle_op_seq(1, 1, &op(1), 1);
+        assert!(r.sig.is_some(), "Protocol I deposit survived the crash");
+        assert_eq!(r.sig.unwrap().root, root);
+    }
+
+    #[test]
+    fn flight_frames_survive_a_real_crash() {
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 100);
+        let (tracer, recorder) = Tracer::flight(8);
+        s.attach_flight_recorder(Arc::clone(&recorder));
+        for i in 0..6 {
+            tracer.emit(|| Event::new(i, EventKind::OpServed, 0).detail(format!("op {i}")));
+            s.handle_op_seq(0, i, &op(i), i);
+        }
+        drop(s);
+        mem.crash();
+        let s2 = durable(&mem, 100);
+        let ts: Vec<u64> = s2.recovered_flight().iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4, 5], "black box survived the crash");
+    }
+
+    #[test]
+    fn checkpoints_bound_replay() {
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 5);
+        for i in 0..23 {
+            s.handle_op_seq((i % 3) as u32, i, &op(i), i);
+        }
+        drop(s);
+        mem.crash();
+        let s2 = durable(&mem, 5);
+        assert_eq!(s2.core().ctr(), 23);
+        assert!(
+            s2.last_recovery().records_replayed <= 5,
+            "checkpoint bounds the tail: {:?}",
+            s2.last_recovery()
+        );
+    }
+
+    #[test]
+    fn metrics_count_commits_and_recoveries() {
+        let mem = MemMedium::new();
+        let store = DurableStorage::open(mem.clone(), DurableOptions::default());
+        let mut s = DurableServer::open(
+            store,
+            config(),
+            DurabilityOptions {
+                checkpoint_every: 4,
+            },
+            StorageObs::new(Tracer::disabled()),
+        )
+        .unwrap();
+        for i in 0..9 {
+            s.handle_op_seq(0, i, &op(i), i);
+        }
+        s.crash_restart();
+        let snap = s.obs().registry().snapshot();
+        assert_eq!(snap.counter("storage.commits"), Some(9));
+        assert_eq!(snap.counter("storage.checkpoints"), Some(2));
+        assert_eq!(snap.counter("storage.recoveries"), Some(2), "open + crash");
+    }
+}

@@ -1,0 +1,62 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use tcvs_store::enc::DecodeError;
+
+/// Errors from the storage engine or the medium beneath it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The medium failed (I/O error, injected torn write, dead medium).
+    Io(String),
+    /// A persisted structure failed its integrity checks. `file` names the
+    /// segment or checkpoint, `offset` the byte the problem was detected
+    /// at, and `reason` what check failed.
+    Corrupt {
+        /// File the corruption was found in.
+        file: String,
+        /// Byte offset of the failed check.
+        offset: u64,
+        /// Which check failed.
+        reason: &'static str,
+    },
+    /// A record or checkpoint body failed to decode.
+    Decode(DecodeError),
+}
+
+impl StorageError {
+    /// Shorthand for a medium-level failure.
+    pub fn io(msg: impl Into<String>) -> StorageError {
+        StorageError::Io(msg.into())
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(msg) => write!(f, "storage i/o: {msg}"),
+            StorageError::Corrupt {
+                file,
+                offset,
+                reason,
+            } => {
+                write!(f, "corrupt {file} at byte {offset}: {reason}")
+            }
+            StorageError::Decode(e) => write!(f, "storage decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<DecodeError> for StorageError {
+    fn from(e: DecodeError) -> StorageError {
+        StorageError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,183 @@
+//! Log records: the committed facts the append-only log carries.
+//!
+//! A record persists an operation's *inputs* — who, which retry, what, when
+//! — never its outputs. The server state machine is deterministic, so
+//! recovery regenerates every response (including the reply-journal entry
+//! the transport acknowledged) by replaying inputs on top of the last
+//! checkpoint. That keeps the per-op log write small: an op record costs
+//! tens of bytes where a response (with its Merkle proof) costs kilobytes.
+
+use tcvs_core::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, UserId};
+use tcvs_merkle::Op;
+use tcvs_obs::Event;
+use tcvs_store::enc::{DecodeError, Reader, Writer};
+
+use crate::codec;
+
+/// The sentinel sequence number for ops that arrived without an
+/// exactly-once sequence (direct [`tcvs_core::ServerApi::handle_op`]
+/// calls); such ops replay into state but never into the reply journal.
+pub const NO_SEQ: u64 = u64::MAX;
+
+/// One committed fact.
+#[derive(Clone, Debug)]
+pub enum Record {
+    /// An operation executed by the serialized write path.
+    Op {
+        /// The requesting user.
+        user: UserId,
+        /// The transport's exactly-once sequence number ([`NO_SEQ`] if the
+        /// op arrived without one).
+        seq: u64,
+        /// The operation itself.
+        op: Op,
+        /// The server-side round it executed at.
+        round: u64,
+    },
+    /// A Protocol I signature deposit.
+    Signature(SignedState),
+    /// A Protocol III epoch-state deposit.
+    EpochState(SignedEpochState),
+    /// A Protocol III audited checkpoint deposit.
+    AuditCheckpoint(SignedCheckpoint),
+    /// A flight-recorder frame (the crash-surviving black box rides the
+    /// same log as the state it narrates).
+    Flight(Event),
+}
+
+const TAG_OP: u8 = 1;
+const TAG_SIGNATURE: u8 = 2;
+const TAG_EPOCH_STATE: u8 = 3;
+const TAG_AUDIT_CHECKPOINT: u8 = 4;
+const TAG_FLIGHT: u8 = 5;
+
+impl Record {
+    /// The record's log tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Record::Op { .. } => TAG_OP,
+            Record::Signature(_) => TAG_SIGNATURE,
+            Record::EpochState(_) => TAG_EPOCH_STATE,
+            Record::AuditCheckpoint(_) => TAG_AUDIT_CHECKPOINT,
+            Record::Flight(_) => TAG_FLIGHT,
+        }
+    }
+
+    /// Encodes the record body (everything after the log framing's
+    /// `[lsn][tag]` prefix).
+    pub fn body(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Record::Op {
+                user,
+                seq,
+                op,
+                round,
+            } => {
+                w.u32(*user);
+                w.u64(*seq);
+                w.u64(*round);
+                codec::put_op(&mut w, op);
+            }
+            Record::Signature(s) => codec::put_signed_state(&mut w, s),
+            Record::EpochState(s) => codec::put_epoch_state(&mut w, s),
+            Record::AuditCheckpoint(c) => codec::put_audit_checkpoint(&mut w, c),
+            Record::Flight(ev) => codec::put_event(&mut w, ev),
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a record from its tag and body.
+    pub fn decode(tag: u8, body: &[u8]) -> Result<Record, DecodeError> {
+        let mut r = Reader::new(body);
+        let rec = match tag {
+            TAG_OP => {
+                let user = r.u32()?;
+                let seq = r.u64()?;
+                let round = r.u64()?;
+                let op = codec::get_op(&mut r)?;
+                Record::Op {
+                    user,
+                    seq,
+                    op,
+                    round,
+                }
+            }
+            TAG_SIGNATURE => Record::Signature(codec::get_signed_state(&mut r)?),
+            TAG_EPOCH_STATE => Record::EpochState(codec::get_epoch_state(&mut r)?),
+            TAG_AUDIT_CHECKPOINT => Record::AuditCheckpoint(codec::get_audit_checkpoint(&mut r)?),
+            TAG_FLIGHT => Record::Flight(codec::get_event(&mut r)?),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+/// A [`ServerResponse`] journal entry regenerated (or about to be
+/// persisted) alongside its exactly-once key.
+pub type JournalEntry = (UserId, u64, ServerResponse);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_merkle::u64_key;
+    use tcvs_obs::EventKind;
+
+    #[test]
+    fn op_record_round_trips() {
+        let rec = Record::Op {
+            user: 2,
+            seq: 41,
+            op: Op::Put(u64_key(9), b"val".to_vec()),
+            round: 17,
+        };
+        let back = Record::decode(rec.tag(), &rec.body()).unwrap();
+        match back {
+            Record::Op {
+                user,
+                seq,
+                op,
+                round,
+            } => {
+                assert_eq!((user, seq, round), (2, 41, 17));
+                assert_eq!(op, Op::Put(u64_key(9), b"val".to_vec()));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flight_record_round_trips() {
+        let rec = Record::Flight(Event::new(3, EventKind::OpServed, 1).detail("ctr=3"));
+        let back = Record::decode(rec.tag(), &rec.body()).unwrap();
+        match back {
+            Record::Flight(ev) => assert_eq!(ev.detail, "ctr=3"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            Record::decode(99, &[]),
+            Err(DecodeError::BadTag(99))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let rec = Record::Op {
+            user: 0,
+            seq: 0,
+            op: Op::Get(u64_key(0)),
+            round: 0,
+        };
+        let mut body = rec.body();
+        body.push(0);
+        assert!(matches!(
+            Record::decode(rec.tag(), &body),
+            Err(DecodeError::TrailingBytes)
+        ));
+    }
+}

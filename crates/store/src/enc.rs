@@ -7,22 +7,44 @@ use std::fmt;
 /// Errors from decoding a malformed byte stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Input ended before the announced length.
-    Truncated,
+    /// Input ended before the announced length. `offset` is the byte
+    /// position the failed read started at and `needed` how many bytes it
+    /// required; recovery code uses the pair to tell a torn tail (the
+    /// stream simply stops) apart from interior corruption.
+    Truncated {
+        /// Byte position where the failed read began.
+        offset: usize,
+        /// Bytes the read required (more than remained).
+        needed: usize,
+    },
     /// A string field was not valid UTF-8.
     InvalidUtf8,
     /// An enum tag byte was unknown.
     BadTag(u8),
+    /// A field's content was structurally invalid.
+    Invalid(&'static str),
     /// Trailing bytes after the final field.
     TrailingBytes,
+}
+
+impl DecodeError {
+    /// True for the short-input error: the stream ended before a field
+    /// completed. The log-recovery path treats this as a torn tail (crash
+    /// mid-append) rather than corruption.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, DecodeError::Truncated { .. })
+    }
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::Truncated { offset, needed } => {
+                write!(f, "input truncated at byte {offset} (needed {needed} more)")
+            }
             DecodeError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
             DecodeError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
             DecodeError::TrailingBytes => write!(f, "trailing bytes after value"),
         }
     }
@@ -72,6 +94,22 @@ impl Writer {
     pub fn string(&mut self, v: &str) {
         self.bytes(v.as_bytes());
     }
+
+    /// Writes raw bytes with no length prefix. The reader must know the
+    /// exact width (fixed-size fields like digests).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
 }
 
 /// Cursor-based byte reader.
@@ -88,11 +126,29 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
-            return Err(DecodeError::Truncated);
+            return Err(DecodeError::Truncated {
+                offset: self.pos,
+                needed: n,
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Current cursor position in bytes.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
     }
 
     /// Reads one byte.
@@ -160,12 +216,36 @@ mod tests {
     }
 
     #[test]
-    fn truncation_detected() {
+    fn truncation_detected_with_offset() {
         let mut w = Writer::new();
         w.string("long enough");
         let buf = w.into_bytes();
         let mut r = Reader::new(&buf[..buf.len() - 2]);
-        assert_eq!(r.string(), Err(DecodeError::Truncated));
+        // The length prefix (8 bytes) parses; the payload read starting at
+        // byte 8 needs 11 bytes but only 9 remain.
+        assert_eq!(
+            r.string(),
+            Err(DecodeError::Truncated {
+                offset: 8,
+                needed: 11
+            })
+        );
+        assert!(r.string().unwrap_err().is_truncated());
+    }
+
+    #[test]
+    fn raw_round_trip_and_position() {
+        let mut w = Writer::new();
+        w.raw(&[1, 2, 3, 4]);
+        w.u8(9);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.raw(4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.u8().unwrap(), 9);
+        r.finish().unwrap();
     }
 
     #[test]
