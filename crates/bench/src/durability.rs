@@ -47,7 +47,10 @@ fn open_server<M: Medium>(medium: M, checkpoint_every: u64) -> DurableServer<Dur
     DurableServer::open(
         store,
         config(),
-        DurabilityOptions { checkpoint_every },
+        DurabilityOptions {
+            checkpoint_every,
+            ..DurabilityOptions::default()
+        },
         StorageObs::disabled(),
     )
     .expect("open durable server")

@@ -311,7 +311,14 @@ impl NetServer {
                                 &stats,
                             )
                         {
-                            drain(inner.as_mut(), &rx, backlog, &mut journal, slot.as_ref());
+                            drain(
+                                inner.as_mut(),
+                                &rx,
+                                backlog,
+                                &mut journal,
+                                slot.as_ref(),
+                                &stats,
+                            );
                             return;
                         }
                     }
@@ -351,7 +358,14 @@ impl NetServer {
                             .emit(|| Event::new(0, EventKind::Restart, NO_ACTOR));
                     }
                     Request::Shutdown => {
-                        drain(inner.as_mut(), &rx, backlog, &mut journal, slot.as_ref());
+                        drain(
+                            inner.as_mut(),
+                            &rx,
+                            backlog,
+                            &mut journal,
+                            slot.as_ref(),
+                            &stats,
+                        );
                         return;
                     }
                 }
@@ -610,6 +624,7 @@ fn drain(
     backlog: VecDeque<Request>,
     journal: &mut ReplyJournal,
     slot: Option<&SnapshotSlot>,
+    stats: &NetStats,
 ) {
     let queued = std::iter::from_fn(|| rx.try_recv().ok());
     for req in backlog.into_iter().chain(queued) {
@@ -626,7 +641,7 @@ fn drain(
                     Some(r) => r,
                     None => {
                         let r = inner.handle_op_seq(user, seq, &op, round);
-                        journal.insert(user, (seq, r.clone()));
+                        journal_insert(journal, stats, user, seq, r.clone());
                         publish(inner, slot);
                         r
                     }

@@ -52,8 +52,12 @@ fn open(dir: &str) -> Result<DurableServer<DurableStorage<FileMedium>>, String> 
     DurableServer::open(
         store,
         config(),
+        // No salvage override: a SIGKILL must never corrupt the log, so a
+        // corrupt-stop refusal here is exactly the failure the smoke test
+        // exists to catch.
         DurabilityOptions {
             checkpoint_every: 16,
+            ..DurabilityOptions::default()
         },
         StorageObs::disabled(),
     )

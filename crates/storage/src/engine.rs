@@ -40,12 +40,22 @@ pub struct DurabilityOptions {
     /// Take a checkpoint after this many committed operations (0 disables
     /// automatic checkpoints; [`DurableServer::checkpoint_now`] still works).
     pub checkpoint_every: u64,
+    /// Serve even when recovery stopped at interior log corruption
+    /// ([`RecoveryReport::corrupt_stop`]). Off by default: a corrupt stop
+    /// means acknowledged operations may be lost, so [`DurableServer::open`]
+    /// and [`tcvs_core::ServerApi::crash_restart`] fail with
+    /// [`StorageError::Unrecoverable`] and an operator must opt in before
+    /// the server resumes from the salvaged prefix. The storage layer has
+    /// already quarantined everything past the stop point either way, so a
+    /// salvage restart continues on a single consistent timeline.
+    pub salvage_corruption: bool,
 }
 
 impl Default for DurabilityOptions {
     fn default() -> DurabilityOptions {
         DurabilityOptions {
             checkpoint_every: 256,
+            salvage_corruption: false,
         }
     }
 }
@@ -60,6 +70,7 @@ pub struct StorageObs {
     recoveries: Arc<Counter>,
     recovery_replayed: Arc<Counter>,
     torn_tail_dropped_bytes: Arc<Counter>,
+    stale_segments_quarantined: Arc<Counter>,
 }
 
 impl StorageObs {
@@ -72,6 +83,7 @@ impl StorageObs {
             recoveries: registry.counter("storage.recoveries"),
             recovery_replayed: registry.counter("storage.recovery_replayed"),
             torn_tail_dropped_bytes: registry.counter("storage.torn_tail_dropped_bytes"),
+            stale_segments_quarantined: registry.counter("storage.stale_segments_quarantined"),
             registry,
             tracer,
         }
@@ -138,7 +150,25 @@ impl<S: Storage> DurableServer<S> {
     /// ring is host-side infrastructure, not server state).
     fn recover(&mut self) -> Result<(), StorageError> {
         let recorder = self.core.flight_recorder();
-        let recovered = self.storage.recover()?;
+        let mut recovered = self.storage.recover()?;
+        if let Some(stop) = &recovered.report.corrupt_stop {
+            if !self.opts.salvage_corruption {
+                // Crash-stop discipline, mirrored: committing refuses to
+                // acknowledge what is not durable, and recovery refuses to
+                // serve from a log that *lost* something durable. The log
+                // is left exactly as found; an operator restarts with
+                // `salvage_corruption` to accept the loss explicitly.
+                return Err(StorageError::Unrecoverable(format!(
+                    "interior log corruption ({stop}); acknowledged operations past the stop \
+                     point are lost — restart with DurabilityOptions::salvage_corruption to \
+                     serve from the surviving prefix"
+                )));
+            }
+            // The operator accepted the loss: make the discard durable
+            // (quarantine the stale suffix, truncate the stopped segment)
+            // and rebuild from the salvaged log.
+            recovered = self.storage.salvage()?;
+        }
         self.journal.clear();
         self.recovered_flight.clear();
         self.core = match &recovered.checkpoint {
@@ -184,6 +214,9 @@ impl<S: Storage> DurableServer<S> {
         if let Some(tt) = &report.torn_tail {
             self.obs.torn_tail_dropped_bytes.add(tt.dropped_bytes);
         }
+        self.obs
+            .stale_segments_quarantined
+            .add(report.stale_segments_quarantined);
         self.obs.tracer.emit(|| {
             Event::new(self.core.ctr(), EventKind::Recovery, self.core.last_user()).detail(format!(
                 "replayed={} torn={} corrupt_ckpts={}",
@@ -380,7 +413,7 @@ impl<S: Storage> ServerApi for DurableServer<S> {
 mod tests {
     use super::*;
     use crate::codec::response_bytes;
-    use crate::medium::MemMedium;
+    use crate::medium::{Medium, MemMedium};
     use crate::storage::{DurableOptions, DurableStorage, MemStorage};
     use tcvs_merkle::u64_key;
 
@@ -407,6 +440,7 @@ mod tests {
             config(),
             DurabilityOptions {
                 checkpoint_every: every,
+                ..DurabilityOptions::default()
             },
             StorageObs::disabled(),
         )
@@ -540,6 +574,62 @@ mod tests {
     }
 
     #[test]
+    fn interior_corruption_refuses_to_serve_without_salvage() {
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 100);
+        for i in 0..6 {
+            s.handle_op_seq(0, i, &op(i), i);
+        }
+        drop(s);
+        // Flip a payload bit of the 4th record: interior corruption that
+        // loses acknowledged operations 3..6.
+        let name = crate::log::segment_name(0);
+        let mut buf = mem.read(&name).unwrap().unwrap();
+        let scan = crate::log::scan(&buf, 0);
+        let offset: u64 = scan.records[..3]
+            .iter()
+            .map(|(_, _, body)| crate::log::frame_len(body.len()))
+            .sum();
+        buf[offset as usize + crate::log::HEADER_LEN] ^= 0x01;
+        let mut raw = mem.clone();
+        raw.write_atomic(&name, &buf).unwrap();
+
+        // Default options: the open fails loudly instead of silently
+        // serving from the rolled-back prefix.
+        let store = DurableStorage::open(mem.clone(), DurableOptions::default());
+        match DurableServer::open(
+            store,
+            config(),
+            DurabilityOptions::default(),
+            StorageObs::disabled(),
+        ) {
+            Err(StorageError::Unrecoverable(msg)) => {
+                assert!(
+                    msg.contains("salvage"),
+                    "points the operator at the knob: {msg}"
+                )
+            }
+            Ok(_) => panic!("open must fail on interior corruption"),
+            Err(other) => panic!("expected Unrecoverable, got {other:?}"),
+        }
+
+        // Explicit salvage serves the surviving prefix.
+        let store = DurableStorage::open(mem, DurableOptions::default());
+        let s2 = DurableServer::open(
+            store,
+            config(),
+            DurabilityOptions {
+                checkpoint_every: 100,
+                salvage_corruption: true,
+            },
+            StorageObs::disabled(),
+        )
+        .unwrap();
+        assert!(s2.last_recovery().corrupt_stop.is_some());
+        assert_eq!(s2.core().ctr(), 3, "exactly the prefix before the flip");
+    }
+
+    #[test]
     fn metrics_count_commits_and_recoveries() {
         let mem = MemMedium::new();
         let store = DurableStorage::open(mem.clone(), DurableOptions::default());
@@ -548,6 +638,7 @@ mod tests {
             config(),
             DurabilityOptions {
                 checkpoint_every: 4,
+                ..DurabilityOptions::default()
             },
             StorageObs::new(Tracer::disabled()),
         )

@@ -22,6 +22,19 @@ pub enum StorageError {
     },
     /// A record or checkpoint body failed to decode.
     Decode(DecodeError),
+    /// A payload offered for writing exceeds the maximum frame size
+    /// ([`crate::log::MAX_PAYLOAD`]); writing it would produce a frame the
+    /// next recovery classifies as corruption, so it is rejected up front.
+    TooLarge {
+        /// What was being written ("record" or "checkpoint").
+        what: &'static str,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// Recovery stopped at interior log corruption and the caller did not
+    /// opt into salvaging the surviving prefix: acknowledged operations may
+    /// be lost, so serving must not resume without an operator decision.
+    Unrecoverable(String),
 }
 
 impl StorageError {
@@ -43,6 +56,13 @@ impl fmt::Display for StorageError {
                 write!(f, "corrupt {file} at byte {offset}: {reason}")
             }
             StorageError::Decode(e) => write!(f, "storage decode: {e}"),
+            StorageError::TooLarge { what, bytes } => {
+                write!(
+                    f,
+                    "{what} payload of {bytes} bytes exceeds the maximum frame size"
+                )
+            }
+            StorageError::Unrecoverable(msg) => write!(f, "unrecoverable: {msg}"),
         }
     }
 }

@@ -36,7 +36,20 @@ pub const HEADER_LEN: usize = 4;
 pub const MAX_PAYLOAD: usize = 1 << 30;
 
 /// Frames a record payload: length prefix + payload + truncated checksum.
+///
+/// # Panics
+///
+/// Panics when `payload` exceeds [`MAX_PAYLOAD`]: such a frame would be
+/// classified as corruption on every subsequent scan (and past `u32::MAX`
+/// the length prefix would silently wrap), so it must never reach disk.
+/// [`crate::DurableStorage`] rejects oversized payloads with a typed
+/// [`crate::StorageError::TooLarge`] before calling this.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD,
+        "payload of {} bytes exceeds the maximum frame size",
+        payload.len()
+    );
     let mut w = Writer::new();
     w.u32(payload.len() as u32);
     w.raw(payload);
@@ -52,6 +65,16 @@ pub fn payload(lsn: u64, tag: u8, body: &[u8]) -> Vec<u8> {
     w.raw(body);
     w.into_bytes()
 }
+
+/// On-disk bytes of one framed record whose body is `body_len` bytes:
+/// header + (lsn + tag + body) + checksum.
+pub fn frame_len(body_len: usize) -> u64 {
+    (HEADER_LEN + 8 + 1 + body_len + CHECK_LEN) as u64
+}
+
+/// Largest record *body* that still frames within [`MAX_PAYLOAD`] (the
+/// payload wraps the body in an lsn and a tag byte).
+pub const MAX_BODY: usize = MAX_PAYLOAD - 9;
 
 /// Why a segment scan stopped before the end of the buffer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -208,6 +231,14 @@ pub fn checkpoint_name(lsn: u64) -> String {
     format!("ckpt-{lsn:016x}.ckp")
 }
 
+/// Quarantine name for a file recovery has discarded: the bytes are kept
+/// for manual salvage, but neither [`parse_segment_name`] nor
+/// [`parse_checkpoint_name`] matches the prefixed name, so no scan or
+/// rotation will ever touch them again.
+pub fn quarantine_name(name: &str) -> String {
+    format!("quarantine-{name}")
+}
+
 /// Parses a segment file name back to its first LSN.
 pub fn parse_segment_name(name: &str) -> Option<u64> {
     let hex = name.strip_prefix("seg-")?.strip_suffix(".log")?;
@@ -315,5 +346,27 @@ mod tests {
         assert_eq!(parse_checkpoint_name(&checkpoint_name(7)), Some(7));
         assert_eq!(parse_segment_name("ckpt-0000000000000007.ckp"), None);
         assert_eq!(parse_segment_name("seg-zz.log"), None);
+        let quar = quarantine_name(&segment_name(42));
+        assert_eq!(
+            parse_segment_name(&quar),
+            None,
+            "quarantined: never scanned"
+        );
+        assert_eq!(
+            parse_checkpoint_name(&quarantine_name(&checkpoint_name(7))),
+            None
+        );
+    }
+
+    #[test]
+    fn frame_len_matches_the_wire_format() {
+        for body_len in [0usize, 1, 7, 300] {
+            let body = vec![0xAB; body_len];
+            assert_eq!(
+                frame_len(body_len),
+                record(5, 1, &body).len() as u64,
+                "body_len={body_len}"
+            );
+        }
     }
 }

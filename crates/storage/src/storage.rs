@@ -81,6 +81,11 @@ pub struct RecoveryReport {
     pub corrupt_stop: Option<String>,
     /// Reads that came back short and were retried successfully.
     pub short_reads_retried: u64,
+    /// Segments past a corrupt stop that were moved aside (renamed to a
+    /// `quarantine-` name recovery never scans) so their stale records can
+    /// neither be replayed on a later recovery nor appended into when
+    /// rotation reuses an LSN from the rolled-back range.
+    pub stale_segments_quarantined: u64,
 }
 
 /// A torn (incomplete) record tail discarded by recovery.
@@ -118,7 +123,22 @@ pub trait Storage: Send {
     fn checkpoint(&mut self, state: &[u8]) -> Result<u64, StorageError>;
 
     /// Re-reads durable state: newest valid checkpoint + replay tail.
+    ///
+    /// A recovery that stops at *interior corruption*
+    /// ([`RecoveryReport::corrupt_stop`]) leaves the medium exactly as
+    /// found — the damaged bytes and everything after them are evidence —
+    /// and the store refuses commits until [`Storage::salvage`] makes the
+    /// discard explicit. A benign torn tail (the expected crash shape) is
+    /// repaired in place and does not halt the store.
     fn recover(&mut self) -> Result<Recovered, StorageError>;
+
+    /// Accepts the loss a corrupt-stopped [`Storage::recover`] reported:
+    /// makes the discard permanent (quarantines every segment past the
+    /// stop point, truncates the stopped one) and reopens the store for
+    /// commits. On a healthy store this is just `recover`.
+    fn salvage(&mut self) -> Result<Recovered, StorageError> {
+        self.recover()
+    }
 
     /// The LSN the next committed record will get.
     fn next_lsn(&self) -> u64;
@@ -212,6 +232,9 @@ pub struct DurableStorage<M: Medium> {
     /// Set by [`Storage::recover`]; commits before it are refused, because
     /// only recovery positions the append cursor past existing records.
     recovered: bool,
+    /// Set when the last recovery stopped at interior corruption without
+    /// repairing it: commits stay refused until [`Storage::salvage`].
+    halted: Option<String>,
 }
 
 impl<M: Medium> DurableStorage<M> {
@@ -229,6 +252,7 @@ impl<M: Medium> DurableStorage<M> {
             seg_name: log::segment_name(0),
             seg_bytes: 0,
             recovered: false,
+            halted: None,
         }
     }
 
@@ -306,6 +330,12 @@ impl<M: Medium> DurableStorage<M> {
 
 impl<M: Medium> Storage for DurableStorage<M> {
     fn commit(&mut self, batch: WriteBatch) -> Result<u64, StorageError> {
+        if let Some(stop) = &self.halted {
+            return Err(StorageError::Unrecoverable(format!(
+                "commits refused: recovery stopped at interior corruption ({stop}); \
+                 salvage() makes the discard explicit"
+            )));
+        }
         if !self.recovered {
             return Err(StorageError::io("commit before recovery"));
         }
@@ -315,7 +345,16 @@ impl<M: Medium> Storage for DurableStorage<M> {
         let mut buf = Vec::new();
         let mut lsn = self.next_lsn;
         for rec in &batch.records {
-            buf.extend_from_slice(&log::frame(&log::payload(lsn, rec.tag(), &rec.body())));
+            let body = rec.body();
+            // Reject before framing: an oversized frame would be written
+            // fine and then classified as corruption on every recovery.
+            if body.len() > log::MAX_BODY {
+                return Err(StorageError::TooLarge {
+                    what: "record",
+                    bytes: body.len(),
+                });
+            }
+            buf.extend_from_slice(&log::frame(&log::payload(lsn, rec.tag(), &body)));
             lsn += 1;
         }
         if self.seg_bytes > 0 && self.seg_bytes + buf.len() > self.opts.segment_bytes {
@@ -332,10 +371,22 @@ impl<M: Medium> Storage for DurableStorage<M> {
     }
 
     fn checkpoint(&mut self, state: &[u8]) -> Result<u64, StorageError> {
+        if let Some(stop) = &self.halted {
+            return Err(StorageError::Unrecoverable(format!(
+                "checkpoint refused: recovery stopped at interior corruption ({stop}); \
+                 salvage() makes the discard explicit"
+            )));
+        }
         if !self.recovered {
             return Err(StorageError::io("checkpoint before recovery"));
         }
         let lsn = self.next_lsn;
+        if 8 + state.len() > log::MAX_PAYLOAD {
+            return Err(StorageError::TooLarge {
+                what: "checkpoint",
+                bytes: state.len(),
+            });
+        }
         let mut body = Vec::with_capacity(8 + state.len());
         body.extend_from_slice(&lsn.to_le_bytes());
         body.extend_from_slice(state);
@@ -352,7 +403,27 @@ impl<M: Medium> Storage for DurableStorage<M> {
     }
 
     fn recover(&mut self) -> Result<Recovered, StorageError> {
+        self.recover_impl(false)
+    }
+
+    fn salvage(&mut self) -> Result<Recovered, StorageError> {
+        self.recover_impl(true)
+    }
+
+    fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+}
+
+impl<M: Medium> DurableStorage<M> {
+    /// The recovery state machine (see module docs). `repair` is the
+    /// [`Storage::salvage`] mode: with it, a corrupt stop quarantines the
+    /// stale suffix and truncates the stopped segment so the store can
+    /// serve on from the surviving prefix; without it, interior corruption
+    /// halts the store with the medium left exactly as found.
+    fn recover_impl(&mut self, repair: bool) -> Result<Recovered, StorageError> {
         let mut report = RecoveryReport::default();
+        self.halted = None;
 
         // 1. Newest checkpoint that verifies.
         let mut checkpoint: Option<(u64, Vec<u8>)> = None;
@@ -378,6 +449,9 @@ impl<M: Medium> Storage for DurableStorage<M> {
         let mut expected = segs.first().copied().unwrap_or(0);
         let mut last_valid: Option<(String, u64)> = None; // (name, valid_len)
         let mut stopped = false;
+        // First segment index the scan never reached; everything from here
+        // on is quarantined when the scan stopped at corruption.
+        let mut stale_from = segs.len();
         for (i, &first_lsn) in segs.iter().enumerate() {
             if stopped {
                 break;
@@ -395,23 +469,32 @@ impl<M: Medium> Storage for DurableStorage<M> {
                 report.corrupt_stop = Some(format!(
                     "segment {name} starts at lsn {first_lsn}, expected {expected}"
                 ));
+                stale_from = i;
                 break;
             }
             report.segments_scanned += 1;
             let scan = self.scan_segment(&name, expected, &mut report)?;
+            let mut valid_len = scan.valid_len;
+            let mut offset = 0u64; // byte offset of the record under examination
             for (lsn, tag, body) in &scan.records {
-                expected = lsn + 1;
-                if *lsn < base {
-                    continue;
-                }
-                match Record::decode(*tag, body) {
-                    Ok(rec) => tail.push((*lsn, rec)),
-                    Err(e) => {
-                        report.corrupt_stop = Some(format!("record {lsn} in {name}: {e}"));
-                        stopped = true;
-                        break;
+                if *lsn >= base {
+                    match Record::decode(*tag, body) {
+                        Ok(rec) => tail.push((*lsn, rec)),
+                        Err(e) => {
+                            // The frame verified but the record does not
+                            // decode: stop *at* this record — `expected`
+                            // stays rolled back to its LSN and the frame is
+                            // shed from the segment with everything after
+                            // it, so it can never be rescanned.
+                            report.corrupt_stop = Some(format!("record {lsn} in {name}: {e}"));
+                            valid_len = offset;
+                            stopped = true;
+                            break;
+                        }
                     }
                 }
+                offset += log::frame_len(body.len());
+                expected = lsn + 1;
             }
             if !stopped {
                 match &scan.tail {
@@ -439,25 +522,73 @@ impl<M: Medium> Storage for DurableStorage<M> {
                     }
                 }
             }
-            last_valid = Some((name, scan.valid_len));
+            if stopped {
+                stale_from = i + 1;
+            }
+            last_valid = Some((name, valid_len));
         }
         report.records_replayed = tail.len() as u64;
 
-        // 3. Make the discard permanent: truncate the last scanned segment
+        // 3. Interior corruption means acknowledged records past the stop
+        // point are lost. Outside salvage mode, leave the medium exactly as
+        // found — the damaged bytes are evidence for the operator — and
+        // halt: commits are refused until `salvage` makes the discard
+        // explicit. (A benign torn tail never takes this path.)
+        if let Some(stop) = &report.corrupt_stop {
+            if !repair {
+                self.next_lsn = expected.max(base);
+                self.halted = Some(stop.clone());
+                self.recovered = false;
+                return Ok(Recovered {
+                    checkpoint,
+                    tail,
+                    report,
+                });
+            }
+        }
+
+        // 4. (Salvage only.) A corrupt stop poisons everything after it:
+        // records beyond the stop point are never replayed ("no record
+        // after a hole"), so leaving their segments on disk would let the
+        // *next* recovery scan straight past the repaired prefix into the
+        // old timeline once new commits fill the LSN range back up — and
+        // rotation could reuse a stale segment's name and append into its
+        // old contents. Move them aside under names no scan or rotation
+        // ever touches.
+        if report.corrupt_stop.is_some() {
+            for &first_lsn in &segs[stale_from..] {
+                let name = log::segment_name(first_lsn);
+                if let Some(buf) = self.medium.read(&name)? {
+                    self.medium
+                        .write_atomic(&log::quarantine_name(&name), &buf)?;
+                }
+                self.medium.remove(&name)?;
+                report.stale_segments_quarantined += 1;
+            }
+        }
+
+        // 5. Make the discard permanent: truncate the last scanned segment
         // to its valid prefix so torn bytes can never resurface, and point
         // appends at it.
         self.next_lsn = expected.max(base);
+        if let Some((name, valid_len)) = &last_valid {
+            let buf = self.medium.read(name)?.unwrap_or_default();
+            if (buf.len() as u64) > *valid_len {
+                self.medium
+                    .write_atomic(name, &buf[..*valid_len as usize])?;
+            }
+        }
         match last_valid {
-            Some((name, valid_len)) => {
-                let buf = self.medium.read(&name)?.unwrap_or_default();
-                if (buf.len() as u64) > valid_len {
-                    self.medium
-                        .write_atomic(&name, &buf[..valid_len as usize])?;
-                }
+            // Resume appending to the scanned segment only when the next
+            // commit continues its LSN run; if the checkpoint sits past the
+            // end of the scanned log (`base > expected`, e.g. corruption
+            // below a checkpoint that subsumes it), appending there would
+            // put an LSN gap *inside* the segment, so start a fresh one.
+            Some((name, valid_len)) if self.next_lsn == expected => {
                 self.seg_name = name;
                 self.seg_bytes = valid_len as usize;
             }
-            None => {
+            _ => {
                 self.seg_name = log::segment_name(self.next_lsn);
                 self.seg_bytes = 0;
             }
@@ -468,10 +599,6 @@ impl<M: Medium> Storage for DurableStorage<M> {
             tail,
             report,
         })
-    }
-
-    fn next_lsn(&self) -> u64 {
-        self.next_lsn
     }
 }
 
@@ -645,11 +772,172 @@ mod tests {
         buf[3 * frame_len + 10] ^= 0x04;
         let mut raw = mem.clone();
         raw.write_atomic(&name, &buf).unwrap();
-        let mut s2 = DurableStorage::open(mem, DurableOptions::default());
+        let mut s2 = DurableStorage::open(mem.clone(), DurableOptions::default());
         let rec = s2.recover().unwrap();
         assert_eq!(rec.tail.len(), 3, "replay stops before the corruption");
         assert!(rec.report.corrupt_stop.is_some());
         assert_eq!(s2.next_lsn(), 3);
+        // The store is halted: nothing may be acknowledged on top of a log
+        // that lost acknowledged records, and the damage stays on disk for
+        // the operator (a plain re-recovery still reports it).
+        let refused = s2.commit({
+            let mut b = WriteBatch::new();
+            b.push(op_record(3));
+            b
+        });
+        assert!(
+            matches!(refused, Err(StorageError::Unrecoverable(_))),
+            "{refused:?}"
+        );
+        let again = DurableStorage::open(mem.clone(), DurableOptions::default())
+            .recover()
+            .unwrap();
+        assert!(again.report.corrupt_stop.is_some(), "evidence preserved");
+        // Salvage makes the discard durable; only then is the log clean.
+        let mut s3 = DurableStorage::open(mem.clone(), DurableOptions::default());
+        let rec3 = s3.salvage().unwrap();
+        assert!(rec3.report.corrupt_stop.is_some());
+        assert_eq!(rec3.tail.len(), 3);
+        let rec4 = DurableStorage::open(mem, DurableOptions::default())
+            .recover()
+            .unwrap();
+        assert!(rec4.report.corrupt_stop.is_none());
+        assert_eq!(rec4.tail.len(), 3);
+    }
+
+    /// The old-timeline resurrection hazard: interior corruption in an
+    /// early segment rolls the LSN back, new commits refill the rolled-back
+    /// range, and the *stale* later segments — whose first LSN and record
+    /// continuity still line up — must never be scanned back into state.
+    #[test]
+    fn corrupt_stop_quarantines_stale_segments_for_good() {
+        let mem = MemMedium::new();
+        let opts = DurableOptions {
+            segment_bytes: 100,
+            retain_checkpoints: 2,
+        };
+        let mut s = DurableStorage::open(mem.clone(), opts);
+        s.recover().unwrap();
+        for i in 0..20 {
+            commit_one(&mut s, i);
+        }
+        let segs = s.segment_lsns().unwrap();
+        assert!(segs.len() > 2, "needs several segments: {segs:?}");
+        // Flip a checksum bit of the first segment's last record: interior
+        // corruption with live segments after it.
+        let name = log::segment_name(segs[0]);
+        let mut buf = mem.read(&name).unwrap().unwrap();
+        let end = buf.len() - 1;
+        buf[end] ^= 0xFF;
+        let mut raw = mem.clone();
+        raw.write_atomic(&name, &buf).unwrap();
+        drop(s);
+
+        let mut s2 = DurableStorage::open(mem.clone(), opts);
+        assert!(
+            s2.recover().unwrap().report.corrupt_stop.is_some(),
+            "recovery reports the stop and halts"
+        );
+        let rec = s2.salvage().unwrap();
+        assert!(rec.report.corrupt_stop.is_some());
+        assert_eq!(
+            rec.report.stale_segments_quarantined,
+            (segs.len() - 1) as u64,
+            "every segment after the stop is quarantined"
+        );
+        let survivors = rec.tail.len() as u64;
+        assert!(survivors < segs[1], "the corrupted record is discarded");
+        assert_eq!(s2.next_lsn(), survivors);
+        let names = mem.list().unwrap();
+        assert!(
+            names
+                .iter()
+                .filter_map(|n| log::parse_segment_name(n))
+                .all(|l| l == segs[0]),
+            "no stale segment remains scannable: {names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.starts_with("quarantine-")),
+            "stale bytes kept for manual salvage: {names:?}"
+        );
+
+        // New commits refill the rolled-back LSN range on the new timeline.
+        for j in 0..12 {
+            commit_one(&mut s2, 1000 + j);
+        }
+        drop(s2);
+        let rec2 = DurableStorage::open(mem, opts).recover().unwrap();
+        assert!(rec2.report.corrupt_stop.is_none(), "{:?}", rec2.report);
+        assert!(rec2.report.torn_tail.is_none());
+        assert_eq!(rec2.tail.len() as u64, survivors + 12);
+        for (i, (lsn, rec)) in rec2.tail.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            let want_seq = if (i as u64) < survivors {
+                i as u64
+            } else {
+                1000 + (i as u64 - survivors)
+            };
+            assert!(
+                matches!(rec, Record::Op { seq, .. } if *seq == want_seq),
+                "lsn {lsn}: stale-timeline record resurfaced"
+            );
+        }
+    }
+
+    /// A frame that verifies but whose record does not decode is shed from
+    /// the segment at recovery, so the stop does not recur forever.
+    #[test]
+    fn undecodable_record_is_shed_not_rescanned() {
+        let mem = MemMedium::new();
+        let mut s = DurableStorage::open(mem.clone(), DurableOptions::default());
+        s.recover().unwrap();
+        for i in 0..3 {
+            commit_one(&mut s, i);
+        }
+        // A well-framed record with a tag no decoder knows.
+        let bogus = log::frame(&log::payload(3, 0xEE, b"junk"));
+        let mut raw = mem.clone();
+        raw.append(&log::segment_name(0), &bogus).unwrap();
+        raw.sync(&log::segment_name(0)).unwrap();
+        drop(s);
+
+        let mut s2 = DurableStorage::open(mem.clone(), DurableOptions::default());
+        let rec = s2.salvage().unwrap();
+        assert_eq!(rec.tail.len(), 3);
+        assert!(rec.report.corrupt_stop.is_some());
+        assert_eq!(s2.next_lsn(), 3, "rolled back to the undecodable record");
+        // Shed durably: recovery does not stop at the same record again,
+        // and the log keeps growing cleanly past it.
+        commit_one(&mut s2, 3);
+        drop(s2);
+        let rec2 = DurableStorage::open(mem, DurableOptions::default())
+            .recover()
+            .unwrap();
+        assert!(rec2.report.corrupt_stop.is_none(), "{:?}", rec2.report);
+        assert_eq!(rec2.tail.len(), 4);
+    }
+
+    /// Oversized payloads are rejected when written, not discovered as
+    /// "corruption" by the next recovery.
+    #[test]
+    fn oversized_checkpoint_rejected_at_write_time() {
+        let mem = MemMedium::new();
+        let mut s = DurableStorage::open(mem.clone(), DurableOptions::default());
+        s.recover().unwrap();
+        commit_one(&mut s, 0);
+        // Zero pages: allocated lazily, never touched before the size check.
+        let huge = vec![0u8; log::MAX_PAYLOAD - 7];
+        match s.checkpoint(&huge) {
+            Err(StorageError::TooLarge { what, .. }) => assert_eq!(what, "checkpoint"),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Nothing reached disk; the store still recovers cleanly.
+        drop(s);
+        let rec = DurableStorage::open(mem, DurableOptions::default())
+            .recover()
+            .unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert_eq!(rec.tail.len(), 1);
     }
 
     #[test]

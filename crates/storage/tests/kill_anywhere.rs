@@ -66,7 +66,13 @@ fn open<M: tcvs_storage::Medium + Clone>(
     DurableServer::open(
         store,
         config(),
-        DurabilityOptions { checkpoint_every },
+        DurabilityOptions {
+            checkpoint_every,
+            // These tests *inject* corruption and then assert on the exact
+            // salvaged prefix, so they opt into serving past a corrupt
+            // stop; the refusal default is covered by the engine tests.
+            salvage_corruption: true,
+        },
         StorageObs::disabled(),
     )
     .expect("open server")
@@ -148,6 +154,7 @@ fn torn_write_at_every_op_index_loses_only_the_unacked_op() {
                 config(),
                 DurabilityOptions {
                     checkpoint_every: 7,
+                    ..DurabilityOptions::default()
                 },
                 StorageObs::disabled(),
             )
@@ -195,6 +202,7 @@ fn lost_fsync_then_power_loss_recovers_a_clean_prefix() {
             config(),
             DurabilityOptions {
                 checkpoint_every: 0,
+                ..DurabilityOptions::default()
             }, // no checkpoints: pure log
             StorageObs::disabled(),
         )
@@ -237,6 +245,7 @@ fn bit_flip_at_every_op_index_stops_replay_at_the_flip() {
             config(),
             DurabilityOptions {
                 checkpoint_every: 0,
+                ..DurabilityOptions::default()
             },
             StorageObs::disabled(),
         )
@@ -345,6 +354,7 @@ fn seeded_fault_plans_drive_storage_faults_end_to_end() {
         config(),
         DurabilityOptions {
             checkpoint_every: 0,
+            ..DurabilityOptions::default()
         },
         StorageObs::disabled(),
     )
