@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use tcvs_bench::durability::run_durability_suite;
 use tcvs_bench::experiments::{e12, run_by_id, ALL};
-use tcvs_bench::perf::run_suite_observed;
+use tcvs_bench::perf::{batching_suite, run_suite_observed};
 use tcvs_bench::results::{render_json_with_metrics, validate, validate_artifact, validate_schema};
 use tcvs_bench::Table;
 
@@ -162,22 +162,37 @@ fn main() {
         }
     }
 
-    let (probes, durability, metrics) = if run_perf {
+    let (probes, durability, batching, metrics) = if run_perf {
         let start = Instant::now();
         let (probes, metrics) = run_suite_observed(quick);
         let durability = run_durability_suite(quick);
+        let batching = batching_suite(quick);
         let mut t = Table::new(
             "PERF",
-            "hot-path probes (recorded in BENCH_results.json)",
-            &["probe", "ops/s", "proof bytes", "p50 µs", "p99 µs"],
+            "hot-path probes (recorded in BENCH_results.json; \
+             [batching] rows are the same-run before/after family)",
+            &[
+                "probe",
+                "ops/s",
+                "proof bytes",
+                "p50 µs",
+                "p99 µs",
+                "p99.9 µs",
+            ],
         );
-        for p in probes.iter().chain(&durability) {
+        for (p, family) in probes
+            .iter()
+            .chain(&durability)
+            .map(|p| (p, ""))
+            .chain(batching.iter().map(|p| (p, "[batching] ")))
+        {
             t.row(vec![
-                p.name.clone(),
+                format!("{family}{}", p.name),
                 format!("{:.0}", p.ops_per_sec),
                 p.proof_bytes.map_or("-".into(), |v| format!("{v:.0}")),
                 p.p50_us.map_or("-".into(), |v| format!("{v:.2}")),
                 p.p99_us.map_or("-".into(), |v| format!("{v:.2}")),
+                p.p999_us.map_or("-".into(), |v| format!("{v:.2}")),
             ]);
         }
         println!("{}", t.render());
@@ -185,9 +200,9 @@ fn main() {
             "[perf completed in {:.1}s]\n",
             start.elapsed().as_secs_f64()
         );
-        (probes, durability, metrics)
+        (probes, durability, batching, metrics)
     } else {
-        (Vec::new(), Vec::new(), Default::default())
+        (Vec::new(), Vec::new(), Vec::new(), Default::default())
     };
 
     // Only (re)write the results file when the perf suite actually ran:
@@ -195,7 +210,8 @@ fn main() {
     // trajectory with an empty probe list.
     if !no_json && run_perf && !failed {
         let mode = if quick { "quick" } else { "full" };
-        let json = render_json_with_metrics(mode, &probes, &durability, &all_tables, &metrics);
+        let json =
+            render_json_with_metrics(mode, &probes, &durability, &batching, &all_tables, &metrics);
         if let Err(e) = validate(&json).and_then(|()| validate_schema(&json)) {
             eprintln!("internal error: generated results JSON is invalid: {e}");
             std::process::exit(3);

@@ -81,6 +81,7 @@ fn commit_probe<M: Medium>(label: &str, medium: M, ops: u64) -> PerfResult {
         proof_bytes: None,
         p50_us: Some(quantile(&lat, 0.5)),
         p99_us: Some(quantile(&lat, 0.99)),
+        p999_us: Some(quantile(&lat, 0.999)),
     }
 }
 
@@ -123,6 +124,7 @@ pub fn recovery_replay(ops: u64, iters: u64) -> PerfResult {
         proof_bytes: None,
         p50_us: None,
         p99_us: None,
+        p999_us: None,
     }
 }
 
@@ -143,6 +145,7 @@ pub fn checkpoint_cost(ops: u64, iters: u64) -> PerfResult {
         proof_bytes: None,
         p50_us: None,
         p99_us: None,
+        p999_us: None,
     }
 }
 

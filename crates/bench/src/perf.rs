@@ -8,7 +8,10 @@ use std::time::Instant;
 
 use tcvs_core::{ProtocolConfig, ProtocolKind, ServerCore};
 use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, VerificationObject};
-use tcvs_net::{run_throughput, run_throughput_observed, NetStats};
+use tcvs_net::{
+    run_throughput, run_throughput_observed, run_throughput_tuned, NetStats, ThroughputOptions,
+    ThroughputReport,
+};
 use tcvs_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 
 /// One probe's outcome: throughput plus optional proof-size and latency
@@ -25,6 +28,11 @@ pub struct PerfResult {
     pub p50_us: Option<f64>,
     /// 99th-percentile per-op latency in microseconds, if measured per-op.
     pub p99_us: Option<f64>,
+    /// 99.9th-percentile per-op latency in microseconds. Batching trades
+    /// tail latency for throughput (every op in a window waits for the
+    /// whole exchange), and p99 alone hides that trade — the batching
+    /// probes exist to make it visible.
+    pub p999_us: Option<f64>,
 }
 
 fn quantile(sorted_ns: &[u64], q: f64) -> f64 {
@@ -33,6 +41,21 @@ fn quantile(sorted_ns: &[u64], q: f64) -> f64 {
     }
     let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
     sorted_ns[idx] as f64 / 1e3
+}
+
+/// Builds a throughput probe from a rig report, with the full latency
+/// quantile set (p50/p99/p999) computed from the per-op samples.
+fn probe_from_report(name: String, r: &ThroughputReport) -> PerfResult {
+    let mut lat = r.latencies_ns.clone();
+    lat.sort_unstable();
+    PerfResult {
+        name,
+        ops_per_sec: r.ops_per_sec(),
+        proof_bytes: None,
+        p50_us: Some(quantile(&lat, 0.5)),
+        p99_us: Some(quantile(&lat, 0.99)),
+        p999_us: Some(quantile(&lat, 0.999)),
+    }
 }
 
 /// Point-update proof generation on a tree of `n` entries: per iteration the
@@ -65,6 +88,7 @@ pub fn point_update_proof_gen(n: u64, order: usize, value_len: usize, iters: u64
         proof_bytes: Some(proof_bytes as f64 / iters as f64),
         p50_us: Some(quantile(&lat, 0.5)),
         p99_us: Some(quantile(&lat, 0.99)),
+        p999_us: Some(quantile(&lat, 0.999)),
     }
 }
 
@@ -82,20 +106,15 @@ pub fn mixed_throughput(
         epoch_len: 1 << 30,
     };
     let r = run_throughput(protocol, clients, ops_per_client, update_pct, &config);
-    let mut lat = r.latencies_ns.clone();
-    lat.sort_unstable();
-    PerfResult {
-        name: format!(
+    probe_from_report(
+        format!(
             "throughput/{}_{}clients_{}pct_updates",
             protocol.label(),
             clients,
             update_pct
         ),
-        ops_per_sec: r.ops_per_sec(),
-        proof_bytes: None,
-        p50_us: Some(quantile(&lat, 0.5)),
-        p99_us: Some(quantile(&lat, 0.99)),
-    }
+        &r,
+    )
 }
 
 /// Crash-snapshot capture cost on a database of `n` entries: captures per
@@ -122,6 +141,7 @@ pub fn crash_snapshot_capture(n: u64, iters: u64) -> PerfResult {
         proof_bytes: None,
         p50_us: None,
         p99_us: None,
+        p999_us: None,
     }
 }
 
@@ -157,16 +177,68 @@ pub fn instrumented_throughput(
         &throughput_config(),
         stats.clone(),
     );
-    let mut lat = r.latencies_ns.clone();
-    lat.sort_unstable();
-    let result = PerfResult {
-        name: format!("throughput/trusted_{clients}clients_{update_pct}pct_updates_instrumented"),
-        ops_per_sec: r.ops_per_sec(),
-        proof_bytes: None,
-        p50_us: Some(quantile(&lat, 0.5)),
-        p99_us: Some(quantile(&lat, 0.99)),
-    };
+    let result = probe_from_report(
+        format!("throughput/trusted_{clients}clients_{update_pct}pct_updates_instrumented"),
+        &r,
+    );
     (result, stats.snapshot())
+}
+
+/// The dark and instrumented trusted-read probes measured **interleaved**:
+/// `rounds` passes, each running both rigs with the order flipped every
+/// pass, taking the best of each side. The suite used to run all dark
+/// probes first and the instrumented one last, so allocator/cache warm-up
+/// leaked into whichever side ran later and the instrumented number could
+/// *exceed* the dark baseline (686k vs 553k in the PR 5 results) — an
+/// ordering artifact, not negative-overhead instrumentation. Alternating
+/// the order makes warm-up drift hit both sides equally.
+pub fn interleaved_trusted_probes(
+    clients: u32,
+    ops_per_client: u64,
+    update_pct: u32,
+    rounds: u32,
+) -> (PerfResult, PerfResult, MetricsSnapshot) {
+    let config = throughput_config();
+    let dark_name = format!("throughput/trusted_{clients}clients_{update_pct}pct_updates");
+    let mut dark: Option<PerfResult> = None;
+    let mut instrumented: Option<(PerfResult, MetricsSnapshot)> = None;
+    let measure_dark = |best: &mut Option<PerfResult>| {
+        let r = run_throughput(
+            ProtocolKind::Trusted,
+            clients,
+            ops_per_client,
+            update_pct,
+            &config,
+        );
+        let probe = probe_from_report(dark_name.clone(), &r);
+        if best
+            .as_ref()
+            .is_none_or(|b| probe.ops_per_sec > b.ops_per_sec)
+        {
+            *best = Some(probe);
+        }
+    };
+    let measure_instrumented = |best: &mut Option<(PerfResult, MetricsSnapshot)>| {
+        let (probe, metrics) = instrumented_throughput(clients, ops_per_client, update_pct);
+        if best
+            .as_ref()
+            .is_none_or(|(b, _)| probe.ops_per_sec > b.ops_per_sec)
+        {
+            *best = Some((probe, metrics));
+        }
+    };
+    for round in 0..rounds.max(1) {
+        if round % 2 == 0 {
+            measure_dark(&mut dark);
+            measure_instrumented(&mut instrumented);
+        } else {
+            measure_instrumented(&mut instrumented);
+            measure_dark(&mut dark);
+        }
+    }
+    let dark = dark.expect("rounds >= 1");
+    let (inst, metrics) = instrumented.expect("rounds >= 1");
+    (dark, inst, metrics)
 }
 
 /// Instrumented-to-dark throughput ratio on the trusted-read rig, taking
@@ -209,7 +281,9 @@ pub fn run_suite(quick: bool) -> Vec<PerfResult> {
 }
 
 /// The standard probe suite plus the instrumented trusted-read probe;
-/// returns the probes and the instrumented run's metrics snapshot.
+/// returns the probes and the instrumented run's metrics snapshot. The
+/// dark and instrumented trusted probes are measured interleaved (see
+/// [`interleaved_trusted_probes`]) so probe order cannot bias their ratio.
 pub fn run_suite_observed(quick: bool) -> (Vec<PerfResult>, MetricsSnapshot) {
     let (n, iters) = if quick {
         (1 << 12, 400)
@@ -218,18 +292,109 @@ pub fn run_suite_observed(quick: bool) -> (Vec<PerfResult>, MetricsSnapshot) {
     };
     let (clients, ops) = if quick { (4, 100) } else { (4, 500) };
     let snap_iters = if quick { 50 } else { 200 };
-    let mut probes = vec![
+    let rounds = if quick { 2 } else { 3 };
+    let (trusted, instrumented, metrics) = interleaved_trusted_probes(clients, ops, 10, rounds);
+    let probes = vec![
         point_update_proof_gen(n, 16, 24, iters),
         point_update_proof_gen(n, 16, 256, iters),
-        mixed_throughput(ProtocolKind::Trusted, clients, ops, 10),
+        trusted,
         mixed_throughput(ProtocolKind::Two, clients, ops, 10),
         mixed_throughput(ProtocolKind::Two, clients, ops, 90),
         crash_snapshot_capture(n, snap_iters),
         crash_snapshot_capture(n * 4, snap_iters),
+        instrumented,
     ];
-    let (instrumented, metrics) = instrumented_throughput(clients, ops, 10);
-    probes.push(instrumented);
     (probes, metrics)
+}
+
+/// The `"batching"` probe family: before/after rows for the two tuned
+/// verified paths, with a trusted reference measured in the **same run**
+/// so the verified-to-trusted ratio is an apples-to-apples comparison.
+///
+/// Naming: the plain `throughput/...` name carries the *tuned*
+/// configuration (it is the headline verified number after this change);
+/// the `_per_op` / `_blocking` suffixes carry the untuned before rows.
+/// The acceptance gate is `throughput/protocol-2_4clients_10pct_updates`
+/// here ≥ 0.5× `throughput/trusted_4clients_10pct_updates` here.
+///
+/// Caveat for the Protocol I pair: pipelining converts the blocking
+/// deposit wait into *overlapped* client verify+sign work, so its win is
+/// wall-clock parallelism. On a single-core host (this repo's CI
+/// container) every P1 configuration is signature-bound at the same
+/// ops/sec and the pipelined row ties the blocking row; the lever pays on
+/// multicore. The batched Protocol II win, by contrast, is a per-op CPU
+/// reduction (shared spine siblings, one exchange per window) and shows
+/// up regardless of core count.
+pub fn batching_suite(quick: bool) -> Vec<PerfResult> {
+    let config = throughput_config();
+    let (clients, ops) = if quick { (4, 100) } else { (4, 500) };
+    let (p1_clients, p1_ops) = if quick { (2, 60) } else { (2, 250) };
+    let window = 16usize;
+    let depth = 8usize;
+    let tuned = |protocol, n: u32, per: u64, t: ThroughputOptions| {
+        run_throughput_tuned(protocol, n, per, 10, &config, t, NetStats::disabled())
+    };
+
+    let trusted = tuned(
+        ProtocolKind::Trusted,
+        clients,
+        ops,
+        ThroughputOptions::default(),
+    );
+    let p2_per_op = tuned(
+        ProtocolKind::Two,
+        clients,
+        ops,
+        ThroughputOptions::default(),
+    );
+    let p2_batched = tuned(
+        ProtocolKind::Two,
+        clients,
+        ops,
+        ThroughputOptions {
+            batch_window: window,
+            publish_every_ops: window as u64,
+            ..ThroughputOptions::default()
+        },
+    );
+    let p1_blocking = tuned(
+        ProtocolKind::One,
+        p1_clients,
+        p1_ops,
+        ThroughputOptions::default(),
+    );
+    let p1_pipelined = tuned(
+        ProtocolKind::One,
+        p1_clients,
+        p1_ops,
+        ThroughputOptions {
+            pipeline_depth: depth,
+            ..ThroughputOptions::default()
+        },
+    );
+
+    vec![
+        probe_from_report(
+            format!("throughput/trusted_{clients}clients_10pct_updates"),
+            &trusted,
+        ),
+        probe_from_report(
+            format!("throughput/protocol-2_{clients}clients_10pct_updates_per_op"),
+            &p2_per_op,
+        ),
+        probe_from_report(
+            format!("throughput/protocol-2_{clients}clients_10pct_updates"),
+            &p2_batched,
+        ),
+        probe_from_report(
+            format!("throughput/protocol-1_{p1_clients}clients_10pct_updates_blocking"),
+            &p1_blocking,
+        ),
+        probe_from_report(
+            format!("throughput/protocol-1_{p1_clients}clients_10pct_updates"),
+            &p1_pipelined,
+        ),
+    ]
 }
 
 #[cfg(test)]
@@ -252,6 +417,34 @@ mod tests {
             }
         }
         panic!("instrumented/dark trusted-read throughput ratio {ratio:.3} < 0.95");
+    }
+
+    /// The batching family carries the same-run trusted reference, the
+    /// untuned before rows, and the tuned after rows under the canonical
+    /// names the acceptance gate compares, each with the full latency
+    /// quantile set (the p999 column is the whole point of the family).
+    #[test]
+    fn batching_suite_produces_before_and_after_rows() {
+        let probes = batching_suite(true);
+        let names: Vec<&str> = probes.iter().map(|p| p.name.as_str()).collect();
+        for expected in [
+            "throughput/trusted_4clients_10pct_updates",
+            "throughput/protocol-2_4clients_10pct_updates_per_op",
+            "throughput/protocol-2_4clients_10pct_updates",
+            "throughput/protocol-1_2clients_10pct_updates_blocking",
+            "throughput/protocol-1_2clients_10pct_updates",
+        ] {
+            assert!(names.contains(&expected), "missing probe {expected}");
+        }
+        for p in &probes {
+            assert!(
+                p.ops_per_sec.is_finite() && p.ops_per_sec > 0.0,
+                "{}: {}",
+                p.name,
+                p.ops_per_sec
+            );
+            assert!(p.p999_us.is_some(), "{} lacks tail latency", p.name);
+        }
     }
 
     #[test]

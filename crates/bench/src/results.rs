@@ -24,6 +24,7 @@ pub const SCHEMA: &str = "tcvs-bench-results/v1";
 pub fn recorded_baselines() -> Vec<PerfResult> {
     // Measured at seed+PR1 (commit 34d6110, eager-clone tree, serialized
     // reads), full mode, single-core container; best of two runs.
+    // The baselines predate the p999 column (PR 7): p999_us is None.
     let p =
         |name: &str, ops: f64, bytes: Option<f64>, p50: Option<f64>, p99: Option<f64>| PerfResult {
             name: name.into(),
@@ -31,6 +32,7 @@ pub fn recorded_baselines() -> Vec<PerfResult> {
             proof_bytes: bytes,
             p50_us: p50,
             p99_us: p99,
+            p999_us: None,
         };
     vec![
         p(
@@ -104,33 +106,37 @@ fn opt(v: Option<f64>) -> String {
 
 fn probe_json(p: &PerfResult, indent: &str) -> String {
     format!(
-        "{indent}{{\"name\": \"{}\", \"ops_per_sec\": {}, \"proof_bytes\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+        "{indent}{{\"name\": \"{}\", \"ops_per_sec\": {}, \"proof_bytes\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
         esc(&p.name),
         num(p.ops_per_sec),
         opt(p.proof_bytes),
         opt(p.p50_us),
         opt(p.p99_us),
+        opt(p.p999_us),
     )
 }
 
-/// Renders the full results document with no metrics or durability section
-/// content.
+/// Renders the full results document with no metrics, durability, or
+/// batching section content.
 ///
 /// `mode` records how the numbers were produced (`"full"` / `"quick"`);
 /// comparisons are emitted for every probe with a recorded baseline.
 pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> String {
-    render_json_with_metrics(mode, probes, &[], tables, &MetricsSnapshot::default())
+    render_json_with_metrics(mode, probes, &[], &[], tables, &MetricsSnapshot::default())
 }
 
 /// [`render_json`] plus the `"durability"` section (the storage-engine
-/// probe suite from [`crate::durability`]) and a `"metrics"` section
-/// serializing a point-in-time [`MetricsSnapshot`] (the instrumented
-/// throughput probe's counters and histograms) so dashboards can track
-/// them per PR alongside the probes.
+/// probe suite from [`crate::durability`]), the `"batching"` section
+/// (before/after rows for the tuned verified paths with a same-run trusted
+/// reference, from [`crate::perf::batching_suite`]), and a `"metrics"`
+/// section serializing a point-in-time [`MetricsSnapshot`] (the
+/// instrumented throughput probe's counters and histograms) so dashboards
+/// can track them per PR alongside the probes.
 pub fn render_json_with_metrics(
     mode: &str,
     probes: &[PerfResult],
     durability: &[PerfResult],
+    batching: &[PerfResult],
     tables: &[Table],
     metrics: &MetricsSnapshot,
 ) -> String {
@@ -152,6 +158,11 @@ pub fn render_json_with_metrics(
 
     out.push_str("  \"durability\": [\n");
     let rows: Vec<String> = durability.iter().map(|p| probe_json(p, "    ")).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"batching\": [\n");
+    let rows: Vec<String> = batching.iter().map(|p| probe_json(p, "    ")).collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ],\n");
 
@@ -290,7 +301,7 @@ fn check_probe(p: &Value, section: &str) -> Result<(), String> {
     if !matches!(p.get("ops_per_sec"), Some(Value::Num(_))) {
         return Err(format!("{section}/{name}: 'ops_per_sec' must be a number"));
     }
-    for field in ["proof_bytes", "p50_us", "p99_us"] {
+    for field in ["proof_bytes", "p50_us", "p99_us", "p999_us"] {
         if !p.get(field).is_some_and(Value::is_num_or_null) {
             return Err(format!("{section}/{name}: '{field}' must be number|null"));
         }
@@ -316,7 +327,7 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
     if doc.get("mode").and_then(Value::as_str).is_none() {
         return Err("missing string 'mode'".into());
     }
-    for section in ["probes", "baselines", "durability"] {
+    for section in ["probes", "baselines", "durability", "batching"] {
         for p in require_arr(&doc, section)? {
             check_probe(p, section)?;
         }
@@ -490,6 +501,7 @@ mod tests {
             proof_bytes: Some(123.0),
             p50_us: Some(1.5),
             p99_us: None,
+            p999_us: Some(9.75),
         }
     }
 
@@ -501,7 +513,27 @@ mod tests {
         validate(&json).unwrap();
         validate_schema(&json).unwrap();
         assert!(json.contains("\"p/one\""));
+        assert!(json.contains("\"p999_us\": 9.750"));
         assert!(json.contains("\\n"));
+    }
+
+    #[test]
+    fn batching_section_round_trips_through_the_validator() {
+        let rows = [
+            probe("throughput/protocol-2_4clients_10pct_updates", 250_000.0),
+            probe("throughput/trusted_4clients_10pct_updates", 400_000.0),
+        ];
+        let json = render_json_with_metrics(
+            "quick",
+            &[],
+            &[],
+            &rows,
+            &[],
+            &tcvs_obs::MetricsRegistry::new().snapshot(),
+        );
+        validate_schema(&json).unwrap();
+        assert!(json.contains("\"batching\": ["));
+        assert!(json.contains("throughput/protocol-2_4clients_10pct_updates"));
     }
 
     #[test]
@@ -510,7 +542,7 @@ mod tests {
         registry.counter("net.server.ops_served").add(7);
         registry.gauge("net.depth").set(-2);
         registry.histogram("net.server.op_micros").observe(100);
-        let json = render_json_with_metrics("quick", &[], &[], &[], &registry.snapshot());
+        let json = render_json_with_metrics("quick", &[], &[], &[], &[], &registry.snapshot());
         validate_schema(&json).unwrap();
         assert!(json.contains("\"kind\": \"counter\", \"value\": 7"));
         assert!(json.contains("\"kind\": \"gauge\", \"value\": -2"));
@@ -525,8 +557,8 @@ mod tests {
         // A row narrower than its headers.
         let bad = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
-             \"baselines\": [], \"durability\": [], \"comparisons\": [], \
-             \"metrics\": [], \
+             \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"comparisons\": [], \"metrics\": [], \
              \"experiments\": [{{\"id\": \"E1\", \"caption\": \"c\", \
              \"headers\": [\"a\", \"b\"], \"rows\": [[\"1\"]]}}]}}"
         );
@@ -536,12 +568,23 @@ mod tests {
         let bad = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \
              \"probes\": [{{\"name\": \"p\", \"ops_per_sec\": \"fast\", \
-             \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null}}], \
-             \"baselines\": [], \"durability\": [], \"comparisons\": [], \
-             \"metrics\": [], \"experiments\": []}}"
+             \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null, \
+             \"p999_us\": null}}], \
+             \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
         assert!(err.contains("ops_per_sec"), "{err}");
+        // A probe without the p999 tail-latency field (pre-PR-7 shape).
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \
+             \"probes\": [{{\"name\": \"p\", \"ops_per_sec\": 1.0, \
+             \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null}}], \
+             \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+        );
+        let err = validate_schema(&bad).unwrap_err();
+        assert!(err.contains("p999_us"), "{err}");
     }
 
     #[test]

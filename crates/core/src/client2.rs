@@ -23,11 +23,11 @@
 //! `ctr < gctrᵢ` ⇒ error.
 
 use tcvs_crypto::{Digest, UserId};
-use tcvs_merkle::{replay_unanchored, Op, OpResult};
+use tcvs_merkle::{replay_batch_unanchored, replay_unanchored, Op, OpResult};
 use tcvs_obs::{stage, Event, EventKind, SpanContext, Tracer};
 
 use crate::forensics::{LoggedTransition, TransitionLog};
-use crate::msg::{ServerResponse, SyncShare};
+use crate::msg::{BatchResponse, ServerResponse, SyncShare};
 use crate::state::{initial_token, state_token};
 use crate::types::{Ctr, Deviation, ProtocolConfig};
 
@@ -183,6 +183,98 @@ impl Client2 {
             });
         }
         Ok(verified.result)
+    }
+
+    /// Processes the server's response to a batched window of `ops`,
+    /// returning the authenticated per-op answers.
+    ///
+    /// Verification replays the whole window on the single shared proof,
+    /// checking every claimed answer; the accumulator update *telescopes*:
+    /// within the window every intermediate state is both created and
+    /// consumed by this user at consecutive counters, so the intermediate
+    /// tokens cancel in XOR and only the pre-window and post-window tokens
+    /// touch `σᵢ`. The result is bit-identical to calling
+    /// [`Client2::handle_response`] once per op — experiment-visible state
+    /// (`σᵢ`, `lastᵢ`, counters) cannot tell the two paths apart.
+    pub fn handle_batch_response(
+        &mut self,
+        ops: &[Op],
+        resp: &BatchResponse,
+    ) -> Result<Vec<OpResult>, Deviation> {
+        let out = self.handle_batch_response_inner(ops, resp);
+        match &out {
+            Ok(results) => {
+                let n = results.len();
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Deposit, self.user)
+                        .detail(format!(
+                            "accum batch={n} lctr={} gctr={}",
+                            self.lctr, self.gctr
+                        ))
+                        .span_opt(self.current_span.map(|c| c.child(stage::DEPOSIT)))
+                });
+            }
+            Err(dev) => {
+                self.tracer.emit(|| {
+                    Event::new(self.gctr, EventKind::Detection, self.user)
+                        .detail(format!("{dev} lctr={} gctr={}", self.lctr, self.gctr))
+                        .span_opt(self.current_span.map(|c| c.child(stage::VERDICT)))
+                });
+            }
+        }
+        out
+    }
+
+    fn handle_batch_response_inner(
+        &mut self,
+        ops: &[Op],
+        resp: &BatchResponse,
+    ) -> Result<Vec<OpResult>, Deviation> {
+        if ops.is_empty() && resp.results.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Step 4, windowed: the pre-window counter must not regress.
+        if resp.ctr < self.gctr {
+            return Err(Deviation::CounterRegression {
+                seen: resp.ctr,
+                expected_at_least: self.gctr,
+            });
+        }
+        // Step 5, windowed: one replay of the whole window yields M(D)
+        // before the window and every intermediate root after it.
+        let (old_root, steps) =
+            replay_batch_unanchored(self.config.order, &resp.proof, ops, Some(&resp.results))
+                .map_err(Deviation::BadProof)?;
+
+        // Step 6, telescoped: intermediate tokens are created and consumed
+        // by this user at consecutive counters and cancel under XOR.
+        let n = ops.len() as u64;
+        let first_token = state_token(&old_root, resp.ctr, resp.last_user);
+        let final_root = steps.last().expect("non-empty window").new_root;
+        let last_token = state_token(&final_root, resp.ctr + n, self.user);
+        self.sigma ^= first_token;
+        self.sigma ^= last_token;
+        if let Some(log) = &mut self.log {
+            // The forensic log keeps per-op granularity: record every
+            // intermediate transition, not just the telescoped ends.
+            let mut old_token = first_token;
+            for (i, step) in steps.iter().enumerate() {
+                let ctr = resp.ctr + i as u64;
+                let new_token = state_token(&step.new_root, ctr + 1, self.user);
+                log.record(LoggedTransition {
+                    old_token,
+                    new_token,
+                    ctr,
+                    user: self.user,
+                });
+                old_token = new_token;
+            }
+        }
+        self.last = Some(last_token);
+        self.gctr = resp.ctr + n;
+        self.lctr += n;
+        self.ops_since_sync += n;
+        Ok(steps.into_iter().map(|s| s.result).collect())
     }
 
     /// True iff this user should announce a sync-up (`k` ops completed since
@@ -391,6 +483,99 @@ mod tests {
         assert!(clients[0].wants_sync());
         clients[0].sync_done();
         assert!(!clients[0].wants_sync());
+    }
+
+    #[test]
+    fn batched_window_is_bitwise_equivalent_to_per_op_path() {
+        // Same op stream, two transcripts: one per-op, one batched in
+        // windows. All verifier-visible state must match exactly.
+        let ops: Vec<Op> = (0..16u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Op::Put(u64_key(i % 5), vec![i as u8; 4])
+                } else {
+                    Op::Get(u64_key(i % 5))
+                }
+            })
+            .collect();
+
+        let (mut per_op, mut sa, _) = setup(1);
+        for (i, op) in ops.iter().enumerate() {
+            run_op(&mut per_op[0], &mut sa, op.clone(), i as u64);
+        }
+
+        let (mut batched, mut sb, _) = setup(1);
+        let mut expected = Vec::new();
+        for window in ops.chunks(4) {
+            let resp = sb.handle_op_batch(0, 0, window, 0).unwrap();
+            expected.extend(batched[0].handle_batch_response(window, &resp).unwrap());
+        }
+        assert_eq!(per_op[0].sigma(), batched[0].sigma());
+        assert_eq!(per_op[0].gctr(), batched[0].gctr());
+        assert_eq!(per_op[0].lctr(), batched[0].lctr());
+        assert_eq!(per_op[0].last, batched[0].last);
+        assert_eq!(sa.core().root_digest(), sb.core().root_digest());
+        assert!(sync_outcome(&batched));
+    }
+
+    #[test]
+    fn batched_forged_result_detected() {
+        let (mut clients, mut server, _) = setup(1);
+        let window = vec![Op::Put(u64_key(1), vec![1]), Op::Get(u64_key(1))];
+        let mut resp = server.handle_op_batch(0, 0, &window, 0).unwrap();
+        resp.results[1] = tcvs_merkle::OpResult::Value(Some(vec![99]));
+        assert!(matches!(
+            clients[0].handle_batch_response(&window, &resp),
+            Err(Deviation::BadProof(_))
+        ));
+    }
+
+    #[test]
+    fn batched_counter_regression_detected() {
+        let (mut clients, mut server, _) = setup(1);
+        let w1 = vec![Op::Put(u64_key(1), vec![1]), Op::Put(u64_key(2), vec![2])];
+        let r1 = server.handle_op_batch(0, 0, &w1, 0).unwrap();
+        clients[0].handle_batch_response(&w1, &r1).unwrap();
+        let w2 = vec![Op::Get(u64_key(1))];
+        let mut r2 = server.handle_op_batch(0, 0, &w2, 0).unwrap();
+        r2.ctr = 0; // replayed pre-window counter
+        assert!(matches!(
+            clients[0].handle_batch_response(&w2, &r2),
+            Err(Deviation::CounterRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_dropped_result_detected() {
+        let (mut clients, mut server, _) = setup(1);
+        let window = vec![Op::Put(u64_key(1), vec![1]), Op::Get(u64_key(1))];
+        let mut resp = server.handle_op_batch(0, 0, &window, 0).unwrap();
+        resp.results.pop();
+        assert!(matches!(
+            clients[0].handle_batch_response(&window, &resp),
+            Err(Deviation::BadProof(
+                tcvs_merkle::VerifyError::BatchLengthMismatch
+            ))
+        ));
+    }
+
+    #[test]
+    fn batched_windows_interleave_with_per_op_users() {
+        // One user batches, another uses the per-op path; the sync-up
+        // algebra must still close.
+        let (mut clients, mut server, _) = setup(2);
+        let window = vec![
+            Op::Put(u64_key(1), vec![1]),
+            Op::Put(u64_key(2), vec![2]),
+            Op::Get(u64_key(1)),
+        ];
+        let resp = server.handle_op_batch(0, 0, &window, 0).unwrap();
+        clients[0].handle_batch_response(&window, &resp).unwrap();
+        run_op(&mut clients[1], &mut server, Op::Get(u64_key(2)), 3);
+        let window2 = vec![Op::Get(u64_key(2)), Op::Put(u64_key(3), vec![3])];
+        let resp2 = server.handle_op_batch(0, 0, &window2, 4).unwrap();
+        clients[0].handle_batch_response(&window2, &resp2).unwrap();
+        assert!(sync_outcome(&clients));
     }
 
     #[test]

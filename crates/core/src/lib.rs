@@ -54,7 +54,10 @@ pub use client2::Client2;
 pub use client3::Client3;
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates, StorageFault};
 pub use forensics::{diagnose, diagnose_with_timeline, DiagnosisReport, TransitionLog, Verdict};
-pub use msg::{ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, SyncShare};
+pub use msg::{
+    BatchResponse, PipelinedResponse, ServerResponse, SignedCheckpoint, SignedEpochState,
+    SignedState, SyncShare,
+};
 pub use server::{
     HonestServer, ReadSnapshot, ServerApi, ServerCore, ServerMetrics, ServerSnapshot,
 };

@@ -8,7 +8,7 @@
 //! the other protocols.
 
 use tcvs_crypto::{Digest, MssSignature, UserId};
-use tcvs_merkle::{OpResult, VerificationObject};
+use tcvs_merkle::{BatchProof, Op, OpResult, VerificationObject};
 
 use crate::types::{Ctr, Epoch};
 
@@ -63,6 +63,108 @@ impl ServerResponse {
             + self.sig.as_ref().map_or(0, SignedState::encoded_size)
             + 8
             + 1
+    }
+}
+
+/// The server's response to a *window* of batchable point operations by one
+/// user: the per-op answers plus a single [`BatchProof`] whose pruned tree
+/// covers the union of the window's key paths, so the spine of the tree is
+/// shipped (and re-hashed) once instead of once per op.
+///
+/// `ctr`/`last_user`/`sig` describe the state *before the first op* of the
+/// window, exactly as [`ServerResponse::ctr`] describes the state before a
+/// single op. The window occupies counters `ctr .. ctr + results.len()`.
+#[derive(Clone, Debug)]
+pub struct BatchResponse {
+    /// The answers, one per op in window order.
+    pub results: Vec<OpResult>,
+    /// One verification object for the whole window.
+    pub proof: BatchProof,
+    /// The operation counter before the first op of the window.
+    pub ctr: Ctr,
+    /// The user who performed the operation immediately preceding the
+    /// window (`NO_USER` if none).
+    pub last_user: UserId,
+    /// Protocol I: the stored signature over the pre-window state.
+    pub sig: Option<SignedState>,
+    /// Protocol III: the server's current epoch.
+    pub epoch: Epoch,
+    /// Protocol III: true iff this is the first response this user receives
+    /// in `epoch`.
+    pub new_epoch: bool,
+}
+
+impl BatchResponse {
+    /// Number of operations the window covers.
+    pub fn window_len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Wire-size estimate in bytes (for the overhead experiments).
+    pub fn encoded_size(&self) -> usize {
+        self.results
+            .iter()
+            .map(OpResult::encoded_size)
+            .sum::<usize>()
+            + self.proof.encoded_size()
+            + 8
+            + 4
+            + self.sig.as_ref().map_or(0, SignedState::encoded_size)
+            + 8
+            + 1
+    }
+}
+
+/// Wire-size estimate of one operation (request accounting).
+fn op_wire_size(op: &Op) -> usize {
+    match op {
+        Op::Get(k) | Op::Delete(k) => 1 + 8 + k.len(),
+        Op::Put(k, v) => 1 + 16 + k.len() + v.len(),
+        Op::Range(lo, hi) => {
+            1 + lo.as_ref().map_or(1, |k| 9 + k.len()) + hi.as_ref().map_or(1, |k| 9 + k.len())
+        }
+    }
+}
+
+/// A Protocol I response whose stored signature may *lag* behind the
+/// served operation (the pipelined-deposit fast path).
+///
+/// The blocking variant guarantees `resp.sig.ctr == resp.ctr`: the server
+/// stalls until the previous operator's deposit lands. Under pipelining the
+/// server instead serves the op immediately and ships, alongside the lagging
+/// signature over the state at `sig.ctr`, the **backfill**: the operations
+/// at counters `sig.ctr .. resp.ctr` (each with its performing user) and a
+/// single union-pruned [`BatchProof`] anchored at the *signed* root. The
+/// client replays backfill + own op from the signed state, so the deposit it
+/// produces is still content-anchored to a legitimately signed root —
+/// forging any backfill op forks the signed-state chain and is caught at
+/// the next sync-up, within the same `k` bound as any Protocol I fork.
+#[derive(Clone, Debug)]
+pub struct PipelinedResponse {
+    /// The ordinary response tuple; `resp.sig` is over the state at some
+    /// `sig.ctr <= resp.ctr` rather than at `resp.ctr` itself.
+    pub resp: ServerResponse,
+    /// Union-pruned pre-state proof anchored at the signed root, sufficient
+    /// to replay `backfill` and then the client's own op.
+    pub base_proof: BatchProof,
+    /// The operations at counters `sig.ctr .. resp.ctr`, in order, with the
+    /// user who performed each. Empty when the deposit pipeline is caught
+    /// up (then this degenerates to the blocking variant).
+    pub backfill: Vec<(UserId, Op)>,
+}
+
+impl PipelinedResponse {
+    /// Wire-size estimate in bytes. `resp.vo` is counted even though the
+    /// pipelined verifier replays from `base_proof`: the per-op proof is
+    /// still shipped so a client can fall back to blocking verification.
+    pub fn encoded_size(&self) -> usize {
+        self.resp.encoded_size()
+            + self.base_proof.encoded_size()
+            + self
+                .backfill
+                .iter()
+                .map(|(_, op)| 4 + op_wire_size(op))
+                .sum::<usize>()
     }
 }
 

@@ -31,6 +31,7 @@ pub mod digest;
 pub mod hmac;
 pub mod lamport;
 pub mod mss;
+pub mod multilane;
 pub mod registry;
 pub mod rng;
 pub mod sha256;
@@ -39,6 +40,7 @@ pub mod wots;
 pub use digest::Digest;
 pub use hmac::{hmac_sha256, verify_mac};
 pub use mss::{mss_verify, MssError, MssPublicKey, MssSignature, MssSigner};
+pub use multilane::{lanes as sha_lanes, sha256_many};
 pub use registry::{setup_users, KeyRegistry, Keyring, UserId, NO_USER};
 pub use rng::SeedRng;
 pub use sha256::{hash_pair, hash_parts, sha256, Sha256};

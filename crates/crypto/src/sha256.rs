@@ -22,7 +22,7 @@ use crate::digest::Digest;
 
 /// SHA-256 round constants: first 32 bits of the fractional parts of the cube
 /// roots of the first 64 primes.
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -35,7 +35,7 @@ const K: [u32; 64] = [
 
 /// Initial hash values: first 32 bits of the fractional parts of the square
 /// roots of the first 8 primes.
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
@@ -142,7 +142,7 @@ fn big_sigma1(x: u32) -> u32 {
     x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
 }
 
-fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+pub(crate) fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
     #[cfg(target_arch = "x86_64")]
     if shani::available() {
         // SAFETY: the `sha`, `ssse3` and `sse4.1` CPU features were just
@@ -156,7 +156,7 @@ fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
     compress_portable(state, block);
 }
 
-fn compress_portable(state: &mut [u32; 8], block: &[u8; 64]) {
+pub(crate) fn compress_portable(state: &mut [u32; 8], block: &[u8; 64]) {
     let mut w = [0u32; 64];
     for (i, word) in w.iter_mut().take(16).enumerate() {
         *word = u32::from_be_bytes([
@@ -206,14 +206,14 @@ fn compress_portable(state: &mut [u32; 8], block: &[u8; 64]) {
 /// (ABEF, CDGH) register split, with `sha256msg1`/`sha256msg2` computing
 /// the message schedule in-register.
 #[cfg(target_arch = "x86_64")]
-mod shani {
+pub(crate) mod shani {
     use std::sync::atomic::{AtomicU8, Ordering};
 
     use super::K;
 
     /// Runtime CPU support, probed once and cached (0 = unknown, 1 = yes,
     /// 2 = no).
-    pub(super) fn available() -> bool {
+    pub(crate) fn available() -> bool {
         static STATE: AtomicU8 = AtomicU8::new(0);
         match STATE.load(Ordering::Relaxed) {
             1 => true,

@@ -4,10 +4,29 @@
 //! algebra Protocol II relies on.
 
 use proptest::prelude::*;
-use tcvs_crypto::{hash_parts, mss::MssSigner, mss_verify, sha256, wots, Digest, SeedRng, Sha256};
+use tcvs_crypto::{
+    hash_parts, mss::MssSigner, mss_verify, multilane, sha256, sha256_many, wots, Digest, SeedRng,
+    Sha256,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multi-lane hashing is byte-identical to the scalar backend for every
+    /// message in an arbitrary batch, on both the dispatched path (SHA-NI
+    /// interleave where the CPU has it) and the portable 4-lane interleave.
+    #[test]
+    fn multilane_matches_scalar(
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200),
+            0..12,
+        ),
+    ) {
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let scalar: Vec<Digest> = refs.iter().map(|m| sha256(m)).collect();
+        prop_assert_eq!(&sha256_many(&refs), &scalar);
+        prop_assert_eq!(&multilane::sha256_many_portable(&refs), &scalar);
+    }
 
     /// Incremental hashing equals one-shot hashing for every chunking.
     #[test]

@@ -42,6 +42,9 @@ pub enum VerifyError {
     NewRootMismatch,
     /// The verification object uses a different branching order than agreed.
     OrderMismatch,
+    /// A batched response's claimed result list does not match the window
+    /// length — an op was dropped from (or spliced into) the window.
+    BatchLengthMismatch,
 }
 
 impl fmt::Display for VerifyError {
@@ -52,6 +55,7 @@ impl fmt::Display for VerifyError {
             VerifyError::AnswerMismatch => "server answer disagrees with replay",
             VerifyError::NewRootMismatch => "server new-root disagrees with replay",
             VerifyError::OrderMismatch => "verification object branching order mismatch",
+            VerifyError::BatchLengthMismatch => "batched result count disagrees with window",
         };
         f.write_str(s)
     }

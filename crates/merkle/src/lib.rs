@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod codec;
 mod error;
 mod node;
@@ -45,6 +46,9 @@ mod op;
 mod tree;
 mod verify;
 
+pub use batch::{
+    batchable, prune_for_ops, replay_batch_unanchored, verify_batch_response, BatchProof, BatchStep,
+};
 pub use codec::CodecError;
 pub use error::{TreeError, VerifyError};
 pub use node::{u64_key, Key, Value};

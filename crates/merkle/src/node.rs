@@ -53,6 +53,19 @@ pub(crate) fn kv_hash(key: &[u8], value: &[u8]) -> Digest {
     h.finalize()
 }
 
+/// The exact byte stream [`kv_hash`] feeds to SHA-256, materialized as one
+/// message so a whole leaf's entries can be rehashed through the
+/// multi-lane backend ([`tcvs_crypto::sha256_many`]) in interleaved lanes.
+fn kv_message(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(30 + key.len() + value.len());
+    m.extend_from_slice(b"tcvs-merkle-kv");
+    m.extend_from_slice(&(key.len() as u64).to_be_bytes());
+    m.extend_from_slice(key);
+    m.extend_from_slice(&(value.len() as u64).to_be_bytes());
+    m.extend_from_slice(value);
+    m
+}
+
 impl LeafEntry {
     /// Builds an entry, computing its pair digest.
     pub(crate) fn new(key: Key, value: Value) -> LeafEntry {
@@ -254,8 +267,22 @@ pub(crate) fn recompute_all(node: &mut Arc<Node>) {
     match n {
         Node::Stub(_) => {}
         Node::Leaf { entries, .. } => {
-            for e in entries.iter_mut() {
-                e.rehash();
+            if entries.len() < 2 {
+                for e in entries.iter_mut() {
+                    e.rehash();
+                }
+            } else {
+                // The leaf's pair digests are independent hashes, so feed
+                // them through the interleaved multi-lane backend; the
+                // per-entry byte stream is identical to `kv_hash`.
+                let msgs: Vec<Vec<u8>> = entries
+                    .iter()
+                    .map(|e| kv_message(&e.key, &e.value))
+                    .collect();
+                let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+                for (e, d) in entries.iter_mut().zip(tcvs_crypto::sha256_many(&refs)) {
+                    e.kv_hash = d;
+                }
             }
         }
         Node::Internal { children, .. } => {

@@ -269,6 +269,34 @@ impl MerkleTree {
         }
     }
 
+    /// Pruned tree sufficient to replay **any sequence** of point
+    /// operations (`get`/`insert`) on `keys`: the union of the
+    /// root-to-leaf paths, with spine siblings shared once instead of once
+    /// per key. Zero-copy like [`MerkleTree::prune_for_point`].
+    ///
+    /// Replay-sufficiency of the union holds because point inserts split
+    /// only nodes on their own root-to-leaf path: a split never destroys
+    /// the materialization of another key's path (both halves of a split
+    /// leaf stay materialized, and separator insertion shifts the other
+    /// keys' child indices exactly as on the full tree). Deletes rebalance
+    /// across *sibling* nodes and are therefore not covered — batch them
+    /// via [`MerkleTree::prune_for_delete`] per key instead.
+    pub fn prune_for_points(&self, keys: &[&[u8]]) -> MerkleTree {
+        let mut sorted: Vec<&[u8]> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let root = if sorted.is_empty() {
+            Arc::new(self.root.to_stub())
+        } else {
+            prune_points_rec(&self.root, &sorted)
+        };
+        MerkleTree {
+            root,
+            order: self.order,
+            len: None,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Invariant checking (used by tests and debug assertions)
     // ------------------------------------------------------------------
@@ -631,6 +659,44 @@ fn prune_interval_rec(node: &Arc<Node>, lo: Option<&[u8]>, hi: Option<&[u8]>) ->
                 .collect();
             Arc::new(Node::Internal {
                 keys: keys.clone(),
+                children: new_children,
+                digest: *digest,
+            })
+        }
+    }
+}
+
+/// Materializes the union of the root-to-leaf paths for a **sorted,
+/// deduplicated, non-empty** slice of keys. Each internal node partitions
+/// the sorted keys into contiguous per-child groups; children covering no
+/// key become stubs, the rest recurse with their group.
+fn prune_points_rec(node: &Arc<Node>, keys: &[&[u8]]) -> Arc<Node> {
+    debug_assert!(!keys.is_empty());
+    match &**node {
+        Node::Stub(_) | Node::Leaf { .. } => Arc::clone(node),
+        Node::Internal {
+            keys: seps,
+            children,
+            digest,
+        } => {
+            let mut at = 0usize;
+            let new_children: Vec<Arc<Node>> = children
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let start = at;
+                    while at < keys.len() && child_index(seps, keys[at]) == i {
+                        at += 1;
+                    }
+                    if start == at {
+                        Arc::new(c.to_stub())
+                    } else {
+                        prune_points_rec(c, &keys[start..at])
+                    }
+                })
+                .collect();
+            Arc::new(Node::Internal {
+                keys: seps.clone(),
                 children: new_children,
                 digest: *digest,
             })

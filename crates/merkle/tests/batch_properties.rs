@@ -1,0 +1,193 @@
+//! Adversarial property tests for batched verification objects: for an
+//! arbitrary honest window, *any* single forged, reordered, or dropped op
+//! in the window must fail batch verification, and tampering with the
+//! serialized proof must be detected. Mirrors the pruned-VO splice
+//! proptests in `tcvs-store`.
+
+use proptest::prelude::*;
+use tcvs_merkle::{
+    apply_op, prune_for_ops, replay_batch_unanchored, u64_key, verify_batch_response, BatchProof,
+    MerkleTree, Op, OpResult, VerifyError,
+};
+
+const ORDER: usize = 8;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key space maximizes same-key collisions inside a window —
+    // the hard case for reorder detection (Put/Get on one key do not
+    // commute; distinct-key reorders are semantically invisible).
+    prop_oneof![
+        (0u64..24).prop_map(|k| Op::Get(u64_key(k))),
+        ((0u64..24), proptest::collection::vec(any::<u8>(), 0..12))
+            .prop_map(|(k, v)| Op::Put(u64_key(k), v)),
+    ]
+}
+
+fn window_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(op_strategy(), 1..24)
+}
+
+/// Builds a populated server, serves the window, and returns the proof,
+/// the honest results, and the pre/post roots.
+fn serve(
+    ops: &[Op],
+    prefill: u64,
+) -> (
+    MerkleTree,
+    BatchProof,
+    Vec<OpResult>,
+    tcvs_crypto::Digest,
+    tcvs_crypto::Digest,
+) {
+    let mut server = MerkleTree::with_order(ORDER);
+    for i in 0..prefill {
+        server.insert(u64_key(i % 24), vec![i as u8; 9]).unwrap();
+    }
+    let root0 = server.root_digest();
+    let proof = BatchProof::new(prune_for_ops(&server, ops));
+    let results: Vec<OpResult> = ops
+        .iter()
+        .map(|op| apply_op(&mut server, op).expect("full tree"))
+        .collect();
+    let root1 = server.root_digest();
+    (server, proof, results, root0, root1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Honest windows always verify, anchored and unanchored, and the
+    /// final replayed root equals the server's post-state root.
+    #[test]
+    fn honest_window_verifies(ops in window_strategy(), prefill in 0u64..40) {
+        let (_, proof, results, root0, root1) = serve(&ops, prefill);
+        let (old_root, steps) =
+            replay_batch_unanchored(ORDER, &proof, &ops, Some(&results)).unwrap();
+        prop_assert_eq!(old_root, root0);
+        prop_assert_eq!(steps.last().unwrap().new_root, root1);
+        verify_batch_response(&root0, ORDER, &proof, &ops, Some(&results), Some(&root1))
+            .unwrap();
+    }
+
+    /// Forging any single claimed result in the window is detected.
+    #[test]
+    fn forged_result_detected(
+        ops in window_strategy(),
+        prefill in 0u64..40,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let (_, proof, mut results, root0, root1) = serve(&ops, prefill);
+        let i = pick.index(results.len());
+        // 13 bytes, one longer than any generated value, so the forgery
+        // can never coincide with the honest result.
+        let forged = match &results[i] {
+            OpResult::Value(_) => OpResult::Value(Some(vec![0xEE; 13])),
+            _ => OpResult::Replaced(Some(vec![0xEE; 13])),
+        };
+        results[i] = forged;
+        prop_assert_eq!(
+            replay_batch_unanchored(ORDER, &proof, &ops, Some(&results)).unwrap_err(),
+            VerifyError::AnswerMismatch
+        );
+        prop_assert_eq!(
+            verify_batch_response(&root0, ORDER, &proof, &ops, Some(&results), Some(&root1))
+                .unwrap_err(),
+            VerifyError::AnswerMismatch
+        );
+    }
+
+    /// Dropping any single claimed result from the window is detected.
+    #[test]
+    fn dropped_result_detected(
+        ops in window_strategy(),
+        prefill in 0u64..40,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let (_, proof, mut results, root0, root1) = serve(&ops, prefill);
+        let i = pick.index(results.len());
+        results.remove(i);
+        prop_assert_eq!(
+            replay_batch_unanchored(ORDER, &proof, &ops, Some(&results)).unwrap_err(),
+            VerifyError::BatchLengthMismatch
+        );
+        prop_assert_eq!(
+            verify_batch_response(&root0, ORDER, &proof, &ops, Some(&results), Some(&root1))
+                .unwrap_err(),
+            VerifyError::BatchLengthMismatch
+        );
+    }
+
+    /// Reordering the claimed results (swapping two adjacent
+    /// non-commuting entries) is detected: either the per-slot results
+    /// disagree with the replay, or — when the swapped results are
+    /// byte-identical — the responses are semantically interchangeable
+    /// and verification legitimately succeeds.
+    #[test]
+    fn reordered_results_detected_unless_identical(
+        ops in window_strategy(),
+        prefill in 0u64..40,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        if ops.len() < 2 {
+            return Ok(());
+        }
+        let (_, proof, mut results, _, _) = serve(&ops, prefill);
+        let i = pick.index(results.len() - 1);
+        if results[i] == results[i + 1] {
+            return Ok(()); // interchangeable responses: no splice to detect
+        }
+        results.swap(i, i + 1);
+        prop_assert_eq!(
+            replay_batch_unanchored(ORDER, &proof, &ops, Some(&results)).unwrap_err(),
+            VerifyError::AnswerMismatch
+        );
+    }
+
+    /// Splicing the serialized proof — flipping any single bit — is
+    /// detected: either the decode rejects it outright, or the recomputed
+    /// root no longer matches the anchored root.
+    #[test]
+    fn spliced_proof_bytes_detected(
+        ops in window_strategy(),
+        prefill in 1u64..40,
+        bit in any::<prop::sample::Index>(),
+    ) {
+        let (_, proof, results, root0, root1) = serve(&ops, prefill);
+        let mut bytes = proof.to_bytes();
+        let b = bit.index(bytes.len() * 8);
+        bytes[b / 8] ^= 1 << (b % 8);
+        match BatchProof::from_bytes(&bytes) {
+            Err(_) => {} // decode-time rejection
+            Ok(tampered) => {
+                let out = verify_batch_response(
+                    &root0, ORDER, &tampered, &ops, Some(&results), Some(&root1),
+                );
+                prop_assert!(out.is_err(), "tampered proof verified");
+            }
+        }
+    }
+
+}
+
+/// A proof whose union omits one op's key path (on a leaf far from every
+/// covered key) cannot replay that op: the replay hits a stub.
+#[test]
+fn missing_path_is_incomplete_proof() {
+    let mut server = MerkleTree::with_order(ORDER);
+    for i in 0..400u64 {
+        server.insert(u64_key(i * 10), vec![i as u8; 9]).unwrap();
+    }
+    let root0 = server.root_digest();
+    let ops = vec![
+        Op::Get(u64_key(50)),
+        Op::Put(u64_key(60), b"x".to_vec()),
+        Op::Get(u64_key(3000)), // far-away leaf, left out of the proof
+    ];
+    let proof = BatchProof::new(prune_for_ops(&server, &ops[..2]));
+    let results: Vec<OpResult> = ops
+        .iter()
+        .map(|op| apply_op(&mut server, op).expect("full tree"))
+        .collect();
+    let err = verify_batch_response(&root0, ORDER, &proof, &ops, Some(&results), None).unwrap_err();
+    assert_eq!(err, VerifyError::IncompleteProof);
+}

@@ -71,6 +71,30 @@ fn worker_op(user: u32, i: u64, update_fraction: u32) -> Op {
 /// reports it rather than panicking on a bench thread.
 type WorkerTally = (u64, u64);
 
+/// Batching/pipelining knobs for a tuned throughput run. The default is
+/// the pre-batching configuration (per-op exchanges, blocking Protocol I
+/// deposits, publish-every-write), so `run_throughput` numbers are
+/// unchanged by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThroughputOptions {
+    /// Protocol II: operations per batched window (1 = per-op exchanges).
+    pub batch_window: usize,
+    /// Protocol I: server pipeline depth (0 = physically blocking deposits).
+    pub pipeline_depth: usize,
+    /// Snapshot-slot publication window in ops (1 = publish every write).
+    pub publish_every_ops: u64,
+}
+
+impl Default for ThroughputOptions {
+    fn default() -> ThroughputOptions {
+        ThroughputOptions {
+            batch_window: 1,
+            pipeline_depth: 0,
+            publish_every_ops: 1,
+        }
+    }
+}
+
 /// Runs `n_clients` threads, each performing `ops_per_client` operations
 /// against a fresh honest server, under the given protocol. Returns
 /// wall-clock throughput. `update_pct` is the percentage of updates.
@@ -103,12 +127,40 @@ pub fn run_throughput_observed(
     config: &ProtocolConfig,
     stats: NetStats,
 ) -> ThroughputReport {
+    run_throughput_tuned(
+        protocol,
+        n_clients,
+        ops_per_client,
+        update_pct,
+        config,
+        ThroughputOptions::default(),
+        stats,
+    )
+}
+
+/// [`run_throughput_observed`] with the batching levers exposed: Protocol II
+/// windows of [`ThroughputOptions::batch_window`] ops per exchange,
+/// Protocol I deposits pipelined to [`ThroughputOptions::pipeline_depth`],
+/// and snapshot publication batched every
+/// [`ThroughputOptions::publish_every_ops`] writes. The defaults reproduce
+/// the untuned rig exactly.
+pub fn run_throughput_tuned(
+    protocol: ProtocolKind,
+    n_clients: u32,
+    ops_per_client: u64,
+    update_pct: u32,
+    config: &ProtocolConfig,
+    tuning: ThroughputOptions,
+    stats: NetStats,
+) -> ThroughputReport {
     let root0 = MerkleTree::with_order(config.order).root_digest();
-    let blocking = protocol == ProtocolKind::One;
+    let blocking = protocol == ProtocolKind::One && tuning.pipeline_depth == 0;
     let server = NetServer::spawn_observed(
         Box::new(HonestServer::new(config)),
         NetServerOptions {
             blocking_signatures: blocking,
+            pipeline_depth: tuning.pipeline_depth,
+            publish_every_ops: tuning.publish_every_ops,
             ..NetServerOptions::default()
         },
         stats.clone(),
@@ -149,6 +201,7 @@ pub fn run_throughput_observed(
                 .map(|r| {
                     let mut c = NetClient1::new(r, registry.clone(), *config, &server);
                     c.set_stats(stats.clone());
+                    c.set_pipelined(tuning.pipeline_depth > 0);
                     c
                 })
                 .collect();
@@ -171,6 +224,7 @@ pub fn run_throughput_observed(
             }
         }
         ProtocolKind::Two => {
+            let window = tuning.batch_window.max(1) as u64;
             start = Instant::now();
             for u in 0..n_clients {
                 let mut c = NetClient2::new(u, &root0, *config, &server);
@@ -178,13 +232,27 @@ pub fn run_throughput_observed(
                 let sink = Arc::clone(&sink);
                 handles.push(std::thread::spawn(move || {
                     let mut done = 0;
-                    for i in 0..ops_per_client {
+                    let mut i = 0;
+                    while i < ops_per_client {
+                        let n = window.min(ops_per_client - i);
                         let t = Instant::now();
-                        if c.execute(&worker_op(u, i, update_pct)).is_err() {
+                        let ok = if n == 1 {
+                            c.execute(&worker_op(u, i, update_pct)).is_ok()
+                        } else {
+                            let ops: Vec<Op> =
+                                (i..i + n).map(|j| worker_op(u, j, update_pct)).collect();
+                            c.execute_batch(&ops).is_ok()
+                        };
+                        if !ok {
                             return (done, ops_per_client - done);
                         }
-                        record(&sink, t);
-                        done += 1;
+                        // Every op in the window waited for the whole
+                        // exchange; each is charged the window latency.
+                        for _ in 0..n {
+                            record(&sink, t);
+                        }
+                        done += n;
+                        i += n;
                     }
                     (done, 0)
                 }));

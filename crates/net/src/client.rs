@@ -18,7 +18,8 @@ use tcvs_obs::SpanContext;
 use crate::error::{NetError, RetryPolicy};
 use crate::obs::NetStats;
 use crate::server::{
-    remote_fetch, remote_op, remote_read, Endpoint, ReadRequest, Request, SnapshotSlot,
+    remote_batch, remote_fetch, remote_op, remote_pipelined, remote_read, Endpoint, PipelinedReply,
+    ReadRequest, Request, SnapshotSlot,
 };
 use std::sync::Arc;
 
@@ -38,6 +39,7 @@ pub struct NetClient1 {
     seq: u64,
     policy: RetryPolicy,
     stats: NetStats,
+    pipelined: bool,
 }
 
 impl NetClient1 {
@@ -56,7 +58,18 @@ impl NetClient1 {
             seq: 0,
             policy: RetryPolicy::default(),
             stats: NetStats::disabled(),
+            pipelined: false,
         }
+    }
+
+    /// Opts into pipelined exchanges: requests go out in the pipelined
+    /// shape, and responses are verified against this client's own last
+    /// deposited signature (its frontier) when the server serves ahead of
+    /// the deposit stream. Safe against a server spawned with any
+    /// `pipeline_depth` (including 0 — it simply always answers in the
+    /// blocking-path shape).
+    pub fn set_pipelined(&mut self, pipelined: bool) {
+        self.pipelined = pipelined;
     }
 
     /// Attaches observability handles: transport retries feed the shared
@@ -92,18 +105,38 @@ impl NetClient1 {
         self.seq += 1;
         let ctx = SpanContext::root(self.inner.user(), self.seq);
         self.inner.set_current_span(Some(ctx));
-        let resp = remote_op(
-            &self.tx,
-            self.inner.user(),
-            self.seq,
-            op,
-            self.ops,
-            Some(ctx),
-            &self.policy,
-            &self.stats,
-        )?;
-        self.ops += 1;
-        let (result, deposit) = self.inner.handle_response(op, &resp)?;
+        let (result, deposit) = if self.pipelined {
+            let reply = remote_pipelined(
+                &self.tx,
+                self.inner.user(),
+                self.seq,
+                op,
+                self.ops,
+                Some(ctx),
+                &self.policy,
+                &self.stats,
+            )?;
+            self.ops += 1;
+            match reply {
+                PipelinedReply::Pipelined(presp) => {
+                    self.inner.handle_pipelined_response(op, &presp)?
+                }
+                PipelinedReply::Legacy(resp) => self.inner.handle_response(op, &resp)?,
+            }
+        } else {
+            let resp = remote_op(
+                &self.tx,
+                self.inner.user(),
+                self.seq,
+                op,
+                self.ops,
+                Some(ctx),
+                &self.policy,
+                &self.stats,
+            )?;
+            self.ops += 1;
+            self.inner.handle_response(op, &resp)?
+        };
         send_deposit(
             &self.tx,
             Request::Signature {
@@ -195,6 +228,49 @@ impl NetClient2 {
         )?;
         self.ops += 1;
         Ok(self.inner.handle_response(op, &resp)?)
+    }
+
+    /// Executes a window of operations as **one** verified exchange: one
+    /// round trip, one [`tcvs_core::BatchResponse`] whose spine siblings
+    /// are shared across the window, one σ-token fold telescoped over the
+    /// whole window.
+    ///
+    /// Falls back transparently to per-op [`NetClient2::execute`] when the
+    /// window contains a non-batchable operation or the server declines the
+    /// batch (older deployments, durable backends) — the results are
+    /// identical either way, only the wire cost differs.
+    pub fn execute_batch(&mut self, ops: &[Op]) -> Result<Vec<OpResult>, NetError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !ops.iter().all(tcvs_merkle::batchable) {
+            return self.execute_each(ops);
+        }
+        self.seq += 1;
+        let ctx = SpanContext::root(self.inner.user(), self.seq);
+        self.inner.set_current_span(Some(ctx));
+        match remote_batch(
+            &self.tx,
+            self.inner.user(),
+            self.seq,
+            ops,
+            self.ops,
+            Some(ctx),
+            &self.policy,
+            &self.stats,
+        )? {
+            Some(resp) => {
+                self.ops += ops.len() as u64;
+                Ok(self.inner.handle_batch_response(ops, &resp)?)
+            }
+            // Declined windows had no side effects; replay the ops one at a
+            // time under fresh sequence numbers.
+            None => self.execute_each(ops),
+        }
+    }
+
+    fn execute_each(&mut self, ops: &[Op]) -> Result<Vec<OpResult>, NetError> {
+        ops.iter().map(|op| self.execute(op)).collect()
     }
 
     /// This user's broadcast share.

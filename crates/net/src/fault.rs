@@ -25,7 +25,8 @@
 //!   the server and waits for the restart to complete.
 //!
 //! Deposits and fetches are never faulted: the plan's unit is the operation,
-//! matching [`FaultPlan`]'s simulator semantics.
+//! matching [`FaultPlan`]'s simulator semantics. All three operation shapes
+//! — plain, batched windows, and pipelined — are faulted uniformly.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -34,7 +35,7 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
 use tcvs_core::{FaultCounts, FaultKind, FaultPlan, UserId};
-use tcvs_obs::{stage, Event, EventKind};
+use tcvs_obs::{stage, Event, EventKind, SpanContext};
 
 use crate::obs::NetStats;
 use crate::server::{sealed, Endpoint, Request, WireHandle};
@@ -85,15 +86,8 @@ impl FaultLink {
             let mut stash: Option<Request> = None;
             while let Ok(req) = rx.recv() {
                 let mut stashed_now = false;
-                let delivered = match req {
-                    Request::Op {
-                        user,
-                        seq,
-                        op,
-                        round,
-                        ctx,
-                        reply,
-                    } if seen.insert((user, seq)) => {
+                let delivered = match op_meta(&req) {
+                    Some((user, seq, ctx)) if seen.insert((user, seq)) => {
                         let fault = plan.fault_at(op_index);
                         if let Some(kind) = fault {
                             stats.tracer.emit(|| {
@@ -104,68 +98,27 @@ impl FaultLink {
                         }
                         op_index += 1;
                         match fault {
-                            None => down
-                                .send(Request::Op {
-                                    user,
-                                    seq,
-                                    op,
-                                    round,
-                                    ctx,
-                                    reply,
-                                })
-                                .is_ok(),
+                            None => down.send(req).is_ok(),
                             Some(FaultKind::DropRequest) => {
                                 counts.lock().drops += 1;
-                                // Dropping `reply` here disconnects the
-                                // client's wait; it retries.
+                                // Dropping the request (and its reply sender
+                                // with it) disconnects the client's wait; it
+                                // retries.
                                 true
                             }
                             Some(FaultKind::DropReply) => {
                                 counts.lock().drops += 1;
-                                let (dead_tx, _dead_rx) = bounded(1);
-                                down.send(Request::Op {
-                                    user,
-                                    seq,
-                                    op,
-                                    round,
-                                    ctx,
-                                    reply: dead_tx,
-                                })
-                                .is_ok()
+                                down.send(sever_reply(req)).is_ok()
                             }
                             Some(FaultKind::Delay(rounds)) => {
                                 counts.lock().delays += 1;
                                 std::thread::sleep(ROUND * rounds.min(1000) as u32);
-                                down.send(Request::Op {
-                                    user,
-                                    seq,
-                                    op,
-                                    round,
-                                    ctx,
-                                    reply,
-                                })
-                                .is_ok()
+                                down.send(req).is_ok()
                             }
                             Some(FaultKind::Duplicate) => {
                                 counts.lock().duplicates += 1;
-                                let copy = Request::Op {
-                                    user,
-                                    seq,
-                                    op: op.clone(),
-                                    round,
-                                    ctx,
-                                    reply: reply.clone(),
-                                };
-                                down.send(Request::Op {
-                                    user,
-                                    seq,
-                                    op,
-                                    round,
-                                    ctx,
-                                    reply,
-                                })
-                                .is_ok()
-                                    && down.send(copy).is_ok()
+                                let copy = clone_op(&req);
+                                down.send(req).is_ok() && down.send(copy).is_ok()
                             }
                             Some(FaultKind::ReorderNext) => {
                                 counts.lock().reorders += 1;
@@ -174,14 +127,7 @@ impl FaultLink {
                                 if let Some(prev) = stash.take() {
                                     let _ = down.send(prev);
                                 }
-                                stash = Some(Request::Op {
-                                    user,
-                                    seq,
-                                    op,
-                                    round,
-                                    ctx,
-                                    reply,
-                                });
+                                stash = Some(req);
                                 stashed_now = true;
                                 true
                             }
@@ -190,29 +136,11 @@ impl FaultLink {
                                 // and its medium, not on the wire; the link
                                 // counts them and passes the request clean.
                                 counts.lock().storage += 1;
-                                down.send(Request::Op {
-                                    user,
-                                    seq,
-                                    op,
-                                    round,
-                                    ctx,
-                                    reply,
-                                })
-                                .is_ok()
+                                down.send(req).is_ok()
                             }
                             Some(FaultKind::CrashRestart) => {
                                 counts.lock().crashes += 1;
-                                let ok = down
-                                    .send(Request::Op {
-                                        user,
-                                        seq,
-                                        op,
-                                        round,
-                                        ctx,
-                                        reply,
-                                    })
-                                    .is_ok();
-                                ok && {
+                                down.send(req).is_ok() && {
                                     let (ack_tx, ack_rx) = bounded(1);
                                     down.send(Request::Crash { ack: ack_tx }).is_ok()
                                         && ack_rx.recv().is_ok()
@@ -221,7 +149,7 @@ impl FaultLink {
                         }
                     }
                     // Retries, deposits, fetches, shutdown: pass through.
-                    other => down.send(other).is_ok(),
+                    _ => down.send(req).is_ok(),
                 };
                 if !delivered {
                     return;
@@ -246,5 +174,133 @@ impl FaultLink {
     /// shorter than the plan).
     pub fn applied(&self) -> FaultCounts {
         *self.applied.lock()
+    }
+}
+
+/// The fault-relevant identity of an operation-shaped request — plain,
+/// batched window, or pipelined. Everything else (deposits, fetches,
+/// control messages) is never faulted.
+fn op_meta(req: &Request) -> Option<(UserId, u64, Option<SpanContext>)> {
+    match req {
+        Request::Op { user, seq, ctx, .. }
+        | Request::OpBatch { user, seq, ctx, .. }
+        | Request::OpPipelined { user, seq, ctx, .. } => Some((*user, *seq, *ctx)),
+        _ => None,
+    }
+}
+
+/// A second delivery of the same operation, sharing the original's reply
+/// sender: the server's journal absorbs whichever copy arrives second.
+fn clone_op(req: &Request) -> Request {
+    match req {
+        Request::Op {
+            user,
+            seq,
+            op,
+            round,
+            ctx,
+            reply,
+        } => Request::Op {
+            user: *user,
+            seq: *seq,
+            op: op.clone(),
+            round: *round,
+            ctx: *ctx,
+            reply: reply.clone(),
+        },
+        Request::OpBatch {
+            user,
+            seq,
+            ops,
+            round,
+            ctx,
+            reply,
+        } => Request::OpBatch {
+            user: *user,
+            seq: *seq,
+            ops: ops.clone(),
+            round: *round,
+            ctx: *ctx,
+            reply: reply.clone(),
+        },
+        Request::OpPipelined {
+            user,
+            seq,
+            op,
+            round,
+            ctx,
+            reply,
+        } => Request::OpPipelined {
+            user: *user,
+            seq: *seq,
+            op: op.clone(),
+            round: *round,
+            ctx: *ctx,
+            reply: reply.clone(),
+        },
+        _ => unreachable!("only operation-shaped requests are duplicated"),
+    }
+}
+
+/// The same request with its reply sender swapped for a dead end: the
+/// server executes and journals, the client's wait disconnects, and its
+/// retry is answered from the journal.
+fn sever_reply(req: Request) -> Request {
+    match req {
+        Request::Op {
+            user,
+            seq,
+            op,
+            round,
+            ctx,
+            ..
+        } => {
+            let (dead_tx, _dead_rx) = bounded(1);
+            Request::Op {
+                user,
+                seq,
+                op,
+                round,
+                ctx,
+                reply: dead_tx,
+            }
+        }
+        Request::OpBatch {
+            user,
+            seq,
+            ops,
+            round,
+            ctx,
+            ..
+        } => {
+            let (dead_tx, _dead_rx) = bounded(1);
+            Request::OpBatch {
+                user,
+                seq,
+                ops,
+                round,
+                ctx,
+                reply: dead_tx,
+            }
+        }
+        Request::OpPipelined {
+            user,
+            seq,
+            op,
+            round,
+            ctx,
+            ..
+        } => {
+            let (dead_tx, _dead_rx) = bounded(1);
+            Request::OpPipelined {
+                user,
+                seq,
+                op,
+                round,
+                ctx,
+                reply: dead_tx,
+            }
+        }
+        other => other,
     }
 }

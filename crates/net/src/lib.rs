@@ -13,6 +13,26 @@
 //! systems with frequent updates"). Under faults the block is bounded by a
 //! deposit timeout instead of deadlocking.
 //!
+//! ## Batching and pipelining
+//!
+//! Three levers close most of the gap between the verified paths and the
+//! trusted baseline (see DESIGN.md for the bounds):
+//!
+//! * **Batched Protocol II windows** — [`NetClient2::execute_batch`] sends
+//!   a window of ops as one exchange; the server answers with one
+//!   [`tcvs_core::BatchResponse`] whose spine siblings are shared across
+//!   the window and whose σ-token fold telescopes, and the client verifies
+//!   the whole window against one pre-state root.
+//! * **Pipelined Protocol I deposits** —
+//!   [`NetServerOptions::pipeline_depth`] lets the server serve up to `d`
+//!   operations ahead of the deposit stream; responses re-anchor each
+//!   client at its own last deposited signature, so detection stays
+//!   k-bounded (shifted by at most `d`).
+//! * **Batched snapshot publication** —
+//!   [`NetServerOptions::publish_every_ops`] /
+//!   [`NetServerOptions::publish_interval`] amortize the read-slot swap
+//!   over a bounded window of writes.
+//!
 //! ## Resilience
 //!
 //! Clients return `Result<_, NetError>` on every request path and retry
@@ -49,7 +69,10 @@ mod fault;
 mod obs;
 mod server;
 
-pub use bench_rig::{run_throughput, run_throughput_observed, ThroughputReport};
+pub use bench_rig::{
+    run_throughput, run_throughput_observed, run_throughput_tuned, ThroughputOptions,
+    ThroughputReport,
+};
 pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted, NetSnapshotReader};
 pub use error::{NetError, RetryPolicy};
 pub use fault::FaultLink;

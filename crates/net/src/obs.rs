@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use tcvs_obs::{Counter, Histogram, MetricsRegistry, MetricsSnapshot, Tracer};
+use tcvs_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Tracer};
 
 /// Shared observability handles for one threaded deployment. Cloning is
 /// cheap (`Arc`s all the way down); clones feed the same registry and sink.
@@ -34,11 +34,22 @@ pub struct NetStats {
     pub(crate) retries: Arc<Counter>,
     pub(crate) op_micros: Arc<Histogram>,
     pub(crate) read_micros: Arc<Histogram>,
+    pub(crate) batch_windows: Arc<Counter>,
+    pub(crate) batch_ops: Arc<Counter>,
+    pub(crate) batch_declined: Arc<Counter>,
+    pub(crate) pipelined_served: Arc<Counter>,
+    pub(crate) pipeline_fallbacks: Arc<Counter>,
+    pub(crate) pipeline_backfill: Arc<Histogram>,
+    pub(crate) snapshot_publishes: Arc<Counter>,
+    pub(crate) snapshot_lag_ops: Arc<Histogram>,
+    pub(crate) crypto_lanes: Arc<Gauge>,
 }
 
 impl NetStats {
     /// Stats feeding `registry` and emitting events through `tracer`.
     pub fn new(registry: Arc<MetricsRegistry>, tracer: Tracer) -> NetStats {
+        let crypto_lanes = registry.gauge("crypto.lanes");
+        crypto_lanes.set(tcvs_crypto::sha_lanes() as i64);
         NetStats {
             tracer,
             ops_served: registry.counter("net.server.ops_served"),
@@ -50,6 +61,15 @@ impl NetStats {
             retries: registry.counter("net.client.retries"),
             op_micros: registry.histogram("net.server.op_micros"),
             read_micros: registry.histogram("net.server.read_micros"),
+            batch_windows: registry.counter("net.batch.windows"),
+            batch_ops: registry.counter("net.batch.ops"),
+            batch_declined: registry.counter("net.batch.declined"),
+            pipelined_served: registry.counter("net.server.pipelined_served"),
+            pipeline_fallbacks: registry.counter("net.server.pipeline_fallbacks"),
+            pipeline_backfill: registry.histogram("net.server.pipeline_backfill"),
+            snapshot_publishes: registry.counter("net.server.snapshot_publishes"),
+            snapshot_lag_ops: registry.histogram("net.server.snapshot_lag_ops"),
+            crypto_lanes,
             registry,
         }
     }
@@ -68,6 +88,12 @@ impl NetStats {
     /// A point-in-time snapshot of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// The SHA-256 lane width the crypto crate compiled in (mirrored into
+    /// the `crypto.lanes` gauge at registration).
+    pub fn crypto_lanes(&self) -> i64 {
+        self.crypto_lanes.get()
     }
 }
 
@@ -100,6 +126,20 @@ mod tests {
         assert_eq!(snap.counter("net.server.ops_served"), Some(1));
         assert_eq!(snap.counter("net.client.retries"), Some(3));
         assert!(!stats.tracer.is_enabled());
+    }
+
+    #[test]
+    fn lane_width_is_exported_as_a_gauge() {
+        let stats = NetStats::disabled();
+        assert_eq!(
+            stats.crypto_lanes.get(),
+            tcvs_crypto::sha_lanes() as i64,
+            "gauge mirrors the compiled SHA-256 lane width"
+        );
+        assert!(matches!(
+            stats.snapshot().get("crypto.lanes"),
+            Some(tcvs_obs::MetricValue::Gauge(v)) if *v >= 1
+        ));
     }
 
     #[test]

@@ -9,6 +9,23 @@
 //! counted in [`NetServer::missed_deposits`] and the server moves on instead
 //! of deadlocking.
 //!
+//! Two batching levers close most of the verified-read gap against the
+//! trusted baseline (see DESIGN.md §batching):
+//!
+//! * **Pipelined deposits** ([`NetServerOptions::pipeline_depth`]): a
+//!   pipelined Protocol I request is served immediately, re-anchored at the
+//!   client's own last deposited signature, instead of stalling on the
+//!   previous client's deposit. The blocking wait survives only as a
+//!   *catch-up* before any response whose signature must be current.
+//! * **Batched snapshot publication**
+//!   ([`NetServerOptions::publish_every_ops`]): the concurrent-read slot is
+//!   republished every `W` writes or `T` elapsed, and always before the
+//!   server goes idle, so staleness is bounded by `min(W ops, T)` under
+//!   load and zero at idle.
+//!
+//! Protocol II windows travel as [`Request::OpBatch`] and are verified by
+//! the client as one exchange over a shared [`tcvs_core::BatchResponse`].
+//!
 //! Every operation carries a per-user sequence number; the thread keeps the
 //! last reply per user in a *reply journal* so a retried request (after a
 //! dropped reply) is answered from the journal instead of re-executing —
@@ -25,8 +42,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use tcvs_core::{
-    Ctr, Digest, Epoch, Op, OpResult, ReadSnapshot, ServerApi, ServerResponse, SignedCheckpoint,
-    SignedEpochState, SignedState, UserId,
+    BatchResponse, Ctr, Digest, Epoch, Op, OpResult, PipelinedResponse, ReadSnapshot, ServerApi,
+    ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, UserId,
 };
 use tcvs_merkle::VerificationObject;
 use tcvs_obs::{stage, Event, EventKind, SpanContext, NO_ACTOR};
@@ -47,6 +64,31 @@ pub(crate) enum Request {
         /// fault link) emits while handling the request is a child of it.
         ctx: Option<SpanContext>,
         reply: Sender<ServerResponse>,
+    },
+    /// A Protocol II window of operations verified as one exchange against
+    /// one pre-state root. The server may decline (`None`) — e.g. the
+    /// window mixes non-batchable structural ops, or the deployment does
+    /// not implement batching — in which case the client falls back to
+    /// per-operation execution with fresh sequence numbers.
+    OpBatch {
+        user: UserId,
+        seq: u64,
+        ops: Vec<Op>,
+        round: u64,
+        ctx: Option<SpanContext>,
+        reply: Sender<Option<BatchResponse>>,
+    },
+    /// A Protocol I operation the client is willing to verify against its
+    /// own last *deposited* signature (its frontier) instead of a
+    /// signature over the immediately preceding state — letting the server
+    /// skip the blocking deposit wait when the pipeline is shallow enough.
+    OpPipelined {
+        user: UserId,
+        seq: u64,
+        op: Op,
+        round: u64,
+        ctx: Option<SpanContext>,
+        reply: Sender<PipelinedReply>,
     },
     Signature {
         user: UserId,
@@ -71,6 +113,15 @@ pub(crate) enum Request {
         ack: Sender<()>,
     },
     Shutdown,
+}
+
+/// Reply to a pipelined Protocol I request: the anchored fast-path shape
+/// when the server could serve without waiting, or an ordinary blocking-path
+/// response (signature current as of the reply) when it fell back.
+#[derive(Clone)]
+pub(crate) enum PipelinedReply {
+    Pipelined(PipelinedResponse),
+    Legacy(ServerResponse),
 }
 
 /// A read-only request for the concurrent snapshot read path. Carries no
@@ -148,6 +199,31 @@ pub struct NetServerOptions {
     /// from the latest published snapshot (only spawned when the inner
     /// server opts in via [`ServerApi::read_snapshot`]). Clamped to ≥ 1.
     pub read_pool: usize,
+    /// Maximum number of operations the server may run ahead of a user's
+    /// last deposited signature before a pipelined request falls back to
+    /// the blocking path. `0` (the default) disables pipelining entirely:
+    /// pipelined requests are served exactly like blocking ones.
+    ///
+    /// With depth `d > 0` the server answers pipelined operations without
+    /// waiting for the preceding deposit; the reply re-anchors the client
+    /// at its own frontier, so detection stays k-bounded (the deposit lag
+    /// adds at most `d` undetected operations on top of Theorem 4.1's
+    /// bound — see DESIGN.md).
+    pub pipeline_depth: usize,
+    /// Republish the concurrent-read snapshot every this many committed
+    /// operations (write batching of the slot swap). `1` (the default)
+    /// preserves strict read-your-writes across the two paths; `W > 1`
+    /// relaxes it to bounded staleness: a reader may miss at most the last
+    /// `W - 1` acknowledged writes, and never misses any once the server
+    /// goes idle or [`NetServerOptions::publish_interval`] elapses.
+    pub publish_every_ops: u64,
+    /// Time bound on snapshot staleness under a sustained write load:
+    /// whenever this much time has passed since the last publication, the
+    /// next committed operation republishes regardless of the write count.
+    /// (Checked at operation boundaries — an idle server publishes any
+    /// pending writes before blocking on its queue, so idle staleness is
+    /// zero.)
+    pub publish_interval: Duration,
 }
 
 impl Default for NetServerOptions {
@@ -156,6 +232,9 @@ impl Default for NetServerOptions {
             blocking_signatures: false,
             deposit_timeout: Duration::from_secs(2),
             read_pool: 2,
+            pipeline_depth: 0,
+            publish_every_ops: 1,
+            publish_interval: Duration::from_millis(1),
         }
     }
 }
@@ -165,8 +244,83 @@ impl Default for NetServerOptions {
 /// either sees the tree before an update or after it, never a mix.
 pub(crate) type SnapshotSlot = Arc<Mutex<Arc<ReadSnapshot>>>;
 
+/// What the journal remembers about a served request: the reply in the
+/// shape it went out. Retries are answered in a compatible shape — a plain
+/// retry of a pipelined op gets the embedded plain response, a pipelined
+/// retry of a plain op (or of a durable server's recovered reply) gets it
+/// wrapped as a legacy reply. Batch replies only answer batch retries.
+#[derive(Clone)]
+enum JournaledReply {
+    Op(ServerResponse),
+    Batch(BatchResponse),
+    Pipelined(PipelinedReply),
+}
+
 /// The per-user reply journal: last `(seq, reply)` served to each user.
-type ReplyJournal = HashMap<UserId, (u64, ServerResponse)>;
+type ReplyJournal = HashMap<UserId, (u64, JournaledReply)>;
+
+/// Write-batched publication of the concurrent-read snapshot. With the
+/// default `publish_every_ops = 1` every committed operation republishes
+/// before its reply is sent (strict read-your-writes, the pre-batching
+/// behavior); with a wider window the slot swap and its lock traffic are
+/// amortized over `W` writes, bounded in staleness by the window and by
+/// `publish_interval`, and flushed whenever the server is about to go idle.
+struct SnapshotPublisher {
+    slot: Option<SnapshotSlot>,
+    every_ops: u64,
+    interval: Duration,
+    /// Committed operations not yet reflected in the published snapshot.
+    pending: u64,
+    last: Instant,
+    stats: NetStats,
+}
+
+impl SnapshotPublisher {
+    fn new(slot: Option<SnapshotSlot>, opts: &NetServerOptions, stats: NetStats) -> Self {
+        SnapshotPublisher {
+            slot,
+            every_ops: opts.publish_every_ops.max(1),
+            interval: opts.publish_interval,
+            pending: 0,
+            last: Instant::now(),
+            stats,
+        }
+    }
+
+    /// Accounts `ops` freshly committed operations and republishes if the
+    /// write window is full or the time bound has elapsed.
+    fn record(&mut self, inner: &mut dyn ServerApi, ops: u64) {
+        if self.slot.is_none() {
+            return;
+        }
+        self.pending += ops;
+        if self.pending >= self.every_ops || self.last.elapsed() >= self.interval {
+            self.force(inner);
+        }
+    }
+
+    /// Republishes if any committed operation is still unpublished. Called
+    /// before the server blocks idle on its queue, so snapshot staleness is
+    /// bounded by the window only *while the server is busy*.
+    fn flush(&mut self, inner: &mut dyn ServerApi) {
+        if self.pending > 0 {
+            self.force(inner);
+        }
+    }
+
+    /// Unconditional republication (crash recovery must make the restored
+    /// state visible even when nothing is pending).
+    fn force(&mut self, inner: &mut dyn ServerApi) {
+        let Some(slot) = &self.slot else { return };
+        if let Some(snap) = inner.read_snapshot() {
+            *slot.lock() = Arc::new(snap);
+            self.stats.snapshot_publishes.inc();
+            self.stats.snapshot_lag_ops.observe(self.pending);
+            self.pending = 0;
+            self.last = Instant::now();
+        }
+    }
+}
 
 /// Handle to a running server thread.
 pub struct NetServer {
@@ -237,6 +391,7 @@ impl NetServer {
             // a Protocol I signature deposit; replayed in arrival order.
             let mut backlog: VecDeque<Request> = VecDeque::new();
             let mut journal = ReplyJournal::new();
+            let mut publisher = SnapshotPublisher::new(slot, &opts, stats.clone());
             // A durable inner server may already hold recovered replies from
             // a previous process; a retry arriving over the wire must hit
             // them, not re-execute.
@@ -244,10 +399,28 @@ impl NetServer {
             loop {
                 let req = match backlog.pop_front() {
                     Some(r) => r,
-                    None => match rx.recv() {
+                    None => match rx.try_recv() {
                         Ok(r) => r,
-                        Err(_) => return,
+                        Err(crossbeam::channel::TryRecvError::Empty) => {
+                            // About to block idle: make every acknowledged
+                            // write visible to readers first, so batched
+                            // publication never leaves a stale snapshot
+                            // standing while nothing else is happening.
+                            publisher.flush(inner.as_mut());
+                            match rx.recv() {
+                                Ok(r) => r,
+                                Err(_) => return,
+                            }
+                        }
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => return,
                     },
+                };
+                // A retry of an already-executed operation: serve the
+                // journaled reply, never re-execute (and never re-enter the
+                // blocking wait — the first delivery already did).
+                let req = match serve_from_journal(&journal, &stats, req) {
+                    Some(r) => r,
+                    None => continue,
                 };
                 match req {
                     Request::Op {
@@ -258,33 +431,54 @@ impl NetServer {
                         ctx,
                         reply,
                     } => {
-                        if let Some(resp) = journal_hit(&journal, user, seq) {
-                            // A retry of an already-executed operation: serve
-                            // the journaled reply, never re-execute (and never
-                            // re-enter the blocking wait — the first delivery
-                            // already did).
-                            stats.journal_hits.inc();
-                            stats.tracer.emit(|| {
-                                Event::new(seq, EventKind::JournalHit, user)
-                                    .span_opt(ctx.map(|c| c.child(stage::JOURNAL)))
-                            });
-                            let _ = reply.send(resp);
-                            continue;
+                        // In pipelined mode the deposit wait moves *before*
+                        // the operation: drain the outstanding deposits so
+                        // the signature attached to this plain (blocking-
+                        // path) response is current, instead of stalling
+                        // after it.
+                        if opts.pipeline_depth > 0
+                            && !catch_up(
+                                inner.as_mut(),
+                                &rx,
+                                &mut backlog,
+                                &mut journal,
+                                opts.deposit_timeout,
+                                &missed_in,
+                                &mut publisher,
+                                &stats,
+                            )
+                        {
+                            drain(
+                                inner.as_mut(),
+                                &rx,
+                                backlog,
+                                &mut journal,
+                                &mut publisher,
+                                &stats,
+                            );
+                            return;
                         }
                         // The op timestamp opens before the serialized region
                         // and closes after it; the histogram/tracer updates
-                        // happen strictly after `publish` released the slot
-                        // lock (and after the reply is on its way).
+                        // happen strictly after the publisher released the
+                        // slot lock (and after the reply is on its way).
                         let started = Instant::now();
                         // The sequence number rides down to the inner server
                         // so a durable backend can log it and recover its own
                         // copy of the reply journal.
                         let resp = inner.handle_op_seq(user, seq, &op, round);
-                        journal_insert(&mut journal, &stats, user, seq, resp.clone());
+                        journal_insert(
+                            &mut journal,
+                            &stats,
+                            user,
+                            seq,
+                            JournaledReply::Op(resp.clone()),
+                        );
                         // Publish before replying: a client that sees its
                         // write acknowledged must find it in the snapshot
-                        // (read-your-writes across the two paths).
-                        publish(inner.as_mut(), slot.as_ref());
+                        // (read-your-writes across the two paths, relaxed to
+                        // a bounded window when `publish_every_ops > 1`).
+                        publisher.record(inner.as_mut(), 1);
                         let ctr = resp.ctr;
                         // The reply channel may be dropped if the client
                         // detected deviation and bailed; that's fine.
@@ -299,6 +493,7 @@ impl NetServer {
                                 .span_opt(ctx.map(|c| c.child(stage::SERVER)))
                         });
                         if opts.blocking_signatures
+                            && opts.pipeline_depth == 0
                             && !blocking_wait(
                                 inner.as_mut(),
                                 &rx,
@@ -307,7 +502,7 @@ impl NetServer {
                                 user,
                                 opts.deposit_timeout,
                                 &missed_in,
-                                slot.as_ref(),
+                                &mut publisher,
                                 &stats,
                             )
                         {
@@ -316,10 +511,167 @@ impl NetServer {
                                 &rx,
                                 backlog,
                                 &mut journal,
-                                slot.as_ref(),
+                                &mut publisher,
                                 &stats,
                             );
                             return;
+                        }
+                    }
+                    Request::OpBatch {
+                        user,
+                        seq,
+                        ops,
+                        round,
+                        ctx,
+                        reply,
+                    } => {
+                        let started = Instant::now();
+                        match inner.handle_op_batch(user, seq, &ops, round) {
+                            Some(resp) => {
+                                journal_insert(
+                                    &mut journal,
+                                    &stats,
+                                    user,
+                                    seq,
+                                    JournaledReply::Batch(resp.clone()),
+                                );
+                                let n = resp.window_len() as u64;
+                                publisher.record(inner.as_mut(), n);
+                                let ctr = resp.ctr;
+                                let _ = reply.send(Some(resp));
+                                stats.batch_windows.inc();
+                                stats.batch_ops.add(n);
+                                stats.ops_served.add(n);
+                                stats
+                                    .op_micros
+                                    .observe(started.elapsed().as_micros() as u64);
+                                stats.tracer.emit(|| {
+                                    Event::new(ctr, EventKind::OpServed, user)
+                                        .detail(format!("seq={seq} round={round} batch={n}"))
+                                        .span_opt(ctx.map(|c| c.child(stage::SERVER)))
+                                });
+                            }
+                            // Declined: side-effect free by contract, so not
+                            // journaled — a retry may legitimately decline
+                            // again or (after a crash-restart) succeed.
+                            None => {
+                                stats.batch_declined.inc();
+                                let _ = reply.send(None);
+                            }
+                        }
+                        // No blocking wait: batch windows are a Protocol II
+                        // path, deposits are asynchronous state tokens.
+                    }
+                    Request::OpPipelined {
+                        user,
+                        seq,
+                        op,
+                        round,
+                        ctx,
+                        reply,
+                    } => {
+                        let started = Instant::now();
+                        let pipelined = if opts.pipeline_depth > 0 {
+                            inner.handle_op_pipelined(user, seq, &op, round, opts.pipeline_depth)
+                        } else {
+                            None
+                        };
+                        if let Some(presp) = pipelined {
+                            journal_insert(
+                                &mut journal,
+                                &stats,
+                                user,
+                                seq,
+                                JournaledReply::Pipelined(PipelinedReply::Pipelined(presp.clone())),
+                            );
+                            publisher.record(inner.as_mut(), 1);
+                            let ctr = presp.resp.ctr;
+                            let lag = presp.backfill.len() as u64;
+                            let _ = reply.send(PipelinedReply::Pipelined(presp));
+                            stats.pipelined_served.inc();
+                            stats.pipeline_backfill.observe(lag);
+                            stats.ops_served.inc();
+                            stats
+                                .op_micros
+                                .observe(started.elapsed().as_micros() as u64);
+                            stats.tracer.emit(|| {
+                                Event::new(ctr, EventKind::OpServed, user)
+                                    .detail(format!("seq={seq} round={round} backfill={lag}"))
+                                    .span_opt(ctx.map(|c| c.child(stage::SERVER)))
+                            });
+                        } else {
+                            // Fallback to the blocking path: catch up on the
+                            // outstanding deposits first so the attached
+                            // signature is current, then serve and (in
+                            // blocking deployments with pipelining off) wait
+                            // for this op's deposit as usual.
+                            if opts.pipeline_depth > 0 {
+                                stats.pipeline_fallbacks.inc();
+                                if !catch_up(
+                                    inner.as_mut(),
+                                    &rx,
+                                    &mut backlog,
+                                    &mut journal,
+                                    opts.deposit_timeout,
+                                    &missed_in,
+                                    &mut publisher,
+                                    &stats,
+                                ) {
+                                    drain(
+                                        inner.as_mut(),
+                                        &rx,
+                                        backlog,
+                                        &mut journal,
+                                        &mut publisher,
+                                        &stats,
+                                    );
+                                    return;
+                                }
+                            }
+                            let resp = inner.handle_op_seq(user, seq, &op, round);
+                            journal_insert(
+                                &mut journal,
+                                &stats,
+                                user,
+                                seq,
+                                JournaledReply::Pipelined(PipelinedReply::Legacy(resp.clone())),
+                            );
+                            publisher.record(inner.as_mut(), 1);
+                            let ctr = resp.ctr;
+                            let _ = reply.send(PipelinedReply::Legacy(resp));
+                            stats.ops_served.inc();
+                            stats
+                                .op_micros
+                                .observe(started.elapsed().as_micros() as u64);
+                            stats.tracer.emit(|| {
+                                Event::new(ctr, EventKind::OpServed, user)
+                                    .detail(format!("seq={seq} round={round} fallback"))
+                                    .span_opt(ctx.map(|c| c.child(stage::SERVER)))
+                            });
+                            if opts.blocking_signatures
+                                && opts.pipeline_depth == 0
+                                && !blocking_wait(
+                                    inner.as_mut(),
+                                    &rx,
+                                    &mut backlog,
+                                    &mut journal,
+                                    user,
+                                    opts.deposit_timeout,
+                                    &missed_in,
+                                    &mut publisher,
+                                    &stats,
+                                )
+                            {
+                                drain(
+                                    inner.as_mut(),
+                                    &rx,
+                                    backlog,
+                                    &mut journal,
+                                    &mut publisher,
+                                    &stats,
+                                );
+                                return;
+                            }
                         }
                     }
                     Request::Signature { user, signed, ctx } => {
@@ -351,7 +703,7 @@ impl NetServer {
                         seed_journal(inner.as_ref(), &mut journal);
                         // Readers must see the restored state, not a
                         // pre-crash root the restarted server no longer has.
-                        publish(inner.as_mut(), slot.as_ref());
+                        publisher.force(inner.as_mut());
                         let _ = ack.send(());
                         stats
                             .tracer
@@ -363,7 +715,7 @@ impl NetServer {
                             &rx,
                             backlog,
                             &mut journal,
-                            slot.as_ref(),
+                            &mut publisher,
                             &stats,
                         );
                         return;
@@ -410,16 +762,6 @@ impl Drop for NetServer {
         let _ = self.tx.send(Request::Shutdown);
         if let Some(j) = self.join.take() {
             let _ = j.join();
-        }
-    }
-}
-
-/// Publishes the server's current state into the snapshot slot (O(1): the
-/// tree is structurally shared, the swap is one `Arc` store).
-fn publish(inner: &mut dyn ServerApi, slot: Option<&SnapshotSlot>) {
-    if let Some(slot) = slot {
-        if let Some(snap) = inner.read_snapshot() {
-            *slot.lock() = Arc::new(snap);
         }
     }
 }
@@ -482,11 +824,78 @@ fn spawn_readers(
     }
 }
 
-fn journal_hit(journal: &ReplyJournal, user: UserId, seq: u64) -> Option<ServerResponse> {
-    match journal.get(&user) {
-        Some((s, resp)) if *s == seq => Some(resp.clone()),
-        _ => None,
+/// Answers `req` from the reply journal when its `(user, seq)` matches the
+/// journaled entry and the reply shapes are compatible, emitting the
+/// journal-hit event. Returns the request back when it must be executed.
+///
+/// Shape conversions: a plain retry of a pipelined reply gets the embedded
+/// plain response; a pipelined retry of a plain journaled reply (the only
+/// shape a durable server recovers) gets it wrapped as `Legacy`. A batch
+/// reply answers only a batch retry with the same `(user, seq)` — any other
+/// pairing falls through to execution, where the per-user sequence check in
+/// the inner server still guards against double execution.
+fn serve_from_journal(journal: &ReplyJournal, stats: &NetStats, req: Request) -> Option<Request> {
+    let (user, seq) = match &req {
+        Request::Op { user, seq, .. }
+        | Request::OpBatch { user, seq, .. }
+        | Request::OpPipelined { user, seq, .. } => (*user, *seq),
+        _ => return Some(req),
+    };
+    let entry = match journal.get(&user) {
+        Some((s, entry)) if *s == seq => entry,
+        _ => return Some(req),
+    };
+    let compatible = matches!(
+        (&req, entry),
+        (
+            Request::Op { .. } | Request::OpPipelined { .. },
+            JournaledReply::Op(_) | JournaledReply::Pipelined(_)
+        ) | (Request::OpBatch { .. }, JournaledReply::Batch(_))
+    );
+    if !compatible {
+        return Some(req);
     }
+    stats.journal_hits.inc();
+    match req {
+        Request::Op { ctx, reply, .. } => {
+            let resp = match entry {
+                JournaledReply::Op(r) => r.clone(),
+                JournaledReply::Pipelined(PipelinedReply::Legacy(r)) => r.clone(),
+                JournaledReply::Pipelined(PipelinedReply::Pipelined(p)) => p.resp.clone(),
+                JournaledReply::Batch(_) => unreachable!("shape checked above"),
+            };
+            stats.tracer.emit(|| {
+                Event::new(seq, EventKind::JournalHit, user)
+                    .span_opt(ctx.map(|c| c.child(stage::JOURNAL)))
+            });
+            let _ = reply.send(resp);
+        }
+        Request::OpPipelined { ctx, reply, .. } => {
+            let resp = match entry {
+                JournaledReply::Op(r) => PipelinedReply::Legacy(r.clone()),
+                JournaledReply::Pipelined(p) => p.clone(),
+                JournaledReply::Batch(_) => unreachable!("shape checked above"),
+            };
+            stats.tracer.emit(|| {
+                Event::new(seq, EventKind::JournalHit, user)
+                    .span_opt(ctx.map(|c| c.child(stage::JOURNAL)))
+            });
+            let _ = reply.send(resp);
+        }
+        Request::OpBatch { ctx, reply, .. } => {
+            let resp = match entry {
+                JournaledReply::Batch(b) => b.clone(),
+                _ => unreachable!("shape checked above"),
+            };
+            stats.tracer.emit(|| {
+                Event::new(seq, EventKind::JournalHit, user)
+                    .span_opt(ctx.map(|c| c.child(stage::JOURNAL)))
+            });
+            let _ = reply.send(Some(resp));
+        }
+        _ => unreachable!("only op-shaped requests reach here"),
+    }
+    None
 }
 
 /// Installs `user`'s newest reply, evicting the entry below the freshly
@@ -499,7 +908,7 @@ fn journal_insert(
     stats: &NetStats,
     user: UserId,
     seq: u64,
-    resp: ServerResponse,
+    resp: JournaledReply,
 ) {
     if let Some((old_seq, _)) = journal.insert(user, (seq, resp)) {
         if old_seq < seq {
@@ -516,7 +925,80 @@ fn seed_journal(inner: &dyn ServerApi, journal: &mut ReplyJournal) {
     if let Some(entries) = inner.recovered_journal() {
         journal.clear();
         for (user, seq, resp) in entries {
-            journal.insert(user, (seq, resp));
+            journal.insert(user, (seq, JournaledReply::Op(resp)));
+        }
+    }
+}
+
+/// Pipelined mode's replacement for the post-op blocking wait: before the
+/// server serves any response whose signature must be *current* (a plain
+/// blocking-path op, or a pipelined fallback), drain the in-flight deposits
+/// until none is outstanding. Each wait leg is bounded by `deposit_timeout`;
+/// on timeout the remaining lag is recorded as missed deposits and the
+/// server proceeds — the stale signature then surfaces at the client exactly
+/// as a blocking-mode miss would. Returns `false` iff the server must shut
+/// down.
+#[allow(clippy::too_many_arguments)]
+fn catch_up(
+    inner: &mut dyn ServerApi,
+    rx: &Receiver<Request>,
+    backlog: &mut VecDeque<Request>,
+    journal: &mut ReplyJournal,
+    deposit_timeout: Duration,
+    missed: &AtomicU64,
+    publisher: &mut SnapshotPublisher,
+    stats: &NetStats,
+) -> bool {
+    loop {
+        let lag = inner.deposit_lag();
+        if lag == 0 {
+            return true;
+        }
+        match rx.recv_timeout(deposit_timeout) {
+            Ok(Request::Signature { user, signed, ctx }) => {
+                let ctr = signed.ctr;
+                inner.deposit_signature(user, signed);
+                stats.tracer.emit(|| {
+                    Event::new(ctr, EventKind::Deposit, user)
+                        .span_opt(ctx.map(|c| c.child(stage::DEPOSIT)))
+                });
+            }
+            Ok(Request::Crash { ack }) => {
+                // The crash abandons the whole pipeline (the restarted
+                // server re-arms on the next deposit); absorb it here so the
+                // caller's op runs against the restored state.
+                stats.crashes.inc();
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::Crash, NO_ACTOR));
+                inner.crash_restart();
+                seed_journal(inner, journal);
+                publisher.force(inner);
+                let _ = ack.send(());
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::Restart, NO_ACTOR));
+            }
+            Ok(Request::Shutdown) => return false,
+            Ok(other) => {
+                // Retries of already-served ops are answered in place (their
+                // clients may be the very ones whose deposits we are waiting
+                // on); everything else queues behind the catch-up.
+                if let Some(r) = serve_from_journal(journal, stats, other) {
+                    backlog.push_back(r);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return false,
+            Err(RecvTimeoutError::Timeout) => {
+                // The outstanding deposits are lost or their clients died;
+                // count every missing one and move on rather than deadlock.
+                missed.fetch_add(lag, Ordering::Relaxed);
+                stats.missed_deposits.add(lag);
+                stats
+                    .tracer
+                    .emit(|| Event::new(0, EventKind::MissedDeposit, NO_ACTOR).detail("timeout"));
+                return true;
+            }
         }
     }
 }
@@ -534,7 +1016,7 @@ fn blocking_wait(
     user: UserId,
     deposit_timeout: Duration,
     missed: &AtomicU64,
-    slot: Option<&SnapshotSlot>,
+    publisher: &mut SnapshotPublisher,
     stats: &NetStats,
 ) -> bool {
     loop {
@@ -552,32 +1034,6 @@ fn blocking_wait(
                 });
                 return true;
             }
-            Ok(Request::Op {
-                user: ou,
-                seq,
-                op,
-                round,
-                ctx,
-                reply,
-            }) => {
-                if ou == user {
-                    if let Some(resp) = journal_hit(journal, ou, seq) {
-                        // The blocked user lost our reply and is retrying:
-                        // answer from the journal while staying blocked (its
-                        // deposit is still owed for this very operation).
-                        let _ = reply.send(resp);
-                        continue;
-                    }
-                }
-                backlog.push_back(Request::Op {
-                    user: ou,
-                    seq,
-                    op,
-                    round,
-                    ctx,
-                    reply,
-                });
-            }
             Ok(Request::Crash { ack }) => {
                 // A crash wipes the pending wait: the deposit (if it ever
                 // arrives) will be absorbed by the main loop.
@@ -587,7 +1043,7 @@ fn blocking_wait(
                     .emit(|| Event::new(0, EventKind::Crash, NO_ACTOR));
                 inner.crash_restart();
                 seed_journal(inner, journal);
-                publish(inner, slot);
+                publisher.force(inner);
                 let _ = ack.send(());
                 stats
                     .tracer
@@ -601,7 +1057,15 @@ fn blocking_wait(
             }
             Ok(Request::Shutdown) => return false,
             Err(RecvTimeoutError::Disconnected) => return false,
-            Ok(other) => backlog.push_back(other),
+            Ok(other) => {
+                // A retry of an already-served op (notably the blocked
+                // user's own, whose deposit is still owed for this very
+                // operation) is answered from the journal while staying
+                // blocked; everything else queues behind the block.
+                if let Some(r) = serve_from_journal(journal, stats, other) {
+                    backlog.push_back(r);
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {
                 // The deposit is lost or its client died; record the miss
                 // and unblock rather than deadlock the whole deployment.
@@ -623,11 +1087,15 @@ fn drain(
     rx: &Receiver<Request>,
     backlog: VecDeque<Request>,
     journal: &mut ReplyJournal,
-    slot: Option<&SnapshotSlot>,
+    publisher: &mut SnapshotPublisher,
     stats: &NetStats,
 ) {
     let queued = std::iter::from_fn(|| rx.try_recv().ok());
     for req in backlog.into_iter().chain(queued) {
+        let req = match serve_from_journal(journal, stats, req) {
+            Some(r) => r,
+            None => continue,
+        };
         match req {
             Request::Op {
                 user,
@@ -637,16 +1105,54 @@ fn drain(
                 ctx: _,
                 reply,
             } => {
-                let resp = match journal_hit(journal, user, seq) {
-                    Some(r) => r,
-                    None => {
-                        let r = inner.handle_op_seq(user, seq, &op, round);
-                        journal_insert(journal, stats, user, seq, r.clone());
-                        publish(inner, slot);
-                        r
-                    }
-                };
-                let _ = reply.send(resp);
+                let r = inner.handle_op_seq(user, seq, &op, round);
+                journal_insert(journal, stats, user, seq, JournaledReply::Op(r.clone()));
+                publisher.record(inner, 1);
+                let _ = reply.send(r);
+            }
+            Request::OpBatch {
+                user,
+                seq,
+                ops,
+                round,
+                ctx: _,
+                reply,
+            } => match inner.handle_op_batch(user, seq, &ops, round) {
+                Some(resp) => {
+                    journal_insert(
+                        journal,
+                        stats,
+                        user,
+                        seq,
+                        JournaledReply::Batch(resp.clone()),
+                    );
+                    publisher.record(inner, resp.window_len() as u64);
+                    let _ = reply.send(Some(resp));
+                }
+                None => {
+                    let _ = reply.send(None);
+                }
+            },
+            // Shutdown drains serve the blocking-path shape without waits
+            // (same semantics as plain ops during a drain).
+            Request::OpPipelined {
+                user,
+                seq,
+                op,
+                round,
+                ctx: _,
+                reply,
+            } => {
+                let r = inner.handle_op_seq(user, seq, &op, round);
+                journal_insert(
+                    journal,
+                    stats,
+                    user,
+                    seq,
+                    JournaledReply::Pipelined(PipelinedReply::Legacy(r.clone())),
+                );
+                publisher.record(inner, 1);
+                let _ = reply.send(PipelinedReply::Legacy(r));
             }
             Request::Signature {
                 user,
@@ -667,6 +1173,8 @@ fn drain(
             Request::Shutdown => {}
         }
     }
+    // Leave the final state visible to any reader that outlives the writer.
+    publisher.flush(inner);
 }
 
 /// Performs one remote operation: request → reply, with bounded retry.
@@ -691,6 +1199,79 @@ pub(crate) fn remote_op(
     policy: &RetryPolicy,
     stats: &NetStats,
 ) -> Result<ServerResponse, NetError> {
+    remote_roundtrip(tx, user, seq, ctx, policy, stats, |reply| Request::Op {
+        user,
+        seq,
+        op: op.clone(),
+        round,
+        ctx,
+        reply,
+    })
+}
+
+/// One batched Protocol II window over the wire; `Ok(None)` means the
+/// server declined the window (side-effect free) and the caller should fall
+/// back to per-op execution. Transport semantics match [`remote_op`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn remote_batch(
+    tx: &Sender<Request>,
+    user: UserId,
+    seq: u64,
+    ops: &[Op],
+    round: u64,
+    ctx: Option<SpanContext>,
+    policy: &RetryPolicy,
+    stats: &NetStats,
+) -> Result<Option<BatchResponse>, NetError> {
+    remote_roundtrip(tx, user, seq, ctx, policy, stats, |reply| {
+        Request::OpBatch {
+            user,
+            seq,
+            ops: ops.to_vec(),
+            round,
+            ctx,
+            reply,
+        }
+    })
+}
+
+/// One pipelined Protocol I operation over the wire. The reply is either
+/// the anchored pipelined shape or a blocking-path response the server fell
+/// back to. Transport semantics match [`remote_op`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn remote_pipelined(
+    tx: &Sender<Request>,
+    user: UserId,
+    seq: u64,
+    op: &Op,
+    round: u64,
+    ctx: Option<SpanContext>,
+    policy: &RetryPolicy,
+    stats: &NetStats,
+) -> Result<PipelinedReply, NetError> {
+    remote_roundtrip(tx, user, seq, ctx, policy, stats, |reply| {
+        Request::OpPipelined {
+            user,
+            seq,
+            op: op.clone(),
+            round,
+            ctx,
+            reply,
+        }
+    })
+}
+
+/// The shared bounded-retry round trip behind [`remote_op`] and friends:
+/// each attempt builds the request around a fresh one-shot reply sender.
+fn remote_roundtrip<T>(
+    tx: &Sender<Request>,
+    user: UserId,
+    seq: u64,
+    ctx: Option<SpanContext>,
+    policy: &RetryPolicy,
+    stats: &NetStats,
+    mut make: impl FnMut(Sender<T>) -> Request,
+) -> Result<T, NetError> {
     let attempts = policy.max_attempts.max(1);
     for attempt in 0..attempts {
         if attempt > 0 {
@@ -702,15 +1283,7 @@ pub(crate) fn remote_op(
             });
         }
         let (reply_tx, reply_rx) = bounded(1);
-        tx.send(Request::Op {
-            user,
-            seq,
-            op: op.clone(),
-            round,
-            ctx,
-            reply: reply_tx,
-        })
-        .map_err(|_| NetError::ServerGone)?;
+        tx.send(make(reply_tx)).map_err(|_| NetError::ServerGone)?;
         match reply_rx.recv_timeout(policy.attempt_timeout(user, seq, attempt)) {
             Ok(resp) => return Ok(resp),
             // The request or its reply was lost in flight; retry at once.

@@ -1,0 +1,228 @@
+//! End-to-end tests of the batched verified paths: Protocol II windows
+//! over one exchange, transparent fallback when a server declines, batched
+//! snapshot publication bounds, and detection through the batched path.
+
+use std::time::Duration;
+
+use tcvs_core::adversary::{LieServer, Trigger};
+use tcvs_core::{HonestServer, Op, OpResult, ProtocolConfig, SyncShare};
+use tcvs_merkle::{u64_key, MerkleTree};
+use tcvs_net::{
+    NetClient2, NetError, NetServer, NetServerOptions, NetSnapshotReader, NetStats, RetryPolicy,
+};
+use tcvs_obs::MetricValue;
+use tcvs_storage::{
+    DurabilityOptions, DurableOptions, DurableServer, DurableStorage, MemMedium, StorageObs,
+};
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 8,
+        k: 16,
+        epoch_len: 10,
+    }
+}
+
+fn root0(config: &ProtocolConfig) -> tcvs_core::Digest {
+    MerkleTree::with_order(config.order).root_digest()
+}
+
+/// A batched client and a per-op client interleave on one honest server;
+/// every answer matches the obvious sequential semantics and the post-hoc
+/// sync-up (σ-token comparison) succeeds — the telescoped batch fold is
+/// byte-compatible with the per-op fold.
+#[test]
+fn batched_windows_interleave_with_per_op_clients() {
+    let cfg = config();
+    let stats = NetStats::disabled();
+    let server = NetServer::spawn_observed(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions::default(),
+        stats.clone(),
+    );
+    let r0 = root0(&cfg);
+    let mut batched = NetClient2::new(0, &r0, cfg, &server);
+    let mut per_op = NetClient2::new(1, &r0, cfg, &server);
+
+    for round in 0..6u64 {
+        let window: Vec<Op> = (0..4u64)
+            .map(|j| {
+                let k = round * 4 + j;
+                if j % 2 == 0 {
+                    Op::Put(u64_key(k), vec![k as u8])
+                } else {
+                    Op::Get(u64_key(k - 1))
+                }
+            })
+            .collect();
+        let results = batched.execute_batch(&window).expect("honest batch");
+        assert_eq!(results.len(), 4);
+        // The Get inside the window sees the Put that precedes it.
+        assert_eq!(
+            results[1],
+            OpResult::Value(Some(vec![(round * 4) as u8])),
+            "window-internal read-your-writes"
+        );
+        // The per-op client reads what the batched client just wrote.
+        let seen = per_op.execute(&Op::Get(u64_key(round * 4))).expect("get");
+        assert_eq!(seen, OpResult::Value(Some(vec![(round * 4) as u8])));
+    }
+
+    // Join the server thread first: op counters are bumped after the reply
+    // goes out, so a live-thread snapshot could under-count the last op.
+    server.shutdown();
+    let snap = stats.snapshot();
+    assert_eq!(snap.counter("net.batch.windows"), Some(6));
+    assert_eq!(snap.counter("net.batch.ops"), Some(24));
+    assert_eq!(snap.counter("net.batch.declined"), Some(0));
+
+    // The aggregate sync-up predicate: the σ chain — telescoped batch folds
+    // and per-op folds interleaved — must cancel for the last operator.
+    let clients = [&batched, &per_op];
+    let shares: Vec<SyncShare> = clients.iter().map(|c| c.sync_share()).collect();
+    assert!(
+        clients.iter().any(|c| c.sync_succeeds(&shares)),
+        "σ tokens agree across paths"
+    );
+}
+
+/// A durable server does not implement batching: the window is declined
+/// without side effects and the client transparently replays it per-op,
+/// with identical results.
+#[test]
+fn declined_windows_fall_back_to_per_op() {
+    let cfg = config();
+    let store = DurableStorage::open(MemMedium::new(), DurableOptions::default());
+    let inner = DurableServer::open(
+        store,
+        cfg,
+        DurabilityOptions::default(),
+        StorageObs::disabled(),
+    )
+    .expect("open durable server");
+    let stats = NetStats::disabled();
+    let server =
+        NetServer::spawn_observed(Box::new(inner), NetServerOptions::default(), stats.clone());
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+
+    let window: Vec<Op> = (0..5u64)
+        .map(|k| Op::Put(u64_key(k), vec![k as u8]))
+        .collect();
+    let results = c.execute_batch(&window).expect("fallback succeeds");
+    assert_eq!(results.len(), 5);
+    let read = c.execute(&Op::Get(u64_key(3))).expect("get");
+    assert_eq!(read, OpResult::Value(Some(vec![3u8])));
+
+    server.shutdown();
+    let snap = stats.snapshot();
+    assert_eq!(snap.counter("net.batch.declined"), Some(1));
+    assert_eq!(snap.counter("net.batch.windows"), Some(0));
+    // The five ops (plus the read) went down the ordinary serialized path.
+    assert_eq!(snap.counter("net.server.ops_served"), Some(6));
+}
+
+/// A window containing a non-batchable operation never goes out as a batch:
+/// the client executes it per-op locally (no server decline involved).
+#[test]
+fn non_batchable_windows_are_executed_per_op() {
+    let cfg = config();
+    let stats = NetStats::disabled();
+    let server = NetServer::spawn_observed(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions::default(),
+        stats.clone(),
+    );
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    c.execute(&Op::Put(u64_key(1), b"x".to_vec())).unwrap();
+    let window = vec![Op::Get(u64_key(1)), Op::Delete(u64_key(1))];
+    let results = c.execute_batch(&window).expect("per-op fallback");
+    assert_eq!(results.len(), 2);
+    server.shutdown();
+    let snap = stats.snapshot();
+    assert_eq!(snap.counter("net.batch.windows"), Some(0));
+    assert_eq!(snap.counter("net.batch.declined"), Some(0));
+}
+
+/// A lying server is still caught when the client batches: the adversary
+/// declines the window (it has no batched path), the fallback exercises the
+/// ordinary per-op detection, and the lie surfaces as a deviation.
+#[test]
+fn batching_does_not_mask_a_lying_server() {
+    let cfg = config();
+    let server = NetServer::spawn(Box::new(LieServer::new(&cfg, Trigger::AtCtr(3))), false);
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    let window: Vec<Op> = (0..8u64)
+        .map(|k| Op::Put(u64_key(k), vec![k as u8]))
+        .collect();
+    let err = c.execute_batch(&window).expect_err("lie must be detected");
+    assert!(
+        matches!(err, NetError::Deviation(_)),
+        "expected a deviation, got {err:?}"
+    );
+    server.shutdown();
+}
+
+/// Batched snapshot publication: with `publish_every_ops = W` the write
+/// thread republishes at most every `W` writes while busy (the lag
+/// histogram never exceeds `W`) and always before going idle — an idle
+/// server's snapshot reflects every acknowledged write.
+#[test]
+fn snapshot_publication_staleness_is_bounded_by_the_window() {
+    const WINDOW: u64 = 8;
+    let cfg = config();
+    let stats = NetStats::disabled();
+    let server = NetServer::spawn_observed(
+        Box::new(HonestServer::new(&cfg)),
+        NetServerOptions {
+            publish_every_ops: WINDOW,
+            // Generous: make the write-count window the binding constraint.
+            publish_interval: Duration::from_secs(10),
+            ..NetServerOptions::default()
+        },
+        stats.clone(),
+    );
+    let r0 = root0(&cfg);
+    let mut c = NetClient2::new(0, &r0, cfg, &server);
+    for i in 0..30u64 {
+        c.execute(&Op::Put(u64_key(i % 64), vec![i as u8])).unwrap();
+    }
+
+    // Idle flush: the published snapshot must converge on the final write
+    // (the flush races with this check, so poll briefly).
+    let mut reader = NetSnapshotReader::bind(9, &cfg, &server).expect("honest read path");
+    reader.set_retry_policy(RetryPolicy {
+        max_attempts: 4,
+        base_timeout: Duration::from_millis(50),
+        max_jitter: Duration::from_millis(5),
+    });
+    let mut fresh = false;
+    for _ in 0..50 {
+        if reader
+            .execute(&Op::Get(u64_key(29)))
+            .expect("verified read")
+            == OpResult::Value(Some(vec![29u8]))
+        {
+            fresh = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(fresh, "idle server must have flushed every pending write");
+
+    server.shutdown();
+    let snap = stats.snapshot();
+    let publishes = snap.counter("net.server.snapshot_publishes").unwrap_or(0);
+    assert!(publishes >= 1, "at least one batched publication happened");
+    match snap.get("net.server.snapshot_lag_ops") {
+        Some(MetricValue::Histogram { count, sum, .. }) => {
+            assert_eq!(*count, publishes, "one lag sample per publication");
+            // Every acknowledged write was published exactly once across
+            // the run, and no single publication lagged past the window.
+            assert!(*sum >= 30, "all writes eventually published");
+        }
+        other => panic!("missing lag histogram: {other:?}"),
+    }
+}

@@ -1,0 +1,210 @@
+//! Definition 2.1 ground truth over the pipelined Protocol I path: the
+//! deviation oracle replays a generated trace against a server whose
+//! deposits arrive *late*, with every response verified by the issuing
+//! user's own `Client1` state machine. An honest server must produce zero
+//! false alarms and `NoObservableDeviation` even while it serves ahead of
+//! the deposit stream (and across crash-restarts); a lying server must be
+//! flagged at exactly the same index as on the blocking path.
+
+use std::collections::VecDeque;
+
+use tcvs_core::adversary::{LieServer, Trigger};
+use tcvs_core::{Client1, HonestServer, ProtocolConfig, ServerApi, SignedState, UserId};
+use tcvs_crypto::setup_users;
+use tcvs_merkle::{apply_op, MerkleTree};
+use tcvs_sim::OracleVerdict;
+use tcvs_workload::{generate, OpMix, Trace, WorkloadSpec};
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 8,
+        k: 8,
+        epoch_len: 16,
+    }
+}
+
+/// What one pipelined oracle replay observed.
+struct PipelinedReport {
+    verdict: OracleVerdict,
+    /// Operations served ahead of the deposit stream (the fast path).
+    pipelined: u64,
+    /// Operations that fell back to the blocking shape (decline/catch-up).
+    fallbacks: u64,
+}
+
+/// Replays `trace` through `handle_op_pipelined` with signature deposits
+/// delivered `lag` operations late — the sim-level analog of the
+/// transport's pipelining. Mirrors the transport discipline exactly:
+/// a declined operation first drains the deposit queue (catch-up) so the
+/// blocking-path signature is current, and `crash_every` > 0 injects a
+/// crash-restart every that many operations (deposits drained first, as
+/// the transport's crash path completes in-flight deposits).
+///
+/// Every verified response feeds the issuing user's `Client1`; a client
+/// deviation on an oracle-clean response is a false alarm and panics.
+fn replay_pipelined(
+    server: &mut dyn ServerApi,
+    cfg: &ProtocolConfig,
+    trace: &Trace,
+    depth: usize,
+    lag: usize,
+    crash_every: u64,
+    seed: [u8; 32],
+) -> PipelinedReport {
+    let n_users = trace.ops().iter().map(|s| s.user + 1).max().unwrap_or(1);
+    let height = 64 - (trace.ops().len() as u64 + 2).leading_zeros();
+    let (rings, registry) = setup_users(seed, n_users, height.max(4));
+    let mut clients: Vec<Client1> = rings
+        .into_iter()
+        .map(|r| Client1::new(r, registry.clone(), *cfg))
+        .collect();
+
+    let root0 = MerkleTree::with_order(cfg.order).root_digest();
+    let initial = clients[0].sign_initial(&root0).expect("fresh keyring");
+    server.deposit_signature(0, initial);
+
+    let mut reference = MerkleTree::with_order(cfg.order);
+    let mut pending: VecDeque<(UserId, SignedState)> = VecDeque::new();
+    let deliver =
+        |server: &mut dyn ServerApi, pending: &mut VecDeque<(UserId, SignedState)>, keep: usize| {
+            while pending.len() > keep {
+                let (u, s) = pending.pop_front().expect("non-empty");
+                server.deposit_signature(u, s);
+            }
+        };
+
+    let (mut pipelined, mut fallbacks) = (0u64, 0u64);
+    for (idx, sop) in trace.ops().iter().enumerate() {
+        if crash_every > 0 && idx > 0 && idx as u64 % crash_every == 0 {
+            deliver(server, &mut pending, 0);
+            server.crash_restart();
+        }
+        let expected = apply_op(&mut reference, &sop.op).expect("full tree");
+        let client = &mut clients[sop.user as usize];
+        let deposit =
+            match server.handle_op_pipelined(sop.user, idx as u64, &sop.op, sop.round, depth) {
+                Some(presp) => {
+                    if presp.resp.result != expected {
+                        return PipelinedReport {
+                            verdict: OracleVerdict::Deviated {
+                                op_index: idx as u64,
+                                user: sop.user,
+                                got: presp.resp.result,
+                                expected,
+                            },
+                            pipelined,
+                            fallbacks,
+                        };
+                    }
+                    pipelined += 1;
+                    let (_, deposit) = client
+                        .handle_pipelined_response(&sop.op, &presp)
+                        .unwrap_or_else(|e| panic!("false alarm on pipelined op {idx}: {e}"));
+                    deposit
+                }
+                None => {
+                    // The transport's catch-up: the blocking-path signature
+                    // must be exactly current before the server answers.
+                    deliver(server, &mut pending, 0);
+                    let resp = server.handle_op(sop.user, &sop.op, sop.round);
+                    if resp.result != expected {
+                        return PipelinedReport {
+                            verdict: OracleVerdict::Deviated {
+                                op_index: idx as u64,
+                                user: sop.user,
+                                got: resp.result,
+                                expected,
+                            },
+                            pipelined,
+                            fallbacks,
+                        };
+                    }
+                    fallbacks += 1;
+                    let (_, deposit) = client
+                        .handle_response(&sop.op, &resp)
+                        .unwrap_or_else(|e| panic!("false alarm on blocking op {idx}: {e}"));
+                    deposit
+                }
+            };
+        pending.push_back((sop.user, deposit));
+        deliver(server, &mut pending, lag);
+    }
+    deliver(server, &mut pending, 0);
+    PipelinedReport {
+        verdict: OracleVerdict::NoObservableDeviation,
+        pipelined,
+        fallbacks,
+    }
+}
+
+/// Honest server, deposits two operations late: the oracle sees no
+/// observable deviation, no client raises an alarm, and the fast path is
+/// genuinely exercised (served-ahead count dominates the fallbacks).
+#[test]
+fn pipelined_honest_replay_is_oracle_clean() {
+    let cfg = config();
+    for seed in 0..4u64 {
+        let t = generate(&WorkloadSpec {
+            n_users: 3,
+            n_ops: 120,
+            key_space: 24,
+            mix: OpMix::write_heavy(),
+            seed,
+            ..WorkloadSpec::default()
+        });
+        let mut server = HonestServer::new(&cfg);
+        let report = replay_pipelined(&mut server, &cfg, &t, 8, 2, 0, [0x21; 32]);
+        assert_eq!(
+            report.verdict,
+            OracleVerdict::NoObservableDeviation,
+            "seed {seed}"
+        );
+        assert!(
+            report.pipelined > report.fallbacks,
+            "fast path dominated (seed {seed}: {} pipelined vs {} fallbacks)",
+            report.pipelined,
+            report.fallbacks
+        );
+    }
+}
+
+/// The same replay with a crash-restart every 16 operations: the server's
+/// pipelining state is volatile and re-arms from the deposit stream, the
+/// clients keep verifying across the crashes, and the oracle stays clean.
+#[test]
+fn pipelined_replay_survives_crash_restarts() {
+    let cfg = config();
+    let t = generate(&WorkloadSpec {
+        n_users: 3,
+        n_ops: 96,
+        key_space: 24,
+        mix: OpMix::write_heavy(),
+        seed: 9,
+        ..WorkloadSpec::default()
+    });
+    let mut server = HonestServer::new(&cfg);
+    let report = replay_pipelined(&mut server, &cfg, &t, 8, 2, 16, [0x22; 32]);
+    assert_eq!(report.verdict, OracleVerdict::NoObservableDeviation);
+    assert!(report.pipelined > 0, "pipeline re-armed after each crash");
+    assert!(
+        report.fallbacks > 0,
+        "each crash forced a blocking re-arm op"
+    );
+}
+
+/// Pipelining must not move the oracle's needle on detection: a lying
+/// server flags at exactly the counter of the lie, as on the blocking path
+/// (`lie_is_observable_at_the_lie` in the oracle's own tests).
+#[test]
+fn pipelined_replay_flags_a_lie_at_the_lie() {
+    let cfg = config();
+    let t = generate(&WorkloadSpec {
+        n_users: 2,
+        n_ops: 30,
+        seed: 1,
+        ..WorkloadSpec::default()
+    });
+    let mut server = LieServer::new(&cfg, Trigger::AtCtr(7));
+    let report = replay_pipelined(&mut server, &cfg, &t, 8, 2, 0, [0x23; 32]);
+    assert_eq!(report.verdict.first_divergence(), Some(7));
+}
