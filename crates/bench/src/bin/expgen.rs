@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use tcvs_bench::durability::run_durability_suite;
 use tcvs_bench::experiments::{e12, run_by_id, ALL};
-use tcvs_bench::perf::{batching_suite, run_suite_observed};
+use tcvs_bench::perf::{batching_suite, run_suite_observed, sharding_suite};
 use tcvs_bench::results::{render_json_with_metrics, validate, validate_artifact, validate_schema};
 use tcvs_bench::Table;
 
@@ -162,15 +162,17 @@ fn main() {
         }
     }
 
-    let (probes, durability, batching, metrics) = if run_perf {
+    let (probes, durability, batching, sharding, metrics) = if run_perf {
         let start = Instant::now();
         let (probes, metrics) = run_suite_observed(quick);
         let durability = run_durability_suite(quick);
         let batching = batching_suite(quick);
+        let sharding = sharding_suite(quick);
         let mut t = Table::new(
             "PERF",
             "hot-path probes (recorded in BENCH_results.json; \
-             [batching] rows are the same-run before/after family)",
+             [batching] rows are the same-run before/after family; \
+             [sharding] rows are the 1/2/4/8-shard grove scaling family)",
             &[
                 "probe",
                 "ops/s",
@@ -185,6 +187,7 @@ fn main() {
             .chain(&durability)
             .map(|p| (p, ""))
             .chain(batching.iter().map(|p| (p, "[batching] ")))
+            .chain(sharding.iter().map(|p| (p, "[sharding] ")))
         {
             t.row(vec![
                 format!("{family}{}", p.name),
@@ -200,9 +203,15 @@ fn main() {
             "[perf completed in {:.1}s]\n",
             start.elapsed().as_secs_f64()
         );
-        (probes, durability, batching, metrics)
+        (probes, durability, batching, sharding, metrics)
     } else {
-        (Vec::new(), Vec::new(), Vec::new(), Default::default())
+        (
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Default::default(),
+        )
     };
 
     // Only (re)write the results file when the perf suite actually ran:
@@ -210,8 +219,15 @@ fn main() {
     // trajectory with an empty probe list.
     if !no_json && run_perf && !failed {
         let mode = if quick { "quick" } else { "full" };
-        let json =
-            render_json_with_metrics(mode, &probes, &durability, &batching, &all_tables, &metrics);
+        let json = render_json_with_metrics(
+            mode,
+            &probes,
+            &durability,
+            &batching,
+            &sharding,
+            &all_tables,
+            &metrics,
+        );
         if let Err(e) = validate(&json).and_then(|()| validate_schema(&json)) {
             eprintln!("internal error: generated results JSON is invalid: {e}");
             std::process::exit(3);

@@ -4,13 +4,14 @@
 //! `BENCH_results.json` so the perf trajectory is tracked per PR.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use tcvs_core::{ProtocolConfig, ProtocolKind, ServerCore};
+use tcvs_core::adversary::{LieServer, Trigger};
+use tcvs_core::{HonestServer, ProtocolConfig, ProtocolKind, ServerApi, ServerCore};
 use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, VerificationObject};
 use tcvs_net::{
-    run_throughput, run_throughput_observed, run_throughput_tuned, NetStats, ThroughputOptions,
-    ThroughputReport,
+    run_sharded_throughput, run_throughput, run_throughput_observed, run_throughput_tuned,
+    NetServerOptions, NetStats, ShardedClient2, ShardedServer, ThroughputOptions, ThroughputReport,
 };
 use tcvs_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 
@@ -397,6 +398,144 @@ pub fn batching_suite(quick: bool) -> Vec<PerfResult> {
     ]
 }
 
+/// Modeled per-op service latency for the sharding probes (see
+/// [`run_sharded_throughput`]): the fixed wire + commit cost each shard's
+/// serialized path charges per operation. Carried in the probe names
+/// (`_wire200us`) so rows from different latency models never compare.
+const SHARD_WIRE_LATENCY: Duration = Duration::from_micros(200);
+
+/// The `"sharding"` probe family: trusted and batched Protocol II 90/10
+/// throughput over a sharded grove at 1/2/4/8 shards, plus a
+/// fork-detection run where exactly one shard of four deviates.
+///
+/// All scaling rows model a fixed 200µs per-op service latency on each
+/// shard's serialized path ([`run_sharded_throughput`] explains why: the
+/// quantity sharding multiplies is serialized-resource capacity, which a
+/// paced shard reproduces on any host, while raw single-host CPU does not
+/// scale with N on fewer cores than shards). The acceptance gate compares
+/// same-run rows: 4-shard trusted ≥ 2× the 1-shard trusted figure.
+///
+/// The two `fork_1of4` rows carry *counts*, not rates, in the schema's
+/// `ops_per_sec` slot (the section is probe-shaped by construction; the
+/// `_ops` / `_alarms` name suffixes carry the unit): the detection gap in
+/// operations on the deviating shard past its trigger (Protocol II's
+/// replay check ⇒ 0, and always ≤ k), and the number of honest-shard
+/// false alarms (must be 0).
+pub fn sharding_suite(quick: bool) -> Vec<PerfResult> {
+    let config = throughput_config();
+    let clients = 8u32;
+    let ops = if quick { 64 } else { 256 };
+    let window = 16usize;
+    let mut probes = Vec::new();
+    for n_shards in [1usize, 2, 4, 8] {
+        let trusted = run_sharded_throughput(
+            ProtocolKind::Trusted,
+            n_shards,
+            clients,
+            ops,
+            10,
+            &config,
+            ThroughputOptions::default(),
+            SHARD_WIRE_LATENCY,
+            NetStats::disabled(),
+        );
+        probes.push(probe_from_report(
+            format!("sharding/trusted_{n_shards}shards_{clients}clients_10pct_updates_wire200us"),
+            &trusted,
+        ));
+        let p2 = run_sharded_throughput(
+            ProtocolKind::Two,
+            n_shards,
+            clients,
+            ops,
+            10,
+            &config,
+            ThroughputOptions {
+                batch_window: window,
+                publish_every_ops: window as u64,
+                ..ThroughputOptions::default()
+            },
+            SHARD_WIRE_LATENCY,
+            NetStats::disabled(),
+        );
+        probes.push(probe_from_report(
+            format!(
+                "sharding/protocol-2_{n_shards}shards_{clients}clients_10pct_updates_wire200us"
+            ),
+            &p2,
+        ));
+    }
+    let (gap, false_alarms) = fork_one_of_four();
+    let count_row = |name: &str, value: f64| PerfResult {
+        name: name.into(),
+        ops_per_sec: value,
+        proof_bytes: None,
+        p50_us: None,
+        p99_us: None,
+        p999_us: None,
+    };
+    probes.push(count_row(
+        "sharding/fork_1of4_detection_gap_ops",
+        gap as f64,
+    ));
+    probes.push(count_row(
+        "sharding/fork_1of4_false_alarms",
+        false_alarms as f64,
+    ));
+    probes
+}
+
+/// The fork-detection run: a four-shard grove with a lying server on
+/// exactly one shard (triggered at that shard's counter 12). Returns the
+/// detection gap in deviating-shard operations past the trigger, and the
+/// number of alarms raised by traffic on the three honest shards (the
+/// false-alarm count). Panics if the lie escapes detection — a silent pass
+/// must never produce a results row.
+fn fork_one_of_four() -> (u64, u64) {
+    const LIE_AT: u64 = 12;
+    let cfg = ProtocolConfig {
+        order: 8,
+        k: 16,
+        epoch_len: 1 << 30,
+    };
+    let bad_shard = 2;
+    let inners: Vec<Box<dyn ServerApi + Send>> = (0..4)
+        .map(|i| -> Box<dyn ServerApi + Send> {
+            if i == bad_shard {
+                Box::new(LieServer::new(&cfg, Trigger::AtCtr(LIE_AT)))
+            } else {
+                Box::new(HonestServer::new(&cfg))
+            }
+        })
+        .collect();
+    let grove = ShardedServer::spawn_with_servers(
+        inners,
+        NetServerOptions::default(),
+        NetStats::disabled(),
+    );
+    let router = grove.router();
+    let root0 = MerkleTree::with_order(cfg.order).root_digest();
+    let mut c = ShardedClient2::new(0, &[root0; 4], cfg, &grove);
+    let mut per_shard_ops = [0u64; 4];
+    let mut outcome = None;
+    for i in 0..400u64 {
+        let op = Op::Put(u64_key(i), vec![i as u8; 8]);
+        let shard = router.route_op(&op).expect("keyed op");
+        match c.execute(&op) {
+            Ok(_) => per_shard_ops[shard] += 1,
+            Err(_) => {
+                outcome = Some(shard);
+                break;
+            }
+        }
+    }
+    let alarmed_shard = outcome.expect("the deviating shard escaped detection");
+    let false_alarms = u64::from(alarmed_shard != bad_shard);
+    let gap = per_shard_ops[bad_shard].saturating_sub(LIE_AT);
+    grove.shutdown();
+    (gap, false_alarms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +584,44 @@ mod tests {
             );
             assert!(p.p999_us.is_some(), "{} lacks tail latency", p.name);
         }
+    }
+
+    /// The sharding acceptance gate, on the quick suite: all sixteen
+    /// scaling rows exist under their canonical `_wire200us` names, the
+    /// 4-shard trusted figure is at least 2× the same-run 1-shard figure,
+    /// the one-deviating-shard run is caught within the k-bound, and the
+    /// honest shards raise zero false alarms.
+    #[test]
+    fn sharding_suite_scales_and_detects() {
+        let probes = sharding_suite(true);
+        let get = |name: &str| {
+            probes
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("missing probe {name}"))
+                .ops_per_sec
+        };
+        for n in [1, 2, 4, 8] {
+            for proto in ["trusted", "protocol-2"] {
+                let v = get(&format!(
+                    "sharding/{proto}_{n}shards_8clients_10pct_updates_wire200us"
+                ));
+                assert!(v.is_finite() && v > 0.0, "{proto}/{n}: {v}");
+            }
+        }
+        let t1 = get("sharding/trusted_1shards_8clients_10pct_updates_wire200us");
+        let t4 = get("sharding/trusted_4shards_8clients_10pct_updates_wire200us");
+        assert!(
+            t4 >= 2.0 * t1,
+            "4-shard trusted {t4:.0} ops/s < 2x the same-run 1-shard {t1:.0}"
+        );
+        let gap = get("sharding/fork_1of4_detection_gap_ops");
+        assert!(gap <= 16.0, "detection gap {gap} exceeds the k-bound");
+        assert_eq!(
+            get("sharding/fork_1of4_false_alarms"),
+            0.0,
+            "an honest shard alarmed"
+        );
     }
 
     #[test]

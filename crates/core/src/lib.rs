@@ -44,6 +44,7 @@ pub mod fault;
 pub mod forensics;
 pub mod msg;
 pub mod server;
+pub mod shard;
 pub mod state;
 pub mod strawman;
 pub mod sync;
@@ -61,6 +62,7 @@ pub use msg::{
 pub use server::{
     HonestServer, ReadSnapshot, ServerApi, ServerCore, ServerMetrics, ServerSnapshot,
 };
+pub use shard::ShardRouter;
 pub use types::{Ctr, Deviation, Epoch, ProtocolConfig, ProtocolKind};
 
 // Re-export the vocabulary types users of this crate always need.

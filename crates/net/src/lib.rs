@@ -58,6 +58,16 @@
 //! wire. [`NetClientTrusted`] routes reads over it automatically;
 //! [`NetSnapshotReader`] adds replay verification against the snapshot root
 //! the server commits to.
+//!
+//! ## Sharded grove
+//!
+//! [`ShardedServer`] partitions the keyspace over N independent shard
+//! servers via the restart-stable `tcvs_core::ShardRouter` and folds the
+//! shard roots into one top-level **grove root**, so every verified answer
+//! becomes shard proof + grove spine and clients still check a single
+//! digest. [`ShardedClient2`], [`ShardedClientTrusted`], and
+//! [`GroveReader`] route per key; [`PacedServer`] models per-op service
+//! latency for the scaling experiments. See DESIGN.md §"Sharded grove".
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -68,13 +78,17 @@ mod error;
 mod fault;
 mod obs;
 mod server;
+mod shard;
 
 pub use bench_rig::{
-    run_throughput, run_throughput_observed, run_throughput_tuned, ThroughputOptions,
-    ThroughputReport,
+    run_sharded_throughput, run_throughput, run_throughput_observed, run_throughput_tuned,
+    ThroughputOptions, ThroughputReport,
 };
 pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted, NetSnapshotReader};
 pub use error::{NetError, RetryPolicy};
 pub use fault::FaultLink;
 pub use obs::NetStats;
 pub use server::{Endpoint, NetServer, NetServerOptions, ReadWireHandle, WireHandle};
+pub use shard::{
+    GroveEpoch, GroveReader, PacedServer, ShardedClient2, ShardedClientTrusted, ShardedServer,
+};

@@ -1,0 +1,868 @@
+//! The sharded grove: N independent shard servers behind one combined root.
+//!
+//! A [`ShardedServer`] partitions the keyspace across `N` [`NetServer`]s via
+//! the deterministic, restart-stable [`ShardRouter`] — each shard owns its
+//! own COW Merkle B+-tree, snapshot slot, and reply journal, and runs its
+//! own serialized write thread. The per-shard roots fold into a single
+//! top-level **grove root** (`tcvs_merkle::grove_root`, a fixed-fanout
+//! Merkle combine), so a verified read becomes *shard proof + grove spine*
+//! and the client still checks one digest, exactly as on a single server.
+//!
+//! Detection composes per shard:
+//!
+//! * **Protocol II** accumulators XOR across shards for free
+//!   (`tcvs_core::sync::grove_sigma`), but the sync-up *predicate* is
+//!   evaluated per shard (`protocol2_grove_sync_ok`) so a lie confined to
+//!   one shard is caught within the same Theorem 4.2 k-bound as on a single
+//!   server — and is localized to the deviating shard for free.
+//! * **Protocol I/III** sync-ups sample all shard roots at a published
+//!   grove epoch ([`ShardedServer::grove_epoch`]); the epoch-consistency
+//!   rule is documented in DESIGN.md §"Sharded grove".
+//!
+//! Clients route per key: [`ShardedClientTrusted`] (baseline),
+//! [`ShardedClient2`] (verified, with per-shard batch windows), and
+//! [`GroveReader`] (snapshot reads verified against the grove root).
+//! Cross-shard `Range` queries scatter-gather and merge by key.
+//!
+//! [`PacedServer`] models a fixed per-operation service latency (a stand-in
+//! for wire + commit time) so the scaling experiments measure what sharding
+//! actually buys — N independent serialized resources — rather than raw
+//! single-host CPU, which does not multiply with shard count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tcvs_core::{
+    BatchResponse, Ctr, Deviation, Digest, Epoch, FaultPlan, FaultRates, Op, OpResult,
+    PipelinedResponse, ProtocolConfig, ReadSnapshot, ServerApi, ServerMetrics, ServerResponse,
+    ShardRouter, SignedCheckpoint, SignedEpochState, SignedState, SyncShare, UserId,
+};
+use tcvs_merkle::{grove_root, verify_grove_response, GroveSpine, Key, Value};
+use tcvs_obs::Counter;
+
+use crate::client::{NetClient2, NetClientTrusted};
+use crate::error::{NetError, RetryPolicy};
+use crate::fault::FaultLink;
+use crate::obs::NetStats;
+use crate::server::{remote_read, Endpoint, NetServer, NetServerOptions, ReadWireHandle};
+
+/// A [`ServerApi`] wrapper that charges a fixed service latency per
+/// operation on the serialized write path.
+///
+/// Used by the sharding throughput probes: on a host with fewer cores than
+/// shards, raw CPU throughput cannot scale with N, but the quantity
+/// sharding buys in production — *serialized-resource capacity* — still
+/// does, because N paced shard threads wait concurrently. The pacing is
+/// per *operation* (a batch of `n` costs `n` sleeps), so splitting a window
+/// across shards never multiplies the modeled cost. Snapshot reads are
+/// deliberately unpaced: they never touch the serialized resource.
+pub struct PacedServer<S> {
+    inner: S,
+    per_op: Duration,
+}
+
+impl<S: ServerApi> PacedServer<S> {
+    /// Wraps `inner`, charging `per_op` of service latency to every
+    /// operation served on the serialized path.
+    pub fn new(inner: S, per_op: Duration) -> PacedServer<S> {
+        PacedServer { inner, per_op }
+    }
+
+    fn pace(&self, ops: u64) {
+        if !self.per_op.is_zero() && ops > 0 {
+            std::thread::sleep(self.per_op * ops as u32);
+        }
+    }
+}
+
+impl<S: ServerApi> ServerApi for PacedServer<S> {
+    fn handle_op(&mut self, user: UserId, op: &Op, round: u64) -> ServerResponse {
+        self.pace(1);
+        self.inner.handle_op(user, op, round)
+    }
+
+    fn handle_op_seq(&mut self, user: UserId, seq: u64, op: &Op, round: u64) -> ServerResponse {
+        self.pace(1);
+        self.inner.handle_op_seq(user, seq, op, round)
+    }
+
+    fn handle_op_batch(
+        &mut self,
+        user: UserId,
+        seq: u64,
+        ops: &[Op],
+        round: u64,
+    ) -> Option<BatchResponse> {
+        let resp = self.inner.handle_op_batch(user, seq, ops, round);
+        // A declined window is side-effect free and costs nothing; a served
+        // one is n operations' worth of the modeled resource.
+        if resp.is_some() {
+            self.pace(ops.len() as u64);
+        }
+        resp
+    }
+
+    fn handle_op_pipelined(
+        &mut self,
+        user: UserId,
+        seq: u64,
+        op: &Op,
+        round: u64,
+        depth: usize,
+    ) -> Option<PipelinedResponse> {
+        let resp = self.inner.handle_op_pipelined(user, seq, op, round, depth);
+        if resp.is_some() {
+            self.pace(1);
+        }
+        resp
+    }
+
+    fn deposit_lag(&self) -> u64 {
+        self.inner.deposit_lag()
+    }
+
+    fn deposit_signature(&mut self, user: UserId, s: SignedState) {
+        self.inner.deposit_signature(user, s)
+    }
+
+    fn deposit_epoch_state(&mut self, s: SignedEpochState) {
+        self.inner.deposit_epoch_state(s)
+    }
+
+    fn fetch_epoch_states(&mut self, requester: UserId, epoch: Epoch) -> Vec<SignedEpochState> {
+        self.inner.fetch_epoch_states(requester, epoch)
+    }
+
+    fn deposit_checkpoint(&mut self, c: SignedCheckpoint) {
+        self.inner.deposit_checkpoint(c)
+    }
+
+    fn fetch_checkpoint(&mut self, requester: UserId, epoch: Epoch) -> Option<SignedCheckpoint> {
+        self.inner.fetch_checkpoint(requester, epoch)
+    }
+
+    fn metrics(&self) -> ServerMetrics {
+        self.inner.metrics()
+    }
+
+    fn crash_restart(&mut self) {
+        self.inner.crash_restart()
+    }
+
+    fn read_snapshot(&self) -> Option<ReadSnapshot> {
+        self.inner.read_snapshot()
+    }
+
+    fn recovered_journal(&self) -> Option<Vec<(UserId, u64, ServerResponse)>> {
+        self.inner.recovered_journal()
+    }
+}
+
+/// One sampled grove epoch: every shard's published root and counter, and
+/// the grove root they fold into.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroveEpoch {
+    /// Monotone epoch number (per [`ShardedServer`], starting at 1).
+    pub epoch: u64,
+    /// Each shard's published snapshot root, in shard order.
+    pub shard_roots: Vec<Digest>,
+    /// Each shard's snapshot counter at the sample.
+    pub shard_ctrs: Vec<Ctr>,
+    /// `grove_root(&shard_roots)`.
+    pub grove_root: Digest,
+}
+
+/// N shard servers behind one deterministic router and one combined root.
+pub struct ShardedServer {
+    shards: Vec<NetServer>,
+    router: ShardRouter,
+    stats: NetStats,
+    epochs: AtomicU64,
+    grove_epochs: Arc<Counter>,
+}
+
+impl ShardedServer {
+    /// Spawns `n_shards` honest shard servers, each with its own tree,
+    /// snapshot slot, and reply journal.
+    pub fn spawn(
+        n_shards: usize,
+        config: &ProtocolConfig,
+        opts: NetServerOptions,
+    ) -> ShardedServer {
+        ShardedServer::spawn_observed(n_shards, config, opts, NetStats::disabled())
+    }
+
+    /// [`ShardedServer::spawn`] with observability: all shards feed the
+    /// shared registry/tracer in `stats`, plus the grove-level
+    /// `net.shard.*` metrics.
+    pub fn spawn_observed(
+        n_shards: usize,
+        config: &ProtocolConfig,
+        opts: NetServerOptions,
+        stats: NetStats,
+    ) -> ShardedServer {
+        let inners: Vec<Box<dyn ServerApi + Send>> = (0..n_shards)
+            .map(|_| Box::new(tcvs_core::HonestServer::new(config)) as Box<dyn ServerApi + Send>)
+            .collect();
+        ShardedServer::spawn_with_servers(inners, opts, stats)
+    }
+
+    /// Spawns one shard per inner server, in order. This is how a test puts
+    /// an *adversarial* server on exactly one shard while the other N−1
+    /// stay honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inners` is empty.
+    pub fn spawn_with_servers(
+        inners: Vec<Box<dyn ServerApi + Send>>,
+        opts: NetServerOptions,
+        stats: NetStats,
+    ) -> ShardedServer {
+        assert!(!inners.is_empty(), "a grove needs at least one shard");
+        let router = ShardRouter::new(inners.len());
+        let shards: Vec<NetServer> = inners
+            .into_iter()
+            .map(|inner| NetServer::spawn_observed(inner, opts, stats.clone()))
+            .collect();
+        stats
+            .registry()
+            .gauge("net.shard.count")
+            .set(shards.len() as i64);
+        let grove_epochs = stats.registry().counter("net.shard.grove_epochs");
+        ShardedServer {
+            shards,
+            router,
+            stats,
+            epochs: AtomicU64::new(0),
+            grove_epochs,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The keyspace router every client of this grove must use.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The shard servers, in shard order.
+    pub fn shards(&self) -> &[NetServer] {
+        &self.shards
+    }
+
+    /// One shard server.
+    pub fn shard(&self, index: usize) -> &NetServer {
+        &self.shards[index]
+    }
+
+    /// The stats handle the shards were spawned with.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Crash-restarts one shard from its persisted state, synchronously.
+    pub fn crash_restart(&self, shard: usize) -> Result<(), NetError> {
+        self.shards[shard].crash_restart()
+    }
+
+    /// Crash-restarts every shard (a whole-grove power event).
+    pub fn crash_restart_all(&self) -> Result<(), NetError> {
+        self.shards.iter().try_for_each(NetServer::crash_restart)
+    }
+
+    /// Interposes one [`FaultLink`] per shard, each replaying an
+    /// **independently seeded** stream derived from `seed` via
+    /// [`FaultPlan::link_subseed`] — a multi-shard fault storm must not
+    /// inject in lockstep across shards. Clients that should see the faults
+    /// must be bound over the returned links (in shard order) instead of
+    /// the servers.
+    pub fn interpose_faults(&self, seed: u64, n_ops: u64, rates: &FaultRates) -> Vec<FaultLink> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let plan = FaultPlan::seeded_for_link(seed, i as u64, n_ops, rates);
+                FaultLink::interpose_observed(shard, plan, self.stats.clone())
+            })
+            .collect()
+    }
+
+    /// Samples every shard's published snapshot at one instant and folds
+    /// the roots into a grove root — one **grove epoch**, the anchor the
+    /// cross-shard sync-up rule is stated against. Returns `None` when any
+    /// shard exposes no read path (an adversarial shard never does; its
+    /// deviations surface on the serialized path instead).
+    pub fn grove_epoch(&self) -> Option<GroveEpoch> {
+        let mut shard_roots = Vec::with_capacity(self.shards.len());
+        let mut shard_ctrs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let wire = shard.read_wire()?;
+            let snap = Arc::clone(&wire.slot.lock());
+            shard_roots.push(snap.root_digest());
+            shard_ctrs.push(snap.ctr());
+        }
+        let root = grove_root(&shard_roots);
+        let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        self.grove_epochs.inc();
+        Some(GroveEpoch {
+            epoch,
+            shard_roots,
+            shard_ctrs,
+            grove_root: root,
+        })
+    }
+
+    /// Stops every shard thread gracefully (backlogged requests drain).
+    pub fn shutdown(self) {
+        for shard in self.shards {
+            shard.shutdown();
+        }
+    }
+}
+
+/// Merges per-shard `Entries` results of a scatter-gathered range query
+/// into one key-ordered result. Non-`Entries` shapes contribute nothing —
+/// verified clients have already rejected them by the time this runs.
+fn merge_entries(per_shard: Vec<OpResult>) -> OpResult {
+    let mut all: Vec<(Key, Value)> = Vec::new();
+    for r in per_shard {
+        if let OpResult::Entries(es) = r {
+            all.extend(es);
+        }
+    }
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    OpResult::Entries(all)
+}
+
+/// Per-shard routed-operation counters, registered lazily on `set_stats`.
+fn shard_counters(stats: &NetStats, n: usize) -> Vec<Arc<Counter>> {
+    (0..n)
+        .map(|i| stats.registry().counter(&format!("net.shard.{i}.routed")))
+        .collect()
+}
+
+/// The trusted baseline over a grove: routes each keyed operation to its
+/// owning shard's [`NetClientTrusted`]; cross-shard ranges scatter-gather.
+pub struct ShardedClientTrusted {
+    clients: Vec<NetClientTrusted>,
+    router: ShardRouter,
+    routed: Option<Vec<Arc<Counter>>>,
+}
+
+impl ShardedClientTrusted {
+    /// Binds one baseline client per shard of `grove`.
+    pub fn new(user: UserId, grove: &ShardedServer) -> ShardedClientTrusted {
+        ShardedClientTrusted::bind(user, grove.shards())
+    }
+
+    /// Binds over explicit per-shard endpoints (e.g. [`FaultLink`]s), in
+    /// shard order.
+    pub fn bind<E: Endpoint>(user: UserId, shards: &[E]) -> ShardedClientTrusted {
+        ShardedClientTrusted {
+            clients: shards
+                .iter()
+                .map(|s| NetClientTrusted::new(user, s))
+                .collect(),
+            router: ShardRouter::new(shards.len()),
+            routed: None,
+        }
+    }
+
+    /// Attaches observability: per-shard `net.shard.{i}.routed` counters
+    /// plus the usual transport counters on every inner client.
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.routed = Some(shard_counters(&stats, self.clients.len()));
+        for c in &mut self.clients {
+            c.set_stats(stats.clone());
+        }
+    }
+
+    /// Replaces the retry policy on every inner client.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for c in &mut self.clients {
+            c.set_retry_policy(policy);
+        }
+    }
+
+    /// Executes one unverified operation, routed by key.
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        match self.router.route_op(op) {
+            Some(shard) => {
+                if let Some(routed) = &self.routed {
+                    routed[shard].inc();
+                }
+                self.clients[shard].execute(op)
+            }
+            None => {
+                let per_shard = self
+                    .clients
+                    .iter_mut()
+                    .map(|c| c.execute(op))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(merge_entries(per_shard))
+            }
+        }
+    }
+
+    /// Operations completed across all shards.
+    pub fn ops_done(&self) -> u64 {
+        self.clients.iter().map(NetClientTrusted::ops_done).sum()
+    }
+}
+
+/// A Protocol II client over a grove: each shard gets its own verified
+/// [`NetClient2`] anchored at that shard's root; batch windows are split
+/// per shard and reassembled in submission order.
+pub struct ShardedClient2 {
+    clients: Vec<NetClient2>,
+    initials: Vec<Digest>,
+    router: ShardRouter,
+    routed: Option<Vec<Arc<Counter>>>,
+}
+
+impl ShardedClient2 {
+    /// Binds one verified client per shard of `grove`; `root0s` are the
+    /// per-shard initial roots, in shard order.
+    pub fn new(
+        user: UserId,
+        root0s: &[Digest],
+        config: ProtocolConfig,
+        grove: &ShardedServer,
+    ) -> ShardedClient2 {
+        ShardedClient2::bind(user, root0s, config, grove.shards())
+    }
+
+    /// Binds over explicit per-shard endpoints (e.g. [`FaultLink`]s), in
+    /// shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root0s` and `shards` disagree in length.
+    pub fn bind<E: Endpoint>(
+        user: UserId,
+        root0s: &[Digest],
+        config: ProtocolConfig,
+        shards: &[E],
+    ) -> ShardedClient2 {
+        assert_eq!(
+            root0s.len(),
+            shards.len(),
+            "one initial root per shard, in shard order"
+        );
+        ShardedClient2 {
+            clients: root0s
+                .iter()
+                .zip(shards)
+                .map(|(root0, s)| NetClient2::new(user, root0, config, s))
+                .collect(),
+            initials: root0s.iter().map(tcvs_core::state::initial_token).collect(),
+            router: ShardRouter::new(shards.len()),
+            routed: None,
+        }
+    }
+
+    /// Attaches observability: per-shard `net.shard.{i}.routed` counters
+    /// plus the usual transport counters on every inner client.
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.routed = Some(shard_counters(&stats, self.clients.len()));
+        for c in &mut self.clients {
+            c.set_stats(stats.clone());
+        }
+    }
+
+    /// Replaces the retry policy on every inner client.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for c in &mut self.clients {
+            c.set_retry_policy(policy);
+        }
+    }
+
+    /// Executes one verified operation, routed by key. A cross-shard range
+    /// scatter-gathers: every shard's slice is verified against that
+    /// shard's root, then the slices merge by key.
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        match self.router.route_op(op) {
+            Some(shard) => {
+                if let Some(routed) = &self.routed {
+                    routed[shard].inc();
+                }
+                self.clients[shard].execute(op)
+            }
+            None => {
+                let per_shard = self
+                    .clients
+                    .iter_mut()
+                    .map(|c| c.execute(op))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(merge_entries(per_shard))
+            }
+        }
+    }
+
+    /// Executes a window of operations, split into per-shard batched
+    /// exchanges ([`NetClient2::execute_batch`]) and reassembled into
+    /// submission order. A window containing a cross-shard range falls back
+    /// to per-op execution.
+    pub fn execute_batch(&mut self, ops: &[Op]) -> Result<Vec<OpResult>, NetError> {
+        let Some(groups) = self.router.partition(ops) else {
+            return ops.iter().map(|op| self.execute(op)).collect();
+        };
+        let mut out: Vec<Option<OpResult>> = vec![None; ops.len()];
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            if let Some(routed) = &self.routed {
+                routed[shard].add(group.len() as u64);
+            }
+            let shard_ops: Vec<Op> = group.iter().map(|(_, op)| (*op).clone()).collect();
+            let results = self.clients[shard].execute_batch(&shard_ops)?;
+            for ((pos, _), result) in group.into_iter().zip(results) {
+                out[pos] = Some(result);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every op routed to exactly one shard"))
+            .collect())
+    }
+
+    /// This user's broadcast shares, one per shard in shard order — the
+    /// grove sync-up exchanges all of them
+    /// (`tcvs_core::sync::protocol2_grove_sync_ok`).
+    pub fn sync_shares(&self) -> Vec<SyncShare> {
+        self.clients.iter().map(NetClient2::sync_share).collect()
+    }
+
+    /// Evaluates the grove sync-up verdict from the broadcast shares:
+    /// `per_shard[i]` holds every user's share for shard `i`, sampled at
+    /// one grove epoch. The grove passes iff *every* shard's share set
+    /// passes its own Protocol II predicate — on each shard that means
+    /// *some* user (the shard's last operator) announces success, exactly
+    /// the paper's single-server verdict applied per shard.
+    pub fn sync_succeeds(&self, per_shard: &[Vec<SyncShare>]) -> bool {
+        tcvs_core::sync::protocol2_grove_sync_ok(&self.initials, per_shard)
+    }
+
+    /// The shards whose sync-up failed — the grove's localization bonus.
+    pub fn deviating_shards(&self, per_shard: &[Vec<SyncShare>]) -> Vec<usize> {
+        tcvs_core::sync::protocol2_deviating_shards(&self.initials, per_shard)
+    }
+
+    /// One inner per-shard client (tests and sync-up plumbing).
+    pub fn client(&self, shard: usize) -> &NetClient2 {
+        &self.clients[shard]
+    }
+
+    /// Operations completed across all shards.
+    pub fn ops_done(&self) -> u64 {
+        self.clients.iter().map(NetClient2::ops_done).sum()
+    }
+}
+
+/// A verifying snapshot reader over a grove: every answer is checked as
+/// *shard proof + grove spine* against the grove root of a consistent
+/// sample of all shard slots.
+///
+/// Per read, the reader (1) fetches a proof-bearing read from the owning
+/// shard, (2) samples every shard's published root, (3) requires the
+/// sampled root of the owning shard to match the root the proof is against
+/// (retrying the read on a publication race), then (4) replays the proof
+/// and resolves the grove spine — so the result is anchored to one grove
+/// root covering **all** shards at the sample. Per-shard snapshot counters
+/// must never regress across this reader's queries.
+pub struct GroveReader {
+    user: UserId,
+    order: usize,
+    router: ShardRouter,
+    reads: Vec<ReadWireHandle>,
+    last_ctrs: Vec<Ctr>,
+    seq: u64,
+    ops: u64,
+    policy: RetryPolicy,
+    stats: NetStats,
+}
+
+impl GroveReader {
+    /// Binds a reader to every shard's read path. Returns `None` when any
+    /// shard exposes none (adversarial shards never do — their answers stay
+    /// on the serialized, detection-bearing path).
+    pub fn bind(user: UserId, config: &ProtocolConfig, grove: &ShardedServer) -> Option<Self> {
+        let reads = grove
+            .shards()
+            .iter()
+            .map(NetServer::read_wire)
+            .collect::<Option<Vec<_>>>()?;
+        Some(GroveReader {
+            user,
+            order: config.order,
+            router: ShardRouter::new(reads.len()),
+            last_ctrs: vec![0; reads.len()],
+            reads,
+            seq: 0,
+            ops: 0,
+            policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
+        })
+    }
+
+    /// Attaches observability handles (transport retry counters).
+    pub fn set_stats(&mut self, stats: NetStats) {
+        self.stats = stats;
+    }
+
+    /// Replaces the retry policy (timeouts, attempts, jitter).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Executes one verified read (point or cross-shard range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is an update: state transitions belong to the
+    /// serialized path by construction.
+    pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
+        assert!(!op.is_update(), "grove readers serve reads only");
+        match self.router.route_op(op) {
+            Some(shard) => self.read_on(shard, op),
+            None => {
+                let per_shard = (0..self.reads.len())
+                    .map(|shard| self.read_on(shard, op))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.ops += 1;
+                return Ok(merge_entries(per_shard));
+            }
+        }
+        .inspect(|_| self.ops += 1)
+    }
+
+    /// One grove-verified read against `shard`.
+    fn read_on(&mut self, shard: usize, op: &Op) -> Result<OpResult, NetError> {
+        let attempts = self.policy.max_attempts.max(1);
+        for _ in 0..attempts {
+            self.seq += 1;
+            let resp = remote_read(
+                &self.reads[shard].tx,
+                self.user,
+                self.seq,
+                op,
+                None,
+                &self.policy,
+                &self.stats,
+            )?;
+            // Sample every shard's published root. The grove root is only
+            // meaningful for a consistent sample, so the owning shard's
+            // sampled root must be the very root the proof is against; a
+            // mismatch is a benign publication race (the slot advanced
+            // between serving and sampling) and the read retries.
+            let shard_roots: Vec<Digest> = self
+                .reads
+                .iter()
+                .map(|r| r.slot.lock().root_digest())
+                .collect();
+            if shard_roots[shard] != resp.root {
+                continue;
+            }
+            let known_grove = grove_root(&shard_roots);
+            let spine = GroveSpine::prove(&shard_roots, shard);
+            let verified = verify_grove_response(
+                &known_grove,
+                self.order,
+                &spine,
+                &resp.vo,
+                op,
+                Some(&resp.result),
+                None,
+            )
+            .map_err(|e| NetError::Deviation(Deviation::BadProof(e)))?;
+            // A read transitions nothing: the resolved grove root must be
+            // the one we started from (the spine is bound to the sample).
+            debug_assert_eq!(verified.new_grove_root, known_grove);
+            // Per-shard snapshot time never runs backwards for one reader.
+            if resp.ctr < self.last_ctrs[shard] {
+                return Err(NetError::Deviation(Deviation::CounterRegression {
+                    seen: resp.ctr,
+                    expected_at_least: self.last_ctrs[shard],
+                }));
+            }
+            self.last_ctrs[shard] = resp.ctr;
+            return Ok(verified.result);
+        }
+        Err(NetError::Timeout { attempts })
+    }
+
+    /// The snapshot counter of the most recent verified read per shard.
+    pub fn last_ctrs(&self) -> &[Ctr] {
+        &self.last_ctrs
+    }
+
+    /// Operations completed.
+    pub fn ops_done(&self) -> u64 {
+        self.ops
+    }
+
+    /// User id.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcvs_core::HonestServer;
+    use tcvs_merkle::{u64_key, MerkleTree};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            order: 4,
+            k: 8,
+            epoch_len: 64,
+        }
+    }
+
+    fn root0s(n: usize, config: &ProtocolConfig) -> Vec<Digest> {
+        vec![MerkleTree::with_order(config.order).root_digest(); n]
+    }
+
+    #[test]
+    fn paced_server_charges_the_serialized_path_only() {
+        let cfg = config();
+        let per_op = Duration::from_millis(5);
+        let mut paced = PacedServer::new(HonestServer::new(&cfg), per_op);
+        let t = std::time::Instant::now();
+        let resp = paced.handle_op(0, &Op::Put(u64_key(1), b"v".to_vec()), 0);
+        assert!(t.elapsed() >= per_op, "write paid the modeled latency");
+        assert_eq!(resp.ctr, 0, "pre-op counter of the first op");
+        // The snapshot path is untouched: capturing costs nothing modeled.
+        let t = std::time::Instant::now();
+        let snap = paced.read_snapshot().expect("honest server publishes");
+        assert!(t.elapsed() < per_op);
+        assert_eq!(snap.ctr(), 1);
+    }
+
+    #[test]
+    fn trusted_grove_routes_and_range_merges() {
+        let cfg = config();
+        let grove = ShardedServer::spawn(4, &cfg, NetServerOptions::default());
+        let mut c = ShardedClientTrusted::new(0, &grove);
+        for i in 0..32u64 {
+            c.execute(&Op::Put(u64_key(i), vec![i as u8]))
+                .expect("honest grove");
+        }
+        for i in 0..32u64 {
+            let got = c.execute(&Op::Get(u64_key(i))).expect("routed read");
+            assert_eq!(got, OpResult::Value(Some(vec![i as u8])));
+        }
+        // A cross-shard range gathers every shard's slice, merged by key.
+        let got = c.execute(&Op::Range(None, None)).expect("scatter-gather");
+        match got {
+            OpResult::Entries(es) => {
+                assert_eq!(es.len(), 32);
+                let keys: Vec<Key> = es.iter().map(|(k, _)| k.clone()).collect();
+                let mut sorted = keys.clone();
+                sorted.sort();
+                assert_eq!(keys, sorted, "merged entries are key-ordered");
+            }
+            other => panic!("range returned {other:?}"),
+        }
+        grove.shutdown();
+    }
+
+    #[test]
+    fn sharded_p2_batches_verify_and_survive_restarts() {
+        let cfg = config();
+        let grove = ShardedServer::spawn(3, &cfg, NetServerOptions::default());
+        let mut c = ShardedClient2::new(0, &root0s(3, &cfg), cfg, &grove);
+        let window: Vec<Op> = (0..12u64)
+            .map(|i| Op::Put(u64_key(i), vec![i as u8; 4]))
+            .collect();
+        let results = c.execute_batch(&window).expect("verified grove window");
+        assert_eq!(results.len(), 12);
+        grove.crash_restart_all().expect("grove restart");
+        // Reads verify against the restored per-shard roots.
+        for i in 0..12u64 {
+            let got = c.execute(&Op::Get(u64_key(i))).expect("post-restart read");
+            assert_eq!(got, OpResult::Value(Some(vec![i as u8; 4])));
+        }
+        assert_eq!(c.ops_done(), 24);
+        grove.shutdown();
+    }
+
+    #[test]
+    fn grove_epoch_folds_the_sampled_roots() {
+        let cfg = config();
+        let grove = ShardedServer::spawn(2, &cfg, NetServerOptions::default());
+        let mut c = ShardedClientTrusted::new(0, &grove);
+        for i in 0..8u64 {
+            c.execute(&Op::Put(u64_key(i), vec![1])).expect("write");
+        }
+        let epoch = grove.grove_epoch().expect("honest shards publish");
+        assert_eq!(epoch.epoch, 1);
+        assert_eq!(epoch.shard_roots.len(), 2);
+        assert_eq!(epoch.grove_root, grove_root(&epoch.shard_roots));
+        assert_eq!(
+            epoch.shard_ctrs.iter().sum::<u64>(),
+            8,
+            "every write landed on exactly one shard"
+        );
+        let again = grove.grove_epoch().expect("sample again");
+        assert_eq!(again.epoch, 2);
+        assert_eq!(again.grove_root, epoch.grove_root, "quiescent grove");
+        grove.shutdown();
+    }
+
+    #[test]
+    fn grove_reader_verifies_reads_against_the_grove_root() {
+        let cfg = config();
+        let grove = ShardedServer::spawn(4, &cfg, NetServerOptions::default());
+        let mut writer = ShardedClientTrusted::new(0, &grove);
+        for i in 0..24u64 {
+            writer
+                .execute(&Op::Put(u64_key(i), vec![i as u8; 3]))
+                .expect("write");
+        }
+        let mut reader = GroveReader::bind(1, &cfg, &grove).expect("honest grove has read paths");
+        for i in 0..24u64 {
+            let got = reader
+                .execute(&Op::Get(u64_key(i)))
+                .expect("grove-verified");
+            assert_eq!(got, OpResult::Value(Some(vec![i as u8; 3])));
+        }
+        let got = reader.execute(&Op::Range(None, None)).expect("grove range");
+        assert!(matches!(got, OpResult::Entries(es) if es.len() == 24));
+        assert_eq!(reader.ops_done(), 25);
+        grove.shutdown();
+    }
+
+    #[test]
+    fn shard_metrics_count_grove_activity() {
+        let cfg = config();
+        let stats = NetStats::disabled();
+        let grove =
+            ShardedServer::spawn_observed(2, &cfg, NetServerOptions::default(), stats.clone());
+        let mut c = ShardedClientTrusted::new(0, &grove);
+        c.set_stats(stats.clone());
+        for i in 0..10u64 {
+            c.execute(&Op::Put(u64_key(i), vec![1])).expect("write");
+        }
+        grove.grove_epoch().expect("sample");
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.get("net.shard.count"),
+            Some(&tcvs_obs::MetricValue::Gauge(2))
+        );
+        assert_eq!(snap.counter("net.shard.grove_epochs"), Some(1));
+        let routed: u64 = (0..2)
+            .map(|i| snap.counter(&format!("net.shard.{i}.routed")).unwrap_or(0))
+            .sum();
+        assert_eq!(routed, 10, "every op routed to exactly one shard");
+        grove.shutdown();
+    }
+}

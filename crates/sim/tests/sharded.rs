@@ -1,0 +1,173 @@
+//! Sharded-grove detection semantics at the simulator level: a workload is
+//! partitioned across N shard servers by the restart-stable
+//! `tcvs_core::ShardRouter`, each shard runs the round-based model
+//! independently, and a lie confined to one shard is flagged at its exact
+//! counter while the other N−1 honest shards raise zero false alarms —
+//! including under scheduled crash-restarts on every shard.
+
+use tcvs_core::adversary::{LieServer, Trigger};
+use tcvs_core::{FaultPlan, FaultRates, HonestServer, ProtocolKind, ServerApi, ShardRouter};
+use tcvs_sim::{simulate, SimSpec};
+use tcvs_workload::{generate, OpMix, ScheduledOp, Trace, WorkloadSpec};
+
+const N_SHARDS: usize = 4;
+const N_USERS: u32 = 3;
+
+fn workload() -> Trace {
+    generate(&WorkloadSpec {
+        n_users: N_USERS,
+        n_ops: 240,
+        key_space: 128,
+        mix: OpMix::write_heavy(),
+        seed: 0x5a5a,
+        ..Default::default()
+    })
+}
+
+/// Splits a trace into per-shard traces by the grove router, preserving
+/// rounds and relative order. Cross-shard ranges scatter to every shard —
+/// each shard serves (and each shard's clients verify) its own slice.
+fn shard_traces(trace: &Trace, n_shards: usize) -> Vec<Trace> {
+    let router = ShardRouter::new(n_shards);
+    let mut per: Vec<Vec<ScheduledOp>> = vec![Vec::new(); n_shards];
+    for s in trace.ops() {
+        match router.route_op(&s.op) {
+            Some(i) => per[i].push(s.clone()),
+            None => per.iter_mut().for_each(|p| p.push(s.clone())),
+        }
+    }
+    per.into_iter().map(Trace::new).collect()
+}
+
+fn spec() -> SimSpec {
+    SimSpec::new(ProtocolKind::Two, N_USERS)
+}
+
+/// Partitioning is itself restart-stable: two independent partitionings of
+/// the same trace agree, and every keyed op lands on exactly one shard.
+#[test]
+fn partitioning_is_deterministic_and_total() {
+    let trace = workload();
+    let a = shard_traces(&trace, N_SHARDS);
+    let b = shard_traces(&trace, N_SHARDS);
+    for (ta, tb) in a.iter().zip(&b) {
+        assert_eq!(ta.ops(), tb.ops(), "partitioning is deterministic");
+        assert!(!ta.is_empty(), "every shard drew traffic from this trace");
+    }
+    let ranges = trace
+        .ops()
+        .iter()
+        .filter(|s| ShardRouter::new(N_SHARDS).route_op(&s.op).is_none())
+        .count();
+    let keyed = trace.len() - ranges;
+    let total: usize = a.iter().map(Trace::len).sum();
+    assert_eq!(
+        total,
+        keyed + ranges * N_SHARDS,
+        "keyed ops land once, ranges scatter to all shards"
+    );
+}
+
+/// An all-honest grove: every shard's run completes with no detection.
+#[test]
+fn honest_grove_has_zero_false_alarms() {
+    let spec = spec();
+    for (i, trace) in shard_traces(&workload(), N_SHARDS).iter().enumerate() {
+        let mut server = HonestServer::new(&spec.config);
+        let report = simulate(&spec, &mut server, trace, None);
+        assert!(
+            !report.detected(),
+            "honest shard {i} alarmed: {:?}",
+            report.detection
+        );
+        assert_eq!(report.ops_executed, trace.len() as u64);
+    }
+}
+
+/// A lie confined to one shard: that shard's clients flag it at the exact
+/// deviating operation (zero detection delay for Protocol II's replay
+/// check, well within the k-bound), and the honest shards complete their
+/// full slices with zero false alarms.
+#[test]
+fn single_shard_lie_is_flagged_at_the_exact_counter() {
+    const LIE_AT: u64 = 20;
+    let bad_shard = 2;
+    let spec = spec();
+    for (i, trace) in shard_traces(&workload(), N_SHARDS).iter().enumerate() {
+        let mut server: Box<dyn ServerApi> = if i == bad_shard {
+            Box::new(LieServer::new(&spec.config, Trigger::AtCtr(LIE_AT)))
+        } else {
+            Box::new(HonestServer::new(&spec.config))
+        };
+        // Ground truth: the lie lands on the op whose pre-op counter first
+        // reaches LIE_AT — shard-local op index LIE_AT.
+        let violation = (i == bad_shard).then_some(LIE_AT);
+        let report = simulate(&spec, server.as_mut(), trace, violation);
+        if i == bad_shard {
+            let det = report.detection.expect("the lying shard escaped");
+            assert_eq!(det.op_index, LIE_AT, "flagged at the deviating op");
+            // ops_after_violation counts inclusively, so 1 == caught on the
+            // violating operation itself: zero detection delay.
+            assert_eq!(det.ops_after_violation, Some(1));
+            assert!(
+                spec.config.k >= det.ops_after_violation.unwrap(),
+                "within the k-bound"
+            );
+        } else {
+            assert!(
+                !report.detected(),
+                "honest shard {i} alarmed: {:?}",
+                report.detection
+            );
+            assert_eq!(report.ops_executed, trace.len() as u64);
+        }
+    }
+}
+
+/// The same confinement under benign crash-restarts on *every* shard, each
+/// replaying an independently seeded per-shard fault stream: honest shards
+/// absorb their crashes with zero false alarms; the deviating shard is
+/// still caught at its exact counter (an adversary's crash_restart keeps
+/// its malicious state — crashing is not an alibi).
+#[test]
+fn single_shard_lie_survives_crash_restarts_on_every_shard() {
+    const LIE_AT: u64 = 12;
+    let bad_shard = 1;
+    let rates = FaultRates {
+        drop_pct: 0,
+        delay_pct: 0,
+        dup_pct: 0,
+        reorder_pct: 0,
+        crash_pct: 12,
+        storage_pct: 0,
+        max_delay_rounds: 2,
+    };
+    let base = spec();
+    for (i, trace) in shard_traces(&workload(), N_SHARDS).iter().enumerate() {
+        let plan = FaultPlan::seeded_for_link(0xc4a5, i as u64, trace.len() as u64, &rates);
+        let spec = base.clone().with_faults(plan);
+        let mut server: Box<dyn ServerApi> = if i == bad_shard {
+            Box::new(LieServer::new(&spec.config, Trigger::AtCtr(LIE_AT)))
+        } else {
+            Box::new(HonestServer::new(&spec.config))
+        };
+        let violation = (i == bad_shard).then_some(LIE_AT);
+        let report = simulate(&spec, server.as_mut(), trace, violation);
+        if i == bad_shard {
+            let det = report.detection.expect("crashes must not mask the lie");
+            assert_eq!(det.op_index, LIE_AT);
+            assert_eq!(det.ops_after_violation, Some(1), "caught on the lying op");
+        } else {
+            assert!(
+                !report.detected(),
+                "honest shard {i} alarmed under crash-restarts: {:?}",
+                report.detection
+            );
+            assert!(
+                report.faults.crashes > 0,
+                "shard {i}'s independently seeded plan actually crashed it"
+            );
+            assert_eq!(report.ops_executed, trace.len() as u64);
+        }
+    }
+}
