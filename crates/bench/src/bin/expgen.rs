@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use tcvs_bench::durability::run_durability_suite;
 use tcvs_bench::experiments::{e12, run_by_id, ALL};
-use tcvs_bench::perf::{batching_suite, run_suite_observed, sharding_suite};
+use tcvs_bench::perf::{batching_suite, bootstrap_suite, run_suite_observed, sharding_suite};
 use tcvs_bench::results::{render_json_with_metrics, validate, validate_artifact, validate_schema};
 use tcvs_bench::Table;
 
@@ -162,17 +162,20 @@ fn main() {
         }
     }
 
-    let (probes, durability, batching, sharding, metrics) = if run_perf {
+    let (probes, durability, batching, sharding, bootstrap, metrics) = if run_perf {
         let start = Instant::now();
         let (probes, metrics) = run_suite_observed(quick);
         let durability = run_durability_suite(quick);
         let batching = batching_suite(quick);
         let sharding = sharding_suite(quick);
+        let bootstrap = bootstrap_suite(quick);
         let mut t = Table::new(
             "PERF",
             "hot-path probes (recorded in BENCH_results.json; \
              [batching] rows are the same-run before/after family; \
-             [sharding] rows are the 1/2/4/8-shard grove scaling family)",
+             [sharding] rows are the 1/2/4/8-shard grove scaling family; \
+             [bootstrap] rows are chunked verified state sync vs db size \
+             and chunk budget)",
             &[
                 "probe",
                 "ops/s",
@@ -188,6 +191,7 @@ fn main() {
             .map(|p| (p, ""))
             .chain(batching.iter().map(|p| (p, "[batching] ")))
             .chain(sharding.iter().map(|p| (p, "[sharding] ")))
+            .chain(bootstrap.iter().map(|p| (p, "[bootstrap] ")))
         {
             t.row(vec![
                 format!("{family}{}", p.name),
@@ -203,9 +207,10 @@ fn main() {
             "[perf completed in {:.1}s]\n",
             start.elapsed().as_secs_f64()
         );
-        (probes, durability, batching, sharding, metrics)
+        (probes, durability, batching, sharding, bootstrap, metrics)
     } else {
         (
+            Vec::new(),
             Vec::new(),
             Vec::new(),
             Vec::new(),
@@ -225,6 +230,7 @@ fn main() {
             &durability,
             &batching,
             &sharding,
+            &bootstrap,
             &all_tables,
             &metrics,
         );

@@ -7,11 +7,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tcvs_core::adversary::{LieServer, Trigger};
-use tcvs_core::{HonestServer, ProtocolConfig, ProtocolKind, ServerApi, ServerCore};
-use tcvs_merkle::{apply_op, prune_for_op, u64_key, MerkleTree, Op, VerificationObject};
+use tcvs_core::{
+    FaultPlan, FaultRates, HonestServer, ProtocolConfig, ProtocolKind, ServerApi, ServerCore,
+    NO_USER,
+};
+use tcvs_merkle::{
+    apply_op, prune_for_op, u64_key, ChunkAssembler, ChunkSource, MerkleTree, Op,
+    VerificationObject,
+};
 use tcvs_net::{
     run_sharded_throughput, run_throughput, run_throughput_observed, run_throughput_tuned,
-    NetServerOptions, NetStats, ShardedClient2, ShardedServer, ThroughputOptions, ThroughputReport,
+    BootstrapClient, FaultLink, NetClientTrusted, NetServer, NetServerOptions, NetStats,
+    RetryPolicy, ShardedClient2, ShardedServer, ThroughputOptions, ThroughputReport,
 };
 use tcvs_obs::{MetricsRegistry, MetricsSnapshot, Tracer};
 
@@ -536,6 +543,169 @@ fn fork_one_of_four() -> (u64, u64) {
     (gap, false_alarms)
 }
 
+/// Value length used by the bootstrap probes; together with the key count
+/// it fixes the snapshot size each chunk budget has to move.
+const BOOTSTRAP_VALUE_LEN: usize = 16;
+
+/// Spawns a net server whose tree holds `n_keys` entries and whose
+/// bootstrap responses are sliced at `budget` bytes per chunk.
+fn populated_server(cfg: &ProtocolConfig, n_keys: u64, budget: usize) -> NetServer {
+    let server = NetServer::spawn_with(
+        Box::new(HonestServer::new(cfg)),
+        NetServerOptions {
+            bootstrap_chunk_bytes: budget,
+            ..NetServerOptions::default()
+        },
+    );
+    let mut writer = NetClientTrusted::new(0, &server);
+    for i in 0..n_keys {
+        writer
+            .execute(&Op::Put(
+                u64_key(i),
+                vec![(i % 251) as u8; BOOTSTRAP_VALUE_LEN],
+            ))
+            .expect("honest server");
+    }
+    server
+}
+
+/// The verified-state-sync family: end-to-end bootstrap cost over the real
+/// wire as the database size and chunk budget vary (`ops_per_sec` is keys
+/// restored per second; `proof_bytes` is the mean chunk payload), plus
+/// count rows (`_alarms` / `_misses` suffixes carry the unit) for the two
+/// safety properties — benign fault storms must cause zero bootstrap
+/// failures, and a forged chunk must be rejected at exactly its index for
+/// every index in the stream.
+pub fn bootstrap_suite(quick: bool) -> Vec<PerfResult> {
+    let cfg = ProtocolConfig {
+        order: 8,
+        k: 16,
+        epoch_len: 1 << 30,
+    };
+    let sizes: &[u64] = if quick { &[256, 1024] } else { &[1024, 8192] };
+    let budgets: &[usize] = &[1024, 16 * 1024, 64 * 1024];
+    let rounds: u64 = if quick { 2 } else { 5 };
+    let mut probes = Vec::new();
+    for &n_keys in sizes {
+        for &budget in budgets {
+            let server = populated_server(&cfg, n_keys, budget);
+            let mut chunks = 0u64;
+            let mut bytes = 0u64;
+            let started = Instant::now();
+            for _ in 0..rounds {
+                let mut boot = BootstrapClient::new(NO_USER, &server);
+                let report = boot.bootstrap(None).expect("honest bootstrap");
+                assert_eq!(
+                    report.tree.len(),
+                    Some(n_keys as usize),
+                    "bootstrap dropped entries"
+                );
+                chunks += report.chunks_fetched;
+                bytes += report.bytes_fetched;
+            }
+            let secs = started.elapsed().as_secs_f64().max(1e-9);
+            probes.push(PerfResult {
+                name: format!("bootstrap/{n_keys}keys_{budget}b_chunks"),
+                ops_per_sec: (n_keys * rounds) as f64 / secs,
+                proof_bytes: Some(bytes as f64 / (chunks.max(1)) as f64),
+                p50_us: None,
+                p99_us: None,
+                p999_us: None,
+            });
+            server.shutdown();
+        }
+    }
+    let count_row = |name: &str, value: f64| PerfResult {
+        name: name.into(),
+        ops_per_sec: value,
+        proof_bytes: None,
+        p50_us: None,
+        p99_us: None,
+        p999_us: None,
+    };
+    let (storm_runs, storm_alarms) = bootstrap_fault_storm(&cfg);
+    probes.push(count_row("bootstrap/fault_storm_runs", storm_runs as f64));
+    probes.push(count_row(
+        "bootstrap/fault_storm_false_alarms",
+        storm_alarms as f64,
+    ));
+    let (forge_trials, forge_misses) = forged_chunk_sweep(&cfg);
+    probes.push(count_row(
+        "bootstrap/forge_trials_chunks",
+        forge_trials as f64,
+    ));
+    probes.push(count_row(
+        "bootstrap/forge_detection_misses",
+        forge_misses as f64,
+    ));
+    probes
+}
+
+/// Bootstraps through a seeded benign fault storm (drops, delays,
+/// duplicates, reorders on the wire). Returns (runs, false alarms): every
+/// run must assemble the same root a storm-free bootstrap sees, so any
+/// failure or divergence counts as a false alarm.
+fn bootstrap_fault_storm(cfg: &ProtocolConfig) -> (u64, u64) {
+    let server = populated_server(cfg, 128, 512);
+    let mut direct = BootstrapClient::new(NO_USER, &server);
+    let clean = direct.bootstrap(None).expect("storm-free bootstrap");
+    let mut runs = 0u64;
+    let mut false_alarms = 0u64;
+    for seed in [0xb007_u64, 0x57a9, 0xfa11] {
+        let plan = FaultPlan::seeded(seed, 40, &FaultRates::heavy());
+        let link = FaultLink::interpose(&server, plan);
+        let mut boot = BootstrapClient::new(NO_USER, &link);
+        boot.set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            base_timeout: Duration::from_millis(40),
+            max_jitter: Duration::from_millis(5),
+        });
+        runs += 1;
+        match boot.bootstrap(None) {
+            Ok(report) if report.root == clean.root => {}
+            _ => false_alarms += 1,
+        }
+    }
+    server.shutdown();
+    (runs, false_alarms)
+}
+
+/// The forged-chunk sweep: for every chunk index in a multi-chunk
+/// snapshot, flip one byte inside that chunk's node region and replay the
+/// stream. Returns (trials, misses) where a miss is a forgery that was
+/// admitted at all or rejected at the wrong index — the acceptance gate
+/// requires zero.
+fn forged_chunk_sweep(cfg: &ProtocolConfig) -> (u64, u64) {
+    let mut tree = MerkleTree::with_order(cfg.order);
+    for i in 0..200u64 {
+        tree.insert(u64_key(i), vec![(i % 251) as u8; BOOTSTRAP_VALUE_LEN])
+            .expect("full tree");
+    }
+    let source = ChunkSource::new(&tree, 512).expect("full tree chunks");
+    let n = source.num_chunks();
+    assert!(n >= 3, "the sweep needs a multi-chunk transfer, got {n}");
+    let mut misses = 0u64;
+    for bad in 0..n {
+        let mut assembler = ChunkAssembler::new(source.manifest().clone()).expect("valid manifest");
+        let mut caught = None;
+        for i in 0..n {
+            let mut bytes = source.chunk(i).expect("in range");
+            if i == bad {
+                let at = bytes.len() - 1 - bytes.len() / 4;
+                bytes[at] ^= 0x01;
+            }
+            if assembler.admit(i, &bytes).is_err() {
+                caught = Some(i);
+                break;
+            }
+        }
+        if caught != Some(bad) {
+            misses += 1;
+        }
+    }
+    (n as u64, misses)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +754,53 @@ mod tests {
             );
             assert!(p.p999_us.is_some(), "{} lacks tail latency", p.name);
         }
+    }
+
+    /// The bootstrap acceptance gate, on the quick suite: every size ×
+    /// budget cell produced a finite transfer-rate row whose mean chunk
+    /// never exceeds roughly its budget, the fault storm caused zero
+    /// bootstrap failures, and the forged-chunk sweep covered a
+    /// multi-chunk stream with zero detection misses.
+    #[test]
+    fn bootstrap_suite_transfers_and_detects() {
+        let probes = bootstrap_suite(true);
+        let get = |name: &str| {
+            probes
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("missing probe {name}"))
+        };
+        for n_keys in [256u64, 1024] {
+            for budget in [1024usize, 16 * 1024, 64 * 1024] {
+                let p = get(&format!("bootstrap/{n_keys}keys_{budget}b_chunks"));
+                assert!(
+                    p.ops_per_sec.is_finite() && p.ops_per_sec > 0.0,
+                    "{}: {}",
+                    p.name,
+                    p.ops_per_sec
+                );
+                let mean_chunk = p.proof_bytes.expect("mean chunk bytes recorded");
+                // The codec's per-chunk envelope can push a single-chunk
+                // payload slightly past the budget; 2x is the sanity bound.
+                assert!(
+                    mean_chunk > 0.0 && mean_chunk < 2.0 * budget as f64,
+                    "{}: mean chunk {mean_chunk} vs budget {budget}",
+                    p.name
+                );
+            }
+        }
+        assert!(get("bootstrap/fault_storm_runs").ops_per_sec >= 3.0);
+        assert_eq!(
+            get("bootstrap/fault_storm_false_alarms").ops_per_sec,
+            0.0,
+            "benign storms must never fail a bootstrap"
+        );
+        assert!(get("bootstrap/forge_trials_chunks").ops_per_sec >= 3.0);
+        assert_eq!(
+            get("bootstrap/forge_detection_misses").ops_per_sec,
+            0.0,
+            "every forged chunk is rejected at its exact index"
+        );
     }
 
     /// The sharding acceptance gate, on the quick suite: all sixteen

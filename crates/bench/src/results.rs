@@ -158,6 +158,7 @@ pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> Strin
         &[],
         &[],
         &[],
+        &[],
         tables,
         &MetricsSnapshot::default(),
     )
@@ -168,10 +169,13 @@ pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> Strin
 /// (before/after rows for the tuned verified paths with a same-run trusted
 /// reference, from [`crate::perf::batching_suite`]), the `"sharding"`
 /// section (grove scaling at 1/2/4/8 shards plus the fork-detection
-/// counts, from [`crate::perf::sharding_suite`]), and a `"metrics"`
-/// section serializing a point-in-time [`MetricsSnapshot`] (the
-/// instrumented throughput probe's counters and histograms) so dashboards
-/// can track them per PR alongside the probes.
+/// counts, from [`crate::perf::sharding_suite`]), the `"bootstrap"`
+/// section (chunked verified state sync cost vs database size and chunk
+/// budget plus the storm/forgery count rows, from
+/// [`crate::perf::bootstrap_suite`]), and a `"metrics"` section
+/// serializing a point-in-time [`MetricsSnapshot`] (the instrumented
+/// throughput probe's counters and histograms) so dashboards can track
+/// them per PR alongside the probes.
 #[allow(clippy::too_many_arguments)]
 pub fn render_json_with_metrics(
     mode: &str,
@@ -179,6 +183,7 @@ pub fn render_json_with_metrics(
     durability: &[PerfResult],
     batching: &[PerfResult],
     sharding: &[PerfResult],
+    bootstrap: &[PerfResult],
     tables: &[Table],
     metrics: &MetricsSnapshot,
 ) -> String {
@@ -210,6 +215,11 @@ pub fn render_json_with_metrics(
 
     out.push_str("  \"sharding\": [\n");
     let rows: Vec<String> = sharding.iter().map(|p| probe_json(p, "    ")).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"bootstrap\": [\n");
+    let rows: Vec<String> = bootstrap.iter().map(|p| probe_json(p, "    ")).collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ],\n");
 
@@ -335,9 +345,15 @@ pub fn validate(json: &str) -> Result<(), String> {
 }
 
 fn require_arr<'a>(doc: &'a Value, key: &str) -> Result<&'a [Value], String> {
-    doc.get(key)
-        .and_then(Value::as_arr)
-        .ok_or_else(|| format!("'{key}' must be an array"))
+    // Name the failure precisely: an absent section (stale generator, new
+    // schema) reads very differently from a present-but-mistyped one, and
+    // the CI grep gates key off the "missing required section" phrasing.
+    match doc.get(key) {
+        None => Err(format!("missing required section '{key}'")),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| format!("'{key}' must be an array")),
+    }
 }
 
 fn check_probe(p: &Value, section: &str) -> Result<(), String> {
@@ -374,7 +390,14 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
     if doc.get("mode").and_then(Value::as_str).is_none() {
         return Err("missing string 'mode'".into());
     }
-    for section in ["probes", "baselines", "durability", "batching", "sharding"] {
+    for section in [
+        "probes",
+        "baselines",
+        "durability",
+        "batching",
+        "sharding",
+        "bootstrap",
+    ] {
         for p in require_arr(&doc, section)? {
             check_probe(p, section)?;
         }
@@ -577,6 +600,7 @@ mod tests {
             &rows,
             &[],
             &[],
+            &[],
             &tcvs_obs::MetricsRegistry::new().snapshot(),
         );
         validate_schema(&json).unwrap();
@@ -600,6 +624,7 @@ mod tests {
             &[],
             &rows,
             &[],
+            &[],
             &tcvs_obs::MetricsRegistry::new().snapshot(),
         );
         validate_schema(&json).unwrap();
@@ -609,10 +634,55 @@ mod tests {
         let bad = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"bootstrap\": [], \
              \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
-        assert!(err.contains("sharding"), "{err}");
+        assert!(err.contains("missing required section 'sharding'"), "{err}");
+    }
+
+    #[test]
+    fn bootstrap_section_round_trips_and_is_required() {
+        let rows = [
+            probe("bootstrap/1024keys_16384b_chunks", 90_000.0),
+            probe("bootstrap/forge_detection_misses", 0.0),
+        ];
+        let json = render_json_with_metrics(
+            "quick",
+            &[],
+            &[],
+            &[],
+            &[],
+            &rows,
+            &[],
+            &tcvs_obs::MetricsRegistry::new().snapshot(),
+        );
+        validate_schema(&json).unwrap();
+        assert!(json.contains("\"bootstrap\": ["));
+        assert!(json.contains("bootstrap/forge_detection_misses"));
+        // A document without the section (the pre-PR-9 shape) is rejected,
+        // and the error names the missing section rather than the generic
+        // type complaint.
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
+             \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"sharding\": [], \
+             \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+        );
+        let err = validate_schema(&bad).unwrap_err();
+        assert!(
+            err.contains("missing required section 'bootstrap'"),
+            "{err}"
+        );
+        // Present but mistyped still gets the array complaint.
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
+             \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"sharding\": [], \"bootstrap\": 7, \
+             \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+        );
+        let err = validate_schema(&bad).unwrap_err();
+        assert!(err.contains("'bootstrap' must be an array"), "{err}");
     }
 
     #[test]
@@ -621,7 +691,8 @@ mod tests {
         registry.counter("net.server.ops_served").add(7);
         registry.gauge("net.depth").set(-2);
         registry.histogram("net.server.op_micros").observe(100);
-        let json = render_json_with_metrics("quick", &[], &[], &[], &[], &[], &registry.snapshot());
+        let json =
+            render_json_with_metrics("quick", &[], &[], &[], &[], &[], &[], &registry.snapshot());
         validate_schema(&json).unwrap();
         assert!(json.contains("\"kind\": \"counter\", \"value\": 7"));
         assert!(json.contains("\"kind\": \"gauge\", \"value\": -2"));
@@ -637,7 +708,7 @@ mod tests {
         let bad = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
-             \"sharding\": [], \"comparisons\": [], \"metrics\": [], \
+             \"sharding\": [], \"bootstrap\": [], \"comparisons\": [], \"metrics\": [], \
              \"experiments\": [{{\"id\": \"E1\", \"caption\": \"c\", \
              \"headers\": [\"a\", \"b\"], \"rows\": [[\"1\"]]}}]}}"
         );
@@ -650,7 +721,7 @@ mod tests {
              \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null, \
              \"p999_us\": null}}], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
-             \"sharding\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+             \"sharding\": [], \"bootstrap\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
         assert!(err.contains("ops_per_sec"), "{err}");
@@ -660,7 +731,7 @@ mod tests {
              \"probes\": [{{\"name\": \"p\", \"ops_per_sec\": 1.0, \
              \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null}}], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
-             \"sharding\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+             \"sharding\": [], \"bootstrap\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
         assert!(err.contains("p999_us"), "{err}");

@@ -75,6 +75,40 @@ impl Client2 {
         }
     }
 
+    /// A session that joins **mid-history**, anchored at a published state
+    /// `(root, ctr, last_user)` — e.g. a grove epoch, or a server restored
+    /// by verified state sync.
+    ///
+    /// The σ fold telescopes from the join-point state token instead of
+    /// the genesis token: at sync-up, `initial ⊕ lastᵢ` cancels exactly the
+    /// transitions witnessed *since the join*, so a late joiner (or a
+    /// client rejoining a bootstrapped shard) evaluates the Protocol II
+    /// predicate over its own era without replaying history. The join
+    /// anchor must come from a trusted source (a published epoch the user
+    /// verified, or the anchor of a verified bootstrap); joining at a lie
+    /// surfaces as a failed sync-up, same as any fork.
+    pub fn join(
+        user: UserId,
+        root: &Digest,
+        ctr: Ctr,
+        last_user: UserId,
+        config: ProtocolConfig,
+    ) -> Client2 {
+        Client2 {
+            user,
+            config,
+            initial: state_token(root, ctr, last_user),
+            sigma: Digest::ZERO,
+            last: None,
+            gctr: ctr,
+            lctr: 0,
+            ops_since_sync: 0,
+            log: None,
+            tracer: Tracer::disabled(),
+            current_span: None,
+        }
+    }
+
     /// Attaches an event tracer: accumulation, sync-up, and verdict events
     /// are emitted with this client's counter values. Events carry logical
     /// time (`gctr`), so traced runs stay deterministic.

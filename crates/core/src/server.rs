@@ -99,6 +99,34 @@ impl ServerCore {
         self.ctr
     }
 
+    /// Builds a core from a *verified* database and counter — the landing
+    /// point of chunked state sync (client cold start, shard rejoin,
+    /// checkpoint restore). Deposited epoch states, checkpoints, and the
+    /// last signature start empty: bootstrap transfers the authenticated
+    /// database, not peers' audit deposits — users re-deposit on their next
+    /// exchange, exactly as with a fresh server that already holds data.
+    pub fn from_verified_state(
+        db: MerkleTree,
+        ctr: Ctr,
+        config: &ProtocolConfig,
+    ) -> Result<ServerCore, tcvs_merkle::CodecError> {
+        if config.epoch_len == 0 {
+            return Err(tcvs_merkle::CodecError::Malformed("zero epoch length"));
+        }
+        Ok(ServerCore {
+            db,
+            ctr,
+            last_user: NO_USER,
+            last_sig: None,
+            epoch_len: config.epoch_len,
+            epoch_states: BTreeMap::new(),
+            checkpoints: BTreeMap::new(),
+            user_epochs: BTreeMap::new(),
+            metrics: ServerMetrics::default(),
+            recorder: None,
+        })
+    }
+
     /// Read access to the database (diagnostics, oracle comparison).
     pub fn db(&self) -> &MerkleTree {
         &self.db
@@ -344,6 +372,7 @@ impl ServerCore {
         ReadSnapshot {
             db: self.db.clone(),
             ctr: self.ctr,
+            last_user: self.last_user,
         }
     }
 }
@@ -487,6 +516,7 @@ impl ServerSnapshot {
 pub struct ReadSnapshot {
     db: MerkleTree,
     ctr: Ctr,
+    last_user: UserId,
 }
 
 impl ReadSnapshot {
@@ -496,9 +526,30 @@ impl ReadSnapshot {
         self.ctr
     }
 
+    /// The user whose operation produced this state ([`NO_USER`] before the
+    /// first operation, or on a server restored by verified state sync).
+    pub fn last_user(&self) -> UserId {
+        self.last_user
+    }
+
+    /// The Protocol II state token of this snapshot —
+    /// `state_token(root, ctr, last_user)`. A session joining mid-history
+    /// at this snapshot anchors its σ fold here
+    /// ([`crate::client2::Client2::join`]); the grove epoch rejoin rule is
+    /// this token sampled per shard at one epoch.
+    pub fn join_token(&self) -> Digest {
+        crate::state::state_token(&self.db.root_digest(), self.ctr, self.last_user)
+    }
+
     /// Root digest of the snapshot database.
     pub fn root_digest(&self) -> Digest {
         self.db.root_digest()
+    }
+
+    /// The snapshot database itself. Chunked state sync slices this tree
+    /// into root-anchored chunks ([`tcvs_merkle::ChunkSource`]).
+    pub fn db(&self) -> &MerkleTree {
+        &self.db
     }
 
     /// Serves a read-only operation from the snapshot, with its proof.
@@ -690,6 +741,23 @@ impl HonestServer {
             history: VecDeque::new(),
             pre_states: VecDeque::new(),
             hist_start: 0,
+            recording: false,
+        }
+    }
+
+    /// Wraps an already-built core — the shard-rejoin path of chunked state
+    /// sync: a restarted shard assembles a verified [`ServerCore`] from a
+    /// peer's chunks and resumes serving from it. Pipelining history and
+    /// deposit anchors start empty (users re-anchor on their next blocking
+    /// exchange, exactly as after a crash-restart).
+    pub fn from_core(core: ServerCore) -> HonestServer {
+        let hist_start = core.ctr();
+        HonestServer {
+            core,
+            anchors: HashMap::new(),
+            history: VecDeque::new(),
+            pre_states: VecDeque::new(),
+            hist_start,
             recording: false,
         }
     }

@@ -52,13 +52,20 @@ const VERSION: u8 = 1;
 /// Header sentinel for "entry count unknown" (pruned trees).
 const LEN_UNKNOWN: u64 = u64::MAX;
 
-struct Cursor<'a> {
+/// Bounds-checked byte reader shared by the tree codec and the chunk
+/// manifest codec ([`crate::chunk`]). Every read that runs off the end
+/// reports [`CodecError::Truncated`] instead of panicking.
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.pos + n > self.buf.len() {
             return Err(CodecError::Truncated);
         }
@@ -67,21 +74,30 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let n = self.u32()? as usize;
         self.take(n)
     }
 
-    fn digest(&mut self) -> Result<Digest, CodecError> {
+    pub(crate) fn digest(&mut self) -> Result<Digest, CodecError> {
         Ok(Digest::from_slice(self.take(32)?).expect("32 bytes"))
+    }
+
+    /// True once every input byte has been consumed.
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
     }
 }
 

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 mod batch;
+mod chunk;
 mod codec;
 mod error;
 mod grove;
@@ -50,6 +51,7 @@ mod verify;
 pub use batch::{
     batchable, prune_for_ops, replay_batch_unanchored, verify_batch_response, BatchProof, BatchStep,
 };
+pub use chunk::{AdmitOutcome, ChunkAssembler, ChunkError, ChunkManifest, ChunkRange, ChunkSource};
 pub use codec::CodecError;
 pub use error::{TreeError, VerifyError};
 pub use grove::{grove_root, verify_grove_response, GroveSpine, GroveVerified, GROVE_FANOUT};

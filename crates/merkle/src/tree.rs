@@ -213,6 +213,12 @@ impl MerkleTree {
         &self.root
     }
 
+    /// The shared root pointer (crate-internal). Lets [`crate::chunk`] graft
+    /// subtrees with O(1) `Arc` sharing instead of deep clones.
+    pub(crate) fn root_arc(&self) -> &Arc<Node> {
+        &self.root
+    }
+
     /// Erases the cached entry count (crate-internal). Proofs decode
     /// through [`crate::VerificationObject::from_bytes`], and a proof never
     /// authenticates a count — erasing it keeps decode→encode an identity

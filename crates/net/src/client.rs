@@ -15,6 +15,7 @@ use tcvs_crypto::{KeyRegistry, Keyring};
 use tcvs_merkle::{replay_unanchored, VerifyError};
 use tcvs_obs::SpanContext;
 
+use crate::bootstrap::{BootstrapClient, BootstrapError, BootstrapReport};
 use crate::error::{NetError, RetryPolicy};
 use crate::obs::NetStats;
 use crate::server::{
@@ -190,6 +191,29 @@ impl NetClient2 {
     ) -> NetClient2 {
         NetClient2 {
             inner: Client2::new(user, root0, config),
+            tx: server.wire().0,
+            ops: 0,
+            seq: 0,
+            policy: RetryPolicy::default(),
+            stats: NetStats::disabled(),
+        }
+    }
+
+    /// Binds a client that joins mid-history at a published state
+    /// `(root, ctr, last_user)` — see [`Client2::join`]. This is how a
+    /// verified session starts on a server restored by chunked state sync,
+    /// or how a late joiner anchors at a published snapshot instead of
+    /// genesis.
+    pub fn join(
+        user: UserId,
+        root: &Digest,
+        ctr: Ctr,
+        last_user: UserId,
+        config: ProtocolConfig,
+        server: &impl Endpoint,
+    ) -> NetClient2 {
+        NetClient2 {
+            inner: Client2::join(user, root, ctr, last_user, config),
             tx: server.wire().0,
             ops: 0,
             seq: 0,
@@ -532,6 +556,42 @@ impl NetSnapshotReader {
             policy: RetryPolicy::default(),
             stats: NetStats::disabled(),
         })
+    }
+
+    /// Cold-starts a reader via chunked verified state sync: fetches the
+    /// server's snapshot as root-anchored chunks, verifies and assembles it
+    /// (no history replay, no trusted snapshot), and returns the reader
+    /// already caught up to the snapshot's counter, alongside the verified
+    /// state itself.
+    ///
+    /// `expected_anchor` pins the root to bootstrap against (e.g. from a
+    /// published grove epoch); `None` follows the server's current
+    /// snapshot, in which case the caller must check
+    /// [`BootstrapReport::root`] against an independently learned root
+    /// before trusting the data.
+    pub fn bootstrap(
+        user: UserId,
+        config: &ProtocolConfig,
+        server: &impl Endpoint,
+        expected_anchor: Option<&Digest>,
+    ) -> Result<(NetSnapshotReader, BootstrapReport), BootstrapError> {
+        let mut reader =
+            NetSnapshotReader::bind(user, config, server).ok_or(BootstrapError::Unsupported)?;
+        let mut boot = BootstrapClient::new(user, server);
+        let report = boot.bootstrap(expected_anchor)?;
+        if report.tree.order() != config.order {
+            return Err(BootstrapError::Manifest(
+                tcvs_merkle::ChunkError::OrderMismatch {
+                    expected: config.order,
+                    got: report.tree.order(),
+                },
+            ));
+        }
+        // Future verified reads must be at least as fresh as the
+        // bootstrapped state: the snapshot counter becomes the reader's
+        // monotonicity floor.
+        reader.last_ctr = report.ctr;
+        Ok((reader, report))
     }
 
     /// Attaches observability handles (transport retry counters).

@@ -73,6 +73,7 @@
 #![forbid(unsafe_code)]
 
 mod bench_rig;
+mod bootstrap;
 mod client;
 mod error;
 mod fault;
@@ -84,6 +85,7 @@ pub use bench_rig::{
     run_sharded_throughput, run_throughput, run_throughput_observed, run_throughput_tuned,
     ThroughputOptions, ThroughputReport,
 };
+pub use bootstrap::{BootstrapClient, BootstrapError, BootstrapReport};
 pub use client::{NetClient1, NetClient2, NetClient3, NetClientTrusted, NetSnapshotReader};
 pub use error::{NetError, RetryPolicy};
 pub use fault::FaultLink;

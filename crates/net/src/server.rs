@@ -45,7 +45,7 @@ use tcvs_core::{
     BatchResponse, Ctr, Digest, Epoch, Op, OpResult, PipelinedResponse, ReadSnapshot, ServerApi,
     ServerResponse, SignedCheckpoint, SignedEpochState, SignedState, UserId,
 };
-use tcvs_merkle::VerificationObject;
+use tcvs_merkle::{ChunkSource, VerificationObject};
 use tcvs_obs::{stage, Event, EventKind, SpanContext, NO_ACTOR};
 
 use crate::error::{NetError, RetryPolicy};
@@ -107,6 +107,22 @@ pub(crate) enum Request {
         user: UserId,
         epoch: Epoch,
         reply: Sender<Option<SignedCheckpoint>>,
+    },
+    /// Fetch the chunk manifest for the server's current snapshot: the
+    /// serialized [`tcvs_merkle::ChunkManifest`] plus the counter the
+    /// snapshot was current as of. `None` means the endpoint serves no
+    /// bootstrap path (e.g. an adversary with no read snapshot).
+    BootstrapManifest {
+        reply: Sender<Option<(Vec<u8>, Ctr)>>,
+    },
+    /// Fetch one chunk of the snapshot identified by `anchor`. `None` means
+    /// the server no longer holds that snapshot (the client refetches the
+    /// manifest and resumes against the new anchor) or the index is out of
+    /// range.
+    BootstrapChunk {
+        anchor: Digest,
+        index: u32,
+        reply: Sender<Option<Vec<u8>>>,
     },
     /// Crash the inner server and restart it from persisted state.
     Crash {
@@ -224,6 +240,11 @@ pub struct NetServerOptions {
     /// pending writes before blocking on its queue, so idle staleness is
     /// zero.)
     pub publish_interval: Duration,
+    /// Byte budget per bootstrap chunk (whole leaves are grouped under it;
+    /// a single oversized leaf still ships as one chunk). Governs the
+    /// chunk-count / per-chunk-size trade-off the `bootstrap` bench suite
+    /// sweeps.
+    pub bootstrap_chunk_bytes: usize,
 }
 
 impl Default for NetServerOptions {
@@ -235,6 +256,7 @@ impl Default for NetServerOptions {
             pipeline_depth: 0,
             publish_every_ops: 1,
             publish_interval: Duration::from_millis(1),
+            bootstrap_chunk_bytes: 64 * 1024,
         }
     }
 }
@@ -392,6 +414,11 @@ impl NetServer {
             let mut backlog: VecDeque<Request> = VecDeque::new();
             let mut journal = ReplyJournal::new();
             let mut publisher = SnapshotPublisher::new(slot, &opts, stats.clone());
+            // Lazily-built chunk source for the bootstrap path, keyed by the
+            // snapshot anchor it was sliced from. Kept across crash/restart:
+            // serving a consistent *stale* snapshot is exactly what lets a
+            // client resume an interrupted bootstrap.
+            let mut bootstrap: BootstrapCache = None;
             // A durable inner server may already hold recovered replies from
             // a previous process; a retry arriving over the wire must hit
             // them, not re-execute.
@@ -690,6 +717,29 @@ impl NetServer {
                     Request::FetchCheckpoint { user, epoch, reply } => {
                         let _ = reply.send(inner.fetch_checkpoint(user, epoch));
                     }
+                    Request::BootstrapManifest { reply } => {
+                        // Publish pending writes first so the manifest
+                        // reflects every acknowledged operation.
+                        publisher.flush(inner.as_mut());
+                        let _ = reply.send(serve_bootstrap_manifest(
+                            inner.as_mut(),
+                            &mut bootstrap,
+                            opts.bootstrap_chunk_bytes,
+                        ));
+                    }
+                    Request::BootstrapChunk {
+                        anchor,
+                        index,
+                        reply,
+                    } => {
+                        let _ = reply.send(serve_bootstrap_chunk(
+                            inner.as_mut(),
+                            &mut bootstrap,
+                            opts.bootstrap_chunk_bytes,
+                            &anchor,
+                            index,
+                        ));
+                    }
                     Request::Crash { ack } => {
                         stats.crashes.inc();
                         stats
@@ -921,6 +971,58 @@ fn journal_insert(
 /// durably, so a retry of a pre-crash operation is still answered from the
 /// journal instead of re-executing. An inner server with no durable journal
 /// (`None`) keeps the transport thread's in-memory journal as before.
+/// The server thread's cached chunk source: the slicing of one snapshot,
+/// with the counter that snapshot was current as of.
+type BootstrapCache = Option<(ChunkSource, Ctr)>;
+
+/// Serves the bootstrap manifest for the server's *current* snapshot,
+/// (re)slicing when the snapshot has moved since the cache was built.
+/// `None` when the inner server exposes no read snapshot (adversaries) or
+/// its snapshot cannot be sliced.
+fn serve_bootstrap_manifest(
+    inner: &mut dyn ServerApi,
+    cache: &mut BootstrapCache,
+    budget: usize,
+) -> Option<(Vec<u8>, Ctr)> {
+    let snap = inner.read_snapshot()?;
+    let stale = cache
+        .as_ref()
+        .is_none_or(|(src, _)| src.manifest().anchor != snap.root_digest());
+    if stale {
+        let src = ChunkSource::new(snap.db(), budget).ok()?;
+        *cache = Some((src, snap.ctr()));
+    }
+    cache
+        .as_ref()
+        .map(|(src, ctr)| (src.manifest().to_bytes(), *ctr))
+}
+
+/// Serves one chunk of the snapshot identified by `anchor`. The cached
+/// slicing answers requests for *its* snapshot even after the live tree has
+/// moved on (that is what makes an in-flight bootstrap resumable); a request
+/// for any other anchor is answered only if the current snapshot matches,
+/// otherwise declined so the client refetches the manifest.
+fn serve_bootstrap_chunk(
+    inner: &mut dyn ServerApi,
+    cache: &mut BootstrapCache,
+    budget: usize,
+    anchor: &Digest,
+    index: u32,
+) -> Option<Vec<u8>> {
+    let cached = cache
+        .as_ref()
+        .is_some_and(|(src, _)| src.manifest().anchor == *anchor);
+    if !cached {
+        let snap = inner.read_snapshot()?;
+        if snap.root_digest() != *anchor {
+            return None;
+        }
+        let src = ChunkSource::new(snap.db(), budget).ok()?;
+        *cache = Some((src, snap.ctr()));
+    }
+    cache.as_ref().and_then(|(src, _)| src.chunk(index))
+}
+
 fn seed_journal(inner: &dyn ServerApi, journal: &mut ReplyJournal) {
     if let Some(entries) = inner.recovered_journal() {
         journal.clear();
@@ -1166,6 +1268,26 @@ fn drain(
             Request::Checkpoint(c) => inner.deposit_checkpoint(c),
             Request::FetchCheckpoint { user, epoch, reply } => {
                 let _ = reply.send(inner.fetch_checkpoint(user, epoch));
+            }
+            // Best-effort during a drain: served from the current snapshot
+            // with a throwaway cache (the thread is about to exit anyway).
+            Request::BootstrapManifest { reply } => {
+                let mut cache: BootstrapCache = None;
+                let _ = reply.send(serve_bootstrap_manifest(inner, &mut cache, 64 * 1024));
+            }
+            Request::BootstrapChunk {
+                anchor,
+                index,
+                reply,
+            } => {
+                let mut cache: BootstrapCache = None;
+                let _ = reply.send(serve_bootstrap_chunk(
+                    inner,
+                    &mut cache,
+                    64 * 1024,
+                    &anchor,
+                    index,
+                ));
             }
             Request::Crash { ack } => {
                 let _ = ack.send(());

@@ -169,8 +169,30 @@ pub struct GroveEpoch {
     pub shard_roots: Vec<Digest>,
     /// Each shard's snapshot counter at the sample.
     pub shard_ctrs: Vec<Ctr>,
+    /// Each shard's last-writer at the sample ([`tcvs_core::NO_USER`] for
+    /// a shard that has seen no operation — including one freshly restored
+    /// by verified state sync).
+    pub shard_last_users: Vec<UserId>,
     /// `grove_root(&shard_roots)`.
     pub grove_root: Digest,
+}
+
+impl GroveEpoch {
+    /// The per-shard Protocol II join tokens of this epoch —
+    /// `state_token(root, ctr, last_user)` per shard, the anchors a session
+    /// joining the grove at this epoch folds its σ from. This is the
+    /// **grove-epoch rejoin rule**: after a shard is restored by verified
+    /// state sync, verified sessions re-enter at an epoch sampled *after*
+    /// the rejoin, anchored by these tokens
+    /// ([`ShardedClient2::join`]).
+    pub fn join_tokens(&self) -> Vec<Digest> {
+        self.shard_roots
+            .iter()
+            .zip(&self.shard_ctrs)
+            .zip(&self.shard_last_users)
+            .map(|((root, ctr), user)| tcvs_core::state::state_token(root, *ctr, *user))
+            .collect()
+    }
 }
 
 /// N shard servers behind one deterministic router and one combined root.
@@ -178,6 +200,9 @@ pub struct ShardedServer {
     shards: Vec<NetServer>,
     router: ShardRouter,
     stats: NetStats,
+    /// The options every shard was spawned with — reused when
+    /// [`ShardedServer::bootstrap_restart`] spawns a replacement shard.
+    opts: NetServerOptions,
     epochs: AtomicU64,
     grove_epochs: Arc<Counter>,
 }
@@ -235,6 +260,7 @@ impl ShardedServer {
             shards,
             router,
             stats,
+            opts,
             epochs: AtomicU64::new(0),
             grove_epochs,
         }
@@ -275,6 +301,46 @@ impl ShardedServer {
         self.shards.iter().try_for_each(NetServer::crash_restart)
     }
 
+    /// Replaces shard `shard` with a server rebuilt from `peer`'s chunks
+    /// via verified state sync — the recovery path for a shard whose local
+    /// state is gone or stale (e.g. a SIGKILLed process with no durable
+    /// storage).
+    ///
+    /// `expected_root` pins the shard root to restore (from the last
+    /// published grove epoch's `shard_roots[shard]`); every chunk is
+    /// verified against it before admission, so a lying peer cannot feed
+    /// the grove a diverged shard. On success the restored shard serves at
+    /// the bootstrapped counter and the next [`ShardedServer::grove_epoch`]
+    /// folds its (verified) root back into the grove — that is the rejoin:
+    /// epochs sampled after this call include the restored shard, and
+    /// Protocol II sync-up evaluates it like any other shard.
+    ///
+    /// The peer may be the shard's old incarnation, a replica, or any
+    /// endpoint serving that shard's keyspace — the chunk verification, not
+    /// the peer's identity, is what makes the restored state trustworthy.
+    pub fn bootstrap_restart(
+        &mut self,
+        shard: usize,
+        peer: &impl Endpoint,
+        expected_root: &Digest,
+        config: &ProtocolConfig,
+    ) -> Result<crate::bootstrap::BootstrapReport, crate::bootstrap::BootstrapError> {
+        use crate::bootstrap::{BootstrapClient, BootstrapError};
+        let mut boot = BootstrapClient::new(tcvs_core::NO_USER, peer);
+        boot.set_stats(self.stats.clone());
+        let report = boot.bootstrap(Some(expected_root))?;
+        let core =
+            tcvs_core::ServerCore::from_verified_state(report.tree.clone(), report.ctr, config)
+                .map_err(|e| BootstrapError::Assembly(tcvs_merkle::ChunkError::Codec(e)))?;
+        let inner = Box::new(tcvs_core::HonestServer::from_core(core)) as Box<dyn ServerApi + Send>;
+        let replacement = NetServer::spawn_observed(inner, self.opts, self.stats.clone());
+        let old = std::mem::replace(&mut self.shards[shard], replacement);
+        // The old incarnation (possibly wedged or stale) drains gracefully;
+        // clients holding its wire see `ServerGone` and rebind.
+        old.shutdown();
+        Ok(report)
+    }
+
     /// Interposes one [`FaultLink`] per shard, each replaying an
     /// **independently seeded** stream derived from `seed` via
     /// [`FaultPlan::link_subseed`] — a multi-shard fault storm must not
@@ -300,11 +366,13 @@ impl ShardedServer {
     pub fn grove_epoch(&self) -> Option<GroveEpoch> {
         let mut shard_roots = Vec::with_capacity(self.shards.len());
         let mut shard_ctrs = Vec::with_capacity(self.shards.len());
+        let mut shard_last_users = Vec::with_capacity(self.shards.len());
         for shard in &self.shards {
             let wire = shard.read_wire()?;
             let snap = Arc::clone(&wire.slot.lock());
             shard_roots.push(snap.root_digest());
             shard_ctrs.push(snap.ctr());
+            shard_last_users.push(snap.last_user());
         }
         let root = grove_root(&shard_roots);
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
@@ -313,6 +381,7 @@ impl ShardedServer {
             epoch,
             shard_roots,
             shard_ctrs,
+            shard_last_users,
             grove_root: root,
         })
     }
@@ -461,6 +530,47 @@ impl ShardedClient2 {
                 .map(|(root0, s)| NetClient2::new(user, root0, config, s))
                 .collect(),
             initials: root0s.iter().map(tcvs_core::state::initial_token).collect(),
+            router: ShardRouter::new(shards.len()),
+            routed: None,
+        }
+    }
+
+    /// Binds one verified client per shard, joining the grove **at a
+    /// published epoch** instead of genesis — the grove-epoch rejoin rule.
+    /// Each per-shard σ fold is anchored at the epoch's join token
+    /// ([`GroveEpoch::join_tokens`]), so the session's sync-up covers
+    /// exactly the transitions since the epoch. This is how verified
+    /// sessions re-enter a grove after a shard was restored by verified
+    /// state sync (its old wires are gone, its chain restarts at the
+    /// bootstrapped state), and how a late joiner starts without replaying
+    /// history. The epoch must come from a trusted sample — joining at a
+    /// forged epoch surfaces as a failed sync-up, like any fork.
+    pub fn join(
+        user: UserId,
+        epoch: &GroveEpoch,
+        config: ProtocolConfig,
+        grove: &ShardedServer,
+    ) -> ShardedClient2 {
+        let shards = grove.shards();
+        assert_eq!(
+            epoch.shard_roots.len(),
+            shards.len(),
+            "the epoch and the grove must agree on shard count"
+        );
+        ShardedClient2 {
+            clients: (0..shards.len())
+                .map(|i| {
+                    NetClient2::join(
+                        user,
+                        &epoch.shard_roots[i],
+                        epoch.shard_ctrs[i],
+                        epoch.shard_last_users[i],
+                        config,
+                        &shards[i],
+                    )
+                })
+                .collect(),
+            initials: epoch.join_tokens(),
             router: ShardRouter::new(shards.len()),
             routed: None,
         }

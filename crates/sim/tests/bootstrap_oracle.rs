@@ -1,0 +1,148 @@
+//! Definition 2.1 ground truth for chunked verified state sync: replacing
+//! a live server mid-trace with one rebuilt from its own verified chunks
+//! must be **invisible to the deviation oracle** — every response after
+//! the handoff is one a trusted run with the same op order produces. And a
+//! lying chunk stream must never yield a serving replacement at all: the
+//! forgery is rejected at the exact offending chunk, before any response
+//! exists for the oracle to judge.
+
+use tcvs_core::{HonestServer, ProtocolConfig, ServerApi, ServerCore};
+use tcvs_merkle::{apply_op, ChunkAssembler, ChunkError, ChunkSource, MerkleTree};
+use tcvs_workload::{generate, OpMix, WorkloadSpec};
+
+fn config() -> ProtocolConfig {
+    ProtocolConfig {
+        order: 8,
+        k: 8,
+        epoch_len: 16,
+    }
+}
+
+/// Transfers `server`'s published snapshot through the chunk protocol —
+/// slice, (optionally reordered/duplicated) delivery, verify, assemble —
+/// and returns the replacement server plus how many chunks moved.
+fn bootstrap_replacement(
+    server: &HonestServer,
+    cfg: &ProtocolConfig,
+    budget: usize,
+    scramble: bool,
+) -> (HonestServer, u32) {
+    let snap = server.read_snapshot().expect("honest server publishes");
+    let source = ChunkSource::new(snap.db(), budget).expect("full tree chunks");
+    let mut assembler = ChunkAssembler::new(source.manifest().clone()).expect("valid manifest");
+    let mut order: Vec<u32> = (0..source.num_chunks()).collect();
+    if scramble {
+        // Deterministic out-of-order, duplicated delivery: reversed, with
+        // every third chunk delivered twice.
+        order.reverse();
+        let dups: Vec<u32> = order.iter().copied().step_by(3).collect();
+        order.extend(dups);
+    }
+    for i in order {
+        let bytes = source.chunk(i).expect("in-range chunk");
+        assembler.admit(i, &bytes).expect("honest chunk admits");
+    }
+    let tree = assembler.finish().expect("anchor gate passes");
+    let core = ServerCore::from_verified_state(tree, snap.ctr(), cfg)
+        .expect("verified state makes a core");
+    (HonestServer::from_core(core), source.num_chunks())
+}
+
+/// An honest server handed off to a bootstrapped replacement at several
+/// cut points, under several seeds and chunk budgets: the oracle (a
+/// trusted replay of the same operation order) sees zero deviations across
+/// the handoff, and the replacement's roots track the trusted tree
+/// exactly.
+#[test]
+fn bootstrap_handoff_is_invisible_to_the_oracle() {
+    let cfg = config();
+    for seed in [3u64, 11, 42] {
+        let trace = generate(&WorkloadSpec {
+            n_users: 3,
+            n_ops: 90,
+            key_space: 40,
+            mix: OpMix::write_heavy(),
+            seed,
+            ..WorkloadSpec::default()
+        });
+        for cut in [1usize, 30, 60, 89] {
+            for budget in [256usize, 4096] {
+                let mut server = HonestServer::new(&cfg);
+                let mut reference = MerkleTree::with_order(cfg.order);
+                let mut chunked = false;
+                for (idx, sop) in trace.ops().iter().enumerate() {
+                    if idx == cut {
+                        let (replacement, n_chunks) =
+                            bootstrap_replacement(&server, &cfg, budget, idx % 2 == 0);
+                        assert!(n_chunks >= 1);
+                        chunked |= n_chunks > 1;
+                        server = replacement;
+                    }
+                    let resp = server.handle_op(sop.user, &sop.op, sop.round);
+                    let expected = apply_op(&mut reference, &sop.op).expect("full tree");
+                    assert_eq!(
+                        resp.result, expected,
+                        "seed {seed} cut {cut} budget {budget}: response {idx} \
+                         diverged from the trusted execution across the handoff"
+                    );
+                }
+                assert_eq!(
+                    server.core().root_digest(),
+                    reference.root_digest(),
+                    "seed {seed} cut {cut}: final roots agree"
+                );
+                if budget == 256 && cut >= 30 {
+                    assert!(chunked, "small budget must actually chunk the transfer");
+                }
+            }
+        }
+    }
+}
+
+/// A lying chunk server never produces a serving replacement: for every
+/// chunk index, forging that chunk (a value flipped inside the node
+/// region) is rejected at exactly that index — there is no server, and so
+/// no response, for the oracle to even examine.
+#[test]
+fn forged_chunk_stream_never_yields_a_server() {
+    let cfg = config();
+    let trace = generate(&WorkloadSpec {
+        n_users: 2,
+        n_ops: 80,
+        key_space: 48,
+        mix: OpMix::write_heavy(),
+        seed: 7,
+        ..WorkloadSpec::default()
+    });
+    let mut server = HonestServer::new(&cfg);
+    for sop in trace.ops() {
+        server.handle_op(sop.user, &sop.op, sop.round);
+    }
+    let snap = server.read_snapshot().expect("publishes");
+    let source = ChunkSource::new(snap.db(), 256).expect("chunks");
+    let n = source.num_chunks();
+    assert!(n >= 3, "need a multi-chunk transfer, got {n}");
+    for bad in 0..n {
+        let mut assembler = ChunkAssembler::new(source.manifest().clone()).expect("valid manifest");
+        let mut caught = None;
+        for i in 0..n {
+            let mut bytes = source.chunk(i).expect("in range");
+            if i == bad {
+                let at = bytes.len() - 1 - bytes.len() / 4;
+                bytes[at] ^= 0x01;
+            }
+            if let Err(e) = assembler.admit(i, &bytes) {
+                caught = Some((i, e));
+                break;
+            }
+        }
+        match caught {
+            Some((at, ChunkError::AnchorMismatch { index })) => {
+                assert_eq!(at, bad, "rejected at the offending chunk");
+                assert_eq!(index, bad);
+            }
+            Some((at, _)) => assert_eq!(at, bad, "rejected at the offending chunk"),
+            None => panic!("forged chunk {bad} was admitted"),
+        }
+    }
+}

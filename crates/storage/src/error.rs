@@ -35,6 +35,11 @@ pub enum StorageError {
     /// opt into salvaging the surviving prefix: acknowledged operations may
     /// be lost, so serving must not resume without an operator decision.
     Unrecoverable(String),
+    /// A verified-chunk restore ([`crate::DurableServer::open_from_chunks`])
+    /// was refused: a chunk or manifest failed verification against the
+    /// anchor, the stream was incomplete, or the target storage already
+    /// holds durable state that bootstrap must not clobber.
+    Bootstrap(String),
 }
 
 impl StorageError {
@@ -63,6 +68,7 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::Unrecoverable(msg) => write!(f, "unrecoverable: {msg}"),
+            StorageError::Bootstrap(msg) => write!(f, "bootstrap: {msg}"),
         }
     }
 }
