@@ -1,0 +1,100 @@
+//! `audit_smoke` — the end-to-end forensics drill the CI audit-smoke job
+//! runs: a seeded 1-of-4-shard fork attack is driven to a failed grove
+//! sync-up, the localization evidence bundle is captured (with the second
+//! user's transition log grafted in) and written to disk, the cold audit
+//! must re-derive the deviation and name the exact shard and counter, the
+//! sealed bytes must be identical across two same-seed captures, and a
+//! tampered copy (one flipped byte) must be rejected.
+//!
+//! ```text
+//! audit_smoke [path]      # default path: BENCH_evidence.bin
+//! ```
+//!
+//! Writes `<path>` (the authentic bundle) and `<path>.tampered` (the same
+//! bytes with one bit flipped) so the job can then run the *actual*
+//! `tcvs-audit` binary against both and check its exit codes. Exit 0 iff
+//! every in-process assertion held; any failure exits 1 with a message.
+
+use tcvs_bench::forensics::ForkScenario;
+use tcvs_core::audit_bytes;
+
+const SEED: u64 = 0x0DD5EED;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("audit-smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_evidence.bin".to_string());
+
+    let scenario = ForkScenario::drive(40);
+    let bundle = scenario.seal(SEED);
+    let bytes = bundle.to_bytes();
+    println!(
+        "audit-smoke: sealed localization bundle ({} bytes, {} transition logs)",
+        bytes.len(),
+        bundle.transition_logs.len()
+    );
+
+    // Same capture, same seed → byte-identical artifact.
+    if scenario.seal(SEED).to_bytes() != bytes {
+        fail("same-seed re-capture is not byte-identical");
+    }
+    println!("audit-smoke: re-capture is byte-identical");
+
+    // The cold audit must confirm the deviation and name shard + counter.
+    let report = audit_bytes(&bytes);
+    if !report.accepted {
+        fail(&format!(
+            "authentic bundle rejected: {:?}",
+            report.rejection
+        ));
+    }
+    if !report.confirmed {
+        fail("audit did not re-derive the deviation from the bundle");
+    }
+    if report.deviating_shards != vec![scenario.bad_shard as u32] {
+        fail(&format!(
+            "expected shard {} deviating, got {:?}",
+            scenario.bad_shard, report.deviating_shards
+        ));
+    }
+    let culprit = report
+        .culprit
+        .as_ref()
+        .unwrap_or_else(|| fail("audit named no culprit"));
+    if culprit.shard != scenario.bad_shard as u32 || culprit.at_ctr != scenario.fork_at {
+        fail(&format!(
+            "expected shard {} at ctr {}, got shard {} at ctr {}",
+            scenario.bad_shard, scenario.fork_at, culprit.shard, culprit.at_ctr
+        ));
+    }
+    println!(
+        "audit-smoke: culprit shard={} ctr={} class={}",
+        culprit.shard, culprit.at_ctr, culprit.class
+    );
+
+    // One flipped byte anywhere must be rejected; spot-check in-process
+    // before handing the file pair to the real verifier binary.
+    let mut tampered = bytes.clone();
+    let at = tampered.len() / 2;
+    tampered[at] ^= 0x01;
+    if audit_bytes(&tampered).accepted {
+        fail(&format!("tampered bundle (byte {at} flipped) was accepted"));
+    }
+    println!("audit-smoke: tampered copy rejected (byte {at} flipped)");
+
+    if let Err(e) = std::fs::write(&path, &bytes) {
+        fail(&format!("cannot write {path}: {e}"));
+    }
+    let tampered_path = format!("{path}.tampered");
+    if let Err(e) = std::fs::write(&tampered_path, &tampered) {
+        fail(&format!("cannot write {tampered_path}: {e}"));
+    }
+    println!("audit-smoke: wrote {path} and {tampered_path}");
+    scenario.shutdown();
+    println!("audit-smoke: OK");
+}

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use tcvs_bench::durability::run_durability_suite;
 use tcvs_bench::experiments::{e12, run_by_id, ALL};
+use tcvs_bench::forensics::forensics_suite;
 use tcvs_bench::perf::{batching_suite, bootstrap_suite, run_suite_observed, sharding_suite};
 use tcvs_bench::results::{render_json_with_metrics, validate, validate_artifact, validate_schema};
 use tcvs_bench::Table;
@@ -162,20 +163,22 @@ fn main() {
         }
     }
 
-    let (probes, durability, batching, sharding, bootstrap, metrics) = if run_perf {
+    let (probes, durability, batching, sharding, bootstrap, forensics, metrics) = if run_perf {
         let start = Instant::now();
         let (probes, metrics) = run_suite_observed(quick);
         let durability = run_durability_suite(quick);
         let batching = batching_suite(quick);
         let sharding = sharding_suite(quick);
         let bootstrap = bootstrap_suite(quick);
+        let forensics = forensics_suite(quick);
         let mut t = Table::new(
             "PERF",
             "hot-path probes (recorded in BENCH_results.json; \
              [batching] rows are the same-run before/after family; \
              [sharding] rows are the 1/2/4/8-shard grove scaling family; \
              [bootstrap] rows are chunked verified state sync vs db size \
-             and chunk budget)",
+             and chunk budget; [forensics] rows are evidence-bundle \
+             capture/audit cost and the honest-path instrumented ratio)",
             &[
                 "probe",
                 "ops/s",
@@ -192,6 +195,7 @@ fn main() {
             .chain(batching.iter().map(|p| (p, "[batching] ")))
             .chain(sharding.iter().map(|p| (p, "[sharding] ")))
             .chain(bootstrap.iter().map(|p| (p, "[bootstrap] ")))
+            .chain(forensics.iter().map(|p| (p, "[forensics] ")))
         {
             t.row(vec![
                 format!("{family}{}", p.name),
@@ -207,9 +211,12 @@ fn main() {
             "[perf completed in {:.1}s]\n",
             start.elapsed().as_secs_f64()
         );
-        (probes, durability, batching, sharding, bootstrap, metrics)
+        (
+            probes, durability, batching, sharding, bootstrap, forensics, metrics,
+        )
     } else {
         (
+            Vec::new(),
             Vec::new(),
             Vec::new(),
             Vec::new(),
@@ -231,6 +238,7 @@ fn main() {
             &batching,
             &sharding,
             &bootstrap,
+            &forensics,
             &all_tables,
             &metrics,
         );

@@ -10,7 +10,10 @@
 
 use tcvs_core::adversary::{ForkServer, Trigger};
 use tcvs_core::{FaultPlan, ProtocolConfig, ProtocolKind};
-use tcvs_obs::{render_chrome_trace, render_openmetrics, EventKind, MetricsRegistry, Tracer};
+use tcvs_obs::{
+    render_chrome_trace_with_loss, render_openmetrics, EventKind, MetricsRegistry, TraceLoss,
+    Tracer,
+};
 use tcvs_sim::{simulate_observed, simulate_with_flight_recorder, SimSpec};
 use tcvs_workload::{generate, OpMix, WorkloadSpec};
 
@@ -92,7 +95,13 @@ pub fn artifacts(quick: bool) -> (String, String, Option<String>, bool) {
         .set(sink.dropped() as i64);
 
     (
-        render_chrome_trace(&events),
+        render_chrome_trace_with_loss(
+            &events,
+            TraceLoss {
+                overwritten: recorder.overwritten(),
+                dropped: sink.dropped(),
+            },
+        ),
         render_openmetrics(&registry.snapshot()),
         dump,
         linked,

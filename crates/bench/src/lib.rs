@@ -24,6 +24,7 @@
 
 pub mod durability;
 pub mod experiments;
+pub mod forensics;
 pub mod json;
 pub mod perf;
 pub mod results;

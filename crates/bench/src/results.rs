@@ -159,6 +159,7 @@ pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> Strin
         &[],
         &[],
         &[],
+        &[],
         tables,
         &MetricsSnapshot::default(),
     )
@@ -172,7 +173,10 @@ pub fn render_json(mode: &str, probes: &[PerfResult], tables: &[Table]) -> Strin
 /// counts, from [`crate::perf::sharding_suite`]), the `"bootstrap"`
 /// section (chunked verified state sync cost vs database size and chunk
 /// budget plus the storm/forgery count rows, from
-/// [`crate::perf::bootstrap_suite`]), and a `"metrics"` section
+/// [`crate::perf::bootstrap_suite`]), the `"forensics"` section (evidence
+/// bundle capture cost, cold-audit verify rate vs history size, and the
+/// honest-path instrumented/dark throughput ratio, from
+/// [`crate::forensics::forensics_suite`]), and a `"metrics"` section
 /// serializing a point-in-time [`MetricsSnapshot`] (the instrumented
 /// throughput probe's counters and histograms) so dashboards can track
 /// them per PR alongside the probes.
@@ -184,6 +188,7 @@ pub fn render_json_with_metrics(
     batching: &[PerfResult],
     sharding: &[PerfResult],
     bootstrap: &[PerfResult],
+    forensics: &[PerfResult],
     tables: &[Table],
     metrics: &MetricsSnapshot,
 ) -> String {
@@ -220,6 +225,11 @@ pub fn render_json_with_metrics(
 
     out.push_str("  \"bootstrap\": [\n");
     let rows: Vec<String> = bootstrap.iter().map(|p| probe_json(p, "    ")).collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+
+    out.push_str("  \"forensics\": [\n");
+    let rows: Vec<String> = forensics.iter().map(|p| probe_json(p, "    ")).collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ],\n");
 
@@ -397,6 +407,7 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
         "batching",
         "sharding",
         "bootstrap",
+        "forensics",
     ] {
         for p in require_arr(&doc, section)? {
             check_probe(p, section)?;
@@ -601,6 +612,7 @@ mod tests {
             &[],
             &[],
             &[],
+            &[],
             &tcvs_obs::MetricsRegistry::new().snapshot(),
         );
         validate_schema(&json).unwrap();
@@ -623,6 +635,7 @@ mod tests {
             &[],
             &[],
             &rows,
+            &[],
             &[],
             &[],
             &tcvs_obs::MetricsRegistry::new().snapshot(),
@@ -655,6 +668,7 @@ mod tests {
             &[],
             &rows,
             &[],
+            &[],
             &tcvs_obs::MetricsRegistry::new().snapshot(),
         );
         validate_schema(&json).unwrap();
@@ -686,13 +700,56 @@ mod tests {
     }
 
     #[test]
+    fn forensics_section_round_trips_and_is_required() {
+        let rows = [
+            probe("forensics/capture_localization_bundle", 5_000.0),
+            probe("forensics/honest_instrumented_ratio", 0.99),
+        ];
+        let json = render_json_with_metrics(
+            "quick",
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &rows,
+            &[],
+            &tcvs_obs::MetricsRegistry::new().snapshot(),
+        );
+        validate_schema(&json).unwrap();
+        assert!(json.contains("\"forensics\": ["));
+        assert!(json.contains("forensics/honest_instrumented_ratio"));
+        // A document without the section (the pre-PR-10 shape) is rejected.
+        let bad = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
+             \"baselines\": [], \"durability\": [], \"batching\": [], \
+             \"sharding\": [], \"bootstrap\": [], \
+             \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+        );
+        let err = validate_schema(&bad).unwrap_err();
+        assert!(
+            err.contains("missing required section 'forensics'"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn metrics_section_round_trips_through_the_validator() {
         let registry = tcvs_obs::MetricsRegistry::new();
         registry.counter("net.server.ops_served").add(7);
         registry.gauge("net.depth").set(-2);
         registry.histogram("net.server.op_micros").observe(100);
-        let json =
-            render_json_with_metrics("quick", &[], &[], &[], &[], &[], &[], &registry.snapshot());
+        let json = render_json_with_metrics(
+            "quick",
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &[],
+            &registry.snapshot(),
+        );
         validate_schema(&json).unwrap();
         assert!(json.contains("\"kind\": \"counter\", \"value\": 7"));
         assert!(json.contains("\"kind\": \"gauge\", \"value\": -2"));
@@ -708,7 +765,7 @@ mod tests {
         let bad = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"probes\": [], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
-             \"sharding\": [], \"bootstrap\": [], \"comparisons\": [], \"metrics\": [], \
+             \"sharding\": [], \"bootstrap\": [], \"forensics\": [], \"comparisons\": [], \"metrics\": [], \
              \"experiments\": [{{\"id\": \"E1\", \"caption\": \"c\", \
              \"headers\": [\"a\", \"b\"], \"rows\": [[\"1\"]]}}]}}"
         );
@@ -721,7 +778,7 @@ mod tests {
              \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null, \
              \"p999_us\": null}}], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
-             \"sharding\": [], \"bootstrap\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+             \"sharding\": [], \"bootstrap\": [], \"forensics\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
         assert!(err.contains("ops_per_sec"), "{err}");
@@ -731,7 +788,7 @@ mod tests {
              \"probes\": [{{\"name\": \"p\", \"ops_per_sec\": 1.0, \
              \"proof_bytes\": null, \"p50_us\": null, \"p99_us\": null}}], \
              \"baselines\": [], \"durability\": [], \"batching\": [], \
-             \"sharding\": [], \"bootstrap\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
+             \"sharding\": [], \"bootstrap\": [], \"forensics\": [], \"comparisons\": [], \"metrics\": [], \"experiments\": []}}"
         );
         let err = validate_schema(&bad).unwrap_err();
         assert!(err.contains("p999_us"), "{err}");

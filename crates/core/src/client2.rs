@@ -155,6 +155,14 @@ impl Client2 {
         self.sigma
     }
 
+    /// The session's anchor token — the genesis token for a from-genesis
+    /// session, the join-point token for a mid-history join. This is the
+    /// `initial` of the sync-up predicate, and what an evidence bundle
+    /// embeds so a cold audit can re-run it.
+    pub fn initial_token(&self) -> Digest {
+        self.initial
+    }
+
     /// Processes the server's response to `op`, returning the authenticated
     /// answer.
     pub fn handle_response(

@@ -34,7 +34,7 @@ pub struct LoggedTransition {
 }
 
 /// A client-side transition log (the unbounded-memory extension).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TransitionLog {
     entries: Vec<LoggedTransition>,
 }

@@ -37,9 +37,11 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod audit;
 mod client1;
 mod client2;
 mod client3;
+pub mod evidence;
 pub mod fault;
 pub mod forensics;
 pub mod msg;
@@ -49,10 +51,16 @@ pub mod state;
 pub mod strawman;
 pub mod sync;
 mod types;
+pub mod wire;
 
+pub use audit::{audit, audit_bytes, AuditCheck, AuditReport, Culprit};
 pub use client1::Client1;
 pub use client2::Client2;
 pub use client3::Client3;
+pub use evidence::{
+    EvidenceBuilder, EvidenceBundle, EvidenceError, EvidenceKind, GroveEvidence, MetricSample,
+    TriggerInfo,
+};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultRates, StorageFault};
 pub use forensics::{diagnose, diagnose_with_timeline, DiagnosisReport, TransitionLog, Verdict};
 pub use msg::{

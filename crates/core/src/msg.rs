@@ -13,7 +13,7 @@ use tcvs_merkle::{BatchProof, Op, OpResult, VerificationObject};
 use crate::types::{Ctr, Epoch};
 
 /// A root digest + counter signed by a user: `sigⱼ(h(M(D) ‖ ctr))`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignedState {
     /// The signer.
     pub signer: UserId,
@@ -170,7 +170,7 @@ impl PipelinedResponse {
 
 /// A user's signed per-epoch accumulator state (Protocol III): the backup of
 /// `(σᵢ, lastᵢ)` for a finished epoch, deposited on the server.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignedEpochState {
     /// Whose state this is.
     pub user: UserId,
@@ -218,7 +218,7 @@ impl SignedEpochState {
 /// The audited final state of an epoch, signed by that epoch's checker and
 /// stored on the server so the next epoch's checker can chain from it
 /// (Protocol III).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SignedCheckpoint {
     /// The epoch whose final state this records.
     pub epoch: Epoch,

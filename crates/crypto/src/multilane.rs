@@ -7,11 +7,11 @@
 //! several independent hash streams through one compression pass:
 //!
 //! * **Portable**: a 4-lane interleaved FIPS 180-4 compression
-//!   ([`compress_portable_x4`]) — the round math runs on `[u32; 4]` lane
+//!   (`compress_portable_x4`) — the round math runs on `[u32; 4]` lane
 //!   arrays that the compiler vectorizes, hiding each lane's serial
 //!   dependency chain behind the others'.
 //! * **SHA-NI**: a 2-lane interleaved `sha256rnds2` stream
-//!   ([`shani_x2::compress_x2`]) — the hardware rounds have multi-cycle
+//!   (`shani_x2::compress_x2`) — the hardware rounds have multi-cycle
 //!   latency but pipeline, so two independent register streams roughly
 //!   double throughput per core.
 //!

@@ -16,8 +16,8 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use tcvs_obs::{
-    render_chrome_trace, render_openmetrics, FlightRecorder, MetricsRegistry, Tracer,
-    FLIGHT_RECORDER_DEFAULT_CAP,
+    render_chrome_trace_with_loss, render_openmetrics, FlightRecorder, MetricsRegistry, TraceLoss,
+    Tracer, FLIGHT_RECORDER_DEFAULT_CAP,
 };
 
 use tcvs_core::adversary::{
@@ -228,7 +228,13 @@ impl Repl {
         };
         let events = obs.recorder.snapshot();
         match args.first().map(String::as_str) {
-            Some("json") => render_chrome_trace(&events),
+            Some("json") => render_chrome_trace_with_loss(
+                &events,
+                TraceLoss {
+                    overwritten: obs.recorder.overwritten(),
+                    dropped: 0,
+                },
+            ),
             _ if events.is_empty() => "no events recorded yet".into(),
             _ => format!(
                 "flight recorder: {} retained of {} recorded ({} overwritten)\n{}",

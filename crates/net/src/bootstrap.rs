@@ -19,7 +19,7 @@
 
 use crossbeam::channel::Sender;
 
-use tcvs_core::{Ctr, Digest, UserId};
+use tcvs_core::{Ctr, Digest, EvidenceBuilder, EvidenceBundle, EvidenceKind, TriggerInfo, UserId};
 use tcvs_merkle::{ChunkAssembler, ChunkError, ChunkManifest, MerkleTree};
 
 use crate::error::{NetError, RetryPolicy};
@@ -128,6 +128,8 @@ pub struct BootstrapClient {
     policy: RetryPolicy,
     stats: NetStats,
     session: Option<Session>,
+    evidence: Option<EvidenceBundle>,
+    evidence_seed: u64,
 }
 
 impl BootstrapClient {
@@ -141,7 +143,22 @@ impl BootstrapClient {
             policy: RetryPolicy::default(),
             stats: NetStats::disabled(),
             session: None,
+            evidence: None,
+            evidence_seed: 0,
         }
+    }
+
+    /// Stamps captured evidence bundles with the run seed that produced
+    /// them.
+    pub fn set_evidence_seed(&mut self, seed: u64) {
+        self.evidence_seed = seed;
+    }
+
+    /// Takes the evidence bundle captured at the most recent rejected
+    /// bootstrap (a forged chunk, a spliced snapshot, a mismatched anchor),
+    /// if any.
+    pub fn take_evidence(&mut self) -> Option<EvidenceBundle> {
+        self.evidence.take()
     }
 
     /// Replaces the retry policy (timeouts, attempts, jitter).
@@ -183,6 +200,79 @@ impl BootstrapClient {
     /// the manifest (bounded by the retry policy) if the snapshot moves
     /// mid-bootstrap.
     pub fn bootstrap(
+        &mut self,
+        expected_anchor: Option<&Digest>,
+    ) -> Result<BootstrapReport, BootstrapError> {
+        let result = self.bootstrap_inner(expected_anchor);
+        if let Err(e) = &result {
+            self.capture_forgery(e, expected_anchor);
+        }
+        result
+    }
+
+    /// Builds and stashes an evidence bundle when the bootstrap failed in a
+    /// *verification-shaped* way — a forged or spliced chunk, a manifest
+    /// that does not anchor to the pinned root, an assembly that does not
+    /// recompute to its anchor. Transport trouble (server gone, chunk
+    /// unavailable, no bootstrap path) proves nothing and captures nothing.
+    fn capture_forgery(&mut self, e: &BootstrapError, expected_anchor: Option<&Digest>) {
+        if self.evidence.is_some() {
+            return;
+        }
+        let trigger = match e {
+            BootstrapError::Chunk { index, error } => TriggerInfo {
+                deviation: "bootstrap-chunk-forged".to_string(),
+                detail: format!("chunk {index} rejected: {error}"),
+                user: Some(self.user),
+                shard: None,
+                ctr: Some(u64::from(*index)),
+            },
+            BootstrapError::AnchorMismatch { expected, got } => TriggerInfo {
+                deviation: "bootstrap-anchor-mismatch".to_string(),
+                detail: format!("pinned {expected}, served manifest anchors {got}"),
+                user: Some(self.user),
+                shard: None,
+                ctr: None,
+            },
+            BootstrapError::Assembly(err) => TriggerInfo {
+                deviation: "bootstrap-assembly-failed".to_string(),
+                detail: format!("assembly gate: {err}"),
+                user: Some(self.user),
+                shard: None,
+                ctr: None,
+            },
+            BootstrapError::Manifest(err) => TriggerInfo {
+                deviation: "bootstrap-manifest-invalid".to_string(),
+                detail: format!("manifest rejected: {err}"),
+                user: Some(self.user),
+                shard: None,
+                ctr: None,
+            },
+            BootstrapError::Net(_)
+            | BootstrapError::Unsupported
+            | BootstrapError::ChunkUnavailable { .. } => return,
+        };
+        let (chunks, bytes) = self
+            .session
+            .as_ref()
+            .map_or((0, 0), |s| (s.chunks_fetched, s.bytes_fetched));
+        let mut b = EvidenceBuilder::new(
+            EvidenceKind::BootstrapForgery,
+            self.evidence_seed,
+            "bootstrap",
+        )
+        .captured_at(chunks)
+        .description(format!(
+            "chunked state sync rejected after {chunks} chunks / {bytes} bytes admitted"
+        ))
+        .trigger(trigger);
+        if let Some(anchor) = expected_anchor {
+            b = b.initials(&[*anchor]);
+        }
+        self.evidence = Some(b.build());
+    }
+
+    fn bootstrap_inner(
         &mut self,
         expected_anchor: Option<&Digest>,
     ) -> Result<BootstrapReport, BootstrapError> {
@@ -484,6 +574,49 @@ mod tests {
                 other => panic!("spliced chunk {bad} not detected: {other:?}"),
             }
         }
+    }
+
+    /// A rejected bootstrap (forged chunk) stashes an auditable evidence
+    /// bundle naming the offending chunk; transport trouble captures
+    /// nothing.
+    #[test]
+    fn forged_chunk_captures_bootstrap_evidence() {
+        let t = tree(120);
+        let anchor = t.root_digest();
+        let peer = fake_peer(&t, 120, |i, mut b| {
+            if i == 1 {
+                let at = b.len() - 1 - b.len() / 4;
+                b[at] ^= 0x01;
+            }
+            Some(b)
+        });
+        let mut c = client(&peer);
+        c.set_evidence_seed(42);
+        assert!(matches!(
+            c.bootstrap(Some(&anchor)),
+            Err(BootstrapError::Chunk { index: 1, .. })
+        ));
+        let bundle = c.take_evidence().expect("forgery captured");
+        assert!(c.take_evidence().is_none(), "stash holds one bundle");
+        assert_eq!(bundle.kind, tcvs_core::EvidenceKind::BootstrapForgery);
+        assert_eq!(bundle.seed, 42);
+        assert_eq!(bundle.trigger.deviation, "bootstrap-chunk-forged");
+        assert_eq!(bundle.trigger.ctr, Some(1), "the offending chunk index");
+        assert_eq!(bundle.initials, vec![anchor], "the pinned anchor rides");
+        let report = tcvs_core::audit_bytes(&bundle.to_bytes());
+        assert!(report.accepted, "{:?}", report.rejection);
+        assert_eq!(report.kind.as_deref(), Some("bootstrap-forgery"));
+
+        // A dying (but honest) peer proves nothing and captures nothing.
+        let n = ChunkSource::new(&t, BUDGET).unwrap().num_chunks();
+        let split = n / 2;
+        let dying = fake_peer(&t, 120, move |i, b| (i < split).then_some(b));
+        let mut c = client(&dying);
+        assert!(matches!(
+            c.bootstrap(Some(&anchor)),
+            Err(BootstrapError::ChunkUnavailable { .. })
+        ));
+        assert!(c.take_evidence().is_none());
     }
 
     /// A peer that pins a root the server does not serve fails loudly with

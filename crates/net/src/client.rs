@@ -9,7 +9,8 @@
 
 use crossbeam::channel::Sender;
 use tcvs_core::{
-    Client1, Client2, Ctr, Deviation, Digest, Op, OpResult, ProtocolConfig, SyncShare, UserId,
+    Client1, Client2, Ctr, Deviation, Digest, EvidenceBuilder, EvidenceBundle, EvidenceKind, Op,
+    OpResult, ProtocolConfig, ServerResponse, SyncShare, TransitionLog, UserId,
 };
 use tcvs_crypto::{KeyRegistry, Keyring};
 use tcvs_merkle::{replay_unanchored, VerifyError};
@@ -179,6 +180,8 @@ pub struct NetClient2 {
     seq: u64,
     policy: RetryPolicy,
     stats: NetStats,
+    evidence: Option<EvidenceBundle>,
+    evidence_seed: u64,
 }
 
 impl NetClient2 {
@@ -196,6 +199,8 @@ impl NetClient2 {
             seq: 0,
             policy: RetryPolicy::default(),
             stats: NetStats::disabled(),
+            evidence: None,
+            evidence_seed: 0,
         }
     }
 
@@ -219,6 +224,8 @@ impl NetClient2 {
             seq: 0,
             policy: RetryPolicy::default(),
             stats: NetStats::disabled(),
+            evidence: None,
+            evidence_seed: 0,
         }
     }
 
@@ -234,8 +241,66 @@ impl NetClient2 {
         self.policy = policy;
     }
 
+    /// Enables the forensic transition log on the inner protocol client, so
+    /// a captured evidence bundle can carry this user's state-transition
+    /// history for cold fork diagnosis.
+    pub fn enable_logging(&mut self) {
+        self.inner.enable_logging();
+    }
+
+    /// The recorded transition log, if [`NetClient2::enable_logging`] ran.
+    pub fn transition_log(&self) -> Option<&TransitionLog> {
+        self.inner.transition_log()
+    }
+
+    /// Stamps captured evidence bundles with the run seed that produced
+    /// them, tying an incident artifact back to a reproducible run.
+    pub fn set_evidence_seed(&mut self, seed: u64) {
+        self.evidence_seed = seed;
+    }
+
+    /// Takes the evidence bundle captured at the most recent failed
+    /// verification, if any. The stash holds one bundle — the first
+    /// deviation of an exchange — until taken.
+    pub fn take_evidence(&mut self) -> Option<EvidenceBundle> {
+        self.evidence.take()
+    }
+
+    /// Builds and stashes an evidence bundle at a detection site. The
+    /// bundle carries everything a cold auditor needs from this client's
+    /// side: its anchor token, its sync share, the offending verification
+    /// object and signed deposit (when the response carried them), and the
+    /// transition log when logging is on.
+    fn capture(&mut self, kind: EvidenceKind, d: &Deviation, resp: Option<&ServerResponse>) {
+        if self.evidence.is_some() {
+            return;
+        }
+        let mut b = EvidenceBuilder::new(kind, self.evidence_seed, "protocol-2")
+            .captured_at(self.ops)
+            .description(format!(
+                "user {} rejected a server response at lctr {}",
+                self.inner.user(),
+                self.inner.lctr()
+            ))
+            .deviation(d)
+            .initials(&[self.inner.initial_token()])
+            .shares(vec![vec![self.inner.sync_share()]]);
+        if let Some(resp) = resp {
+            b = b.vo(resp.vo.to_bytes());
+            if let Some(sig) = &resp.sig {
+                b = b.signed_state(sig.clone());
+            }
+        }
+        if let Some(log) = self.inner.transition_log() {
+            b = b.transition_log(0, self.inner.user(), log);
+        }
+        self.evidence = Some(b.build());
+    }
+
     /// Executes one verified operation. Request, server handling, and the
-    /// verification verdict share one trace rooted at `(user, seq)`.
+    /// verification verdict share one trace rooted at `(user, seq)`. A
+    /// failed verification stashes an evidence bundle retrievable with
+    /// [`NetClient2::take_evidence`].
     pub fn execute(&mut self, op: &Op) -> Result<OpResult, NetError> {
         self.seq += 1;
         let ctx = SpanContext::root(self.inner.user(), self.seq);
@@ -251,7 +316,13 @@ impl NetClient2 {
             &self.stats,
         )?;
         self.ops += 1;
-        Ok(self.inner.handle_response(op, &resp)?)
+        match self.inner.handle_response(op, &resp) {
+            Ok(result) => Ok(result),
+            Err(d) => {
+                self.capture(EvidenceKind::ProtocolVerdict, &d, Some(&resp));
+                Err(d.into())
+            }
+        }
     }
 
     /// Executes a window of operations as **one** verified exchange: one
@@ -285,7 +356,15 @@ impl NetClient2 {
         )? {
             Some(resp) => {
                 self.ops += ops.len() as u64;
-                Ok(self.inner.handle_batch_response(ops, &resp)?)
+                match self.inner.handle_batch_response(ops, &resp) {
+                    Ok(results) => Ok(results),
+                    Err(d) => {
+                        // Batch proofs are window-shaped (no standalone VO to
+                        // embed); the bundle still pins the client's view.
+                        self.capture(EvidenceKind::BatchVerifyFailure, &d, None);
+                        Err(d.into())
+                    }
+                }
             }
             // Declined windows had no side effects; replay the ops one at a
             // time under fresh sequence numbers.

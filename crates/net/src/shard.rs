@@ -34,9 +34,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tcvs_core::{
-    BatchResponse, Ctr, Deviation, Digest, Epoch, FaultPlan, FaultRates, Op, OpResult,
-    PipelinedResponse, ProtocolConfig, ReadSnapshot, ServerApi, ServerMetrics, ServerResponse,
-    ShardRouter, SignedCheckpoint, SignedEpochState, SignedState, SyncShare, UserId,
+    BatchResponse, Ctr, Deviation, Digest, Epoch, EvidenceBuilder, EvidenceBundle, EvidenceKind,
+    FaultPlan, FaultRates, GroveEvidence, Op, OpResult, PipelinedResponse, ProtocolConfig,
+    ReadSnapshot, ServerApi, ServerMetrics, ServerResponse, ShardRouter, SignedCheckpoint,
+    SignedEpochState, SignedState, SyncShare, TriggerInfo, UserId,
 };
 use tcvs_merkle::{grove_root, verify_grove_response, GroveSpine, Key, Value};
 use tcvs_obs::Counter;
@@ -664,6 +665,87 @@ impl ShardedClient2 {
         tcvs_core::sync::protocol2_deviating_shards(&self.initials, per_shard)
     }
 
+    /// Enables the forensic transition log on every inner per-shard client.
+    pub fn enable_logging(&mut self) {
+        for c in &mut self.clients {
+            c.enable_logging();
+        }
+    }
+
+    /// Stamps captured evidence bundles (per-op rejections and sync-up
+    /// localizations alike) with the run seed that produced them.
+    pub fn set_evidence_seed(&mut self, seed: u64) {
+        for c in &mut self.clients {
+            c.set_evidence_seed(seed);
+        }
+    }
+
+    /// Takes the evidence bundle stashed by the first inner client whose
+    /// per-op verification failed, if any.
+    pub fn take_evidence(&mut self) -> Option<EvidenceBundle> {
+        self.clients.iter_mut().find_map(NetClient2::take_evidence)
+    }
+
+    /// Captures a cross-shard sync-up incident: evaluates the grove
+    /// localization over `per_shard` shares and, when at least one shard
+    /// deviates, returns an [`EvidenceBuilder`] pre-populated with this
+    /// user's whole view — per-shard anchor tokens, the full share
+    /// exchange, the localized shard set, the sampled grove epoch (when
+    /// given), and this user's per-shard transition logs.
+    ///
+    /// Returns a *builder* rather than a sealed bundle so the sync-up
+    /// harness can graft in what one client cannot know — the other users'
+    /// transition logs and their verification keys — before `.build()`:
+    /// fork diagnosis needs at least two users' histories to name the fork
+    /// point. Only the *deviating* shards' logs are included (and should be
+    /// grafted): diagnosis over a shard whose log set misses a
+    /// participating user reads that user's states as fabricated and
+    /// mis-localizes.
+    pub fn localization_evidence(
+        &self,
+        seed: u64,
+        per_shard: &[Vec<SyncShare>],
+        epoch: Option<&GroveEpoch>,
+    ) -> Option<EvidenceBuilder> {
+        let deviating = self.deviating_shards(per_shard);
+        if deviating.is_empty() {
+            return None;
+        }
+        let user = self.clients[0].user();
+        let mut b = EvidenceBuilder::new(EvidenceKind::ShardLocalization, seed, "protocol-2")
+            .captured_at(self.ops_done())
+            .description(format!(
+                "grove sync-up failed; localization names {} of {} shards",
+                deviating.len(),
+                self.clients.len()
+            ))
+            .trigger(TriggerInfo {
+                deviation: "sync-failed".to_string(),
+                detail: format!("deviating shards: {deviating:?}"),
+                user: Some(user),
+                shard: Some(deviating[0] as u32),
+                ctr: None,
+            })
+            .initials(&self.initials)
+            .shares(per_shard.to_vec())
+            .claimed_shards(deviating.iter().copied());
+        if let Some(epoch) = epoch {
+            b = b.grove(GroveEvidence {
+                epoch: epoch.epoch,
+                shard_roots: epoch.shard_roots.clone(),
+                shard_ctrs: epoch.shard_ctrs.clone(),
+                shard_last_users: epoch.shard_last_users.clone(),
+                grove_root: epoch.grove_root,
+            });
+        }
+        for &shard in &deviating {
+            if let Some(log) = self.clients[shard].transition_log() {
+                b = b.transition_log(shard, user, log);
+            }
+        }
+        Some(b)
+    }
+
     /// One inner per-shard client (tests and sync-up plumbing).
     pub fn client(&self, shard: usize) -> &NetClient2 {
         &self.clients[shard]
@@ -696,6 +778,8 @@ pub struct GroveReader {
     ops: u64,
     policy: RetryPolicy,
     stats: NetStats,
+    evidence: Option<EvidenceBundle>,
+    evidence_seed: u64,
 }
 
 impl GroveReader {
@@ -718,6 +802,8 @@ impl GroveReader {
             ops: 0,
             policy: RetryPolicy::default(),
             stats: NetStats::disabled(),
+            evidence: None,
+            evidence_seed: 0,
         })
     }
 
@@ -729,6 +815,57 @@ impl GroveReader {
     /// Replaces the retry policy (timeouts, attempts, jitter).
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.policy = policy;
+    }
+
+    /// Stamps captured evidence bundles with the run seed that produced
+    /// them.
+    pub fn set_evidence_seed(&mut self, seed: u64) {
+        self.evidence_seed = seed;
+    }
+
+    /// Takes the evidence bundle captured at the most recent failed
+    /// grove-verified read, if any.
+    pub fn take_evidence(&mut self) -> Option<EvidenceBundle> {
+        self.evidence.take()
+    }
+
+    /// Builds and stashes an evidence bundle at a reader detection site:
+    /// the deviation verdict, the offending shard, the full consistent root
+    /// sample (as a pseudo grove epoch — epoch number 0, meaning "sampled
+    /// by the reader, not published"), and the offending VO bytes when the
+    /// failure was proof-shaped.
+    fn capture(&mut self, shard: usize, d: &Deviation, shard_roots: &[Digest], vo: Option<&[u8]>) {
+        if self.evidence.is_some() {
+            return;
+        }
+        let trigger = {
+            let mut t = TriggerInfo::from_deviation(d);
+            t.user = Some(self.user);
+            t.shard = Some(shard as u32);
+            t
+        };
+        let mut b = EvidenceBuilder::new(
+            EvidenceKind::GroveVerifyFailure,
+            self.evidence_seed,
+            "grove-reader",
+        )
+        .captured_at(self.ops)
+        .description(format!(
+            "reader {} rejected a grove-verified read on shard {shard}",
+            self.user
+        ))
+        .trigger(trigger)
+        .grove(GroveEvidence {
+            epoch: 0,
+            shard_roots: shard_roots.to_vec(),
+            shard_ctrs: self.last_ctrs.clone(),
+            shard_last_users: vec![tcvs_core::NO_USER; shard_roots.len()],
+            grove_root: grove_root(shard_roots),
+        });
+        if let Some(bytes) = vo {
+            b = b.vo(bytes.to_vec());
+        }
+        self.evidence = Some(b.build());
     }
 
     /// Executes one verified read (point or cross-shard range).
@@ -781,7 +918,7 @@ impl GroveReader {
             }
             let known_grove = grove_root(&shard_roots);
             let spine = GroveSpine::prove(&shard_roots, shard);
-            let verified = verify_grove_response(
+            let verified = match verify_grove_response(
                 &known_grove,
                 self.order,
                 &spine,
@@ -789,17 +926,25 @@ impl GroveReader {
                 op,
                 Some(&resp.result),
                 None,
-            )
-            .map_err(|e| NetError::Deviation(Deviation::BadProof(e)))?;
+            ) {
+                Ok(v) => v,
+                Err(e) => {
+                    let d = Deviation::BadProof(e);
+                    self.capture(shard, &d, &shard_roots, Some(&resp.vo.to_bytes()));
+                    return Err(NetError::Deviation(d));
+                }
+            };
             // A read transitions nothing: the resolved grove root must be
             // the one we started from (the spine is bound to the sample).
             debug_assert_eq!(verified.new_grove_root, known_grove);
             // Per-shard snapshot time never runs backwards for one reader.
             if resp.ctr < self.last_ctrs[shard] {
-                return Err(NetError::Deviation(Deviation::CounterRegression {
+                let d = Deviation::CounterRegression {
                     seen: resp.ctr,
                     expected_at_least: self.last_ctrs[shard],
-                }));
+                };
+                self.capture(shard, &d, &shard_roots, None);
+                return Err(NetError::Deviation(d));
             }
             self.last_ctrs[shard] = resp.ctr;
             return Ok(verified.result);
@@ -948,6 +1093,62 @@ mod tests {
         let got = reader.execute(&Op::Range(None, None)).expect("grove range");
         assert!(matches!(got, OpResult::Entries(es) if es.len() == 24));
         assert_eq!(reader.ops_done(), 25);
+        grove.shutdown();
+    }
+
+    /// A grove-reader detection site seals an auditable bundle carrying
+    /// the deviation verdict, the offending shard, the consistent root
+    /// sample, and the offending VO bytes.
+    #[test]
+    fn grove_reader_capture_seals_an_auditable_bundle() {
+        let cfg = config();
+        let grove = ShardedServer::spawn(3, &cfg, NetServerOptions::default());
+        let mut w = ShardedClientTrusted::new(0, &grove);
+        for i in 0..12u64 {
+            w.execute(&Op::Put(u64_key(i), vec![1])).expect("write");
+        }
+        let mut reader = GroveReader::bind(5, &cfg, &grove).expect("read paths");
+        reader.set_evidence_seed(9);
+        let shard_roots: Vec<Digest> = (0..3)
+            .map(|i| {
+                grove
+                    .shard(i)
+                    .read_wire()
+                    .unwrap()
+                    .slot
+                    .lock()
+                    .root_digest()
+            })
+            .collect();
+        // Drive the capture path directly with a proof-shaped deviation
+        // and a counter regression (honest servers can't produce either
+        // over the wire, which is the point of the detection site).
+        let d = Deviation::BadProof(tcvs_merkle::VerifyError::RootMismatch);
+        reader.capture(1, &d, &shard_roots, Some(b"vo-bytes"));
+        let bundle = reader.take_evidence().expect("captured");
+        assert!(reader.take_evidence().is_none(), "stash holds one bundle");
+        assert_eq!(bundle.kind, EvidenceKind::GroveVerifyFailure);
+        assert_eq!(bundle.trigger.deviation, "bad-proof");
+        assert_eq!(bundle.trigger.shard, Some(1));
+        let grove_ev = bundle.grove.as_ref().expect("root sample rides");
+        assert_eq!(grove_ev.shard_roots, shard_roots);
+        assert_eq!(grove_ev.grove_root, grove_root(&shard_roots));
+        assert_eq!(bundle.vos, vec![b"vo-bytes".to_vec()]);
+        let report = tcvs_core::audit_bytes(&bundle.to_bytes());
+        assert!(report.accepted, "{:?}", report.rejection);
+        // The first capture wins until taken.
+        reader.capture(0, &d, &shard_roots, None);
+        reader.capture(
+            2,
+            &Deviation::CounterRegression {
+                seen: 0,
+                expected_at_least: 3,
+            },
+            &shard_roots,
+            None,
+        );
+        let first = reader.take_evidence().expect("captured again");
+        assert_eq!(first.trigger.shard, Some(0));
         grove.shutdown();
     }
 

@@ -53,7 +53,9 @@ mod span;
 mod trace;
 
 pub use event::{render_log, Event, EventKind, NO_ACTOR};
-pub use export::{render_chrome_trace, render_openmetrics};
+pub use export::{
+    render_chrome_trace, render_chrome_trace_with_loss, render_openmetrics, TraceLoss,
+};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, MetricEntry, MetricValue,
     MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,

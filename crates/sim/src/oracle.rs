@@ -13,7 +13,10 @@
 //! produces no observable deviation in the finite prefix — and the
 //! protocols, correctly, have nothing to detect yet.
 
-use tcvs_core::{OpResult, ProtocolConfig, ServerApi, UserId};
+use tcvs_core::{
+    EvidenceBuilder, EvidenceBundle, EvidenceKind, OpResult, ProtocolConfig, ServerApi,
+    TriggerInfo, UserId,
+};
 use tcvs_merkle::{apply_op, MerkleTree};
 use tcvs_workload::Trace;
 
@@ -75,6 +78,43 @@ pub fn run_with_oracle(
         }
     }
     OracleVerdict::NoObservableDeviation
+}
+
+/// [`run_with_oracle`] that additionally seals a `Deviated` verdict into a
+/// portable [`EvidenceBundle`] (kind [`EvidenceKind::OracleDeviation`]):
+/// the divergence point, the receiving user, and the got/expected pair in
+/// the trigger detail. `NoObservableDeviation` returns no bundle.
+pub fn run_with_oracle_evidence(
+    server: &mut dyn ServerApi,
+    config: &ProtocolConfig,
+    trace: &Trace,
+    seed: u64,
+) -> (OracleVerdict, Option<EvidenceBundle>) {
+    let verdict = run_with_oracle(server, config, trace);
+    let bundle = match &verdict {
+        OracleVerdict::NoObservableDeviation => None,
+        OracleVerdict::Deviated {
+            op_index,
+            user,
+            got,
+            expected,
+        } => Some(
+            EvidenceBuilder::new(EvidenceKind::OracleDeviation, seed, "oracle")
+                .captured_at(*op_index)
+                .description(format!(
+                    "trusted-replay oracle diverged at op {op_index} for user {user}"
+                ))
+                .trigger(TriggerInfo {
+                    deviation: "oracle-divergence".to_string(),
+                    detail: format!("got {got:?}, trusted run answers {expected:?}"),
+                    user: Some(*user),
+                    shard: None,
+                    ctr: Some(*op_index),
+                })
+                .build(),
+        ),
+    };
+    (verdict, bundle)
 }
 
 #[cfg(test)]

@@ -17,8 +17,8 @@
 use std::sync::Arc;
 use tcvs_core::strawman::NaiveXorClient;
 use tcvs_core::{
-    Client1, Client2, Client3, Deviation, Digest, FaultKind, FaultPlan, Op, ProtocolConfig,
-    ProtocolKind, ServerApi, SyncShare, UserId,
+    Client1, Client2, Client3, Deviation, Digest, EvidenceBuilder, EvidenceBundle, EvidenceKind,
+    FaultKind, FaultPlan, Op, ProtocolConfig, ProtocolKind, ServerApi, SyncShare, UserId,
 };
 use tcvs_crypto::setup_users;
 use tcvs_merkle::MerkleTree;
@@ -473,6 +473,43 @@ pub fn simulate_with_flight_recorder(
     let report = simulate_observed(spec, server, trace, violation_op, &tracer);
     let dump = report.detected().then(|| recorder.render_log());
     (report, dump, recorder)
+}
+
+/// [`simulate_with_flight_recorder`] that additionally seals the run's
+/// verdict into a portable [`EvidenceBundle`] when detection fired: the
+/// triggering deviation, the detecting user, the run seed, the genesis
+/// anchor token, and the flight recorder's retained tail. Honest runs
+/// return no bundle — capture must cost nothing on the honest path.
+pub fn simulate_with_evidence(
+    spec: &SimSpec,
+    server: &mut dyn ServerApi,
+    trace: &Trace,
+    violation_op: Option<u64>,
+    cap: usize,
+) -> (RunReport, Option<EvidenceBundle>, Arc<FlightRecorder>) {
+    let (report, _dump, recorder) =
+        simulate_with_flight_recorder(spec, server, trace, violation_op, cap);
+    let bundle = report.detection.as_ref().map(|det| {
+        let seed = u64::from_le_bytes(spec.setup_seed[..8].try_into().expect("8-byte prefix"));
+        let root0 = initial_root(&spec.config);
+        let trigger = {
+            let mut t = tcvs_core::TriggerInfo::from_deviation(&det.deviation);
+            t.user = Some(det.by_user);
+            t.ctr = Some(det.op_index);
+            t
+        };
+        EvidenceBuilder::new(EvidenceKind::ProtocolVerdict, seed, spec.protocol.label())
+            .captured_at(det.op_index)
+            .description(format!(
+                "simulated run detected at op {} (round {}) by user {}",
+                det.op_index, det.round, det.by_user
+            ))
+            .trigger(trigger)
+            .initials(&[tcvs_core::state::initial_token(&root0)])
+            .flight_tail(recorder.snapshot())
+            .build()
+    });
+    (report, bundle, recorder)
 }
 
 fn build_clients(spec: &SimSpec, root0: &Digest, tracer: &Tracer) -> ClientSet {

@@ -17,127 +17,17 @@
 //! typed [`DecodeError`]s with offsets (the recovery path needs to tell a
 //! torn tail from corruption).
 
-use tcvs_core::{
-    Ctr, Epoch, ServerMetrics, ServerResponse, ServerSnapshot, SignedCheckpoint, SignedEpochState,
-    SignedState, UserId,
-};
-use tcvs_crypto::wots::WotsSignature;
-use tcvs_crypto::{Digest, MssSignature};
+use tcvs_core::{Ctr, Epoch, ServerMetrics, ServerResponse, ServerSnapshot, UserId};
 use tcvs_merkle::{MerkleTree, Op, OpResult, VerificationObject};
-use tcvs_obs::{Event, EventKind, SpanContext, SpanId, TraceId};
 use tcvs_store::enc::{DecodeError, Reader, Writer};
 
-// --- primitives -----------------------------------------------------------
-
-pub(crate) fn put_digest(w: &mut Writer, d: &Digest) {
-    w.raw(&d.0);
-}
-
-pub(crate) fn get_digest(r: &mut Reader) -> Result<Digest, DecodeError> {
-    let raw = r.raw(Digest::LEN)?;
-    Ok(Digest(raw.try_into().expect("fixed length")))
-}
-
-fn put_opt_digest(w: &mut Writer, d: Option<&Digest>) {
-    match d {
-        None => w.u8(0),
-        Some(d) => {
-            w.u8(1);
-            put_digest(w, d);
-        }
-    }
-}
-
-fn get_opt_digest(r: &mut Reader) -> Result<Option<Digest>, DecodeError> {
-    match r.u8()? {
-        0 => Ok(None),
-        1 => Ok(Some(get_digest(r)?)),
-        t => Err(DecodeError::BadTag(t)),
-    }
-}
-
-// --- signatures -----------------------------------------------------------
-
-pub(crate) fn put_mss(w: &mut Writer, s: &MssSignature) {
-    w.u64(s.leaf_index);
-    w.bytes(&s.wots.to_bytes());
-    w.u32(s.auth_path.len() as u32);
-    for d in &s.auth_path {
-        put_digest(w, d);
-    }
-}
-
-pub(crate) fn get_mss(r: &mut Reader) -> Result<MssSignature, DecodeError> {
-    let leaf_index = r.u64()?;
-    let wots =
-        WotsSignature::from_bytes(r.bytes()?).ok_or(DecodeError::Invalid("wots signature"))?;
-    let n = r.u32()? as usize;
-    // Auth paths are log₂(leaves) deep; a huge count is corruption.
-    if n > 64 {
-        return Err(DecodeError::Invalid("auth path too deep"));
-    }
-    let mut auth_path = Vec::with_capacity(n);
-    for _ in 0..n {
-        auth_path.push(get_digest(r)?);
-    }
-    Ok(MssSignature {
-        leaf_index,
-        wots,
-        auth_path,
-    })
-}
-
-pub(crate) fn put_signed_state(w: &mut Writer, s: &SignedState) {
-    w.u32(s.signer);
-    put_digest(w, &s.root);
-    w.u64(s.ctr);
-    put_mss(w, &s.sig);
-}
-
-pub(crate) fn get_signed_state(r: &mut Reader) -> Result<SignedState, DecodeError> {
-    Ok(SignedState {
-        signer: r.u32()?,
-        root: get_digest(r)?,
-        ctr: r.u64()?,
-        sig: get_mss(r)?,
-    })
-}
-
-pub(crate) fn put_epoch_state(w: &mut Writer, s: &SignedEpochState) {
-    w.u32(s.user);
-    w.u64(s.epoch);
-    put_digest(w, &s.sigma);
-    put_opt_digest(w, s.last.as_ref());
-    w.u64(s.ops);
-    put_mss(w, &s.sig);
-}
-
-pub(crate) fn get_epoch_state(r: &mut Reader) -> Result<SignedEpochState, DecodeError> {
-    Ok(SignedEpochState {
-        user: r.u32()?,
-        epoch: r.u64()?,
-        sigma: get_digest(r)?,
-        last: get_opt_digest(r)?,
-        ops: r.u64()?,
-        sig: get_mss(r)?,
-    })
-}
-
-pub(crate) fn put_audit_checkpoint(w: &mut Writer, c: &SignedCheckpoint) {
-    w.u64(c.epoch);
-    w.u32(c.checker);
-    put_digest(w, &c.final_token);
-    put_mss(w, &c.sig);
-}
-
-pub(crate) fn get_audit_checkpoint(r: &mut Reader) -> Result<SignedCheckpoint, DecodeError> {
-    Ok(SignedCheckpoint {
-        epoch: r.u64()?,
-        checker: r.u32()?,
-        final_token: get_digest(r)?,
-        sig: get_mss(r)?,
-    })
-}
+// The protocol-vocabulary codecs (digests, signatures, deposits, events)
+// live in `tcvs_core::wire` — shared with the evidence-bundle format so
+// the durable log and the portable forensic artifact speak one encoding.
+pub(crate) use tcvs_core::wire::{
+    get_audit_checkpoint, get_epoch_state, get_event, get_signed_state, put_audit_checkpoint,
+    put_epoch_state, put_event, put_signed_state,
+};
 
 // --- operations and results ----------------------------------------------
 
@@ -290,113 +180,12 @@ pub fn response_bytes(resp: &ServerResponse) -> Vec<u8> {
     w.into_bytes()
 }
 
-// --- events ---------------------------------------------------------------
-
-fn event_kind_tag(kind: EventKind) -> u8 {
-    match kind {
-        EventKind::OpServed => 0,
-        EventKind::ReadServed => 1,
-        EventKind::ProofBuilt => 2,
-        EventKind::Retry => 3,
-        EventKind::JournalHit => 4,
-        EventKind::Deposit => 5,
-        EventKind::MissedDeposit => 6,
-        EventKind::Checkpoint => 7,
-        EventKind::Crash => 8,
-        EventKind::Restart => 9,
-        EventKind::SyncTriggered => 10,
-        EventKind::SyncUp => 11,
-        EventKind::Audit => 12,
-        EventKind::FaultInjected => 13,
-        EventKind::DeviationInjected => 14,
-        EventKind::Detection => 15,
-        EventKind::Recovery => 16,
-        // `EventKind` is non_exhaustive: a kind added after this codec
-        // shipped persists as the reserved tag and is dropped (with an
-        // error) on decode rather than mis-decoded as something else.
-        _ => u8::MAX,
-    }
-}
-
-fn event_kind_from_tag(tag: u8) -> Result<EventKind, DecodeError> {
-    Ok(match tag {
-        0 => EventKind::OpServed,
-        1 => EventKind::ReadServed,
-        2 => EventKind::ProofBuilt,
-        3 => EventKind::Retry,
-        4 => EventKind::JournalHit,
-        5 => EventKind::Deposit,
-        6 => EventKind::MissedDeposit,
-        7 => EventKind::Checkpoint,
-        8 => EventKind::Crash,
-        9 => EventKind::Restart,
-        10 => EventKind::SyncTriggered,
-        11 => EventKind::SyncUp,
-        12 => EventKind::Audit,
-        13 => EventKind::FaultInjected,
-        14 => EventKind::DeviationInjected,
-        15 => EventKind::Detection,
-        16 => EventKind::Recovery,
-        t => return Err(DecodeError::BadTag(t)),
-    })
-}
-
-pub(crate) fn put_event(w: &mut Writer, ev: &Event) {
-    w.u64(ev.t);
-    w.u8(event_kind_tag(ev.kind));
-    w.u32(ev.user);
-    w.string(&ev.detail);
-    match &ev.span {
-        None => w.u8(0),
-        Some(ctx) => {
-            w.u8(1);
-            w.u64(ctx.trace.0);
-            w.u64(ctx.span.0);
-            match ctx.parent {
-                None => w.u8(0),
-                Some(p) => {
-                    w.u8(1);
-                    w.u64(p.0);
-                }
-            }
-        }
-    }
-}
-
-pub(crate) fn get_event(r: &mut Reader) -> Result<Event, DecodeError> {
-    let t = r.u64()?;
-    let kind = event_kind_from_tag(r.u8()?)?;
-    let user = r.u32()?;
-    let detail = r.string()?;
-    let span = match r.u8()? {
-        0 => None,
-        1 => {
-            let trace = TraceId(r.u64()?);
-            let span = SpanId(r.u64()?);
-            let parent = match r.u8()? {
-                0 => None,
-                1 => Some(SpanId(r.u64()?)),
-                t => return Err(DecodeError::BadTag(t)),
-            };
-            Some(SpanContext {
-                trace,
-                span,
-                parent,
-            })
-        }
-        t => return Err(DecodeError::BadTag(t)),
-    };
-    let mut ev = Event::new(t, kind, user).detail(detail);
-    ev.span = span;
-    Ok(ev)
-}
-
 // --- the durable checkpoint state -----------------------------------------
 
 /// Magic prefix of an encoded [`DurableState`].
 const STATE_MAGIC: &[u8; 4] = b"TCKP";
 /// Format version of the checkpoint encoding.
-const STATE_VERSION: u32 = 1;
+const STATE_VERSION: u32 = 2;
 
 /// The complete durable world at one LSN: the server's crash snapshot plus
 /// the transport's exactly-once reply journal.
@@ -406,6 +195,10 @@ pub struct DurableState {
     /// The reply journal as `(user, seq, response)` — one live entry per
     /// user (older entries are below the acknowledgment watermark).
     pub journal: Vec<(UserId, u64, ServerResponse)>,
+    /// Persisted deviation evidence bundles, opaque canonical bytes
+    /// (self-integrity-checked by the bundle format). Carried in the
+    /// checkpoint so incident artifacts outlive log pruning.
+    pub evidence: Vec<Vec<u8>>,
 }
 
 impl DurableState {
@@ -451,6 +244,10 @@ impl DurableState {
             w.u32(*user);
             w.u64(*seq);
             put_response(&mut w, resp);
+        }
+        w.u32(self.evidence.len() as u32);
+        for e in &self.evidence {
+            w.bytes(e);
         }
         w.bytes(&self.snapshot.db().to_bytes());
         w.into_bytes()
@@ -507,6 +304,11 @@ impl DurableState {
             let seq = r.u64()?;
             journal.push((user, seq, get_response(&mut r)?));
         }
+        let n = r.u32()? as usize;
+        let mut evidence = Vec::new();
+        for _ in 0..n {
+            evidence.push(r.bytes()?.to_vec());
+        }
         let db = MerkleTree::from_bytes(r.bytes()?)
             .map_err(|_| DecodeError::Invalid("checkpoint database"))?;
         r.finish()?;
@@ -523,15 +325,22 @@ impl DurableState {
             flight,
         )
         .map_err(|_| DecodeError::Invalid("snapshot parts"))?;
-        Ok(DurableState { snapshot, journal })
+        Ok(DurableState {
+            snapshot,
+            journal,
+            evidence,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcvs_core::{HonestServer, ProtocolConfig, ServerApi};
+    use tcvs_core::wire::{get_mss, put_mss};
+    use tcvs_core::{HonestServer, ProtocolConfig, ServerApi, SignedState};
+    use tcvs_crypto::MssSignature;
     use tcvs_merkle::u64_key;
+    use tcvs_obs::{Event, EventKind, SpanContext};
 
     fn sample_sig(seed: u8) -> MssSignature {
         let (mut rings, _) = tcvs_crypto::setup_users([seed; 32], 1, 3);
@@ -623,12 +432,14 @@ mod tests {
         let state = DurableState {
             snapshot: server.core().crash_snapshot(),
             journal,
+            evidence: vec![b"TCVSEVB1-bundle-bytes".to_vec()],
         };
         let bytes = state.to_bytes();
         let back = DurableState::from_bytes(&bytes).unwrap();
         assert_eq!(back.snapshot.root_digest(), state.snapshot.root_digest());
         assert_eq!(back.snapshot.ctr(), state.snapshot.ctr());
         assert!(back.snapshot.last_sig().is_some());
+        assert_eq!(back.evidence, state.evidence);
         assert_eq!(back.journal.len(), 10);
         for ((u1, s1, r1), (u2, s2, r2)) in back.journal.iter().zip(state.journal.iter()) {
             assert_eq!((u1, s1), (u2, s2));

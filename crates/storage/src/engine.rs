@@ -118,6 +118,9 @@ pub struct DurableServer<S: Storage> {
     /// Flight events recovered from the log tail (the checkpoint's own
     /// tail lives in the snapshot).
     recovered_flight: Vec<Event>,
+    /// Every persisted deviation evidence bundle (checkpoint + log tail +
+    /// bundles persisted this incarnation), opaque canonical bytes.
+    evidence: Vec<Vec<u8>>,
 }
 
 impl<S: Storage> DurableServer<S> {
@@ -140,6 +143,7 @@ impl<S: Storage> DurableServer<S> {
             ops_since_checkpoint: 0,
             last_report: RecoveryReport::default(),
             recovered_flight: Vec::new(),
+            evidence: Vec::new(),
         };
         server.recover()?;
         Ok(server)
@@ -204,6 +208,7 @@ impl<S: Storage> DurableServer<S> {
             ops_since_checkpoint: 0,
             last_report: RecoveryReport::default(),
             recovered_flight: Vec::new(),
+            evidence: Vec::new(),
         };
         let found = server.storage.recover()?;
         if found.checkpoint.is_some()
@@ -254,12 +259,14 @@ impl<S: Storage> DurableServer<S> {
         }
         self.journal.clear();
         self.recovered_flight.clear();
+        self.evidence.clear();
         self.core = match &recovered.checkpoint {
             Some((_, state)) => {
                 let ds = DurableState::from_bytes(state)?;
                 for (user, seq, resp) in ds.journal {
                     self.journal.insert(user, (seq, resp));
                 }
+                self.evidence = ds.evidence;
                 ServerCore::crash_restore(&ds.snapshot)
                     .map_err(|_| StorageError::io("checkpoint snapshot rejected"))?
             }
@@ -282,6 +289,7 @@ impl<S: Storage> DurableServer<S> {
                 Record::EpochState(s) => self.core.store_epoch_state(s),
                 Record::AuditCheckpoint(c) => self.core.store_checkpoint(c),
                 Record::Flight(ev) => self.recovered_flight.push(ev),
+                Record::Evidence(bytes) => self.evidence.push(bytes),
             }
         }
         if let Some(r) = recorder {
@@ -345,6 +353,25 @@ impl<S: Storage> DurableServer<S> {
     /// Storage observability (metrics registry, tracer).
     pub fn obs(&self) -> &StorageObs {
         &self.obs
+    }
+
+    /// Persists a captured deviation evidence bundle through the same
+    /// atomic-commit path as operations: logged and fsynced before the call
+    /// returns, carried forward by every subsequent checkpoint, so the
+    /// incident artifact survives crashes and log pruning alike. The bytes
+    /// are stored opaquely — the bundle's own integrity digest, not the
+    /// engine, vouches for them.
+    pub fn persist_evidence(&mut self, bundle: Vec<u8>) -> Result<(), StorageError> {
+        self.commit(Record::Evidence(bundle.clone()))?;
+        self.evidence.push(bundle);
+        Ok(())
+    }
+
+    /// Every evidence bundle this durable world holds (recovered from the
+    /// checkpoint and log tail, plus any persisted this incarnation),
+    /// oldest first.
+    pub fn evidence_bundles(&self) -> &[Vec<u8>] {
+        &self.evidence
     }
 
     /// Stages flight frames recorded since the last commit. The ring holds
@@ -419,6 +446,7 @@ impl<S: Storage> DurableServer<S> {
         let state = DurableState {
             snapshot: self.core.crash_snapshot(),
             journal,
+            evidence: self.evidence.clone(),
         };
         let lsn = self.storage.checkpoint(&state.to_bytes())?;
         self.obs.checkpoints.inc();
@@ -636,6 +664,32 @@ mod tests {
         let s2 = durable(&mem, 100);
         let ts: Vec<u64> = s2.recovered_flight().iter().map(|e| e.t).collect();
         assert_eq!(ts, vec![0, 1, 2, 3, 4, 5], "black box survived the crash");
+    }
+
+    #[test]
+    fn evidence_survives_a_real_crash_and_checkpoint_pruning() {
+        let mem = MemMedium::new();
+        let mut s = durable(&mem, 5);
+        s.handle_op_seq(0, 0, &op(0), 0);
+        s.persist_evidence(b"TCVSEVB1-incident-one".to_vec())
+            .unwrap();
+        // Push enough ops to force checkpoints (log pruned behind them).
+        for i in 1..20 {
+            s.handle_op_seq((i % 3) as u32, i, &op(i), i);
+        }
+        s.persist_evidence(b"TCVSEVB1-incident-two".to_vec())
+            .unwrap();
+        drop(s);
+        mem.crash();
+        let s2 = durable(&mem, 5);
+        assert_eq!(
+            s2.evidence_bundles(),
+            &[
+                b"TCVSEVB1-incident-one".to_vec(),
+                b"TCVSEVB1-incident-two".to_vec()
+            ],
+            "both bundles survived crash + pruning, oldest first"
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub enum Record {
     /// A flight-recorder frame (the crash-surviving black box rides the
     /// same log as the state it narrates).
     Flight(Event),
+    /// A captured deviation evidence bundle, stored as its canonical
+    /// encoded bytes (`tcvs_core::EvidenceBundle::to_bytes`). Opaque to the
+    /// engine on purpose: the bundle format is self-integrity-checked, so
+    /// the log neither re-encodes nor trusts its contents — incident
+    /// artifacts survive crashes exactly as captured.
+    Evidence(Vec<u8>),
 }
 
 const TAG_OP: u8 = 1;
@@ -50,6 +56,7 @@ const TAG_SIGNATURE: u8 = 2;
 const TAG_EPOCH_STATE: u8 = 3;
 const TAG_AUDIT_CHECKPOINT: u8 = 4;
 const TAG_FLIGHT: u8 = 5;
+const TAG_EVIDENCE: u8 = 6;
 
 impl Record {
     /// The record's log tag byte.
@@ -60,6 +67,7 @@ impl Record {
             Record::EpochState(_) => TAG_EPOCH_STATE,
             Record::AuditCheckpoint(_) => TAG_AUDIT_CHECKPOINT,
             Record::Flight(_) => TAG_FLIGHT,
+            Record::Evidence(_) => TAG_EVIDENCE,
         }
     }
 
@@ -83,6 +91,7 @@ impl Record {
             Record::EpochState(s) => codec::put_epoch_state(&mut w, s),
             Record::AuditCheckpoint(c) => codec::put_audit_checkpoint(&mut w, c),
             Record::Flight(ev) => codec::put_event(&mut w, ev),
+            Record::Evidence(bytes) => w.bytes(bytes),
         }
         w.into_bytes()
     }
@@ -107,6 +116,7 @@ impl Record {
             TAG_EPOCH_STATE => Record::EpochState(codec::get_epoch_state(&mut r)?),
             TAG_AUDIT_CHECKPOINT => Record::AuditCheckpoint(codec::get_audit_checkpoint(&mut r)?),
             TAG_FLIGHT => Record::Flight(codec::get_event(&mut r)?),
+            TAG_EVIDENCE => Record::Evidence(r.bytes()?.to_vec()),
             t => return Err(DecodeError::BadTag(t)),
         };
         r.finish()?;
@@ -153,6 +163,16 @@ mod tests {
         let back = Record::decode(rec.tag(), &rec.body()).unwrap();
         match back {
             Record::Flight(ev) => assert_eq!(ev.detail, "ctr=3"),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evidence_record_round_trips_opaquely() {
+        let rec = Record::Evidence(b"TCVSEVB1-opaque-payload".to_vec());
+        let back = Record::decode(rec.tag(), &rec.body()).unwrap();
+        match back {
+            Record::Evidence(bytes) => assert_eq!(bytes, b"TCVSEVB1-opaque-payload"),
             other => panic!("wrong variant: {other:?}"),
         }
     }
